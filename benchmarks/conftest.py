@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper's evaluation
+section (§VI).  The benchmarked callable runs the corresponding experiment
+at a reduced-but-representative budget (the full-scale numbers are recorded
+in ``EXPERIMENTS.md``), and each benchmark prints the same rows/series the
+paper reports so that running ``pytest benchmarks/ --benchmark-only -s``
+gives a direct paper-vs-reproduction comparison.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1, iterations=1)``: the
+interesting measurement is the experiment's *result* (and its one-shot
+runtime), not a statistically tight timing of a stochastic evolution run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import pytest
+
+
+def print_table(title: str, rows: Iterable[Mapping], columns: Sequence[str]) -> None:
+    """Print experiment rows as a fixed-width table."""
+    rows = list(rows)
+    print(f"\n=== {title} ===")
+    widths = {
+        column: max(len(column), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,94 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two ablations:
+
+* **Low-rate value of the two-level EA** — the paper fixes the second-level
+  mutation rate at k = 1; this ablation sweeps it and shows that the
+  reconfiguration saving (and hence the time saving) erodes as the low rate
+  approaches the nominal rate.
+* **Fitness-voter similarity threshold** — the paper introduces the
+  threshold so that a recovered (slightly different) array does not retrigger
+  the voter; this ablation shows the trade-off: with threshold 0 a recovered
+  array with non-zero imitation fitness is flagged forever, while an overly
+  large threshold misses genuine faults.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.core.two_level_ea import TwoLevelMutationEvolution
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.core.voter import FitnessVoter
+from repro.imaging.images import make_training_pair
+
+
+def test_ablation_two_level_low_rate(run_once):
+    """Sweep the second-level mutation rate of the new EA."""
+
+    def sweep():
+        pair = make_training_pair("salt_pepper_denoise", size=32, seed=5, noise_level=0.1)
+        rows = []
+        for low_rate in (1, 2, 3, 5):
+            platform = EvolvableHardwarePlatform(n_arrays=3, seed=5)
+            driver = TwoLevelMutationEvolution(
+                platform, n_offspring=9, mutation_rate=5, low_mutation_rate=low_rate, rng=5
+            )
+            result = driver.run(pair.training, pair.reference, n_generations=100)
+            rows.append(
+                {
+                    "low_mutation_rate": low_rate,
+                    "pe_writes_per_gen": result.n_reconfigurations / result.n_generations,
+                    "platform_time_s": result.platform_time_s,
+                    "final_fitness": result.overall_best_fitness(),
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_table("Ablation: second-level mutation rate of the two-level EA "
+                "(first-level k=5, 100 generations)",
+                rows,
+                columns=["low_mutation_rate", "pe_writes_per_gen",
+                         "platform_time_s", "final_fitness"])
+    # The paper's choice (low rate = 1) minimises reconfiguration work; the
+    # advantage shrinks monotonically as the low rate grows.
+    writes = [row["pe_writes_per_gen"] for row in rows]
+    assert writes[0] == min(writes)
+    assert writes[0] < writes[-1]
+
+
+def test_ablation_voter_threshold(run_once):
+    """Sweep the fitness-voter similarity threshold."""
+
+    def sweep():
+        rng = np.random.default_rng(3)
+        healthy = 8000.0
+        recovered = healthy + 80.0       # a re-evolved array, slightly off
+        faulty = healthy + 5000.0        # a genuinely faulty array
+        rows = []
+        for threshold in (0.0, 50.0, 100.0, 1000.0, 10_000.0):
+            voter = FitnessVoter(threshold=threshold)
+            false_alarm = voter.vote([healthy, healthy, recovered]).fault_detected
+            detection = voter.vote([healthy, healthy, faulty]).fault_detected
+            rows.append(
+                {
+                    "threshold": threshold,
+                    "flags_recovered_array": false_alarm,
+                    "detects_real_fault": detection,
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_table("Ablation: fitness-voter similarity threshold",
+                rows,
+                columns=["threshold", "flags_recovered_array", "detects_real_fault"])
+    by_threshold = {row["threshold"]: row for row in rows}
+    # Threshold 0: hair-trigger — flags the recovered array as faulty.
+    assert by_threshold[0.0]["flags_recovered_array"]
+    # The paper's ~100-MAE band: tolerates the recovered array, still detects faults.
+    assert not by_threshold[100.0]["flags_recovered_array"]
+    assert by_threshold[100.0]["detects_real_fault"]
+    # An absurdly large threshold stops detecting real faults.
+    assert not by_threshold[10_000.0]["detects_real_fault"]

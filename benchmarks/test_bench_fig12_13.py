@@ -1,0 +1,81 @@
+"""Benchmark: parallel-evolution speed-up (Figs. 12 and 13).
+
+Two parts:
+
+* the full-scale sweep (100 000 generations, 128x128 and 256x256 images,
+  k = 1, 3, 5, one vs three arrays) under the calibrated platform timing
+  model — this is the series actually plotted in the paper;
+* a measured sweep of real (small-budget) evolution runs on the simulator,
+  whose per-offspring reconfiguration counts drive the same Fig. 11
+  scheduler, confirming the model's event counts.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.experiments.parallel_speedup import (
+    evolution_time_sweep,
+    measured_speedup_sweep,
+    time_savings,
+)
+
+
+def test_fig12_fig13_model_sweep(run_once):
+    points = run_once(evolution_time_sweep)
+    rows = [
+        {
+            "image": f"{p.image_side}x{p.image_side}",
+            "k": p.mutation_rate,
+            "arrays": p.n_arrays,
+            "evolution_time_s": p.evolution_time_s,
+        }
+        for p in points
+    ]
+    print_table("Figs. 12-13: evolution time, 100k generations (timing model)",
+                rows, columns=["image", "k", "arrays", "evolution_time_s"])
+    savings = time_savings(points)
+    print_table("Figs. 12-13: constant time saving of 3 arrays vs 1",
+                savings,
+                columns=["image_side", "mutation_rate", "single_array_s",
+                         "three_arrays_s", "saving_s"])
+
+    by_key = {(p.image_side, p.mutation_rate, p.n_arrays): p.evolution_time_s for p in points}
+    # Shape checks: time grows with k, 3 arrays always faster, saving ~constant
+    # in k and ~4x larger for the 4x larger image.
+    assert by_key[(128, 1, 1)] < by_key[(128, 3, 1)] < by_key[(128, 5, 1)]
+    for side in (128, 256):
+        for k in (1, 3, 5):
+            assert by_key[(side, k, 3)] < by_key[(side, k, 1)]
+    saving_128 = [r["saving_s"] for r in savings if r["image_side"] == 128]
+    saving_256 = [r["saving_s"] for r in savings if r["image_side"] == 256]
+    assert max(saving_128) - min(saving_128) < 0.02 * np.mean(saving_128)
+    assert 3.0 < np.mean(saving_256) / np.mean(saving_128) < 5.0
+
+
+def test_fig12_measured_small_scale(run_once):
+    points = run_once(
+        measured_speedup_sweep,
+        image_side=32,
+        mutation_rates=(1, 3, 5),
+        array_counts=(1, 3),
+        n_generations=40,
+    )
+    rows = [
+        {
+            "k": p.mutation_rate,
+            "arrays": p.n_arrays,
+            "platform_time_s": p.evolution_time_s,
+            "pe_writes": p.n_reconfigurations,
+        }
+        for p in points
+    ]
+    print_table("Fig. 12 (measured, reduced budget): 40 generations, 32x32",
+                rows, columns=["k", "arrays", "platform_time_s", "pe_writes"])
+    by_key = {(p.mutation_rate, p.n_arrays): p for p in points}
+    pe_time = 67.53e-6
+    for k in (1, 3, 5):
+        single = by_key[(k, 1)]
+        triple = by_key[(k, 3)]
+        assert (single.evolution_time_s - single.n_reconfigurations * pe_time) > \
+               (triple.evolution_time_s - triple.n_reconfigurations * pe_time)

@@ -1,0 +1,56 @@
+"""Benchmark: classic EA vs the new two-level-mutation EA (Figs. 14 and 15).
+
+Runs both strategies at mutation rates k = 1, 3, 5 on the same denoising
+task and prints the average platform time (Fig. 14), the average final
+fitness (Fig. 15) and the average reconfiguration count per generation —
+the mechanism behind the time reduction.
+"""
+
+from conftest import print_table
+
+from repro.experiments.new_ea import new_ea_comparison
+
+
+def test_fig14_fig15_new_ea_comparison(run_once):
+    points = run_once(
+        new_ea_comparison,
+        image_side=32,
+        mutation_rates=(1, 3, 5),
+        n_generations=150,
+        n_runs=3,
+    )
+    rows = [
+        {
+            "strategy": p.strategy,
+            "k": p.mutation_rate,
+            "time_s": p.mean_platform_time_s,
+            "fitness": p.mean_final_fitness,
+            "pe_writes_per_gen": p.mean_reconfigurations_per_generation,
+        }
+        for p in points
+    ]
+    print_table("Figs. 14-15: classic vs two-level-mutation EA (3 runs, 150 gens)",
+                rows,
+                columns=["strategy", "k", "time_s", "fitness", "pe_writes_per_gen"])
+
+    classic = {p.mutation_rate: p for p in points if p.strategy == "classic"}
+    new = {p.mutation_rate: p for p in points if p.strategy == "two_level"}
+    # Fig. 14 shape: the new EA is faster at every k and much flatter in k.
+    for k in (3, 5):
+        assert new[k].mean_platform_time_s < classic[k].mean_platform_time_s
+    classic_spread = classic[5].mean_platform_time_s - classic[1].mean_platform_time_s
+    new_spread = new[5].mean_platform_time_s - new[1].mean_platform_time_s
+    assert new_spread < classic_spread
+    # Mechanism: fewer PE rewrites per generation.
+    for k in (3, 5):
+        assert new[k].mean_reconfigurations_per_generation < \
+            classic[k].mean_reconfigurations_per_generation
+    # Fig. 15 shape: quality stays in the same range.  The paper reports the
+    # new EA as equal or slightly better after 100 000 generations; at the
+    # reduced benchmark budget the two strategies land close to each other,
+    # so a same-ballpark band is asserted here and the full-budget comparison
+    # is recorded in EXPERIMENTS.md.
+    import numpy as np
+    classic_mean = np.mean([p.mean_final_fitness for p in points if p.strategy == "classic"])
+    new_mean = np.mean([p.mean_final_fitness for p in points if p.strategy == "two_level"])
+    assert new_mean <= 1.5 * classic_mean

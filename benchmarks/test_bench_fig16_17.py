@@ -1,0 +1,51 @@
+"""Benchmark: filtering quality in cascaded mode (Figs. 16 and 17).
+
+Compares, stage by stage, the same-filter cascade against the adapted
+cascades obtained with sequential and interleaved cascaded evolution, and
+prints the average (Fig. 16) and best (Fig. 17) fitness per stage.
+"""
+
+from conftest import print_table
+
+from repro.experiments.cascade_quality import cascade_quality_comparison
+
+
+def test_fig16_fig17_cascade_quality(run_once):
+    points = run_once(
+        cascade_quality_comparison,
+        image_side=32,
+        noise_level=0.3,
+        n_generations=60,
+        n_runs=3,
+    )
+    rows = [
+        {
+            "arrangement": p.arrangement,
+            "stage": p.stage,
+            "avg_fitness": p.average_fitness,
+            "best_fitness": p.best_fitness,
+        }
+        for p in points
+    ]
+    print_table("Figs. 16-17: per-stage fitness of the cascade arrangements "
+                "(30% salt-and-pepper, 3 runs)",
+                rows,
+                columns=["arrangement", "stage", "avg_fitness", "best_fitness"])
+
+    table = {(p.arrangement, p.stage): p for p in points}
+    # Adapted cascades end better than the same-filter cascade (Fig. 16).
+    assert table[("adapted_sequential", 3)].average_fitness <= \
+        table[("same_filter", 3)].average_fitness
+    assert table[("adapted_interleaved", 3)].average_fitness <= \
+        table[("same_filter", 3)].average_fitness
+    # Adapted cascades improve with stage depth.
+    for arrangement in ("adapted_sequential", "adapted_interleaved"):
+        assert table[(arrangement, 3)].average_fitness <= \
+            table[(arrangement, 1)].average_fitness
+    # Little difference between the sequential and interleaved schedules
+    # (the paper: "very little fitness difference between both modes").
+    sequential_final = table[("adapted_sequential", 3)].average_fitness
+    interleaved_final = table[("adapted_interleaved", 3)].average_fitness
+    assert abs(sequential_final - interleaved_final) <= 0.5 * max(
+        sequential_final, interleaved_final
+    )

@@ -1,0 +1,44 @@
+"""Benchmark: three-stage adapted cascade on 40 % salt-and-pepper noise (Fig. 18).
+
+Evolves the adapted cascade, then prints the aggregated MAE of the noisy
+input, of each cascade stage and of the 3x3 median-filter baseline.  The
+paper's qualitative claims are checked: the cascade improves dramatically
+on the noisy input and is competitive with (in the paper, better than) the
+conventional median filter, which is itself not cascadable.
+"""
+
+from conftest import print_table
+
+from repro.experiments.cascade_demo import three_stage_cascade_demo
+
+
+def test_fig18_three_stage_cascade(run_once):
+    result = run_once(
+        three_stage_cascade_demo,
+        image_side=64,
+        noise_density=0.4,
+        n_generations=1200,
+    )
+    rows = [
+        {"output": "noisy input", "aggregated_MAE": result.noisy_fitness},
+        *(
+            {"output": f"cascade stage {stage + 1}", "aggregated_MAE": fitness}
+            for stage, fitness in enumerate(result.stage_fitness)
+        ),
+        {"output": "median filter (3x3 baseline)", "aggregated_MAE": result.median_fitness},
+    ]
+    print_table("Fig. 18: adapted 3-stage cascade vs median filter "
+                f"(40% salt-and-pepper, {result.image_side}x{result.image_side})",
+                rows, columns=["output", "aggregated_MAE"])
+    print(f"cascade beats median baseline: {result.cascade_beats_median}")
+
+    # Shape checks: each stage refines the previous one, the full cascade
+    # removes the bulk of the noise, and it is at least competitive with the
+    # (non-cascadable) median baseline.  The paper, with a 100 000-generation
+    # budget per stage, reports the cascade clearly *beating* the median
+    # filter; at this reduced budget "competitive" is asserted and the budget
+    # scaling is recorded in EXPERIMENTS.md.
+    assert result.stage_fitness[0] < result.noisy_fitness
+    assert result.stage_fitness[2] <= result.stage_fitness[0]
+    assert result.final_fitness < 0.35 * result.noisy_fitness
+    assert result.final_fitness < 1.5 * result.median_fitness

@@ -1,0 +1,46 @@
+"""Benchmark: evolution by imitation after a permanent fault (Fig. 19).
+
+Compares the two seeding strategies of the imitation recovery (inherited
+master genotype vs random genotype) over several fault-injection runs and
+prints the final imitation fitness of each run.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.experiments.imitation_recovery import imitation_seed_comparison
+
+
+def test_fig19_imitation_seeding(run_once):
+    points = run_once(
+        imitation_seed_comparison,
+        image_side=32,
+        initial_generations=100,
+        recovery_generations=120,
+        n_runs=3,
+    )
+    rows = [
+        {
+            "seeding": p.seeding,
+            "run": p.run,
+            "fault_pe": str(p.fault_position),
+            "pre_recovery": p.pre_recovery_fitness,
+            "final_fitness": p.final_fitness,
+        }
+        for p in points
+    ]
+    print_table("Fig. 19: imitation recovery, inherited vs random seeding",
+                rows,
+                columns=["seeding", "run", "fault_pe", "pre_recovery", "final_fitness"])
+
+    inherited = np.mean([p.final_fitness for p in points if p.seeding == "inherited"])
+    random_seeded = np.mean([p.final_fitness for p in points if p.seeding == "random"])
+    print(f"mean final imitation fitness: inherited={inherited:.0f}, "
+          f"random={random_seeded:.0f}")
+    # Fig. 19 shape: starting from the master's genotype performs better.
+    assert inherited < random_seeded
+    # Inherited-seeded recovery never ends worse than the post-fault divergence.
+    for point in points:
+        if point.seeding == "inherited":
+            assert point.final_fitness <= point.pre_recovery_fitness

@@ -1,0 +1,23 @@
+"""Benchmark: resource utilisation (§VI.A).
+
+Regenerates the resource summary of the evaluation section (PE/array CLB
+footprint, static and per-ACB slice/FF/LUT costs, per-PE reconfiguration
+time) and prints it next to the paper's values.
+"""
+
+from conftest import print_table
+
+from repro.experiments.resources_table import resource_utilisation_rows
+
+
+def test_resource_utilisation_table(run_once):
+    rows = run_once(resource_utilisation_rows, 3)
+    print_table(
+        "Resource utilisation, 3-ACB platform (paper §VI.A)",
+        rows,
+        columns=["quantity", "paper", "measured"],
+    )
+    lookup = {row["quantity"]: row for row in rows}
+    assert lookup["array footprint (CLBs)"]["measured"] == 160
+    assert lookup["ACB slices"]["measured"] == 754
+    assert abs(lookup["per-PE reconfiguration time (us)"]["measured"] - 67.53) < 1e-6

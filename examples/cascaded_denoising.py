@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Collaborative cascaded filtering of heavily corrupted images (paper §IV.A, Fig. 18).
+
+The paper's flagship quality result is a three-stage *adapted* cascade: each
+stage is evolved on the output of the previous one, so every stage
+specialises on the residual noise left by its predecessor.  This example:
+
+1. corrupts a test image with 40 % salt-and-pepper noise;
+2. evolves a three-stage collaborative cascade with sequential cascaded
+   evolution (separate fitness units, same reference);
+3. prints the aggregated MAE after each stage, the comparison against the
+   conventional median filter, and the comparison against a "same filter in
+   every stage" cascade (the iterative approach of Figs. 16-17).
+
+Run with:  python examples/cascaded_denoising.py
+"""
+
+from __future__ import annotations
+
+from repro import CascadedEvolution, EvolvableHardwarePlatform, ParallelEvolution
+from repro.core.modes import CascadeFitnessMode, CascadeSchedule
+from repro.imaging.filters import median_filter
+from repro.imaging.images import make_training_pair
+from repro.imaging.metrics import sae
+
+GENERATIONS_PER_STAGE = 1200
+NOISE_DENSITY = 0.40
+IMAGE_SIDE = 64
+SEED = 42
+
+
+def main() -> None:
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=IMAGE_SIDE, seed=SEED, noise_level=NOISE_DENSITY
+    )
+    noisy_fitness = sae(pair.training, pair.reference)
+    print(f"Input: {IMAGE_SIDE}x{IMAGE_SIDE} image, {NOISE_DENSITY:.0%} salt-and-pepper noise")
+    print(f"  aggregated MAE of the noisy input: {noisy_fitness:.0f}\n")
+
+    # --- base (stage-1) filter: shared by both cascade arrangements ------ #
+    print(f"Evolving the base stage-1 filter ({GENERATIONS_PER_STAGE} generations)...")
+    same_platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    single = ParallelEvolution(same_platform, n_offspring=9, mutation_rate=4, rng=SEED)
+    single_result = single.run(pair.training, pair.reference,
+                               n_generations=GENERATIONS_PER_STAGE)
+    base_filter = single_result.best_genotypes[0]
+
+    # --- same filter in every stage (the iterative approach) ------------- #
+    for stage in range(3):
+        same_platform.configure_array(stage, base_filter)
+    same_outputs = same_platform.cascade_stage_outputs(pair.training)
+    print("Same filter configured in every stage, aggregated MAE after each stage:")
+    for stage, output in enumerate(same_outputs, start=1):
+        print(f"  stage {stage}: {sae(output, pair.reference):10.0f}")
+
+    # --- adapted cascade (collaborative cascaded evolution) -------------- #
+    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    cascade = CascadedEvolution(
+        platform,
+        n_offspring=9,
+        mutation_rate=4,
+        rng=SEED,
+        fitness_mode=CascadeFitnessMode.SEPARATE,
+        schedule=CascadeSchedule.SEQUENTIAL,
+    )
+    print(f"Adapting stages 2 and 3 on top of the base filter "
+          f"({GENERATIONS_PER_STAGE} generations per stage)...")
+    cascade.run(pair.training, pair.reference,
+                n_generations=GENERATIONS_PER_STAGE, n_stages=3,
+                seed_genotypes=[base_filter])
+
+    print("Adapted cascade, aggregated MAE after each stage:")
+    outputs = platform.cascade_stage_outputs(pair.training)
+    for stage, output in enumerate(outputs, start=1):
+        print(f"  stage {stage}: {sae(output, pair.reference):10.0f}")
+    adapted_final = sae(outputs[-1], pair.reference)
+
+    # --- conventional baseline ------------------------------------------- #
+    median_fitness = sae(median_filter(pair.training), pair.reference)
+    print("\nSummary (lower is better):")
+    print(f"  noisy input                      : {noisy_fitness:10.0f}")
+    print(f"  3x3 median filter (single pass)  : {median_fitness:10.0f}")
+    print(f"  same-filter cascade (3 stages)   : {sae(same_outputs[-1], pair.reference):10.0f}")
+    print(f"  adapted cascade (3 stages)       : {adapted_final:10.0f}")
+    print("\nNote: the paper evolves each stage for 100,000 generations and reports")
+    print("the adapted cascade clearly beating the median filter; the gap closes")
+    print("monotonically with the generation budget (see EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

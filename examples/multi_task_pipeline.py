@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Independent-cascaded mode: a multi-task image pipeline (paper §IV.A).
+
+Besides the collaborative cascade, the architecture supports *independent
+cascaded* operation: "different filters are also used in each stage, but in
+this case, each one is in charge of a different task, such as noise
+removal, followed by a smoothing filter, and then edge detection" — each
+stage evolved against a different reference image (independent evolution
+mode, §IV.B).
+
+This example builds exactly that pipeline:
+
+* stage 0 — impulse-noise removal (noisy image → clean reference);
+* stage 1 — smoothing (clean image → Gaussian-smoothed reference);
+* stage 2 — edge detection (smoothed image → Sobel reference);
+
+then runs a corrupted frame through the whole chain and reports how close
+the pipeline output is to the "ideal" chain of conventional filters.
+
+Run with:  python examples/multi_task_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EvolvableHardwarePlatform, IndependentEvolution
+from repro.array.genotype import Genotype
+from repro.imaging.filters import gaussian_filter, median_filter, sobel_edges
+from repro.imaging.images import make_test_image
+from repro.imaging.metrics import mae, sae
+from repro.imaging.noise import add_salt_and_pepper
+
+SEED = 31
+SIZE = 48
+GENERATIONS = 800
+
+
+def main() -> None:
+    clean = make_test_image(size=SIZE, seed=SEED, kind="composite")
+    noisy = add_salt_and_pepper(clean, density=0.15, rng=SEED)
+    smoothed_reference = gaussian_filter(clean, sigma=1.0)
+    edge_reference = sobel_edges(smoothed_reference)
+
+    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    print("Evolving three independent stages (denoise, smooth, edge-detect)...")
+    driver = IndependentEvolution(platform, n_offspring=9, mutation_rate=4, rng=SEED)
+    identity = Genotype.identity(platform.spec)
+    result = driver.run(
+        tasks={
+            0: (noisy, clean),                      # denoise
+            1: (clean, smoothed_reference),         # smooth
+            2: (smoothed_reference, edge_reference) # detect edges
+        },
+        n_generations=GENERATIONS,
+        seed_genotypes={0: identity, 1: identity, 2: identity},
+    )
+    for stage, task in enumerate(("denoise", "smooth", "edge detect")):
+        print(f"  stage {stage} ({task:11s}): final training fitness "
+              f"{result.best_fitness[stage]:.0f}")
+
+    # ------------------------------------------------------------------ #
+    # Mission time: run a fresh corrupted frame through the whole pipeline.
+    # ------------------------------------------------------------------ #
+    fresh_clean = make_test_image(size=SIZE, seed=SEED + 1, kind="composite")
+    fresh_noisy = add_salt_and_pepper(fresh_clean, density=0.15, rng=SEED + 1)
+    pipeline_output = platform.process_cascade(fresh_noisy)
+
+    # The "ideal" conventional pipeline for comparison.
+    ideal = sobel_edges(gaussian_filter(median_filter(fresh_noisy), sigma=1.0))
+    ideal_from_clean = sobel_edges(gaussian_filter(fresh_clean, sigma=1.0))
+
+    print("\nUnseen frame, per-pixel MAE of the edge map against the clean-image edge map:")
+    print(f"  evolved pipeline                 : "
+          f"{mae(pipeline_output, ideal_from_clean):6.2f}")
+    print(f"  conventional median+gauss+sobel  : "
+          f"{mae(ideal, ideal_from_clean):6.2f}")
+    print(f"  doing nothing (edges of noisy)   : "
+          f"{mae(sobel_edges(fresh_noisy), ideal_from_clean):6.2f}")
+    print("\nEach stage was evolved against a different reference, so new system")
+    print("functionality was obtained purely by changing the stored image pairs —")
+    print("no redesign of the hardware (paper §III.A).")
+
+
+if __name__ == "__main__":
+    main()

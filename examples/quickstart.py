@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: evolve a salt-and-pepper denoiser on the multi-array platform.
+
+This is the smallest end-to-end use of the library:
+
+1. build a synthetic training pair (noisy image + clean reference);
+2. instantiate a three-array evolvable hardware platform;
+3. run parallel evolution (offspring distributed over the arrays, as in the
+   paper's Fig. 5) for a few hundred generations;
+4. apply the evolved filter to a *fresh* noisy frame and compare it against
+   the conventional 3x3 median filter baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import EvolvableHardwarePlatform, ParallelEvolution
+from repro.array.genotype import Genotype
+from repro.imaging.filters import median_filter
+from repro.imaging.images import make_training_pair
+from repro.imaging.metrics import mae, sae
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Training data: a noisy image and the clean reference.
+    # ------------------------------------------------------------------ #
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=64, seed=7, noise_level=0.25
+    )
+    print("Task: remove 25% salt-and-pepper noise from a 64x64 image")
+    print(f"  aggregated MAE of the noisy input : {sae(pair.training, pair.reference):>10.0f}")
+
+    # ------------------------------------------------------------------ #
+    # 2. The platform: three Array Control Blocks on a simulated fabric.
+    # ------------------------------------------------------------------ #
+    platform = EvolvableHardwarePlatform(n_arrays=3, seed=7)
+    report = platform.resource_report()
+    print(f"Platform: {platform.n_arrays} arrays, "
+          f"{report.total_slices} slices, "
+          f"{report.pe_reconfiguration_time_us:.2f} us per PE reconfiguration")
+
+    # ------------------------------------------------------------------ #
+    # 3. Parallel evolution: 9 offspring per generation spread over 3 arrays.
+    # ------------------------------------------------------------------ #
+    driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=4, rng=7)
+    result = driver.run(
+        pair.training,
+        pair.reference,
+        n_generations=1500,
+        seed_genotype=Genotype.identity(platform.spec),
+    )
+    print("Evolution finished:")
+    print(f"  generations            : {result.n_generations}")
+    print(f"  candidate evaluations  : {result.n_evaluations}")
+    print(f"  PE reconfigurations    : {result.n_reconfigurations}")
+    print(f"  platform time estimate : {result.platform_time_s:.2f} s "
+          "(intrinsic-evolution time on the modelled FPGA, not Python time)")
+    print(f"  best fitness           : {result.overall_best_fitness():.0f}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Mission time: filter a fresh frame and compare with the median filter.
+    # ------------------------------------------------------------------ #
+    fresh = make_training_pair("salt_pepper_denoise", size=64, seed=8, noise_level=0.25)
+    evolved_output = platform.acb(0).shadow_process(fresh.training)
+    median_output = median_filter(fresh.training)
+    print("Generalisation to an unseen frame (per-pixel MAE):")
+    print(f"  unfiltered     : {mae(fresh.training, fresh.reference):6.2f}")
+    print(f"  evolved filter : {mae(evolved_output, fresh.reference):6.2f}")
+    print(f"  median filter  : {mae(median_output, fresh.reference):6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Self-healing cascade with lost reference images (paper §V.A, Figs. 7-8).
+
+The cascaded self-healing strategy detects faults with a periodic
+calibration image, distinguishes transients from permanent damage by
+scrubbing, and recovers from permanent damage by bypassing the damaged
+stage and re-evolving it.  The interesting case — the one evolution by
+imitation exists for — is when the stored reference images are no longer
+available ("training images are removed from memory to save resources, or
+... a fault appears in the memories storing the images"), so the damaged
+stage can only learn by imitating a healthy neighbour on the live stream.
+
+This example walks through that scenario end to end, including an SEU that
+is healed by scrubbing alone along the way.
+
+Run with:  python examples/self_healing_cascade.py
+"""
+
+from __future__ import annotations
+
+from repro import CascadedEvolution, CascadedSelfHealing, EvolvableHardwarePlatform
+from repro.core.modes import CascadeFitnessMode, CascadeSchedule
+from repro.imaging.images import make_training_pair
+from repro.imaging.metrics import sae
+
+SEED = 23
+
+
+def print_report(title, report) -> None:
+    print(f"\n--- {title} ---")
+    print(f"  fault class : {report.fault_class.value}")
+    print(f"  faulty array: {report.faulty_array}")
+    print(f"  recovered   : {report.recovered}")
+    for event in report.events:
+        target = f" [array {event.array_index}]" if event.array_index is not None else ""
+        detail = f" ({event.detail})" if event.detail else ""
+        print(f"    - {event.step}{target}{detail}")
+
+
+def main() -> None:
+    pair = make_training_pair("salt_pepper_denoise", size=48, seed=SEED, noise_level=0.2)
+    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+
+    # ------------------------------------------------------------------ #
+    # 1. Initial adaptation: evolve the collaborative cascade and store the
+    #    training/reference images in the (simulated) flash memory.
+    # ------------------------------------------------------------------ #
+    print("Evolving the 3-stage collaborative cascade...")
+    driver = CascadedEvolution(
+        platform, n_offspring=9, mutation_rate=3, rng=SEED,
+        fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.SEQUENTIAL,
+    )
+    driver.run(pair.training, pair.reference, n_generations=500, n_stages=3)
+    platform.store_image("training", pair.training)
+    platform.store_image("reference", pair.reference)
+    cascade_fitness = sae(platform.process_cascade(pair.training), pair.reference)
+    print(f"  cascade output MAE: {cascade_fitness:.0f} "
+          f"(noisy input: {sae(pair.training, pair.reference):.0f})")
+
+    healer = CascadedSelfHealing(
+        platform,
+        calibration_image=pair.training,
+        calibration_reference=pair.reference,
+        imitation_generations=400,
+        imitation_target_fitness=100.0,
+        reference_image_key="reference",
+        n_offspring=9,
+        mutation_rate=3,
+        rng=SEED + 1,
+    )
+    baseline = healer.initialize()
+    print(f"  calibration baseline per array: "
+          f"{ {k: round(v) for k, v in baseline.items()} }")
+
+    # ------------------------------------------------------------------ #
+    # 2. A transient fault (SEU): detected and healed by scrubbing alone.
+    # ------------------------------------------------------------------ #
+    position = platform.find_sensitive_position(1, pair.training)
+    platform.inject_transient_fault(1, *position)
+    print_report("Calibration cycle after an SEU in stage 1",
+                 healer.check_and_heal(stream_image=pair.training))
+
+    # ------------------------------------------------------------------ #
+    # 3. The reference images are lost, then a permanent fault appears.
+    #    Recovery must fall back to evolution by imitation.
+    # ------------------------------------------------------------------ #
+    print("\nErasing the stored training/reference images "
+          "(simulating a memory fault / reclaimed storage)...")
+    platform.erase_image("training")
+    platform.erase_image("reference")
+
+    position = platform.find_sensitive_position(1, pair.training)
+    print(f"Injecting a permanent fault (LPD) in stage 1 at PE {position}...")
+    platform.inject_permanent_fault(1, *position)
+    report = healer.check_and_heal(stream_image=pair.training)
+    print_report("Calibration cycle after the permanent fault", report)
+
+    healed_fitness = sae(platform.process_cascade(pair.training), pair.reference)
+    print("\nCascade output MAE:")
+    print(f"  before any fault : {cascade_fitness:.0f}")
+    print(f"  after recovery   : {healed_fitness:.0f}")
+    print("The damaged stage was bypassed during recovery, so the stream never stopped;")
+    print("its replacement behaviour was learned from the neighbouring stage by imitation,")
+    print("without any stored reference image.")
+
+
+if __name__ == "__main__":
+    main()

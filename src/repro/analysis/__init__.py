@@ -1,0 +1,37 @@
+"""Circuit analysis utilities.
+
+The paper's future work calls for "analyzing the criticality of all elements
+in the system, [so that] an overall fault resistance assessment, with
+realistic fault models, [can] be performed".  This package provides that
+analysis for the reproduced platform:
+
+* :mod:`repro.analysis.activity` — which PEs of a candidate circuit are
+  *active* (actually influence the selected output), computed structurally
+  from the genotype's data-flow graph;
+* :mod:`repro.analysis.criticality` — systematic PE-level fault sweeps: the
+  fitness impact of a fault at every array position, the paper's §V/ §VI.D
+  fault-analysis methodology generalised to the multi-array platform;
+* :mod:`repro.analysis.describe` — human-readable circuit descriptions and a
+  :mod:`networkx` export of the phenotype's data-flow graph.
+"""
+
+from repro.analysis.activity import active_pes, activity_map, n_active_pes
+from repro.analysis.criticality import (
+    CriticalityReport,
+    PositionCriticality,
+    fault_sweep,
+    platform_fault_sweep,
+)
+from repro.analysis.describe import describe_genotype, phenotype_graph
+
+__all__ = [
+    "active_pes",
+    "activity_map",
+    "n_active_pes",
+    "CriticalityReport",
+    "PositionCriticality",
+    "fault_sweep",
+    "platform_fault_sweep",
+    "describe_genotype",
+    "phenotype_graph",
+]

@@ -1,0 +1,85 @@
+"""Structural activity analysis of a candidate circuit.
+
+A PE is *active* when its output can influence the array output selected by
+the output multiplexer.  Because data always propagates east and south, the
+influence relation follows the systolic mesh: the array output is the east
+output of PE ``(out_row, cols-1)``, and a PE feeds its east neighbour's W
+input and its south neighbour's N input — but a neighbour only *consumes*
+an input its configured function actually uses (a PE configured as
+``IDENTITY_W`` ignores its north input, ``CONST_MAX`` ignores both).
+
+Activity matters for two reasons that the paper touches on:
+
+* a fault in an **inactive** PE is functionally benign — the systematic
+  fault analysis of the single-array paper observed exactly this position
+  dependence, and the self-healing experiments here use it to choose
+  *detectable* fault locations;
+* the number of active PEs is a compactness measure of the evolved circuit
+  (CGP phenotypes typically use a small fraction of the available nodes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.array.genotype import Genotype
+from repro.array.pe_library import FUNCTION_ARITY, PEFunction
+
+__all__ = ["active_pes", "activity_map", "n_active_pes"]
+
+
+def _consumes_west(function: PEFunction) -> bool:
+    """Whether the function reads its west input."""
+    if function == PEFunction.IDENTITY_N:
+        return False
+    return FUNCTION_ARITY[function] >= 1
+
+
+def _consumes_north(function: PEFunction) -> bool:
+    """Whether the function reads its north input."""
+    if function == PEFunction.IDENTITY_N:
+        return True
+    return FUNCTION_ARITY[function] >= 2
+
+
+def active_pes(genotype: Genotype) -> Set[Tuple[int, int]]:
+    """Return the set of (row, col) PE positions that influence the output.
+
+    The analysis walks the data-flow graph backwards from the output PE,
+    following only the inputs each PE's configured function consumes.
+    """
+    spec = genotype.spec
+    rows, cols = spec.rows, spec.cols
+    output_pe = (int(genotype.output_select), cols - 1)
+    active: Set[Tuple[int, int]] = set()
+    frontier: List[Tuple[int, int]] = [output_pe]
+
+    while frontier:
+        row, col = frontier.pop()
+        if (row, col) in active:
+            continue
+        active.add((row, col))
+        function = PEFunction(int(genotype.function_genes[row, col]))
+        # West input comes from the PE to the left (or an array input).
+        if _consumes_west(function) and col > 0:
+            frontier.append((row, col - 1))
+        # North input comes from the PE above (or an array input).
+        if _consumes_north(function) and row > 0:
+            frontier.append((row - 1, col))
+    return active
+
+
+def activity_map(genotype: Genotype) -> np.ndarray:
+    """Boolean (rows, cols) array marking active PEs."""
+    spec = genotype.spec
+    result = np.zeros((spec.rows, spec.cols), dtype=bool)
+    for row, col in active_pes(genotype):
+        result[row, col] = True
+    return result
+
+
+def n_active_pes(genotype: Genotype) -> int:
+    """Number of PEs that influence the circuit output."""
+    return len(active_pes(genotype))

@@ -1,0 +1,190 @@
+"""Systematic PE-level fault sweeps and criticality assessment.
+
+The single-array predecessor paper performed "a systematic fault analysis
+... injecting faults in each position of a single 4x4 processing array";
+the multi-array paper reuses that methodology for its self-healing
+experiments and lists a platform-wide criticality assessment as future
+work.  This module implements both:
+
+* :func:`fault_sweep` — inject a PE-level fault at every position of one
+  configured array in turn and measure the fitness degradation each one
+  causes on a given workload;
+* :func:`platform_fault_sweep` — the same sweep over every array of a
+  platform, producing the per-position criticality map that tells an
+  operator which regions are worth protecting (e.g. by relocation or by
+  preferring circuits that avoid them).
+
+Criticality is reported both absolutely (aggregated-MAE increase) and
+relative to the fault-free fitness, and each position is annotated with the
+structural activity analysis so that "inactive but apparently critical"
+positions (which can only be measurement noise) are easy to spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.activity import active_pes
+from repro.array.genotype import Genotype
+from repro.array.systolic_array import SystolicArray
+from repro.imaging.metrics import sae
+
+__all__ = ["PositionCriticality", "CriticalityReport", "fault_sweep", "platform_fault_sweep"]
+
+
+@dataclass(frozen=True)
+class PositionCriticality:
+    """Fault impact of one PE position."""
+
+    position: Tuple[int, int]
+    baseline_fitness: float
+    faulty_fitness: float
+    structurally_active: bool
+
+    @property
+    def degradation(self) -> float:
+        """Absolute fitness increase caused by the fault (0 = benign)."""
+        return max(0.0, self.faulty_fitness - self.baseline_fitness)
+
+    @property
+    def relative_degradation(self) -> float:
+        """Degradation normalised by the baseline fitness (0 = benign)."""
+        if self.baseline_fitness <= 0:
+            return float("inf") if self.degradation > 0 else 0.0
+        return self.degradation / self.baseline_fitness
+
+
+@dataclass
+class CriticalityReport:
+    """Outcome of a systematic fault sweep over one array."""
+
+    array_index: Optional[int]
+    baseline_fitness: float
+    positions: List[PositionCriticality] = field(default_factory=list)
+
+    @property
+    def n_benign(self) -> int:
+        """Positions whose fault causes no measurable degradation."""
+        return sum(1 for p in self.positions if p.degradation == 0.0)
+
+    @property
+    def n_critical(self) -> int:
+        """Positions whose fault degrades the fitness."""
+        return len(self.positions) - self.n_benign
+
+    def most_critical(self, n: int = 3) -> List[PositionCriticality]:
+        """The ``n`` positions with the largest degradation."""
+        return sorted(self.positions, key=lambda p: p.degradation, reverse=True)[:n]
+
+    def degradation_map(self, rows: int, cols: int) -> np.ndarray:
+        """(rows, cols) array of per-position degradations."""
+        result = np.zeros((rows, cols), dtype=np.float64)
+        for entry in self.positions:
+            result[entry.position] = entry.degradation
+        return result
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Row dictionaries for report printing."""
+        return [
+            {
+                "position": entry.position,
+                "active": entry.structurally_active,
+                "baseline": entry.baseline_fitness,
+                "faulty": entry.faulty_fitness,
+                "degradation": entry.degradation,
+            }
+            for entry in self.positions
+        ]
+
+
+def fault_sweep(
+    genotype: Genotype,
+    training_image: np.ndarray,
+    reference_image: np.ndarray,
+    n_repeats: int = 3,
+    seed: int = 0,
+    array_index: Optional[int] = None,
+) -> CriticalityReport:
+    """Systematically inject a PE-level fault at every position of a circuit.
+
+    Parameters
+    ----------
+    genotype:
+        The configured circuit to assess.
+    training_image, reference_image:
+        Workload used to measure fitness (aggregated MAE).
+    n_repeats:
+        The PE-level fault model produces random output, so each position is
+        evaluated ``n_repeats`` times and the mean faulty fitness reported.
+    seed:
+        Base seed for the per-position fault generators.
+    array_index:
+        Optional label recorded in the report (used by the platform sweep).
+    """
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be >= 1")
+    training_image = np.asarray(training_image)
+    reference_image = np.asarray(reference_image)
+    spec = genotype.spec
+    array = SystolicArray(geometry=_geometry_for(spec))
+    baseline = sae(array.process(training_image, genotype), reference_image)
+    active = active_pes(genotype)
+
+    report = CriticalityReport(array_index=array_index, baseline_fitness=baseline)
+    for row in range(spec.rows):
+        for col in range(spec.cols):
+            samples = []
+            for repeat in range(n_repeats):
+                array.inject_fault((row, col), seed=seed + 1000 * repeat + 10 * row + col)
+                samples.append(
+                    sae(array.process(training_image, genotype), reference_image)
+                )
+                array.clear_fault((row, col))
+            report.positions.append(
+                PositionCriticality(
+                    position=(row, col),
+                    baseline_fitness=baseline,
+                    faulty_fitness=float(np.mean(samples)),
+                    structurally_active=(row, col) in active,
+                )
+            )
+    return report
+
+
+def _geometry_for(spec):
+    from repro.array.systolic_array import ArrayGeometry
+
+    return ArrayGeometry(rows=spec.rows, cols=spec.cols)
+
+
+def platform_fault_sweep(
+    platform,
+    training_image: np.ndarray,
+    reference_image: np.ndarray,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> List[CriticalityReport]:
+    """Run :func:`fault_sweep` over every configured array of a platform.
+
+    Arrays without a configured circuit are skipped.  Returns one report per
+    swept array, in array order.
+    """
+    reports: List[CriticalityReport] = []
+    for index in range(platform.n_arrays):
+        genotype = platform.acb(index).genotype
+        if genotype is None:
+            continue
+        reports.append(
+            fault_sweep(
+                genotype,
+                training_image,
+                reference_image,
+                n_repeats=n_repeats,
+                seed=seed + index,
+                array_index=index,
+            )
+        )
+    return reports

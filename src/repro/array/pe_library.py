@@ -1,0 +1,209 @@
+"""Library of Processing Element functions.
+
+The paper (building on the single-array system of Otero et al., AHS 2011)
+uses a library of presynthesised partial bitstreams, one per PE function.
+"By eliminating redundancies and symmetries, the library of available PEs
+was reduced to 16 different elements, which allows the corresponding gene
+coding in 4 bits" (§III.A).
+
+Every PE has two inputs — west (W) and north (N) — and one output that is
+propagated to both the south and east neighbours.  The 16 functions below
+follow the function set customarily used for CGP-evolved window image
+filters (constants, pass-throughs, logic, saturated arithmetic, min/max
+order statistics), which is sufficient to express median-like denoisers,
+smoothing kernels and edge detectors.
+
+All functions are implemented as vectorised NumPy operations over whole
+image planes (uint8 in, uint8 out), which is what makes intrinsic-evolution
+style experiments with many thousands of candidate evaluations tractable in
+pure Python.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PEFunction",
+    "N_FUNCTIONS",
+    "apply_function",
+    "function_name",
+    "function_table",
+    "FUNCTION_ARITY",
+]
+
+
+class PEFunction(IntEnum):
+    """Enumeration of the 16 PE functions (gene value = enum value)."""
+
+    CONST_MAX = 0       #: constant 255
+    IDENTITY_W = 1      #: pass west input through
+    IDENTITY_N = 2      #: pass north input through
+    INVERT_W = 3        #: 255 - W
+    OR = 4              #: W | N
+    AND = 5             #: W & N
+    XOR = 6             #: W ^ N
+    SHIFT_R1_W = 7      #: W >> 1
+    SHIFT_R2_W = 8      #: W >> 2
+    ADD_SAT = 9         #: min(W + N, 255)
+    SUB_ABS = 10        #: |W - N|
+    AVERAGE = 11        #: (W + N) >> 1
+    MAX = 12            #: max(W, N)
+    MIN = 13            #: min(W, N)
+    SWAP_NIBBLES_W = 14 #: nibble swap of W
+    THRESHOLD = 15      #: 255 where W > N else 0
+
+
+#: Number of functions in the library; genes are ``ceil(log2(N_FUNCTIONS))`` = 4 bits.
+N_FUNCTIONS = len(PEFunction)
+
+#: Arity of each function: 1 means only the W input is used, 2 means both.
+#: (Data is still always propagated through the PE regardless of arity,
+#: matching the hardware where unused inputs are simply not routed to the
+#: operator.)
+FUNCTION_ARITY: Dict[PEFunction, int] = {
+    PEFunction.CONST_MAX: 0,
+    PEFunction.IDENTITY_W: 1,
+    PEFunction.IDENTITY_N: 1,
+    PEFunction.INVERT_W: 1,
+    PEFunction.OR: 2,
+    PEFunction.AND: 2,
+    PEFunction.XOR: 2,
+    PEFunction.SHIFT_R1_W: 1,
+    PEFunction.SHIFT_R2_W: 1,
+    PEFunction.ADD_SAT: 2,
+    PEFunction.SUB_ABS: 2,
+    PEFunction.AVERAGE: 2,
+    PEFunction.MAX: 2,
+    PEFunction.MIN: 2,
+    PEFunction.SWAP_NIBBLES_W: 1,
+    PEFunction.THRESHOLD: 2,
+}
+
+
+def _const_max(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.full_like(w, 255)
+
+
+def _identity_w(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return w.copy()
+
+
+def _identity_n(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return n.copy()
+
+
+def _invert_w(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return (255 - w.astype(np.int16)).astype(np.uint8)
+
+
+def _or(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.bitwise_or(w, n)
+
+
+def _and(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.bitwise_and(w, n)
+
+
+def _xor(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.bitwise_xor(w, n)
+
+
+def _shift_r1_w(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.right_shift(w, 1)
+
+
+def _shift_r2_w(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.right_shift(w, 2)
+
+
+def _add_sat(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    total = w.astype(np.int16) + n.astype(np.int16)
+    return np.minimum(total, 255).astype(np.uint8)
+
+
+def _sub_abs(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    diff = np.abs(w.astype(np.int16) - n.astype(np.int16))
+    return diff.astype(np.uint8)
+
+
+def _average(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    total = w.astype(np.int16) + n.astype(np.int16)
+    return np.right_shift(total, 1).astype(np.uint8)
+
+
+def _max(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.maximum(w, n)
+
+
+def _min(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.minimum(w, n)
+
+
+def _swap_nibbles_w(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    hi = np.right_shift(w, 4)
+    lo = np.bitwise_and(w, 0x0F)
+    return np.bitwise_or(np.left_shift(lo, 4), hi).astype(np.uint8)
+
+
+def _threshold(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    return np.where(w > n, np.uint8(255), np.uint8(0))
+
+
+_FUNCTION_IMPLS: Dict[PEFunction, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    PEFunction.CONST_MAX: _const_max,
+    PEFunction.IDENTITY_W: _identity_w,
+    PEFunction.IDENTITY_N: _identity_n,
+    PEFunction.INVERT_W: _invert_w,
+    PEFunction.OR: _or,
+    PEFunction.AND: _and,
+    PEFunction.XOR: _xor,
+    PEFunction.SHIFT_R1_W: _shift_r1_w,
+    PEFunction.SHIFT_R2_W: _shift_r2_w,
+    PEFunction.ADD_SAT: _add_sat,
+    PEFunction.SUB_ABS: _sub_abs,
+    PEFunction.AVERAGE: _average,
+    PEFunction.MAX: _max,
+    PEFunction.MIN: _min,
+    PEFunction.SWAP_NIBBLES_W: _swap_nibbles_w,
+    PEFunction.THRESHOLD: _threshold,
+}
+
+
+def function_table() -> Tuple[Callable[[np.ndarray, np.ndarray], np.ndarray], ...]:
+    """Return the function implementations indexed by gene value."""
+    return tuple(_FUNCTION_IMPLS[PEFunction(i)] for i in range(N_FUNCTIONS))
+
+
+def function_name(gene: int) -> str:
+    """Human-readable name of the function selected by ``gene``."""
+    return PEFunction(int(gene)).name
+
+
+def apply_function(gene: int, west: np.ndarray, north: np.ndarray) -> np.ndarray:
+    """Apply the PE function selected by ``gene`` to the two input planes.
+
+    Parameters
+    ----------
+    gene:
+        Function gene value in ``[0, 15]``.
+    west, north:
+        uint8 arrays of identical shape (whole-image planes, or scalars
+        wrapped in 0-d arrays for single-pixel tests).
+
+    Returns
+    -------
+    numpy.ndarray
+        uint8 array of the same shape.
+    """
+    gene = int(gene)
+    if not 0 <= gene < N_FUNCTIONS:
+        raise ValueError(f"function gene must be in [0, {N_FUNCTIONS - 1}], got {gene}")
+    west = np.asarray(west, dtype=np.uint8)
+    north = np.asarray(north, dtype=np.uint8)
+    if west.shape != north.shape:
+        raise ValueError(f"input shapes differ: {west.shape} vs {north.shape}")
+    return _FUNCTION_IMPLS[PEFunction(gene)](west, north)

@@ -1,0 +1,238 @@
+"""Functional simulator of the evolvable systolic array.
+
+The array is a ``rows x cols`` mesh of Processing Elements.  Data flows
+west-to-east and north-to-south: PE ``(r, c)`` takes its west input from
+the east output of PE ``(r, c-1)`` (or, for the first column, from the
+west-side array input of row ``r``) and its north input from the south
+output of PE ``(r-1, c)`` (or, for the first row, from the north-side array
+input of column ``c``).  Each PE output is registered and propagated to
+both its east and south neighbours, so the array is a systolic pipeline.
+
+For a 4x4 array there are eight array inputs (four north, four west), each
+fed through a 9-to-1 multiplexer with one of the nine pixels of the 3x3
+sliding window, and the array output is one of the four east-side outputs
+selected by the output multiplexer (paper §III.A).
+
+The simulator evaluates the whole image at once: every "signal" is a full
+image plane and each PE operation is a vectorised NumPy expression, so one
+candidate evaluation costs ``rows*cols`` element-wise operations — the key
+to running evolution with thousands of generations in Python (see the
+hpc-parallel optimisation guides: vectorise the inner loop).
+
+Fault support
+-------------
+``SystolicArray`` accepts a mapping of faulty PE positions.  A faulty PE
+produces uniformly random output regardless of its configuration, matching
+the paper's PE-level fault-emulation model (§VI.D: faults are injected "by
+means of the reconfiguration engine ... with a modified bitstream
+corresponding to a dummy PE, which generates a random value in its output").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.pe_library import apply_function
+from repro.array.window import N_WINDOW_PIXELS, extract_windows
+
+__all__ = ["ArrayGeometry", "SystolicArray"]
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical geometry of one processing array.
+
+    The defaults reproduce the paper's floorplan numbers (§VI.A): each PE is
+    two CLB columns wide by a quarter of a clock-region height (5 CLBs), so
+    a 4x4 array occupies eight CLB columns of one clock region, 160 CLBs in
+    total.
+    """
+
+    rows: int = 4
+    cols: int = 4
+    pe_clb_columns: int = 2
+    pe_clb_rows: int = 5
+    clock_region_clb_rows: int = 20
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array geometry must have at least one PE")
+        if self.pe_clb_columns < 1 or self.pe_clb_rows < 1:
+            raise ValueError("PE CLB footprint must be positive")
+
+    @property
+    def n_pes(self) -> int:
+        """Number of PEs in the array."""
+        return self.rows * self.cols
+
+    @property
+    def clbs_per_pe(self) -> int:
+        """CLBs occupied by a single PE (paper: 2 columns x 5 rows = 10 CLBs)."""
+        return self.pe_clb_columns * self.pe_clb_rows
+
+    @property
+    def total_clbs(self) -> int:
+        """CLBs occupied by the whole array (paper: 160 for a 4x4 array)."""
+        return self.n_pes * self.clbs_per_pe
+
+    @property
+    def clb_columns(self) -> int:
+        """CLB columns spanned by the array (paper: 8 for a 4x4 array)."""
+        return self.cols * self.pe_clb_columns
+
+    def spec(self) -> GenotypeSpec:
+        """The genotype spec matching this geometry."""
+        return GenotypeSpec(rows=self.rows, cols=self.cols)
+
+
+class SystolicArray:
+    """Functional model of one evolvable processing array.
+
+    Parameters
+    ----------
+    geometry:
+        Array geometry (defaults to the paper's 4x4 array).
+    faults:
+        Optional mapping ``{(row, col): seed}`` of permanently faulty PE
+        positions.  Faults can also be injected later via
+        :meth:`inject_fault` (which is what :mod:`repro.fpga.faults` does).
+    """
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry = ArrayGeometry(),
+        faults: Optional[Mapping[Tuple[int, int], int]] = None,
+    ) -> None:
+        self.geometry = geometry
+        self._fault_rngs: Dict[Tuple[int, int], np.random.Generator] = {}
+        if faults:
+            for position, seed in faults.items():
+                self.inject_fault(position, seed)
+
+    # ------------------------------------------------------------------ #
+    # Fault management (PE-level fault model)
+    # ------------------------------------------------------------------ #
+    @property
+    def faulty_positions(self) -> Tuple[Tuple[int, int], ...]:
+        """Sorted tuple of currently faulty (row, col) PE positions."""
+        return tuple(sorted(self._fault_rngs))
+
+    @property
+    def n_faults(self) -> int:
+        """Number of faulty PEs."""
+        return len(self._fault_rngs)
+
+    def _check_position(self, position: Tuple[int, int]) -> Tuple[int, int]:
+        row, col = int(position[0]), int(position[1])
+        if not (0 <= row < self.geometry.rows and 0 <= col < self.geometry.cols):
+            raise ValueError(
+                f"PE position {position} outside the {self.geometry.rows}x"
+                f"{self.geometry.cols} array"
+            )
+        return row, col
+
+    def inject_fault(self, position: Tuple[int, int], seed: Optional[int] = None) -> None:
+        """Mark a PE position as permanently damaged.
+
+        The faulty PE will output random pixels on every evaluation; evolution
+        can only recover by routing useful computation around that position.
+        """
+        row, col = self._check_position(position)
+        self._fault_rngs[(row, col)] = np.random.default_rng(seed)
+
+    def clear_fault(self, position: Tuple[int, int]) -> None:
+        """Remove a previously injected fault (used by tests and scrubbing of SEUs)."""
+        row, col = self._check_position(position)
+        self._fault_rngs.pop((row, col), None)
+
+    def clear_all_faults(self) -> None:
+        """Remove every injected fault."""
+        self._fault_rngs.clear()
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def latency(self) -> int:
+        """Pipeline latency in clock cycles from input to selected output.
+
+        Each PE introduces one register stage; the longest path to an
+        east-side output traverses ``cols`` PEs horizontally plus up to
+        ``rows - 1`` vertical hops, so the hardware pads streams with FIFOs
+        to this depth (the ACB "structures to compute and to deal with the
+        variable latency of the arrays").
+        """
+        return self.geometry.cols + self.geometry.rows - 1
+
+    def process_planes(self, planes: np.ndarray, genotype: Genotype) -> np.ndarray:
+        """Evaluate a candidate circuit on pre-extracted window planes.
+
+        Parameters
+        ----------
+        planes:
+            ``(9, H, W)`` uint8 array from :func:`repro.array.window.extract_windows`.
+        genotype:
+            The candidate circuit.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(H, W)`` uint8 output image.
+        """
+        planes = np.asarray(planes)
+        if planes.ndim != 3 or planes.shape[0] != N_WINDOW_PIXELS:
+            raise ValueError(
+                f"planes must have shape (9, H, W), got {planes.shape}"
+            )
+        if planes.dtype != np.uint8:
+            raise TypeError(f"planes must be uint8, got {planes.dtype}")
+        spec = genotype.spec
+        if (spec.rows, spec.cols) != (self.geometry.rows, self.geometry.cols):
+            raise ValueError(
+                f"genotype geometry {spec.rows}x{spec.cols} does not match array "
+                f"{self.geometry.rows}x{self.geometry.cols}"
+            )
+
+        rows, cols = self.geometry.rows, self.geometry.cols
+        # Array inputs selected by the 9-to-1 multiplexers.
+        west_inputs = [planes[int(genotype.west_mux[r])] for r in range(rows)]
+        north_inputs = [planes[int(genotype.north_mux[c])] for c in range(cols)]
+
+        # east[r] holds the east output of the PE most recently computed in
+        # row r; south[c] likewise for column c.  Sweeping in row-major order
+        # respects the systolic data dependencies.
+        east: list = list(west_inputs)
+        south: list = list(north_inputs)
+        for r in range(rows):
+            for c in range(cols):
+                west = east[r]
+                north = south[c]
+                position = (r, c)
+                if position in self._fault_rngs:
+                    output = self._fault_rngs[position].integers(
+                        0, 256, size=west.shape, dtype=np.uint8
+                    )
+                else:
+                    output = apply_function(int(genotype.function_genes[r, c]), west, north)
+                east[r] = output
+                south[c] = output
+        return east[int(genotype.output_select)]
+
+    def process(self, image: np.ndarray, genotype: Genotype) -> np.ndarray:
+        """Evaluate a candidate circuit on an image (window extraction included)."""
+        return self.process_planes(extract_windows(image), genotype)
+
+    def process_stream(
+        self, images: Iterable[np.ndarray], genotype: Genotype
+    ) -> Iterable[np.ndarray]:
+        """Lazily filter a stream of images with the same configured circuit.
+
+        Mirrors mission-time operation where the configured array filters a
+        continuous stream (e.g. camera frames) without reconfiguration.
+        """
+        for image in images:
+            yield self.process(image, genotype)

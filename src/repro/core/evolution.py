@@ -1,0 +1,644 @@
+"""Platform-level evolution drivers.
+
+The paper distinguishes four evolution modes (§IV.B): Independent, Parallel,
+Cascaded (with separate or merged fitness, sequential or interleaved
+scheduling) and Evolution by Imitation.  Each mode is a driver class here;
+all of them share the same building blocks:
+
+* candidates are (1+λ)-style offspring of a per-array parent chromosome,
+  produced by the mutation operator of :mod:`repro.ea.mutation`;
+* the *reconfiguration cost* of placing a candidate on an array is the
+  number of PE positions whose function gene differs from what is currently
+  configured on that array — exactly what the shared reconfiguration engine
+  would have to rewrite;
+* placement order and parallel evaluation follow the Fig. 11 schedule, and
+  the platform time of the run is accounted by a
+  :class:`~repro.core.scheduler.GenerationScheduler`;
+* evaluation happens on the ACB's own array model, so PE-level faults
+  present in the FPGA fabric affect the fitness of every candidate — which
+  is what gives the platform its inherent self-healing behaviour.
+
+For efficiency the drivers do not write every candidate into the
+configuration-memory model (that would copy megabytes of frame data per
+generation for no behavioural gain); they track the *function genes
+currently placed* on each array to compute exact reconfiguration counts,
+and commit only the finally selected circuits to the fabric through the
+ACB's :meth:`~repro.core.acb.ArrayControlBlock.configure`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.array.genotype import Genotype
+from repro.array.window import extract_windows
+from repro.core.modes import CascadeFitnessMode, CascadeSchedule
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.core.scheduler import GenerationScheduler
+from repro.ea.mutation import MutationResult, mutate
+from repro.imaging.metrics import sae
+from repro.timing.model import EvolutionTimingModel
+
+__all__ = [
+    "PlatformEvolutionResult",
+    "EvolutionDriver",
+    "IndependentEvolution",
+    "ParallelEvolution",
+    "CascadedEvolution",
+    "ImitationEvolution",
+]
+
+
+@dataclass
+class PlatformEvolutionResult:
+    """Outcome of a platform-level evolution run.
+
+    Attributes
+    ----------
+    best_genotypes:
+        Best circuit found for each participating array.
+    best_fitness:
+        Fitness of each best circuit.
+    fitness_history:
+        Per-array parent-fitness trace, one value per generation.
+    platform_time_s:
+        Estimated platform (hardware) time of the run under the Fig. 11
+        schedule — *not* Python wall-clock time.
+    n_generations, n_evaluations, n_reconfigurations:
+        Run totals.
+    """
+
+    best_genotypes: Dict[int, Genotype] = field(default_factory=dict)
+    best_fitness: Dict[int, float] = field(default_factory=dict)
+    fitness_history: Dict[int, List[float]] = field(default_factory=dict)
+    platform_time_s: float = 0.0
+    n_generations: int = 0
+    n_evaluations: int = 0
+    n_reconfigurations: int = 0
+
+    def overall_best_fitness(self) -> float:
+        """Best fitness across all participating arrays."""
+        if not self.best_fitness:
+            return math.inf
+        return min(self.best_fitness.values())
+
+    def trace(self, array_index: int) -> np.ndarray:
+        """Fitness trace of one array as a float array."""
+        return np.asarray(self.fitness_history.get(array_index, []), dtype=np.float64)
+
+
+class _ArrayEvalContext:
+    """Cached evaluation context for one array and one training image."""
+
+    def __init__(self, platform: EvolvableHardwarePlatform, array_index: int,
+                 training_image: np.ndarray) -> None:
+        self.platform = platform
+        self.array_index = array_index
+        self.acb = platform.acb(array_index)
+        self.training_image = np.asarray(training_image)
+        self.planes = extract_windows(self.training_image)
+        # Function genes currently placed on the array's fabric regions.
+        self.placed_functions = platform.fabric.configured_genes(array_index).astype(np.int16)
+        self.acb._sync_faults()
+
+    def retarget(self, training_image: np.ndarray) -> None:
+        """Switch the training image (cascaded evolution stages)."""
+        self.training_image = np.asarray(training_image)
+        self.planes = extract_windows(self.training_image)
+
+    def reconfiguration_count(self, genotype: Genotype) -> int:
+        """PE writes needed to place ``genotype`` given what is on the array."""
+        wanted = genotype.function_genes.astype(np.int16)
+        return int(np.count_nonzero(wanted != self.placed_functions))
+
+    def place(self, genotype: Genotype) -> int:
+        """Account the placement of ``genotype`` and return its PE-write count."""
+        count = self.reconfiguration_count(genotype)
+        self.placed_functions = genotype.function_genes.astype(np.int16)
+        return count
+
+    def output(self, genotype: Genotype) -> np.ndarray:
+        """Array output for ``genotype`` on the cached training image."""
+        return self.acb.array.process_planes(self.planes, genotype)
+
+    def fitness(self, genotype: Genotype, reference: np.ndarray) -> float:
+        """Aggregated MAE of the candidate against ``reference``."""
+        return sae(self.output(genotype), reference)
+
+
+class EvolutionDriver:
+    """Shared machinery of all platform evolution modes.
+
+    Parameters
+    ----------
+    platform:
+        The multi-array platform to evolve on.
+    n_offspring:
+        Offspring per generation (the paper's multi-array experiments use 9).
+    mutation_rate:
+        Mutation rate ``k``: genes changed per offspring.
+    rng:
+        Seed or generator for the mutation operator.
+    timing_model:
+        Evolution-time model; defaults to one calibrated to the platform's
+        reconfiguration engine.
+    accept_equal:
+        Whether equal-fitness offspring replace the parent (CGP neutral drift).
+    """
+
+    def __init__(
+        self,
+        platform: EvolvableHardwarePlatform,
+        n_offspring: int = 9,
+        mutation_rate: int = 3,
+        rng: Union[int, np.random.Generator, None] = None,
+        timing_model: Optional[EvolutionTimingModel] = None,
+        accept_equal: bool = True,
+    ) -> None:
+        if n_offspring < 1:
+            raise ValueError("n_offspring must be >= 1")
+        if mutation_rate < 1:
+            raise ValueError("mutation_rate must be >= 1")
+        self.platform = platform
+        self.n_offspring = n_offspring
+        self.mutation_rate = mutation_rate
+        self.accept_equal = accept_equal
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.timing_model = timing_model if timing_model is not None else platform.timing_model()
+
+    # ------------------------------------------------------------------ #
+    def _make_scheduler(self, n_arrays: int, n_pixels: int) -> GenerationScheduler:
+        return GenerationScheduler(
+            timing_model=self.timing_model, n_arrays=n_arrays, n_pixels=n_pixels
+        )
+
+    def _initial_parent(self, seed_genotype: Optional[Genotype]) -> Genotype:
+        if seed_genotype is not None:
+            return seed_genotype.copy()
+        return Genotype.random(self.platform.spec, self.rng)
+
+    def _accept(self, child_fitness: float, parent_fitness: float) -> bool:
+        if child_fitness < parent_fitness:
+            return True
+        return self.accept_equal and child_fitness == parent_fitness
+
+
+class IndependentEvolution(EvolutionDriver):
+    """Independent evolution mode: each array evolves sequentially on its own task.
+
+    "Each array is evolved with its own reference, which allows adjusting
+    them to different processing tasks. ... All arrays need to be evolved in
+    a sequential manner." (§IV.B)
+    """
+
+    def run(
+        self,
+        tasks: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        n_generations: int,
+        seed_genotypes: Optional[Dict[int, Genotype]] = None,
+        target_fitness: Optional[float] = None,
+    ) -> PlatformEvolutionResult:
+        """Evolve each array in ``tasks`` one after the other.
+
+        Parameters
+        ----------
+        tasks:
+            ``{array_index: (training_image, reference_image)}``.
+        n_generations:
+            Generation budget *per array*.
+        seed_genotypes:
+            Optional starting parent per array.
+        target_fitness:
+            Optional early-stop threshold applied per array.
+        """
+        if not tasks:
+            raise ValueError("tasks must name at least one array")
+        seed_genotypes = seed_genotypes or {}
+        result = PlatformEvolutionResult()
+
+        for array_index, (training, reference) in sorted(tasks.items()):
+            context = _ArrayEvalContext(self.platform, array_index, training)
+            reference = np.asarray(reference)
+            scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(np.asarray(training).size))
+
+            parent = self._initial_parent(seed_genotypes.get(array_index))
+            parent_fitness = context.fitness(parent, reference)
+            result.n_evaluations += 1
+            history: List[float] = []
+
+            for _ in range(n_generations):
+                offspring_counts: List[int] = []
+                best_child: Optional[Genotype] = None
+                best_child_fitness = math.inf
+                for _ in range(self.n_offspring):
+                    mutation = mutate(parent, self.mutation_rate, self.rng)
+                    offspring_counts.append(context.place(mutation.genotype))
+                    fitness = context.fitness(mutation.genotype, reference)
+                    result.n_evaluations += 1
+                    if fitness < best_child_fitness:
+                        best_child, best_child_fitness = mutation.genotype, fitness
+                scheduler.record_generation(offspring_counts)
+                if best_child is not None and self._accept(best_child_fitness, parent_fitness):
+                    parent, parent_fitness = best_child, best_child_fitness
+                history.append(parent_fitness)
+                if target_fitness is not None and parent_fitness <= target_fitness:
+                    break
+
+            self.platform.configure_array(array_index, parent)
+            self.platform.set_reference(array_index, reference)
+            result.best_genotypes[array_index] = parent
+            result.best_fitness[array_index] = parent_fitness
+            result.fitness_history[array_index] = history
+            result.platform_time_s += scheduler.total_time_s
+            result.n_reconfigurations += scheduler.total_reconfigurations
+            result.n_generations = max(result.n_generations, scheduler.n_generations)
+        return result
+
+
+class ParallelEvolution(EvolutionDriver):
+    """Parallel evolution mode: one task, offspring distributed over the arrays.
+
+    "Parallel evolution is based on the distribution of the offspring
+    generated during each generation of the evolution phase among the
+    different processing arrays, in order to reduce the time required to
+    obtain a suitable solution." (§IV.B, Fig. 5)
+
+    The classic variant mutates every offspring from the generation's
+    parent with the nominal mutation rate; the paper's new two-level
+    strategy is implemented by :class:`repro.core.two_level_ea.TwoLevelMutationEvolution`.
+    """
+
+    def __init__(self, *args, n_arrays: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.n_arrays = n_arrays if n_arrays is not None else self.platform.n_arrays
+        if not 1 <= self.n_arrays <= self.platform.n_arrays:
+            raise ValueError(
+                f"n_arrays must be in [1, {self.platform.n_arrays}], got {self.n_arrays}"
+            )
+
+    def _generation_offspring(
+        self, parent: Genotype, contexts: List[_ArrayEvalContext]
+    ) -> List[Tuple[int, MutationResult]]:
+        """Produce the generation's offspring as (array_slot, mutation) pairs.
+
+        The classic EA mutates every offspring directly from the parent with
+        the nominal mutation rate; offspring are assigned to arrays
+        round-robin in batches of ``n_arrays``.
+        """
+        plan: List[Tuple[int, MutationResult]] = []
+        for position in range(self.n_offspring):
+            slot = position % self.n_arrays
+            plan.append((slot, mutate(parent, self.mutation_rate, self.rng)))
+        return plan
+
+    def run(
+        self,
+        training_image: np.ndarray,
+        reference_image: np.ndarray,
+        n_generations: int,
+        seed_genotype: Optional[Genotype] = None,
+        target_fitness: Optional[float] = None,
+    ) -> PlatformEvolutionResult:
+        """Evolve one circuit using ``n_arrays`` arrays for parallel evaluation."""
+        training_image = np.asarray(training_image)
+        reference_image = np.asarray(reference_image)
+        contexts = [
+            _ArrayEvalContext(self.platform, index, training_image)
+            for index in range(self.n_arrays)
+        ]
+        scheduler = self._make_scheduler(
+            n_arrays=self.n_arrays, n_pixels=int(training_image.size)
+        )
+        result = PlatformEvolutionResult()
+
+        parent = self._initial_parent(seed_genotype)
+        parent_fitness = contexts[0].fitness(parent, reference_image)
+        result.n_evaluations += 1
+        history: List[float] = []
+
+        for _ in range(n_generations):
+            plan = self._generation_offspring(parent, contexts)
+            offspring_counts: List[int] = []
+            best_child: Optional[Genotype] = None
+            best_child_fitness = math.inf
+            for slot, mutation in plan:
+                context = contexts[slot]
+                offspring_counts.append(context.place(mutation.genotype))
+                fitness = context.fitness(mutation.genotype, reference_image)
+                result.n_evaluations += 1
+                if fitness < best_child_fitness:
+                    best_child, best_child_fitness = mutation.genotype, fitness
+            scheduler.record_generation(offspring_counts)
+            if best_child is not None and self._accept(best_child_fitness, parent_fitness):
+                parent, parent_fitness = best_child, best_child_fitness
+            history.append(parent_fitness)
+            if target_fitness is not None and parent_fitness <= target_fitness:
+                break
+
+        # Commit the winning circuit to every participating array so the
+        # platform can enter parallel (TMR) or independent operation with it.
+        for context in contexts:
+            self.platform.configure_array(context.array_index, parent)
+            self.platform.set_reference(context.array_index, reference_image)
+            result.best_genotypes[context.array_index] = parent
+            result.best_fitness[context.array_index] = parent_fitness
+            result.fitness_history[context.array_index] = history
+        result.platform_time_s = scheduler.total_time_s
+        result.n_reconfigurations = scheduler.total_reconfigurations
+        result.n_generations = scheduler.n_generations
+        return result
+
+
+class CascadedEvolution(EvolutionDriver):
+    """Cascaded evolution modes (Fig. 6).
+
+    Parameters
+    ----------
+    fitness_mode:
+        ``SEPARATE`` — each stage has its own fitness unit (all stages use
+        the same reference image; stage *i+1* is trained on the output of
+        stage *i*).  ``MERGED`` — a single fitness unit at the end of the
+        chain judges candidates by the final output.
+    schedule:
+        ``SEQUENTIAL`` — stage *i+1* evolves after stage *i* finished.
+        ``INTERLEAVED`` — all stages advance one generation per round.
+
+    Unless explicit ``seed_genotypes`` are given, stage 0 starts from the
+    pass-through (identity) circuit and every later stage starts from the
+    better of two natural candidates evaluated on its actual input: the
+    pass-through circuit (the stage begins as a no-op, so the chain can only
+    improve) and a copy of the previous stage's circuit (repeating a good
+    filter often helps, which is exactly the "same filter in every stage"
+    baseline of Figs. 16-17).  This keeps short adaptation budgets
+    well-behaved — a randomly seeded stage would initially *degrade* the
+    stream it is inserted into — while preserving the monotone-improvement
+    guarantee.  Passing random seed genotypes restores the paper's
+    from-scratch behaviour.
+    """
+
+    def __init__(
+        self,
+        *args,
+        fitness_mode: CascadeFitnessMode = CascadeFitnessMode.SEPARATE,
+        schedule: CascadeSchedule = CascadeSchedule.SEQUENTIAL,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if not isinstance(fitness_mode, CascadeFitnessMode):
+            raise TypeError("fitness_mode must be a CascadeFitnessMode")
+        if not isinstance(schedule, CascadeSchedule):
+            raise TypeError("schedule must be a CascadeSchedule")
+        self.fitness_mode = fitness_mode
+        self.schedule = schedule
+
+    # ------------------------------------------------------------------ #
+    def _chain_output(
+        self,
+        contexts: List[_ArrayEvalContext],
+        parents: List[Genotype],
+        stage: int,
+        candidate: Genotype,
+        stage_input: np.ndarray,
+    ) -> np.ndarray:
+        """Output of the full chain with ``candidate`` at ``stage``.
+
+        Downstream stages keep their current parents (the merged-fitness
+        arrangement: all candidates are judged by the end-of-chain output).
+        """
+        data = contexts[stage].acb.array.process(stage_input, candidate)
+        for downstream in range(stage + 1, len(contexts)):
+            data = contexts[downstream].acb.array.process(data, parents[downstream])
+        return data
+
+    def _stage_fitness(
+        self,
+        contexts: List[_ArrayEvalContext],
+        parents: List[Genotype],
+        stage: int,
+        candidate: Genotype,
+        stage_input: np.ndarray,
+        reference: np.ndarray,
+    ) -> float:
+        if self.fitness_mode == CascadeFitnessMode.SEPARATE:
+            output = contexts[stage].acb.array.process(stage_input, candidate)
+            return sae(output, reference)
+        final_output = self._chain_output(contexts, parents, stage, candidate, stage_input)
+        return sae(final_output, reference)
+
+    def _stage_input(
+        self,
+        contexts: List[_ArrayEvalContext],
+        parents: List[Genotype],
+        stage: int,
+        training_image: np.ndarray,
+    ) -> np.ndarray:
+        """Input image of ``stage``: the training image filtered by the
+        current parents of all upstream stages."""
+        data = np.asarray(training_image)
+        for upstream in range(stage):
+            data = contexts[upstream].acb.array.process(data, parents[upstream])
+        return data
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        training_image: np.ndarray,
+        reference_image: np.ndarray,
+        n_generations: int,
+        n_stages: Optional[int] = None,
+        seed_genotypes: Optional[Sequence[Genotype]] = None,
+        target_fitness: Optional[float] = None,
+    ) -> PlatformEvolutionResult:
+        """Evolve a collaborative cascade of ``n_stages`` stages.
+
+        ``n_generations`` is the budget per stage (sequential schedule) or
+        the number of rounds (interleaved schedule, where each round
+        advances every stage by one generation).
+        """
+        training_image = np.asarray(training_image)
+        reference_image = np.asarray(reference_image)
+        n_stages = n_stages if n_stages is not None else self.platform.n_arrays
+        if not 1 <= n_stages <= self.platform.n_arrays:
+            raise ValueError(
+                f"n_stages must be in [1, {self.platform.n_arrays}], got {n_stages}"
+            )
+        contexts = [
+            _ArrayEvalContext(self.platform, index, training_image)
+            for index in range(n_stages)
+        ]
+        scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(training_image.size))
+        result = PlatformEvolutionResult()
+
+        parents: List[Genotype] = []
+        parent_fitness: List[float] = []
+        explicitly_seeded: List[bool] = []
+        for stage in range(n_stages):
+            if seed_genotypes is not None and stage < len(seed_genotypes):
+                parents.append(seed_genotypes[stage].copy())
+                explicitly_seeded.append(True)
+            else:
+                parents.append(Genotype.identity(self.platform.spec))
+                explicitly_seeded.append(False)
+            parent_fitness.append(math.inf)
+        histories: List[List[float]] = [[] for _ in range(n_stages)]
+
+        def evolve_stage_one_generation(stage: int) -> None:
+            stage_input = self._stage_input(contexts, parents, stage, training_image)
+            if not math.isfinite(parent_fitness[stage]):
+                parent_fitness[stage] = self._stage_fitness(
+                    contexts, parents, stage, parents[stage], stage_input, reference_image
+                )
+                result.n_evaluations += 1
+                if stage > 0 and not explicitly_seeded[stage]:
+                    # Also consider repeating the previous stage's circuit as
+                    # the starting point; keep whichever candidate is better
+                    # on this stage's actual input.
+                    repeat = parents[stage - 1].copy()
+                    repeat_fitness = self._stage_fitness(
+                        contexts, parents, stage, repeat, stage_input, reference_image
+                    )
+                    result.n_evaluations += 1
+                    if repeat_fitness < parent_fitness[stage]:
+                        parents[stage] = repeat
+                        parent_fitness[stage] = repeat_fitness
+            offspring_counts: List[int] = []
+            best_child: Optional[Genotype] = None
+            best_child_fitness = math.inf
+            for _ in range(self.n_offspring):
+                mutation = mutate(parents[stage], self.mutation_rate, self.rng)
+                offspring_counts.append(contexts[stage].place(mutation.genotype))
+                fitness = self._stage_fitness(
+                    contexts, parents, stage, mutation.genotype, stage_input, reference_image
+                )
+                result.n_evaluations += 1
+                if fitness < best_child_fitness:
+                    best_child, best_child_fitness = mutation.genotype, fitness
+            scheduler.record_generation(offspring_counts)
+            if best_child is not None and self._accept(best_child_fitness, parent_fitness[stage]):
+                parents[stage] = best_child
+                parent_fitness[stage] = best_child_fitness
+            histories[stage].append(parent_fitness[stage])
+
+        if self.schedule == CascadeSchedule.SEQUENTIAL:
+            for stage in range(n_stages):
+                for _ in range(n_generations):
+                    evolve_stage_one_generation(stage)
+                    if target_fitness is not None and parent_fitness[stage] <= target_fitness:
+                        break
+        else:  # interleaved: one generation per stage per round
+            for _ in range(n_generations):
+                for stage in range(n_stages):
+                    evolve_stage_one_generation(stage)
+                if target_fitness is not None and min(parent_fitness) <= target_fitness:
+                    break
+
+        for stage in range(n_stages):
+            self.platform.configure_array(stage, parents[stage])
+            self.platform.set_reference(stage, reference_image)
+            result.best_genotypes[stage] = parents[stage]
+            result.best_fitness[stage] = parent_fitness[stage]
+            result.fitness_history[stage] = histories[stage]
+        result.platform_time_s = scheduler.total_time_s
+        result.n_reconfigurations = scheduler.total_reconfigurations
+        result.n_generations = scheduler.n_generations
+        return result
+
+
+class ImitationEvolution(EvolutionDriver):
+    """Evolution by Imitation (Fig. 7).
+
+    A (typically faulty) *apprentice* array is bypassed with respect to a
+    healthy *master* array; both receive the same input stream, and the
+    apprentice is evolved to minimise the MAE between its output and the
+    master's.  No reference image is needed, so the technique works when
+    the stored references have been erased or damaged — and it is the
+    recovery step of both self-healing strategies (§V).
+    """
+
+    def run(
+        self,
+        apprentice_index: int,
+        master_index: int,
+        input_image: np.ndarray,
+        n_generations: int,
+        seed_genotype: Optional[Genotype] = None,
+        seed_from_master: bool = True,
+        target_fitness: Optional[float] = None,
+    ) -> PlatformEvolutionResult:
+        """Evolve ``apprentice_index`` to imitate ``master_index``.
+
+        Parameters
+        ----------
+        apprentice_index, master_index:
+            The learner and teacher arrays (must differ).
+        input_image:
+            The live data stream both arrays observe.
+        n_generations:
+            Generation budget.
+        seed_genotype:
+            Explicit starting parent; overrides ``seed_from_master``.
+        seed_from_master:
+            When ``True`` (paper's recommendation, Fig. 19) the apprentice
+            starts from a copy of the master's genotype; otherwise from a
+            random genotype.
+        target_fitness:
+            Early-stop imitation-fitness threshold (the paper considers
+            ≈100 MAE "enough to say that both evolved systems are almost
+            identical").
+        """
+        if apprentice_index == master_index:
+            raise ValueError("apprentice and master must be different arrays")
+        input_image = np.asarray(input_image)
+        master_acb = self.platform.acb(master_index)
+        if master_acb.genotype is None:
+            raise RuntimeError("the master array has no configured circuit")
+        master_output = master_acb.shadow_process(input_image)
+
+        # The apprentice is bypassed so the cascade keeps streaming while it
+        # re-learns (online recovery with an offline-style method).
+        self.platform.set_bypass(apprentice_index, True)
+        context = _ArrayEvalContext(self.platform, apprentice_index, input_image)
+        scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(input_image.size))
+        result = PlatformEvolutionResult()
+
+        if seed_genotype is not None:
+            parent = seed_genotype.copy()
+        elif seed_from_master:
+            parent = master_acb.genotype.copy()
+        else:
+            parent = Genotype.random(self.platform.spec, self.rng)
+        parent_fitness = context.fitness(parent, master_output)
+        result.n_evaluations += 1
+        history: List[float] = []
+
+        for _ in range(n_generations):
+            offspring_counts: List[int] = []
+            best_child: Optional[Genotype] = None
+            best_child_fitness = math.inf
+            for _ in range(self.n_offspring):
+                mutation = mutate(parent, self.mutation_rate, self.rng)
+                offspring_counts.append(context.place(mutation.genotype))
+                fitness = context.fitness(mutation.genotype, master_output)
+                result.n_evaluations += 1
+                if fitness < best_child_fitness:
+                    best_child, best_child_fitness = mutation.genotype, fitness
+            scheduler.record_generation(offspring_counts)
+            if best_child is not None and self._accept(best_child_fitness, parent_fitness):
+                parent, parent_fitness = best_child, best_child_fitness
+            history.append(parent_fitness)
+            if target_fitness is not None and parent_fitness <= target_fitness:
+                break
+
+        self.platform.configure_array(apprentice_index, parent)
+        self.platform.set_bypass(apprentice_index, False)
+        result.best_genotypes[apprentice_index] = parent
+        result.best_fitness[apprentice_index] = parent_fitness
+        result.fitness_history[apprentice_index] = history
+        result.platform_time_s = scheduler.total_time_s
+        result.n_reconfigurations = scheduler.total_reconfigurations
+        result.n_generations = scheduler.n_generations
+        return result

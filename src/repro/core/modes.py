@@ -1,0 +1,112 @@
+"""Operation and evolution modes of the multi-array platform.
+
+The flexibility of the architecture comes from being able to change, at run
+time, both what is configured *inside* each array (through DPR) and how the
+arrays are connected *to each other* (through the ACB control registers).
+The paper organises that flexibility into processing modes (§IV.A, Fig. 4)
+and evolution modes (§IV.B, Figs. 5–7); this module gives each of them a
+first-class name used consistently across the platform, the evolution
+drivers and the self-healing strategies.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "ProcessingMode",
+    "CascadeStyle",
+    "EvolutionMode",
+    "CascadeFitnessMode",
+    "CascadeSchedule",
+    "FitnessSource",
+]
+
+
+class ProcessingMode(Enum):
+    """Mission-time arrangement of the processing arrays (Fig. 4)."""
+
+    CASCADED = "cascaded"
+    """The output of each array feeds, through a 3-line FIFO that rebuilds
+    the 3x3 window, the input of the next array."""
+
+    BYPASS = "bypass"
+    """A cascade in which one or more stages are disconnected and replaced
+    by a direct connection between their input and output; the bypassed
+    array still receives the input stream (so it can be re-evolved online)."""
+
+    PARALLEL = "parallel"
+    """All arrays receive the same input simultaneously; with three arrays
+    this supports Triple Modular Redundancy."""
+
+    INDEPENDENT = "independent"
+    """Each array processes its own input stream with its own circuit."""
+
+
+class CascadeStyle(Enum):
+    """Functional flavour of the cascaded processing mode (§IV.A)."""
+
+    COLLABORATIVE = "collaborative"
+    """All stages pursue a common target (e.g. the zero-noise reference);
+    each stage specialises on the residual error of the previous one."""
+
+    INDEPENDENT = "independent"
+    """Each stage performs a different task (e.g. denoise, then smooth,
+    then detect edges), evolved against different references."""
+
+
+class EvolutionMode(Enum):
+    """How candidates are distributed and judged during adaptation (§IV.B)."""
+
+    INDEPENDENT = "independent"
+    """Each array evolves on its own, sequentially, with its own reference."""
+
+    PARALLEL = "parallel"
+    """The offspring of each generation are spread across the arrays so that
+    several fitness values are computed simultaneously (Fig. 5)."""
+
+    CASCADED = "cascaded"
+    """Arrays are evolved considering the rest of the processing chain
+    (Fig. 6); see :class:`CascadeFitnessMode` and :class:`CascadeSchedule`."""
+
+    IMITATION = "imitation"
+    """A bypassed array evolves to minimise the MAE between its output and a
+    neighbouring array's output — no reference image required (Fig. 7)."""
+
+
+class CascadeFitnessMode(Enum):
+    """Fitness arrangement used by cascaded evolution (Fig. 6)."""
+
+    SEPARATE = "separate"
+    """Each stage has its own fitness unit; all stages use the same
+    reference image, and stage *i+1* is fed with stage *i*'s output."""
+
+    MERGED = "merged"
+    """A single fitness unit at the end of the chain judges all candidates
+    jointly."""
+
+
+class CascadeSchedule(Enum):
+    """Temporal interleaving of cascaded evolution (§IV.B)."""
+
+    SEQUENTIAL = "sequential"
+    """Stage *i+1* starts evolving only after stage *i* has finished."""
+
+    INTERLEAVED = "interleaved"
+    """All stages advance one generation at a time, round-robin
+    ("simultaneous or interleaved cascaded evolution")."""
+
+
+class FitnessSource(Enum):
+    """What an ACB's fitness unit compares its array output against (§III.B).
+
+    "The fitness computation block may compute the pixel aggregated MAE
+    between the reference image and the output image of the array, but it
+    may also be set to calculate MAE between the input and output images of
+    the array, as well as MAE between the output and another output from an
+    adjacent array."
+    """
+
+    REFERENCE = "reference"        #: output vs stored reference image
+    INPUT = "input"                #: output vs the array's own input
+    NEIGHBOUR = "neighbour"        #: output vs an adjacent array's output

@@ -1,0 +1,119 @@
+"""TMR voters for the parallel processing mode.
+
+"Two different voter modules are implemented, depending on fitness
+comparisons or by pixel by pixel comparisons of the processed image
+outputs.  Both voters are implemented in hardware, so the comparison would
+be at run-time.  Fitness voter is able to detect, after each image
+filtering, if a fault has occurred.  On the other hand, the output pixel
+voter is able to keep the system working with no fault impact." (§V.B)
+
+* :class:`FitnessVoter` — compares the per-array fitness values (or any
+  per-array scalar) and flags the array whose value diverges from the
+  others beyond a similarity threshold.  After a permanent-fault recovery
+  the re-evolved array may have a slightly different expected fitness, so
+  the threshold is configurable ("a similarity threshold can be defined in
+  the voter").
+* :class:`PixelVoter` — produces a majority (median) output image from the
+  three parallel outputs, masking the effect of a single faulty array on
+  the output stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["VoteResult", "FitnessVoter", "PixelVoter"]
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of one fitness vote.
+
+    Attributes
+    ----------
+    fault_detected:
+        Whether any array's value diverges beyond the threshold.
+    outlier_index:
+        Index of the diverging array (``None`` when no fault was detected
+        or when the divergence pattern does not single out one array).
+    values:
+        The compared values.
+    spread:
+        Largest absolute pairwise difference among the values.
+    """
+
+    fault_detected: bool
+    outlier_index: Optional[int]
+    values: tuple
+    spread: float
+
+
+class FitnessVoter:
+    """Majority voter over per-array fitness values.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum tolerated absolute difference between an array's value and
+        the median of all values.  Values within the threshold are treated
+        as equal (this is the paper's similarity threshold; exact equality
+        would misfire after an imitation-based recovery that reaches a
+        near-zero but non-zero imitation fitness).
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def vote(self, values: Sequence[float]) -> VoteResult:
+        """Compare per-array values and identify a diverging array, if any."""
+        values = tuple(float(v) for v in values)
+        if len(values) < 2:
+            raise ValueError("fitness voting requires at least two arrays")
+        arr = np.asarray(values, dtype=np.float64)
+        median = float(np.median(arr))
+        deviations = np.abs(arr - median)
+        spread = float(arr.max() - arr.min())
+        outliers = np.nonzero(deviations > self.threshold)[0]
+        if outliers.size == 0:
+            return VoteResult(False, None, values, spread)
+        # The outlier is the array farthest from the median; with a single
+        # fault (the TMR assumption) exactly one array diverges.
+        outlier_index = int(np.argmax(deviations))
+        return VoteResult(True, outlier_index, values, spread)
+
+
+class PixelVoter:
+    """Pixel-wise majority voter over parallel array outputs.
+
+    For three (or any odd number of) 8-bit outputs the per-pixel median
+    equals the bitwise majority for two-agreeing inputs and is the standard
+    TMR voting choice for data words; it keeps the output stream valid in
+    the presence of a single misbehaving array.
+    """
+
+    def vote(self, outputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Return the voted output image."""
+        if len(outputs) < 2:
+            raise ValueError("pixel voting requires at least two outputs")
+        shapes = {np.asarray(out).shape for out in outputs}
+        if len(shapes) != 1:
+            raise ValueError(f"all outputs must share one shape, got {shapes}")
+        stack = np.stack([np.asarray(out, dtype=np.uint8) for out in outputs], axis=0)
+        return np.median(stack, axis=0).astype(np.uint8)
+
+    def disagreement_map(self, outputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Boolean map of pixels where not all outputs agree (diagnostics)."""
+        if len(outputs) < 2:
+            raise ValueError("disagreement requires at least two outputs")
+        stack = np.stack([np.asarray(out, dtype=np.uint8) for out in outputs], axis=0)
+        return np.any(stack != stack[0], axis=0)
+
+    def disagreement_fraction(self, outputs: Sequence[np.ndarray]) -> float:
+        """Fraction of pixels with any disagreement."""
+        disagreement = self.disagreement_map(outputs)
+        return float(np.count_nonzero(disagreement)) / disagreement.size

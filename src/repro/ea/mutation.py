@@ -1,0 +1,105 @@
+"""Mutation operators.
+
+The paper characterises its mutation operator by the *mutation rate* ``k``:
+the number of genes changed per offspring (the x-axis of Figs. 12–15 is
+``k = 1, 3, 5``).  A mutation picks ``k`` distinct gene positions uniformly
+at random over the whole genotype (function genes, input-mux genes and the
+output-select gene) and replaces each with a different random value from
+its alphabet, so every mutation is effective.
+
+The operator also reports which *function* genes changed, because only
+those require a partial reconfiguration — the quantity that drives
+evolution time in the intrinsic-evolution timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.array.genotype import GeneKind, Genotype
+
+__all__ = ["MutationResult", "mutate"]
+
+
+@dataclass
+class MutationResult:
+    """Outcome of one mutation.
+
+    Attributes
+    ----------
+    genotype:
+        The mutated offspring genotype (a new object; the parent is unchanged).
+    mutated_indices:
+        Flat gene indices that were changed.
+    changed_pe_positions:
+        (row, col) positions whose function gene changed — i.e. the PEs the
+        reconfiguration engine must rewrite to place this offspring.
+    """
+
+    genotype: Genotype
+    mutated_indices: List[int] = field(default_factory=list)
+    changed_pe_positions: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_reconfigurations(self) -> int:
+        """Number of per-PE partial reconfigurations required."""
+        return len(self.changed_pe_positions)
+
+
+def mutate(
+    parent: Genotype,
+    n_mutations: int,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> MutationResult:
+    """Create an offspring by mutating ``n_mutations`` genes of ``parent``.
+
+    Parameters
+    ----------
+    parent:
+        Parent genotype (not modified).
+    n_mutations:
+        The mutation rate ``k``: number of distinct genes to change.  Must
+        be between 1 and the total gene count.
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+
+    Returns
+    -------
+    MutationResult
+        The offspring and the bookkeeping needed by the timing model.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    spec = parent.spec
+    if not 1 <= n_mutations <= spec.n_genes:
+        raise ValueError(
+            f"n_mutations must be in [1, {spec.n_genes}], got {n_mutations}"
+        )
+
+    child = parent.copy()
+    flat = child.to_flat()
+    indices = rng.choice(spec.n_genes, size=n_mutations, replace=False)
+
+    changed_pe_positions: List[Tuple[int, int]] = []
+    for index in sorted(int(i) for i in indices):
+        alphabet = spec.gene_alphabet_size(index)
+        current = int(flat[index])
+        if alphabet <= 1:
+            continue  # degenerate alphabet (1x1 arrays): nothing to change
+        # Draw a *different* value so every mutation is effective.
+        new_value = int(rng.integers(0, alphabet - 1))
+        if new_value >= current:
+            new_value += 1
+        flat[index] = new_value
+        if spec.gene_kind(index) == GeneKind.FUNCTION:
+            changed_pe_positions.append((index // spec.cols, index % spec.cols))
+
+    offspring = Genotype.from_flat(spec, flat)
+    return MutationResult(
+        genotype=offspring,
+        mutated_indices=[int(i) for i in sorted(int(i) for i in indices)],
+        changed_pe_positions=changed_pe_positions,
+    )

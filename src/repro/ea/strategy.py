@@ -1,0 +1,204 @@
+"""(1+λ) Evolution Strategy.
+
+The paper's EA is a simple (1+λ) ES with one parent and λ offspring,
+inspired by Cartesian Genetic Programming: each generation, λ offspring
+are created by mutating the parent with mutation rate ``k`` genes each;
+the best offspring replaces the parent if it is at least as good (the
+standard CGP neutral-drift rule, which lets the search walk across fitness
+plateaus), otherwise the parent is kept.
+
+This module is the *single-array* strategy; the platform-level drivers in
+:mod:`repro.core.evolution` reuse it and add the multi-array scheduling
+(parallel offspring distribution, cascaded evolution, imitation) and the
+reconfiguration/evaluation timing accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.ea.chromosome import Individual
+from repro.ea.mutation import mutate
+
+__all__ = ["GenerationRecord", "EvolutionResult", "OnePlusLambdaES"]
+
+
+@dataclass
+class GenerationRecord:
+    """Per-generation trace entry."""
+
+    generation: int
+    best_fitness: float
+    parent_fitness: float
+    n_reconfigurations: int
+    accepted: bool
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of an evolution run.
+
+    Attributes
+    ----------
+    best:
+        The best individual found.
+    history:
+        Per-generation records (best offspring fitness, parent fitness,
+        reconfiguration count, whether the parent was replaced).
+    n_generations:
+        Number of generations executed.
+    n_evaluations:
+        Total number of candidate evaluations.
+    n_reconfigurations:
+        Total number of per-PE partial reconfigurations performed.
+    """
+
+    best: Individual
+    history: List[GenerationRecord] = field(default_factory=list)
+    n_generations: int = 0
+    n_evaluations: int = 0
+    n_reconfigurations: int = 0
+
+    @property
+    def best_fitness(self) -> float:
+        """Fitness of the best individual."""
+        return self.best.fitness
+
+    def fitness_trace(self) -> np.ndarray:
+        """Best-so-far parent fitness per generation as a float array."""
+        return np.array([record.parent_fitness for record in self.history], dtype=np.float64)
+
+
+class OnePlusLambdaES:
+    """A (1+λ) evolution strategy over :class:`~repro.array.genotype.Genotype`.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable mapping a genotype to its (lower-is-better) fitness.
+    spec:
+        Genotype spec used when drawing the random initial parent.
+    n_offspring:
+        λ — offspring per generation (the paper generates nine chromosomes
+        per generation in the multi-array experiments; the single-array
+        default here is 8, the λ used in the original single-array system).
+    mutation_rate:
+        k — genes mutated per offspring.
+    rng:
+        Seed or generator.
+    accept_equal:
+        Whether an offspring with fitness equal to the parent replaces it
+        (CGP neutral drift).  Default ``True``.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[Genotype], float],
+        spec: GenotypeSpec = GenotypeSpec(),
+        n_offspring: int = 8,
+        mutation_rate: int = 3,
+        rng: Union[int, np.random.Generator, None] = None,
+        accept_equal: bool = True,
+    ) -> None:
+        if n_offspring < 1:
+            raise ValueError(f"n_offspring must be >= 1, got {n_offspring}")
+        if mutation_rate < 1:
+            raise ValueError(f"mutation_rate must be >= 1, got {mutation_rate}")
+        self.evaluate = evaluate
+        self.spec = spec
+        self.n_offspring = n_offspring
+        self.mutation_rate = mutation_rate
+        self.accept_equal = accept_equal
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def _initial_parent(self, seed_genotype: Optional[Genotype]) -> Individual:
+        genotype = seed_genotype.copy() if seed_genotype is not None else Genotype.random(
+            self.spec, self.rng
+        )
+        parent = Individual(genotype=genotype, generation=0)
+        parent.fitness = self.evaluate(parent.genotype)
+        return parent
+
+    def run(
+        self,
+        n_generations: int,
+        seed_genotype: Optional[Genotype] = None,
+        target_fitness: Optional[float] = None,
+        callback: Optional[Callable[[int, Individual], None]] = None,
+    ) -> EvolutionResult:
+        """Run the strategy for ``n_generations`` generations.
+
+        Parameters
+        ----------
+        n_generations:
+            Generation budget.
+        seed_genotype:
+            Optional starting parent ("randomly for the first generation or
+            choosing the best candidate of the previous generation", §III.A);
+            when omitted a random parent is drawn.
+        target_fitness:
+            Optional early-stop threshold: evolution stops once the parent
+            fitness is at or below this value.
+        callback:
+            Optional per-generation hook ``callback(generation, parent)``.
+
+        Returns
+        -------
+        EvolutionResult
+        """
+        if n_generations < 0:
+            raise ValueError("n_generations must be non-negative")
+        parent = self._initial_parent(seed_genotype)
+        result = EvolutionResult(best=parent.copy())
+        result.n_evaluations = 1
+
+        for generation in range(1, n_generations + 1):
+            best_offspring: Optional[Individual] = None
+            generation_reconfigurations = 0
+            for _ in range(self.n_offspring):
+                mutation = mutate(parent.genotype, self.mutation_rate, self.rng)
+                child = Individual(
+                    genotype=mutation.genotype,
+                    generation=generation,
+                    reconfigured_pes=mutation.n_reconfigurations,
+                )
+                child.fitness = self.evaluate(child.genotype)
+                result.n_evaluations += 1
+                generation_reconfigurations += mutation.n_reconfigurations
+                if best_offspring is None or child.fitness < best_offspring.fitness:
+                    best_offspring = child
+
+            assert best_offspring is not None
+            accepted = (
+                best_offspring.fitness < parent.fitness
+                or (self.accept_equal and best_offspring.fitness == parent.fitness)
+            )
+            if accepted:
+                parent = best_offspring
+            result.n_reconfigurations += generation_reconfigurations
+            result.n_generations = generation
+            result.history.append(
+                GenerationRecord(
+                    generation=generation,
+                    best_fitness=best_offspring.fitness,
+                    parent_fitness=parent.fitness,
+                    n_reconfigurations=generation_reconfigurations,
+                    accepted=accepted,
+                )
+            )
+            if parent.fitness < result.best.fitness:
+                result.best = parent.copy()
+            if callback is not None:
+                callback(generation, parent)
+            if target_fitness is not None and parent.fitness <= target_fitness:
+                break
+
+        if parent.fitness <= result.best.fitness:
+            result.best = parent.copy()
+        return result

@@ -1,0 +1,40 @@
+"""Experiment runners reproducing the paper's evaluation section (§VI).
+
+Each module reproduces one figure or table: it builds the workload, runs the
+sweep on the simulated platform, and returns the same rows/series the paper
+reports, as plain dataclasses / dictionaries that the benchmark harness and
+the examples print.  See ``DESIGN.md`` for the experiment ↔ module index and
+``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+from repro.experiments.resources_table import resource_utilisation_rows
+from repro.experiments.parallel_speedup import (
+    SpeedupPoint,
+    evolution_time_sweep,
+    measured_speedup_sweep,
+)
+from repro.experiments.new_ea import NewEaPoint, new_ea_comparison
+from repro.experiments.cascade_quality import CascadePoint, cascade_quality_comparison
+from repro.experiments.cascade_demo import CascadeDemoResult, three_stage_cascade_demo
+from repro.experiments.imitation_recovery import ImitationPoint, imitation_seed_comparison
+from repro.experiments.tmr_recovery import TmrTracePoint, tmr_fault_recovery_trace
+from repro.experiments.fault_sweep import FaultSweepSummary, systematic_fault_analysis
+
+__all__ = [
+    "FaultSweepSummary",
+    "systematic_fault_analysis",
+    "resource_utilisation_rows",
+    "SpeedupPoint",
+    "evolution_time_sweep",
+    "measured_speedup_sweep",
+    "NewEaPoint",
+    "new_ea_comparison",
+    "CascadePoint",
+    "cascade_quality_comparison",
+    "CascadeDemoResult",
+    "three_stage_cascade_demo",
+    "ImitationPoint",
+    "imitation_seed_comparison",
+    "TmrTracePoint",
+    "tmr_fault_recovery_trace",
+]

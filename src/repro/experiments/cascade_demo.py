@@ -1,0 +1,98 @@
+"""Three-stage adapted cascade on heavy salt-and-pepper noise (Fig. 18).
+
+The paper's Fig. 18 shows the input and output images of a three-stage
+adapted cascade filtering an image corrupted with 40 % salt-and-pepper
+noise; the resulting quality is high ("a MAE fitness value of around 8000"
+for the 128x128 image) while "the conventional reference filter for such
+type of noise ... the median filter ... yields a MAE result which is far
+above this one, more than twice the value obtained for just one stage, and
+it is not cascadable."
+
+This experiment evolves the adapted cascade with cascaded evolution, then
+reports:
+
+* the aggregated MAE of the noisy input, of each cascade stage's output and
+  of the single-pass 3x3 median filter baseline;
+* the input/clean/filtered images themselves, so the example script can
+  save or display them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.evolution import CascadedEvolution
+from repro.core.modes import CascadeFitnessMode, CascadeSchedule
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.imaging.filters import median_filter
+from repro.imaging.images import make_training_pair
+from repro.imaging.metrics import sae
+
+__all__ = ["CascadeDemoResult", "three_stage_cascade_demo"]
+
+
+@dataclass
+class CascadeDemoResult:
+    """Outcome of the Fig. 18 demonstration."""
+
+    image_side: int
+    noise_density: float
+    noisy_fitness: float                       #: MAE of the noisy input vs clean
+    stage_fitness: List[float] = field(default_factory=list)  #: MAE after each stage
+    median_fitness: float = 0.0                #: MAE of the 3x3 median baseline
+    images: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def final_fitness(self) -> float:
+        """MAE of the full cascade output."""
+        return self.stage_fitness[-1] if self.stage_fitness else float("inf")
+
+    @property
+    def cascade_beats_median(self) -> bool:
+        """Whether the adapted cascade outperforms the median-filter baseline."""
+        return self.final_fitness < self.median_fitness
+
+
+def three_stage_cascade_demo(
+    image_side: int = 64,
+    noise_density: float = 0.4,
+    n_stages: int = 3,
+    n_generations: int = 250,
+    n_offspring: int = 9,
+    mutation_rate: int = 3,
+    seed: int = 2013,
+) -> CascadeDemoResult:
+    """Evolve and evaluate the three-stage cascade of Fig. 18."""
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_density
+    )
+    platform = EvolvableHardwarePlatform(n_arrays=n_stages, seed=seed)
+    driver = CascadedEvolution(
+        platform,
+        n_offspring=n_offspring,
+        mutation_rate=mutation_rate,
+        rng=seed,
+        fitness_mode=CascadeFitnessMode.SEPARATE,
+        schedule=CascadeSchedule.SEQUENTIAL,
+    )
+    driver.run(pair.training, pair.reference, n_generations=n_generations, n_stages=n_stages)
+
+    result = CascadeDemoResult(
+        image_side=image_side,
+        noise_density=noise_density,
+        noisy_fitness=sae(pair.training, pair.reference),
+    )
+    data = pair.training
+    result.images["noisy_input"] = pair.training
+    result.images["clean_reference"] = pair.reference
+    for stage in range(n_stages):
+        data = platform.acb(stage).process(data)
+        result.stage_fitness.append(sae(data, pair.reference))
+        result.images[f"stage_{stage + 1}_output"] = data
+    median_output = median_filter(pair.training, size=3)
+    result.median_fitness = sae(median_output, pair.reference)
+    result.images["median_baseline"] = median_output
+    return result

@@ -1,0 +1,92 @@
+"""Systematic fault analysis of the multi-array platform.
+
+The paper's self-healing section builds on the single-array systematic
+fault analysis ("injecting faults in each position of a single 4x4
+processing array", §V) and lists a platform-wide criticality assessment as
+future work (§VII).  This experiment performs that assessment on the
+reproduced platform: it evolves a working circuit, sweeps a PE-level fault
+over every position of every array, and reports how many positions are
+benign, how many are critical, and how well the structural activity
+analysis predicts the measured impact — the quantitative backing for the
+claim that faults in unused PEs do not need healing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.criticality import CriticalityReport, platform_fault_sweep
+from repro.core.evolution import ParallelEvolution
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.imaging.images import make_training_pair
+
+__all__ = ["FaultSweepSummary", "systematic_fault_analysis"]
+
+
+@dataclass(frozen=True)
+class FaultSweepSummary:
+    """Aggregate view of a platform-wide fault sweep."""
+
+    array_index: int
+    n_positions: int
+    n_benign: int
+    n_critical: int
+    max_degradation: float
+    mean_degradation: float
+    structurally_inactive_but_critical: int
+    structurally_active_but_benign: int
+
+
+def summarise(report: CriticalityReport) -> FaultSweepSummary:
+    """Reduce a per-position criticality report to its headline numbers."""
+    degradations = [entry.degradation for entry in report.positions]
+    inactive_but_critical = sum(
+        1 for entry in report.positions
+        if not entry.structurally_active and entry.degradation > 0
+    )
+    active_but_benign = sum(
+        1 for entry in report.positions
+        if entry.structurally_active and entry.degradation == 0
+    )
+    return FaultSweepSummary(
+        array_index=report.array_index if report.array_index is not None else -1,
+        n_positions=len(report.positions),
+        n_benign=report.n_benign,
+        n_critical=report.n_critical,
+        max_degradation=max(degradations) if degradations else 0.0,
+        mean_degradation=(sum(degradations) / len(degradations)) if degradations else 0.0,
+        structurally_inactive_but_critical=inactive_but_critical,
+        structurally_active_but_benign=active_but_benign,
+    )
+
+
+def systematic_fault_analysis(
+    image_side: int = 32,
+    noise_level: float = 0.15,
+    n_generations: int = 200,
+    n_repeats: int = 3,
+    n_arrays: int = 3,
+    n_offspring: int = 9,
+    mutation_rate: int = 3,
+    seed: int = 2013,
+) -> List[FaultSweepSummary]:
+    """Evolve a working circuit, then fault-sweep every PE of every array.
+
+    Returns one :class:`FaultSweepSummary` per array.  The detailed
+    per-position reports are available through
+    :func:`repro.analysis.criticality.platform_fault_sweep` directly.
+    """
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
+    )
+    platform = EvolvableHardwarePlatform(n_arrays=n_arrays, seed=seed)
+    driver = ParallelEvolution(
+        platform, n_offspring=n_offspring, mutation_rate=mutation_rate, rng=seed
+    )
+    driver.run(pair.training, pair.reference, n_generations=n_generations)
+
+    reports = platform_fault_sweep(
+        platform, pair.training, pair.reference, n_repeats=n_repeats, seed=seed
+    )
+    return [summarise(report) for report in reports]

@@ -1,0 +1,102 @@
+"""Classic EA vs the new two-level-mutation EA (Figs. 14 and 15).
+
+Fig. 14 compares the average evolution time of the classic parallel EA and
+the new two-level-mutation EA over mutation rates k = 1, 3, 5; the new EA
+is faster and its time barely depends on k, because only the first batch of
+each generation is mutated from the parent with rate k — the remaining
+batches are single-gene mutations of the previous batch, so very few PEs
+need to be rewritten.  Fig. 15 shows the corresponding final fitness, which
+is equal or better with the new strategy.
+
+Each comparison point runs both strategies on the same denoising task with
+the same seeds, records the real per-offspring reconfiguration counts, and
+reports both the measured platform time (through the Fig. 11 scheduler) and
+the final fitness.  The generation budget and the number of repetitions are
+parameters so the benchmark can run a quick version while EXPERIMENTS.md
+records a larger one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.evolution import ParallelEvolution
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.core.two_level_ea import TwoLevelMutationEvolution
+from repro.imaging.images import make_training_pair
+
+__all__ = ["NewEaPoint", "new_ea_comparison"]
+
+
+@dataclass(frozen=True)
+class NewEaPoint:
+    """One (strategy, mutation rate) point of the Fig. 14/15 comparison."""
+
+    strategy: str                    #: "classic" or "two_level"
+    mutation_rate: int
+    mean_platform_time_s: float      #: Fig. 14 series (averaged over runs)
+    mean_final_fitness: float        #: Fig. 15 series (averaged over runs)
+    mean_reconfigurations_per_generation: float
+    n_runs: int
+    n_generations: int
+
+
+def new_ea_comparison(
+    image_side: int = 32,
+    mutation_rates: Sequence[int] = (1, 3, 5),
+    n_generations: int = 120,
+    n_runs: int = 3,
+    n_offspring: int = 9,
+    n_arrays: int = 3,
+    noise_level: float = 0.1,
+    seed: int = 2013,
+) -> List[NewEaPoint]:
+    """Run the classic-vs-new-EA comparison and return one point per cell."""
+    points: List[NewEaPoint] = []
+    for strategy in ("classic", "two_level"):
+        for k in mutation_rates:
+            times: List[float] = []
+            fitnesses: List[float] = []
+            reconfigs: List[float] = []
+            for run in range(n_runs):
+                run_seed = seed + 97 * run + k
+                pair = make_training_pair(
+                    "salt_pepper_denoise",
+                    size=image_side,
+                    seed=run_seed,
+                    noise_level=noise_level,
+                )
+                platform = EvolvableHardwarePlatform(n_arrays=n_arrays, seed=run_seed)
+                if strategy == "classic":
+                    driver = ParallelEvolution(
+                        platform, n_offspring=n_offspring, mutation_rate=k, rng=run_seed
+                    )
+                else:
+                    driver = TwoLevelMutationEvolution(
+                        platform,
+                        n_offspring=n_offspring,
+                        mutation_rate=k,
+                        low_mutation_rate=1,
+                        rng=run_seed,
+                    )
+                result = driver.run(
+                    pair.training, pair.reference, n_generations=n_generations
+                )
+                times.append(result.platform_time_s)
+                fitnesses.append(result.overall_best_fitness())
+                reconfigs.append(result.n_reconfigurations / max(1, result.n_generations))
+            points.append(
+                NewEaPoint(
+                    strategy=strategy,
+                    mutation_rate=k,
+                    mean_platform_time_s=float(np.mean(times)),
+                    mean_final_fitness=float(np.mean(fitnesses)),
+                    mean_reconfigurations_per_generation=float(np.mean(reconfigs)),
+                    n_runs=n_runs,
+                    n_generations=n_generations,
+                )
+            )
+    return points

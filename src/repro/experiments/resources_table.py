@@ -1,0 +1,102 @@
+"""Resource utilisation (§VI.A).
+
+Reproduces the resource summary of the evaluation section: the per-PE and
+per-array CLB footprint, the slice/FF/LUT cost of the static control logic
+and of each ACB, the platform totals for a given number of arrays, and the
+per-PE reconfiguration time obtained with the ICAP at its nominal 100 MHz.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.array.systolic_array import ArrayGeometry
+from repro.fpga.icap import IcapModel
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+from repro.fpga.fabric import FpgaFabric
+from repro.fpga.resources import ResourceModel
+
+__all__ = ["resource_utilisation_rows"]
+
+
+def resource_utilisation_rows(n_arrays: int = 3,
+                              geometry: ArrayGeometry = ArrayGeometry()) -> List[Dict[str, object]]:
+    """Return the §VI.A resource rows for a platform with ``n_arrays`` ACBs.
+
+    The returned list contains one dictionary per reported quantity with the
+    paper's value alongside the model's, so the benchmark harness can print
+    a direct paper-vs-reproduction comparison.
+    """
+    model = ResourceModel(geometry=geometry)
+    report = model.report(n_arrays)
+    fabric = FpgaFabric(n_arrays=n_arrays, geometry=geometry)
+    engine = ReconfigurationEngine(fabric, icap=IcapModel())
+
+    rows: List[Dict[str, object]] = [
+        {
+            "quantity": "PE footprint (CLBs)",
+            "paper": 2 * 5,
+            "measured": geometry.clbs_per_pe,
+        },
+        {
+            "quantity": "array footprint (CLBs)",
+            "paper": 160,
+            "measured": geometry.total_clbs,
+        },
+        {
+            "quantity": "array CLB columns",
+            "paper": 8,
+            "measured": geometry.clb_columns,
+        },
+        {
+            "quantity": "per-PE reconfiguration time (us)",
+            "paper": 67.53,
+            "measured": round(engine.pe_reconfiguration_time_s * 1e6, 2),
+        },
+        {
+            "quantity": "static control slices",
+            "paper": 733,
+            "measured": report.static_slices,
+        },
+        {
+            "quantity": "static control FFs",
+            "paper": 1365,
+            "measured": report.static_ffs,
+        },
+        {
+            "quantity": "static control LUTs",
+            "paper": 1817,
+            "measured": report.static_luts,
+        },
+        {
+            "quantity": "ACB slices",
+            "paper": 754,
+            "measured": report.acb_slices,
+        },
+        {
+            "quantity": "ACB FFs",
+            "paper": 1642,
+            "measured": report.acb_ffs,
+        },
+        {
+            "quantity": "ACB LUTs",
+            "paper": 1528,
+            "measured": report.acb_luts,
+        },
+        {
+            "quantity": f"platform slices ({n_arrays} ACBs)",
+            "paper": 733 + n_arrays * 754,
+            "measured": report.total_slices,
+        },
+        {
+            "quantity": "device slice utilisation (%)",
+            "paper": None,
+            "measured": round(100.0 * report.slice_utilisation, 2),
+        },
+        {
+            "quantity": "max arrays on device",
+            "paper": None,
+            "measured": model.max_arrays(),
+        },
+    ]
+    return rows

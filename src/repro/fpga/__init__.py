@@ -1,0 +1,53 @@
+"""FPGA substrate: configuration memory, partial bitstreams, DPR and faults.
+
+The paper's platform runs on a Xilinx Virtex-5 LX110T and uses native
+Dynamic Partial Reconfiguration (DPR) through a custom reconfiguration
+engine attached to the ICAP.  None of that hardware exists here, so this
+package provides a behavioural model that preserves the two properties the
+evaluation depends on:
+
+1. **Timing** — reconfiguring one PE costs 67.53 µs with the ICAP at its
+   nominal 100 MHz, including the readback / relocation / writeback cycle
+   (paper §VI.A).  The model derives that figure from frame counts and the
+   ICAP word rate so that alternative geometries scale sensibly.
+2. **Fault semantics** — transient faults (SEUs) corrupt configuration
+   memory and are repaired by scrubbing; permanent faults (LPDs) survive
+   scrubbing and can only be mitigated by evolving around the damaged
+   region (paper §II, §V).
+
+Modules
+-------
+:mod:`repro.fpga.icap`                    — ICAP port timing model.
+:mod:`repro.fpga.bitstream`               — partial bitstream (PBS) library.
+:mod:`repro.fpga.fabric`                  — frame-addressable configuration memory.
+:mod:`repro.fpga.reconfiguration_engine`  — the shared reconfiguration engine.
+:mod:`repro.fpga.faults`                  — SEU / LPD injection.
+:mod:`repro.fpga.scrubbing`               — configuration scrubbing.
+:mod:`repro.fpga.resources`               — resource-utilisation model (§VI.A).
+"""
+
+from repro.fpga.bitstream import BitstreamLibrary, PartialBitstream
+from repro.fpga.fabric import FpgaFabric, RegionAddress, RegionState
+from repro.fpga.faults import FaultInjector, FaultRecord, FaultType
+from repro.fpga.icap import IcapModel
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine, ReconfigurationStats
+from repro.fpga.resources import ResourceModel, ResourceReport
+from repro.fpga.scrubbing import ScrubReport, Scrubber
+
+__all__ = [
+    "BitstreamLibrary",
+    "PartialBitstream",
+    "FpgaFabric",
+    "RegionAddress",
+    "RegionState",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultType",
+    "IcapModel",
+    "ReconfigurationEngine",
+    "ReconfigurationStats",
+    "ResourceModel",
+    "ResourceReport",
+    "ScrubReport",
+    "Scrubber",
+]

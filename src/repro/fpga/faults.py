@@ -1,0 +1,147 @@
+"""Fault models and fault injection.
+
+SRAM-based FPGAs in space suffer two kinds of faults (paper §II):
+
+* **SEU** (Single Event Upset) — a transient bit flip in the configuration
+  memory.  The logic misbehaves until the corrupted frames are rewritten
+  (scrubbing); the silicon itself is healthy.
+* **LPD** (Local Permanent Damage) — permanent damage due to aging or
+  high-energy particles.  Rewriting the configuration does not help; the
+  only mitigation is to stop using the damaged resources, which is what the
+  evolutionary self-healing strategies do.
+
+The paper emulates faults at PE granularity by reconfiguring the target PE
+with a dummy bitstream whose output is random (§VI.D).  The injector below
+supports that PE-level model plus explicit SEU bit flips, and records every
+injection so that experiments can perform the systematic per-position fault
+sweeps the paper refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.fpga.fabric import FpgaFabric, RegionAddress
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+
+__all__ = ["FaultType", "FaultRecord", "FaultInjector"]
+
+
+class FaultType(Enum):
+    """Kinds of injectable faults."""
+
+    SEU = "seu"              #: transient configuration-memory bit flip
+    LPD = "lpd"              #: local permanent damage of the region
+    PE_DUMMY = "pe_dummy"    #: the paper's PE-level dummy-bitstream fault
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault."""
+
+    fault_type: FaultType
+    address: RegionAddress
+    detail: Optional[int] = None  #: flipped bit index for SEUs, else None
+
+
+class FaultInjector:
+    """Inject SEUs, LPDs and PE-level dummy faults into the fabric.
+
+    Parameters
+    ----------
+    fabric:
+        Configuration-memory model.
+    engine:
+        Optional reconfiguration engine; required only for PE-dummy
+        injection (which, as in the paper, is performed *through* the
+        engine rather than by poking the model directly).
+    rng:
+        Seed or generator for random target selection.
+    """
+
+    def __init__(
+        self,
+        fabric: FpgaFabric,
+        engine: Optional[ReconfigurationEngine] = None,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.engine = engine
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.injected: List[FaultRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def _random_address(self) -> RegionAddress:
+        addresses = self.fabric.all_addresses()
+        return addresses[int(self.rng.integers(0, len(addresses)))]
+
+    def inject_seu(
+        self, address: Optional[RegionAddress] = None, bit_index: Optional[int] = None
+    ) -> FaultRecord:
+        """Flip one configuration bit (transient fault).
+
+        Returns the :class:`FaultRecord`; the region will misbehave until a
+        scrub rewrites its golden configuration.
+        """
+        if address is None:
+            address = self._random_address()
+        flipped = self.fabric.corrupt_region(address, bit_index=bit_index, rng=self.rng)
+        record = FaultRecord(FaultType.SEU, address, detail=flipped)
+        self.injected.append(record)
+        return record
+
+    def inject_lpd(self, address: Optional[RegionAddress] = None) -> FaultRecord:
+        """Permanently damage a region (LPD).  Scrubbing will not repair it."""
+        if address is None:
+            address = self._random_address()
+        self.fabric.damage_region(address)
+        record = FaultRecord(FaultType.LPD, address)
+        self.injected.append(record)
+        return record
+
+    def inject_pe_dummy(self, address: Optional[RegionAddress] = None) -> FaultRecord:
+        """Inject the paper's PE-level fault: reconfigure with the dummy bitstream.
+
+        Requires a reconfiguration engine (fault emulation "is carried out
+        using the same mechanism that is used during adaptation, that is,
+        the DPR achieved by the reconfiguration engine").
+        """
+        if self.engine is None:
+            raise RuntimeError("PE-dummy injection requires a ReconfigurationEngine")
+        if address is None:
+            address = self._random_address()
+        self.engine.inject_dummy_pe(address)
+        record = FaultRecord(FaultType.PE_DUMMY, address)
+        self.injected.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    def systematic_positions(self, array_index: int) -> List[Tuple[int, int]]:
+        """All (row, col) positions of one array, for systematic fault sweeps.
+
+        The paper's single-array fault analysis injected faults "in each
+        position of a single 4x4 processing array"; experiments use this
+        helper to iterate that sweep over every array of the platform.
+        """
+        geometry = self.fabric.geometry
+        if not 0 <= array_index < self.fabric.n_arrays:
+            raise ValueError(f"array_index out of range: {array_index}")
+        return [
+            (row, col)
+            for row in range(geometry.rows)
+            for col in range(geometry.cols)
+        ]
+
+    def faults_in_array(self, array_index: int) -> List[FaultRecord]:
+        """Injected faults whose target lies in the given array."""
+        return [
+            record for record in self.injected if record.address.array_index == array_index
+        ]
+
+    def clear_history(self) -> None:
+        """Forget the injection log (fault state in the fabric is untouched)."""
+        self.injected.clear()

@@ -1,0 +1,78 @@
+"""ICAP (Internal Configuration Access Port) timing model.
+
+The reconfiguration engine of the paper reads and writes configuration
+frames through the ICAP, a 32-bit port clocked at a nominal 100 MHz.  One
+word is transferred per cycle, so the transfer time of a block of frames is
+simply ``words / frequency`` plus a small per-transaction command overhead
+(sync words, frame-address register writes, desync).
+
+The model is deliberately simple — the evaluation section only ever uses
+the aggregate per-PE latency — but it keeps the pieces (frame counts, word
+rate, overhead) separate so that experiments can ask "what if the ICAP ran
+at 200 MHz" or "what if the PE footprint doubled" and get a consistent
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IcapModel"]
+
+#: Virtex-5 configuration frame size in 32-bit words.
+FRAME_WORDS = 41
+
+#: Configuration frames per CLB column within one clock region (Virtex-5).
+FRAMES_PER_CLB_COLUMN = 36
+
+
+@dataclass(frozen=True)
+class IcapModel:
+    """Timing model of the ICAP port.
+
+    Parameters
+    ----------
+    clock_hz:
+        ICAP clock frequency (paper: nominal 100 MHz).
+    word_bits:
+        Port width in bits (Virtex-5 ICAP: 32).
+    command_overhead_words:
+        Extra words per reconfiguration transaction (synchronisation,
+        frame-address setup, desynchronisation and the engine's internal
+        pipeline refill).  The default is calibrated so that one PE
+        (2 CLB columns, readback + writeback) takes exactly the paper's
+        67.53 µs.
+    """
+
+    clock_hz: float = 100e6
+    word_bits: int = 32
+    command_overhead_words: int = 849
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.word_bits not in (8, 16, 32):
+            raise ValueError("ICAP word width must be 8, 16 or 32 bits")
+        if self.command_overhead_words < 0:
+            raise ValueError("command_overhead_words must be non-negative")
+
+    @property
+    def word_period_s(self) -> float:
+        """Seconds per transferred word."""
+        return 1.0 / self.clock_hz
+
+    def transfer_time_s(self, n_words: int) -> float:
+        """Time to stream ``n_words`` configuration words (no overhead)."""
+        if n_words < 0:
+            raise ValueError("n_words must be non-negative")
+        return n_words * self.word_period_s
+
+    def transaction_time_s(self, n_words: int) -> float:
+        """Time for a complete ICAP transaction of ``n_words`` plus overhead."""
+        return self.transfer_time_s(n_words + self.command_overhead_words)
+
+    def frames_to_words(self, n_frames: int) -> int:
+        """Number of 32-bit words occupied by ``n_frames`` configuration frames."""
+        if n_frames < 0:
+            raise ValueError("n_frames must be non-negative")
+        return n_frames * FRAME_WORDS

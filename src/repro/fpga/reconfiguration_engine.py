@@ -1,0 +1,179 @@
+"""The shared reconfiguration engine.
+
+The platform has exactly one reconfiguration engine (presented by the
+authors in a separate paper, [14]); it reads partial bitstreams from the
+external memory or from the configuration memory itself and supports fast
+reconfiguration and relocation.  Because it is shared, candidate placement
+is inherently serial even when evaluation is parallel — "the only process
+that can be parallelized is the evaluation of the solution circuits, due to
+the fact that there is just one reconfiguration engine in the system"
+(§VI.B, Fig. 11) — which is why the parallel-evolution speed-up saturates.
+
+Timing: each PE reconfiguration performs a readback of the frames that
+share the PE's region (the PE "uses less than a clock region, [so]
+configuration data allocated in the position of the PE has to be read back
+before reconfiguration"), merges in the new PE content and writes the
+frames back.  With the default Virtex-5 geometry and the ICAP at 100 MHz
+this comes to the paper's 67.53 µs per PE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.fpga.bitstream import DUMMY_FAULT_GENE, BitstreamLibrary, PartialBitstream
+from repro.fpga.fabric import FpgaFabric, RegionAddress
+from repro.fpga.icap import IcapModel
+
+__all__ = ["ReconfigurationStats", "ReconfigurationEngine"]
+
+
+@dataclass
+class ReconfigurationStats:
+    """Cumulative statistics of the reconfiguration engine."""
+
+    n_pe_reconfigurations: int = 0
+    n_scrub_rewrites: int = 0
+    n_readbacks: int = 0
+    busy_time_s: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.n_pe_reconfigurations = 0
+        self.n_scrub_rewrites = 0
+        self.n_readbacks = 0
+        self.busy_time_s = 0.0
+
+
+class ReconfigurationEngine:
+    """Single shared DPR engine with readback / relocation / writeback.
+
+    Parameters
+    ----------
+    fabric:
+        The configuration-memory model the engine operates on.
+    icap:
+        ICAP timing model (defaults to the nominal 100 MHz port).
+    library:
+        Bitstream library; defaults to the fabric's own library.
+    """
+
+    def __init__(
+        self,
+        fabric: FpgaFabric,
+        icap: IcapModel = IcapModel(),
+        library: Optional[BitstreamLibrary] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.icap = icap
+        self.library = library if library is not None else fabric.library
+        self.stats = ReconfigurationStats()
+
+    # ------------------------------------------------------------------ #
+    # Timing primitives
+    # ------------------------------------------------------------------ #
+    @property
+    def pe_words(self) -> int:
+        """Configuration words covering one PE region."""
+        return self.library.pe_words
+
+    @property
+    def pe_reconfiguration_time_s(self) -> float:
+        """Time to reconfigure one PE (readback + writeback + overhead).
+
+        With the default geometry this evaluates to 67.53 µs, the figure
+        reported in §VI.A.
+        """
+        # Readback of the PE frames, then writeback of the merged frames.
+        return self.icap.transaction_time_s(2 * self.pe_words)
+
+    def readback_time_s(self) -> float:
+        """Time for a readback-only transaction over one PE region."""
+        return self.icap.transaction_time_s(self.pe_words)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def reconfigure_pe(self, address: RegionAddress, function_gene: int) -> float:
+        """Place the bitstream for ``function_gene`` at ``address``.
+
+        Returns the time the engine was busy.  ``function_gene`` may be
+        :data:`~repro.fpga.bitstream.DUMMY_FAULT_GENE` (fault injection).
+        """
+        bitstream = self.library.get(int(function_gene))
+        self.fabric.write_region(address, bitstream)
+        elapsed = self.pe_reconfiguration_time_s
+        self.stats.n_pe_reconfigurations += 1
+        self.stats.busy_time_s += elapsed
+        return elapsed
+
+    def reconfigure_many(
+        self, placements: Iterable[Tuple[RegionAddress, int]]
+    ) -> float:
+        """Serially place several PE bitstreams; returns total busy time.
+
+        The engine is a single shared resource, so the cost is strictly the
+        sum of the individual reconfigurations — there is no overlap.
+        """
+        total = 0.0
+        for address, function_gene in placements:
+            total += self.reconfigure_pe(address, function_gene)
+        return total
+
+    def configure_array(self, array_index: int, function_genes) -> float:
+        """Write a full array's worth of function genes (initial configuration).
+
+        ``function_genes`` is a ``(rows, cols)`` array-like of gene values.
+        Returns the engine busy time.
+        """
+        geometry = self.fabric.geometry
+        placements: List[Tuple[RegionAddress, int]] = []
+        for row in range(geometry.rows):
+            for col in range(geometry.cols):
+                placements.append(
+                    (RegionAddress(array_index, row, col), int(function_genes[row][col]))
+                )
+        return self.reconfigure_many(placements)
+
+    def relocate(self, source: RegionAddress, destination: RegionAddress) -> float:
+        """Copy a region's configuration to another compatible region.
+
+        Models the engine's readback / relocation / writeback feature used
+        to "insert, copy or move HW blocks within the reconfigurable
+        fabric".  Returns the busy time (one readback plus one writeback).
+        """
+        state = self.fabric.region(source)
+        bitstream = self.library.get(state.configured_gene)
+        self.fabric.write_region(destination, bitstream)
+        elapsed = self.icap.transaction_time_s(2 * self.pe_words)
+        self.stats.n_pe_reconfigurations += 1
+        self.stats.n_readbacks += 1
+        self.stats.busy_time_s += elapsed
+        return elapsed
+
+    def inject_dummy_pe(self, address: RegionAddress) -> float:
+        """Fault-injection helper: place the dummy (garbage-output) PE bitstream."""
+        return self.reconfigure_pe(address, DUMMY_FAULT_GENE)
+
+    def scrub_rewrite(self, address: RegionAddress) -> float:
+        """Rewrite the golden bitstream of a region (used by the scrubber).
+
+        Returns the busy time (readback for verification happens in the
+        scrubber; the rewrite itself is a write-only transaction).
+        """
+        state = self.fabric.region(address)
+        golden = self.library.get(state.configured_gene)
+        self.fabric.write_region(address, golden)
+        elapsed = self.icap.transaction_time_s(self.pe_words)
+        self.stats.n_scrub_rewrites += 1
+        self.stats.busy_time_s += elapsed
+        return elapsed
+
+    def readback(self, address: RegionAddress) -> float:
+        """Account a verification readback of one region; returns busy time."""
+        self.fabric.readback_region(address)
+        elapsed = self.readback_time_s()
+        self.stats.n_readbacks += 1
+        self.stats.busy_time_s += elapsed
+        return elapsed

@@ -1,0 +1,195 @@
+"""Resource-utilisation model (paper §VI.A).
+
+The paper reports the logic cost of the scalable architecture on a Xilinx
+Virtex-5 LX110T:
+
+* the static control logic "in charge of addressing and managing the ACB
+  registers consumes 733 slices, requiring 1365 FFs and 1817 LUTs";
+* "every ACB requires 754 slices, with 1642 FFs and 1528 LUTs";
+* each PE occupies 2 CLB columns x 5 CLB rows (a quarter of a clock
+  region), so a 4x4 array occupies 8 CLB columns of a clock region,
+  160 CLBs in total;
+* the reconfiguration time is 67.53 µs per PE with the ICAP at 100 MHz.
+
+This module reproduces those numbers and scales them with the number of
+ACBs, producing the "resource utilisation" rows of the evaluation section
+plus derived device-occupancy percentages, so that a user can ask how many
+arrays fit on the device before running out of slices or clock regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.array.systolic_array import ArrayGeometry
+
+__all__ = ["DeviceModel", "ResourceModel", "ResourceReport", "VIRTEX5_LX110T"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Capacity of the target FPGA device."""
+
+    name: str
+    n_slices: int
+    n_luts: int
+    n_ffs: int
+    n_clock_regions: int
+    clb_columns_per_region: int
+
+    def __post_init__(self) -> None:
+        if min(self.n_slices, self.n_luts, self.n_ffs, self.n_clock_regions) <= 0:
+            raise ValueError("device capacities must be positive")
+
+
+#: The paper's device: a medium-size Xilinx Virtex-5 LX110T.
+VIRTEX5_LX110T = DeviceModel(
+    name="Virtex-5 LX110T",
+    n_slices=17_280,
+    n_luts=69_120,
+    n_ffs=69_120,
+    n_clock_regions=16,
+    clb_columns_per_region=58,
+)
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Aggregate resource usage of an EHW platform instance."""
+
+    n_arrays: int
+    static_slices: int
+    static_ffs: int
+    static_luts: int
+    acb_slices: int
+    acb_ffs: int
+    acb_luts: int
+    array_clbs: int
+    pe_reconfiguration_time_us: float
+    device: DeviceModel
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_slices(self) -> int:
+        """Static + all ACB slices."""
+        return self.static_slices + self.n_arrays * self.acb_slices
+
+    @property
+    def total_ffs(self) -> int:
+        """Static + all ACB flip-flops."""
+        return self.static_ffs + self.n_arrays * self.acb_ffs
+
+    @property
+    def total_luts(self) -> int:
+        """Static + all ACB LUTs."""
+        return self.static_luts + self.n_arrays * self.acb_luts
+
+    @property
+    def total_array_clbs(self) -> int:
+        """CLBs occupied by the reconfigurable arrays themselves."""
+        return self.n_arrays * self.array_clbs
+
+    @property
+    def slice_utilisation(self) -> float:
+        """Fraction of device slices used by static + ACB control logic."""
+        return self.total_slices / self.device.n_slices
+
+    @property
+    def clock_region_utilisation(self) -> float:
+        """Fraction of clock regions used by the stacked arrays (one per ACB)."""
+        return self.n_arrays / self.device.n_clock_regions
+
+    def full_array_reconfiguration_time_us(self, n_pes: int) -> float:
+        """Time to reconfigure every PE of one array, in microseconds."""
+        return self.pe_reconfiguration_time_us * n_pes
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows equivalent to the §VI.A resource summary (for report printing)."""
+        return [
+            {
+                "component": "static control (ACB addressing/management)",
+                "slices": self.static_slices,
+                "ffs": self.static_ffs,
+                "luts": self.static_luts,
+            },
+            {
+                "component": "one ACB",
+                "slices": self.acb_slices,
+                "ffs": self.acb_ffs,
+                "luts": self.acb_luts,
+            },
+            {
+                "component": f"platform total ({self.n_arrays} ACBs)",
+                "slices": self.total_slices,
+                "ffs": self.total_ffs,
+                "luts": self.total_luts,
+            },
+        ]
+
+
+class ResourceModel:
+    """Scalable resource model following the paper's per-module costs.
+
+    Parameters
+    ----------
+    geometry:
+        Array geometry (defaults to the paper's 4x4, 2x5-CLB PEs).
+    device:
+        Target device (defaults to the Virtex-5 LX110T).
+    static_slices, static_ffs, static_luts:
+        Cost of the static control logic (defaults: paper values).
+    acb_slices, acb_ffs, acb_luts:
+        Cost of one Array Control Block (defaults: paper values).
+    pe_reconfiguration_time_us:
+        Per-PE reconfiguration latency (default: paper's 67.53 µs).
+    """
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry = ArrayGeometry(),
+        device: DeviceModel = VIRTEX5_LX110T,
+        static_slices: int = 733,
+        static_ffs: int = 1365,
+        static_luts: int = 1817,
+        acb_slices: int = 754,
+        acb_ffs: int = 1642,
+        acb_luts: int = 1528,
+        pe_reconfiguration_time_us: float = 67.53,
+    ) -> None:
+        self.geometry = geometry
+        self.device = device
+        self.static_slices = static_slices
+        self.static_ffs = static_ffs
+        self.static_luts = static_luts
+        self.acb_slices = acb_slices
+        self.acb_ffs = acb_ffs
+        self.acb_luts = acb_luts
+        self.pe_reconfiguration_time_us = pe_reconfiguration_time_us
+
+    def report(self, n_arrays: int) -> ResourceReport:
+        """Resource report for a platform with ``n_arrays`` ACBs."""
+        if n_arrays < 1:
+            raise ValueError(f"n_arrays must be >= 1, got {n_arrays}")
+        return ResourceReport(
+            n_arrays=n_arrays,
+            static_slices=self.static_slices,
+            static_ffs=self.static_ffs,
+            static_luts=self.static_luts,
+            acb_slices=self.acb_slices,
+            acb_ffs=self.acb_ffs,
+            acb_luts=self.acb_luts,
+            array_clbs=self.geometry.total_clbs,
+            pe_reconfiguration_time_us=self.pe_reconfiguration_time_us,
+            device=self.device,
+        )
+
+    def max_arrays(self) -> int:
+        """Largest number of ACBs that fits the device.
+
+        Limited by whichever runs out first: slices for control logic or
+        clock regions for the vertically stacked arrays.
+        """
+        by_slices = (self.device.n_slices - self.static_slices) // self.acb_slices
+        by_regions = self.device.n_clock_regions
+        return max(0, min(by_slices, by_regions))

@@ -1,0 +1,94 @@
+"""Configuration scrubbing.
+
+Scrubbing reads the configuration memory, checks it against the golden
+bitstreams and rewrites any corrupted frames.  It repairs SEUs but not
+permanent damage; the self-healing strategies of the paper use exactly this
+asymmetry to *classify* a detected fault: if re-writing the last
+configuration does not restore the calibration fitness, the fault is
+permanent and an evolution (or imitation) run is launched (§V.A steps f-i,
+§V.B steps d-g).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.fpga.fabric import FpgaFabric, RegionAddress
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+
+__all__ = ["ScrubReport", "Scrubber"]
+
+
+@dataclass
+class ScrubReport:
+    """Result of one scrub pass.
+
+    Attributes
+    ----------
+    checked:
+        Regions whose configuration was read back and verified.
+    corrupted:
+        Regions found with corrupted configuration (SEUs) and rewritten.
+    still_damaged:
+        Regions that remain misbehaving after the rewrite — i.e. regions
+        with permanent damage, which scrubbing cannot repair.
+    elapsed_s:
+        Engine busy time consumed by the scrub pass.
+    """
+
+    checked: List[RegionAddress] = field(default_factory=list)
+    corrupted: List[RegionAddress] = field(default_factory=list)
+    still_damaged: List[RegionAddress] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def n_repaired(self) -> int:
+        """Number of regions whose corruption was repaired."""
+        return len(self.corrupted)
+
+    @property
+    def clean(self) -> bool:
+        """True when no corruption was found and nothing remains damaged."""
+        return not self.corrupted and not self.still_damaged
+
+
+class Scrubber:
+    """Readback-and-rewrite scrubber built on the reconfiguration engine."""
+
+    def __init__(self, fabric: FpgaFabric, engine: ReconfigurationEngine) -> None:
+        self.fabric = fabric
+        self.engine = engine
+
+    def scrub_region(self, address: RegionAddress) -> ScrubReport:
+        """Scrub a single region."""
+        return self.scrub(regions=[address])
+
+    def scrub_array(self, array_index: int) -> ScrubReport:
+        """Scrub every region of one processing array."""
+        addresses = [
+            state.address for state in self.fabric.regions_of_array(array_index)
+        ]
+        return self.scrub(regions=addresses)
+
+    def scrub(self, regions: Optional[Sequence[RegionAddress]] = None) -> ScrubReport:
+        """Scrub the given regions (or the whole fabric when omitted).
+
+        For every region: read back, verify against the golden bitstream of
+        the configured gene and rewrite if the verification fails.  Regions
+        flagged as permanently damaged are reported in ``still_damaged``
+        whether or not their configuration content was also corrupted.
+        """
+        if regions is None:
+            regions = self.fabric.all_addresses()
+        report = ScrubReport()
+        for address in regions:
+            report.checked.append(address)
+            report.elapsed_s += self.engine.readback(address)
+            state = self.fabric.region(address)
+            if not self.fabric.verify_region(address):
+                report.corrupted.append(address)
+                report.elapsed_s += self.engine.scrub_rewrite(address)
+            if state.permanently_damaged:
+                report.still_damaged.append(address)
+        return report

@@ -1,0 +1,66 @@
+"""Image substrate: synthetic test images, noise models, baseline filters, metrics.
+
+The paper evolves window-based image filters on a reconfigurable systolic
+array.  Its training/reference images are stored in flash memory on the
+target board; here we generate equivalent synthetic images procedurally
+(gradients, checkerboards, shapes, texture mixes) so that the same code
+paths — training image in, filtered image out, MAE against a reference —
+are exercised without any external data.
+
+Public API
+----------
+Images          : :func:`make_test_image`, :func:`gradient_image`,
+                  :func:`checkerboard_image`, :func:`shapes_image`,
+                  :func:`texture_image`, :class:`ImagePair`
+Noise           : :func:`add_salt_and_pepper`, :func:`add_gaussian_noise`,
+                  :func:`add_impulse_burst`
+Baseline filters: :func:`median_filter`, :func:`mean_filter`,
+                  :func:`gaussian_filter`, :func:`sobel_edges`,
+                  :func:`identity_filter`
+Metrics         : :func:`mae`, :func:`sae`, :func:`mse`, :func:`psnr`
+"""
+
+from repro.imaging.images import (
+    ImagePair,
+    checkerboard_image,
+    gradient_image,
+    make_test_image,
+    make_training_pair,
+    shapes_image,
+    texture_image,
+)
+from repro.imaging.noise import (
+    add_gaussian_noise,
+    add_impulse_burst,
+    add_salt_and_pepper,
+)
+from repro.imaging.filters import (
+    gaussian_filter,
+    identity_filter,
+    mean_filter,
+    median_filter,
+    sobel_edges,
+)
+from repro.imaging.metrics import mae, mse, psnr, sae
+
+__all__ = [
+    "ImagePair",
+    "checkerboard_image",
+    "gradient_image",
+    "make_test_image",
+    "make_training_pair",
+    "shapes_image",
+    "texture_image",
+    "add_gaussian_noise",
+    "add_impulse_burst",
+    "add_salt_and_pepper",
+    "gaussian_filter",
+    "identity_filter",
+    "mean_filter",
+    "median_filter",
+    "sobel_edges",
+    "mae",
+    "mse",
+    "psnr",
+    "sae",
+]

@@ -1,0 +1,55 @@
+"""Image quality metrics.
+
+The paper's fitness function is the pixel-aggregated Mean Absolute Error
+(MAE) computed by a hardware fitness unit inside each Array Control Block.
+The figures report the *aggregated* absolute error (sum over pixels), e.g.
+"a MAE fitness value of around 8000" for a 128x128 image, so both the sum
+(:func:`sae`) and per-pixel mean (:func:`mae`) forms are provided; the
+platform uses :func:`sae` as its fitness to match the paper's scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["sae", "mae", "mse", "psnr"]
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if a.ndim != 2:
+        raise ValueError("expected 2-D grayscale images")
+    return a, b
+
+
+def sae(output: np.ndarray, reference: np.ndarray) -> float:
+    """Sum of absolute errors (the paper's aggregated MAE fitness; lower is better)."""
+    output, reference = _check_pair(output, reference)
+    diff = np.abs(output.astype(np.int64) - reference.astype(np.int64))
+    return float(diff.sum())
+
+
+def mae(output: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute error per pixel."""
+    output, reference = _check_pair(output, reference)
+    return sae(output, reference) / output.size
+
+
+def mse(output: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared error per pixel."""
+    output, reference = _check_pair(output, reference)
+    diff = output.astype(np.float64) - reference.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr(output: np.ndarray, reference: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB.  Returns ``inf`` for identical images."""
+    err = mse(output, reference)
+    if err == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / err)

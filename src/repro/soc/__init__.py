@@ -1,0 +1,31 @@
+"""System-on-Programmable-Chip substrate.
+
+Models the non-reconfigurable part of the paper's SoPC: the MicroBlaze soft
+processor that runs the evolutionary algorithm, the PLB bus, the external
+DDR2/flash memories holding partial bitstreams and training images, and the
+self-addressed control-register map of the Array Control Blocks.
+
+Only two aspects of the SoC matter for the reproduced experiments:
+
+* the *register interface* through which the EA selects operation modes,
+  writes multiplexer genes and reads fitness/latency values — modelled
+  bit-accurately by :mod:`repro.soc.register_map`;
+* the *time* spent by software (mutation, selection) and by bus transfers,
+  which the generation scheduler overlaps with candidate evaluation as in
+  Fig. 11 — modelled by :mod:`repro.soc.microblaze` and :mod:`repro.soc.bus`.
+"""
+
+from repro.soc.bus import PlbBus
+from repro.soc.memory import ExternalMemory, MemoryRegion
+from repro.soc.microblaze import MicroBlazeModel
+from repro.soc.register_map import AcbRegisterMap, AcbRegisters, RegisterFile
+
+__all__ = [
+    "PlbBus",
+    "ExternalMemory",
+    "MemoryRegion",
+    "MicroBlazeModel",
+    "AcbRegisterMap",
+    "AcbRegisters",
+    "RegisterFile",
+]

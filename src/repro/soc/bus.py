@@ -1,0 +1,67 @@
+"""PLB bus timing model.
+
+The MicroBlaze, the reconfiguration engine and the ACB register files share
+a PLB (Processor Local Bus).  For the reproduced experiments the bus only
+contributes small, constant per-access latencies — writing the mux-gene
+registers of a candidate and reading back its fitness — which the
+generation scheduler folds into the software overhead that is overlapped
+with candidate evaluation.  The model still accounts for them explicitly so
+that the overhead scales correctly with the number of register accesses per
+candidate (more arrays → more register traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlbBus"]
+
+
+@dataclass(frozen=True)
+class PlbBus:
+    """Single-master-at-a-time bus with fixed per-transfer latency.
+
+    Parameters
+    ----------
+    clock_hz:
+        Bus clock (default 100 MHz, the PLB clock of the reference design).
+    cycles_per_single_transfer:
+        Latency of a single 32-bit read or write, in bus cycles (address
+        phase + data phase + arbitration).
+    cycles_per_burst_beat:
+        Additional cycles per beat of a burst transfer.
+    """
+
+    clock_hz: float = 100e6
+    cycles_per_single_transfer: int = 5
+    cycles_per_burst_beat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.cycles_per_single_transfer < 1 or self.cycles_per_burst_beat < 1:
+            raise ValueError("bus cycle counts must be >= 1")
+
+    @property
+    def cycle_s(self) -> float:
+        """Seconds per bus cycle."""
+        return 1.0 / self.clock_hz
+
+    def single_transfer_time_s(self) -> float:
+        """Time of one 32-bit register read or write."""
+        return self.cycles_per_single_transfer * self.cycle_s
+
+    def register_block_time_s(self, n_registers: int) -> float:
+        """Time to access ``n_registers`` individual registers."""
+        if n_registers < 0:
+            raise ValueError("n_registers must be non-negative")
+        return n_registers * self.single_transfer_time_s()
+
+    def burst_time_s(self, n_words: int) -> float:
+        """Time of a burst of ``n_words`` 32-bit words (e.g. an image DMA)."""
+        if n_words < 0:
+            raise ValueError("n_words must be non-negative")
+        if n_words == 0:
+            return 0.0
+        cycles = self.cycles_per_single_transfer + (n_words - 1) * self.cycles_per_burst_beat
+        return cycles * self.cycle_s

@@ -1,0 +1,112 @@
+"""External memory model (DDR2 + flash).
+
+The platform stores the partial-bitstream library and run-time images in an
+external DDR2 memory and keeps the training and reference images in flash
+(paper §III.A).  The self-healing analysis cares about one property of this
+arrangement: reference images *may be lost* ("in case training images are
+removed from memory to save resources, or if a fault appears in the
+memories storing the images"), which is the scenario evolution-by-imitation
+exists for.  The model therefore supports deleting or corrupting stored
+images so that experiments can reproduce that situation explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["MemoryRegion", "ExternalMemory"]
+
+
+class MemoryRegion(Enum):
+    """The two external memories of the SoPC."""
+
+    DDR = "ddr"      #: DDR2: partial bitstream library, frame buffers
+    FLASH = "flash"  #: flash: training / reference / calibration images
+
+
+@dataclass
+class _StoredObject:
+    payload: np.ndarray
+    nbytes: int
+
+
+class ExternalMemory:
+    """Capacity-checked key/value store standing in for DDR2 + flash.
+
+    Parameters
+    ----------
+    ddr_bytes:
+        DDR capacity (default 256 MiB, the usual LX110T board fit-out).
+    flash_bytes:
+        Flash capacity (default 32 MiB).
+    """
+
+    def __init__(self, ddr_bytes: int = 256 * 2**20, flash_bytes: int = 32 * 2**20) -> None:
+        if ddr_bytes <= 0 or flash_bytes <= 0:
+            raise ValueError("memory capacities must be positive")
+        self._capacity = {MemoryRegion.DDR: ddr_bytes, MemoryRegion.FLASH: flash_bytes}
+        self._store: Dict[MemoryRegion, Dict[str, _StoredObject]] = {
+            MemoryRegion.DDR: {},
+            MemoryRegion.FLASH: {},
+        }
+
+    # ------------------------------------------------------------------ #
+    def capacity(self, region: MemoryRegion) -> int:
+        """Capacity of a region in bytes."""
+        return self._capacity[region]
+
+    def used(self, region: MemoryRegion) -> int:
+        """Bytes currently stored in a region."""
+        return sum(obj.nbytes for obj in self._store[region].values())
+
+    def free(self, region: MemoryRegion) -> int:
+        """Bytes still available in a region."""
+        return self.capacity(region) - self.used(region)
+
+    # ------------------------------------------------------------------ #
+    def store(self, region: MemoryRegion, key: str, payload: np.ndarray) -> None:
+        """Store an array under ``key``; raises ``MemoryError`` when full."""
+        payload = np.asarray(payload)
+        nbytes = int(payload.nbytes)
+        existing = self._store[region].get(key)
+        available = self.free(region) + (existing.nbytes if existing else 0)
+        if nbytes > available:
+            raise MemoryError(
+                f"{region.value} memory full: need {nbytes} bytes, {available} available"
+            )
+        self._store[region][key] = _StoredObject(payload=payload.copy(), nbytes=nbytes)
+
+    def load(self, region: MemoryRegion, key: str) -> np.ndarray:
+        """Load a stored array; raises ``KeyError`` if absent (e.g. erased image)."""
+        obj = self._store[region].get(key)
+        if obj is None:
+            raise KeyError(f"no object {key!r} in {region.value} memory")
+        return obj.payload.copy()
+
+    def contains(self, region: MemoryRegion, key: str) -> bool:
+        """Whether ``key`` is present in the region."""
+        return key in self._store[region]
+
+    def erase(self, region: MemoryRegion, key: str) -> None:
+        """Remove an object (models freeing the reference images to save space)."""
+        self._store[region].pop(key, None)
+
+    def corrupt(self, region: MemoryRegion, key: str,
+                rng: Optional[np.random.Generator] = None) -> None:
+        """Overwrite a stored object with garbage (a fault in the image memory)."""
+        obj = self._store[region].get(key)
+        if obj is None:
+            raise KeyError(f"no object {key!r} in {region.value} memory")
+        rng = rng if rng is not None else np.random.default_rng()
+        garbage = rng.integers(0, 256, size=obj.payload.shape, dtype=np.uint8)
+        self._store[region][key] = _StoredObject(
+            payload=garbage.astype(obj.payload.dtype, copy=False), nbytes=obj.nbytes
+        )
+
+    def keys(self, region: MemoryRegion) -> list:
+        """Keys stored in a region, sorted."""
+        return sorted(self._store[region])

@@ -1,0 +1,75 @@
+"""MicroBlaze software timing model.
+
+The EA runs in software on an embedded MicroBlaze.  The only software times
+that matter for the evolution-time figures are the per-candidate costs that
+can (or cannot) be hidden behind hardware evaluation: "Mutation of the
+chromosomes is done in software, simultaneously to the evaluation process
+of the previous candidate(s), to improve the performance of the system"
+(§VI.B).  The scheduler therefore asks this model for the mutation and
+selection costs and overlaps them with evaluation whenever the pipeline
+allows it.
+
+Cycle costs are rough estimates of a small soft-core running compiled C at
+100 MHz; their absolute values barely influence the reproduced series
+because reconfiguration and evaluation dominate, but they are kept explicit
+so that the "what if the processor were much slower" question is answerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MicroBlazeModel"]
+
+
+@dataclass(frozen=True)
+class MicroBlazeModel:
+    """Timing model of the embedded processor running the EA.
+
+    Parameters
+    ----------
+    clock_hz:
+        Processor clock (reference design: 100 MHz).
+    cycles_per_gene_mutation:
+        Cycles to mutate one gene (draw random index + value, bounds checks,
+        genotype update).
+    cycles_per_selection:
+        Cycles to compare one offspring fitness against the parent and
+        update bookkeeping.
+    cycles_generation_overhead:
+        Fixed per-generation software overhead (loop control, logging,
+        register-map address generation).
+    """
+
+    clock_hz: float = 100e6
+    cycles_per_gene_mutation: int = 400
+    cycles_per_selection: int = 150
+    cycles_generation_overhead: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if min(self.cycles_per_gene_mutation, self.cycles_per_selection,
+               self.cycles_generation_overhead) < 0:
+            raise ValueError("cycle counts must be non-negative")
+
+    @property
+    def cycle_s(self) -> float:
+        """Seconds per processor cycle."""
+        return 1.0 / self.clock_hz
+
+    def mutation_time_s(self, n_mutated_genes: int) -> float:
+        """Software time to produce one offspring with ``n_mutated_genes`` changes."""
+        if n_mutated_genes < 0:
+            raise ValueError("n_mutated_genes must be non-negative")
+        return n_mutated_genes * self.cycles_per_gene_mutation * self.cycle_s
+
+    def selection_time_s(self, n_offspring: int) -> float:
+        """Software time to select the parent of the next generation."""
+        if n_offspring < 0:
+            raise ValueError("n_offspring must be non-negative")
+        return n_offspring * self.cycles_per_selection * self.cycle_s
+
+    def generation_overhead_s(self) -> float:
+        """Fixed software overhead per generation."""
+        return self.cycles_generation_overhead * self.cycle_s

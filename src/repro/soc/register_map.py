@@ -1,0 +1,135 @@
+"""ACB control-register map with the self-addressing scheme.
+
+"A self-addressing scheme was designed so that every control register in
+any ACB can be easily addressed by the EA in the MicroBlaze.  The control
+registers allow different modes of operation of every individual array, as
+well as reading fitness and latency values." (paper §III.B)
+
+The model exposes a flat 32-bit register file.  Each ACB owns a fixed-size
+window of registers at ``base + acb_index * ACB_STRIDE``; the static
+control logic occupies the window below the first ACB.  The platform layer
+(:mod:`repro.core.acb`) reads and writes through this map so that the
+control flow of the reproduced system mirrors the hardware's (mode bits,
+input-source selection, fitness/latency read-out, mux-gene registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Iterator
+
+__all__ = ["AcbRegisters", "AcbRegisterMap", "RegisterFile"]
+
+
+class AcbRegisters(IntEnum):
+    """Word offsets of the per-ACB control registers."""
+
+    CONTROL = 0          #: mode bits (processing mode, bypass, enable)
+    INPUT_SELECT = 1     #: input source: external stream or previous ACB
+    FITNESS_MODE = 2     #: what the fitness unit compares (see FitnessSource)
+    FITNESS_VALUE = 3    #: latched aggregated-MAE value (read-only)
+    LATENCY_VALUE = 4    #: measured array latency in cycles (read-only)
+    OUTPUT_SELECT = 5    #: east-output multiplexer selection
+    STATUS = 6           #: busy/done/fault flags
+    WEST_MUX_BASE = 8    #: west-input mux genes, one register per row
+    NORTH_MUX_BASE = 16  #: north-input mux genes, one register per column
+
+
+#: Number of 32-bit registers reserved per ACB window.
+ACB_WINDOW_WORDS = 32
+
+
+@dataclass(frozen=True)
+class AcbRegisterMap:
+    """Address layout for a platform with ``n_acbs`` Array Control Blocks.
+
+    Parameters
+    ----------
+    n_acbs:
+        Number of ACBs stacked on the device.
+    base_address:
+        Byte address of the first ACB window on the PLB bus.
+    """
+
+    n_acbs: int
+    base_address: int = 0x8000_0000
+
+    def __post_init__(self) -> None:
+        if self.n_acbs < 1:
+            raise ValueError("n_acbs must be >= 1")
+        if self.base_address < 0:
+            raise ValueError("base_address must be non-negative")
+
+    @property
+    def acb_stride_bytes(self) -> int:
+        """Byte stride between consecutive ACB windows."""
+        return ACB_WINDOW_WORDS * 4
+
+    def acb_base(self, acb_index: int) -> int:
+        """Byte base address of ACB ``acb_index``."""
+        if not 0 <= acb_index < self.n_acbs:
+            raise ValueError(f"acb_index out of range: {acb_index}")
+        return self.base_address + acb_index * self.acb_stride_bytes
+
+    def register_address(self, acb_index: int, register: AcbRegisters, lane: int = 0) -> int:
+        """Byte address of one register (``lane`` indexes mux-gene registers)."""
+        offset = int(register) + lane
+        if offset >= ACB_WINDOW_WORDS:
+            raise ValueError(
+                f"register offset {offset} exceeds the {ACB_WINDOW_WORDS}-word ACB window"
+            )
+        return self.acb_base(acb_index) + offset * 4
+
+    def decode(self, address: int) -> tuple:
+        """Inverse mapping: return ``(acb_index, word_offset)`` for a byte address."""
+        if address < self.base_address:
+            raise ValueError(f"address 0x{address:08x} below the ACB register space")
+        relative = address - self.base_address
+        acb_index, byte_offset = divmod(relative, self.acb_stride_bytes)
+        if acb_index >= self.n_acbs or byte_offset % 4:
+            raise ValueError(f"address 0x{address:08x} is not a valid ACB register")
+        return int(acb_index), byte_offset // 4
+
+
+class RegisterFile:
+    """Flat 32-bit register storage backing an :class:`AcbRegisterMap`."""
+
+    def __init__(self, register_map: AcbRegisterMap) -> None:
+        self.register_map = register_map
+        self._storage: Dict[int, int] = {}
+
+    def write(self, address: int, value: int) -> None:
+        """Write a 32-bit value; the address must decode to a valid register."""
+        self.register_map.decode(address)
+        if not 0 <= value < 2**32:
+            raise ValueError(f"register value out of 32-bit range: {value}")
+        self._storage[address] = int(value)
+
+    def read(self, address: int) -> int:
+        """Read a 32-bit value (unwritten registers read as zero)."""
+        self.register_map.decode(address)
+        return self._storage.get(address, 0)
+
+    def write_register(self, acb_index: int, register: AcbRegisters, value: int,
+                       lane: int = 0) -> None:
+        """Convenience wrapper addressing by (ACB, register, lane)."""
+        self.write(self.register_map.register_address(acb_index, register, lane), value)
+
+    def read_register(self, acb_index: int, register: AcbRegisters, lane: int = 0) -> int:
+        """Convenience wrapper addressing by (ACB, register, lane)."""
+        return self.read(self.register_map.register_address(acb_index, register, lane))
+
+    def dump_acb(self, acb_index: int) -> Dict[int, int]:
+        """All written registers of one ACB as ``{word_offset: value}``."""
+        base = self.register_map.acb_base(acb_index)
+        stride = self.register_map.acb_stride_bytes
+        return {
+            (address - base) // 4: value
+            for address, value in sorted(self._storage.items())
+            if base <= address < base + stride
+        }
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate over ``(address, value)`` pairs of written registers."""
+        return iter(sorted(self._storage.items()))

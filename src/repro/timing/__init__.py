@@ -1,0 +1,16 @@
+"""Evolution-time modelling.
+
+The evolution-time figures of the paper (Figs. 12–14) report wall-clock
+time of the *hardware* platform: intrinsic evolution time is dominated by
+partial reconfiguration (67.53 µs per mutated PE) and candidate evaluation
+(one pixel per clock at 100 MHz), with software mutation overlapped with
+the previous evaluation (Fig. 11).  The Python simulator's own wall clock
+is irrelevant; instead, :class:`repro.timing.model.EvolutionTimingModel`
+accounts platform time analytically from the event counts produced by the
+evolution drivers, and :class:`repro.core.scheduler.GenerationScheduler`
+reproduces the exact Fig. 11 pipeline for a generation.
+"""
+
+from repro.timing.model import EvolutionTimingModel, TimingBreakdown
+
+__all__ = ["EvolutionTimingModel", "TimingBreakdown"]

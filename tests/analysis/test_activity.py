@@ -1,0 +1,86 @@
+"""Tests for the structural activity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.activity import active_pes, activity_map, n_active_pes
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.pe_library import PEFunction
+from repro.array.systolic_array import SystolicArray
+from repro.imaging.images import make_test_image
+
+
+class TestActivePes:
+    def test_identity_circuit_activates_output_row_only(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.output_select = 0
+        active = active_pes(genotype)
+        # IDENTITY_W only consumes the west chain, so exactly row 0 is active.
+        assert active == {(0, 0), (0, 1), (0, 2), (0, 3)}
+        assert n_active_pes(genotype) == 4
+
+    def test_output_select_moves_active_row(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.output_select = 2
+        assert active_pes(genotype) == {(2, 0), (2, 1), (2, 2), (2, 3)}
+
+    def test_identity_n_follows_north_chain(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.function_genes[:, :] = int(PEFunction.IDENTITY_N)
+        genotype.output_select = 3
+        active = active_pes(genotype)
+        # IDENTITY_N only consumes the north chain: column 3 up to row 0.
+        assert active == {(0, 3), (1, 3), (2, 3), (3, 3)}
+
+    def test_const_pe_cuts_the_chain(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.output_select = 0
+        genotype.function_genes[0, 2] = int(PEFunction.CONST_MAX)
+        active = active_pes(genotype)
+        # The constant at (0, 2) does not consume anything, so (0,0)/(0,1)
+        # cannot influence the output.
+        assert (0, 0) not in active and (0, 1) not in active
+        assert {(0, 2), (0, 3)}.issubset(active)
+
+    def test_two_input_functions_activate_both_chains(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.function_genes[:, :] = int(PEFunction.AVERAGE)
+        genotype.output_select = 3
+        active = active_pes(genotype)
+        # Two-input functions everywhere: every PE on or above-left of the
+        # output corner can contribute.
+        assert active == {(r, c) for r in range(4) for c in range(4)}
+
+    def test_activity_map_shape(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        amap = activity_map(genotype)
+        assert amap.shape == (4, 4)
+        assert amap.dtype == bool
+        assert amap.sum() == n_active_pes(genotype)
+
+    def test_output_pe_always_active(self, spec, rng):
+        for _ in range(20):
+            genotype = Genotype.random(spec, rng)
+            assert (genotype.output_select, 3) in active_pes(genotype)
+
+    def test_inactive_pe_fault_is_benign(self, spec, rng):
+        """Soundness: a fault at a structurally inactive position never
+        changes the circuit output."""
+        image = make_test_image(24, seed=3)
+        for trial in range(10):
+            genotype = Genotype.random(spec, rng)
+            array = SystolicArray()
+            baseline = array.process(image, genotype)
+            inactive = {
+                (r, c) for r in range(4) for c in range(4)
+            } - active_pes(genotype)
+            for position in sorted(inactive):
+                array.inject_fault(position, seed=trial)
+                assert np.array_equal(array.process(image, genotype), baseline)
+                array.clear_fault(position)
+
+    def test_non_square_spec(self, rng):
+        spec = GenotypeSpec(rows=2, cols=5)
+        genotype = Genotype.random(spec, rng)
+        active = active_pes(genotype)
+        assert all(0 <= r < 2 and 0 <= c < 5 for r, c in active)

@@ -1,0 +1,115 @@
+"""Tests for the fault-criticality analysis and the fault-sweep experiment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.criticality import fault_sweep, platform_fault_sweep
+from repro.array.genotype import Genotype
+from repro.array.pe_library import PEFunction
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.experiments.fault_sweep import summarise, systematic_fault_analysis
+from repro.imaging.images import make_test_image
+
+
+@pytest.fixture
+def workload():
+    image = make_test_image(24, seed=5)
+    return image, image  # identity task: baseline fitness 0 for a pass-through
+
+
+class TestFaultSweep:
+    def test_identity_circuit_sweep(self, spec, workload):
+        training, reference = workload
+        genotype = Genotype.identity(spec)
+        report = fault_sweep(genotype, training, reference, n_repeats=2, seed=1)
+        assert report.baseline_fitness == 0.0
+        assert len(report.positions) == 16
+        # Row 0 (the active path) is critical, everything else benign.
+        critical = {p.position for p in report.positions if p.degradation > 0}
+        assert critical == {(0, 0), (0, 1), (0, 2), (0, 3)}
+        assert report.n_critical == 4
+        assert report.n_benign == 12
+
+    def test_active_flag_matches_activity(self, spec, workload, rng):
+        training, reference = workload
+        genotype = Genotype.random(spec, rng)
+        report = fault_sweep(genotype, training, reference, n_repeats=1, seed=2)
+        from repro.analysis.activity import active_pes
+
+        active = active_pes(genotype)
+        for entry in report.positions:
+            assert entry.structurally_active == (entry.position in active)
+            # Structural inactivity is sound: inactive positions are benign.
+            if not entry.structurally_active:
+                assert entry.degradation == 0.0
+
+    def test_most_critical_ordering(self, spec, workload):
+        training, reference = workload
+        genotype = Genotype.identity(spec)
+        report = fault_sweep(genotype, training, reference, n_repeats=2, seed=3)
+        top = report.most_critical(3)
+        assert len(top) == 3
+        assert top[0].degradation >= top[1].degradation >= top[2].degradation
+
+    def test_degradation_map_shape(self, spec, workload):
+        training, reference = workload
+        genotype = Genotype.identity(spec)
+        report = fault_sweep(genotype, training, reference, n_repeats=1, seed=4)
+        dmap = report.degradation_map(4, 4)
+        assert dmap.shape == (4, 4)
+        assert dmap[0].sum() > 0
+        assert dmap[1:].sum() == 0
+
+    def test_as_rows(self, spec, workload):
+        training, reference = workload
+        report = fault_sweep(Genotype.identity(spec), training, reference,
+                             n_repeats=1, seed=5)
+        rows = report.as_rows()
+        assert len(rows) == 16
+        assert set(rows[0]) == {"position", "active", "baseline", "faulty", "degradation"}
+
+    def test_invalid_repeats(self, spec, workload):
+        training, reference = workload
+        with pytest.raises(ValueError):
+            fault_sweep(Genotype.identity(spec), training, reference, n_repeats=0)
+
+
+class TestPlatformFaultSweep:
+    def test_skips_unconfigured_arrays(self, workload):
+        training, reference = workload
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=0)
+        platform.configure_array(0, Genotype.identity(platform.spec))
+        reports = platform_fault_sweep(platform, training, reference, n_repeats=1)
+        assert len(reports) == 1
+        assert reports[0].array_index == 0
+
+    def test_all_arrays_swept(self, workload):
+        training, reference = workload
+        platform = EvolvableHardwarePlatform(n_arrays=2, seed=0)
+        platform.configure_all(Genotype.identity(platform.spec))
+        reports = platform_fault_sweep(platform, training, reference, n_repeats=1)
+        assert [r.array_index for r in reports] == [0, 1]
+
+
+class TestSystematicFaultAnalysis:
+    def test_summaries_structure(self):
+        summaries = systematic_fault_analysis(
+            image_side=24, n_generations=30, n_repeats=1, seed=9
+        )
+        assert len(summaries) == 3
+        for summary in summaries:
+            assert summary.n_positions == 16
+            assert summary.n_benign + summary.n_critical == 16
+            # Structural analysis is a sound over-approximation: nothing
+            # inactive may show measurable degradation.
+            assert summary.structurally_inactive_but_critical == 0
+            assert summary.max_degradation >= summary.mean_degradation
+
+    def test_summarise_consistency(self, spec, workload):
+        training, reference = workload
+        report = fault_sweep(Genotype.identity(spec), training, reference,
+                             n_repeats=1, seed=6)
+        summary = summarise(report)
+        assert summary.n_positions == 16
+        assert summary.n_critical == report.n_critical
+        assert summary.structurally_active_but_benign >= 0

@@ -1,0 +1,73 @@
+"""Tests for circuit description and phenotype graph export."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.describe import describe_genotype, phenotype_graph
+from repro.array.genotype import Genotype
+from repro.array.pe_library import PEFunction
+
+
+class TestDescribeGenotype:
+    def test_contains_key_sections(self, spec, rng):
+        text = describe_genotype(Genotype.random(spec, rng))
+        assert "4x4 evolvable array circuit" in text
+        assert "west inputs" in text
+        assert "north inputs" in text
+        assert "processing elements" in text
+
+    def test_identity_description(self, spec):
+        text = describe_genotype(Genotype.identity(spec))
+        assert "output: east output of row 0" in text
+        assert "active PEs: 4/16" in text
+        assert "IDENTITY_W" in text
+        assert "window(+0,+0)" in text
+
+    def test_active_markers_present(self, spec):
+        text = describe_genotype(Genotype.identity(spec))
+        assert "IDENTITY_W*" in text  # active PEs are starred
+
+
+class TestPhenotypeGraph:
+    def test_node_counts(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        graph = phenotype_graph(genotype)
+        pe_nodes = [n for n in graph.nodes if isinstance(n, tuple) and n[0] == "pe"]
+        west_nodes = [n for n in graph.nodes if isinstance(n, tuple) and n[0] == "west_in"]
+        north_nodes = [n for n in graph.nodes if isinstance(n, tuple) and n[0] == "north_in"]
+        assert len(pe_nodes) == 16
+        assert len(west_nodes) == 4
+        assert len(north_nodes) == 4
+        assert "output" in graph.nodes
+
+    def test_graph_is_acyclic(self, spec, rng):
+        graph = phenotype_graph(Genotype.random(spec, rng))
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_output_edge(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.output_select = 2
+        graph = phenotype_graph(genotype)
+        predecessors = list(graph.predecessors("output"))
+        assert predecessors == [("pe", 2, 3)]
+
+    def test_identity_only_west_edges(self, spec):
+        graph = phenotype_graph(Genotype.identity(spec))
+        ports = {data["port"] for _, _, data in graph.edges(data=True)}
+        assert ports == {"west", "east"}
+
+    def test_const_pe_has_no_inputs(self, spec):
+        genotype = Genotype.identity(spec)
+        genotype.function_genes[1, 1] = int(PEFunction.CONST_MAX)
+        graph = phenotype_graph(genotype)
+        assert graph.in_degree(("pe", 1, 1)) == 0
+
+    def test_active_attribute_matches_output_path(self, spec):
+        genotype = Genotype.identity(spec)
+        graph = phenotype_graph(genotype)
+        assert graph.nodes[("pe", 0, 0)]["active"]
+        assert not graph.nodes[("pe", 3, 3)]["active"]
+
+    def test_window_attributes_on_inputs(self, spec):
+        graph = phenotype_graph(Genotype.identity(spec))
+        assert graph.nodes[("west_in", 0)]["window"] == "window(+0,+0)"

@@ -1,0 +1,171 @@
+"""Tests for the CGP-style genotype."""
+
+import numpy as np
+import pytest
+
+from repro.array.genotype import GeneKind, Genotype, GenotypeSpec
+from repro.array.pe_library import N_FUNCTIONS, PEFunction
+from repro.array.window import N_WINDOW_PIXELS
+
+
+class TestGenotypeSpec:
+    def test_default_counts(self, spec):
+        assert spec.n_pes == 16
+        assert spec.n_west_inputs == 4
+        assert spec.n_north_inputs == 4
+        assert spec.n_mux_genes == 8
+        assert spec.n_genes == 25
+
+    def test_gene_bits_default(self, spec):
+        # 16 function genes x 4 bits + 8 mux genes x 4 bits + 2 output bits.
+        assert spec.gene_bits() == 16 * 4 + 8 * 4 + 2
+
+    def test_gene_kind_boundaries(self, spec):
+        assert spec.gene_kind(0) == GeneKind.FUNCTION
+        assert spec.gene_kind(15) == GeneKind.FUNCTION
+        assert spec.gene_kind(16) == GeneKind.WEST_MUX
+        assert spec.gene_kind(19) == GeneKind.WEST_MUX
+        assert spec.gene_kind(20) == GeneKind.NORTH_MUX
+        assert spec.gene_kind(23) == GeneKind.NORTH_MUX
+        assert spec.gene_kind(24) == GeneKind.OUTPUT
+
+    def test_gene_kind_out_of_range(self, spec):
+        with pytest.raises(IndexError):
+            spec.gene_kind(25)
+
+    def test_alphabet_sizes(self, spec):
+        assert spec.gene_alphabet_size(0) == N_FUNCTIONS
+        assert spec.gene_alphabet_size(16) == N_WINDOW_PIXELS
+        assert spec.gene_alphabet_size(24) == 4
+
+    def test_non_square_spec(self):
+        spec = GenotypeSpec(rows=2, cols=5)
+        assert spec.n_pes == 10
+        assert spec.n_genes == 10 + 7 + 1
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            GenotypeSpec(rows=0, cols=4)
+
+
+class TestGenotypeConstruction:
+    def test_random_is_valid(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        genotype.validate()
+        assert genotype.function_genes.shape == (4, 4)
+
+    def test_random_deterministic_by_seed(self, spec):
+        a = Genotype.random(spec, np.random.default_rng(9))
+        b = Genotype.random(spec, np.random.default_rng(9))
+        assert a == b
+
+    def test_identity_passes_centre(self, spec):
+        genotype = Genotype.identity(spec)
+        assert np.all(genotype.function_genes == int(PEFunction.IDENTITY_W))
+        assert np.all(genotype.west_mux == 4)
+
+    def test_out_of_range_function_gene_rejected(self, spec):
+        with pytest.raises(ValueError):
+            Genotype(
+                spec=spec,
+                function_genes=np.full((4, 4), 16, dtype=np.uint8),
+                west_mux=np.zeros(4, dtype=np.uint8),
+                north_mux=np.zeros(4, dtype=np.uint8),
+                output_select=0,
+            )
+
+    def test_out_of_range_mux_rejected(self, spec):
+        with pytest.raises(ValueError):
+            Genotype(
+                spec=spec,
+                function_genes=np.zeros((4, 4), dtype=np.uint8),
+                west_mux=np.full(4, 9, dtype=np.uint8),
+                north_mux=np.zeros(4, dtype=np.uint8),
+                output_select=0,
+            )
+
+    def test_out_of_range_output_rejected(self, spec):
+        with pytest.raises(ValueError):
+            Genotype(
+                spec=spec,
+                function_genes=np.zeros((4, 4), dtype=np.uint8),
+                west_mux=np.zeros(4, dtype=np.uint8),
+                north_mux=np.zeros(4, dtype=np.uint8),
+                output_select=4,
+            )
+
+    def test_wrong_shape_rejected(self, spec):
+        with pytest.raises(ValueError):
+            Genotype(
+                spec=spec,
+                function_genes=np.zeros((3, 4), dtype=np.uint8),
+                west_mux=np.zeros(4, dtype=np.uint8),
+                north_mux=np.zeros(4, dtype=np.uint8),
+                output_select=0,
+            )
+
+
+class TestGenotypeRoundTrips:
+    def test_flat_round_trip(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        rebuilt = Genotype.from_flat(spec, genotype.to_flat())
+        assert rebuilt == genotype
+
+    def test_bits_round_trip(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        rebuilt = Genotype.from_bits(spec, genotype.to_bits())
+        assert rebuilt == genotype
+
+    def test_bits_length(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        assert genotype.to_bits().shape == (spec.gene_bits(),)
+
+    def test_from_flat_wrong_length(self, spec):
+        with pytest.raises(ValueError):
+            Genotype.from_flat(spec, [0] * 10)
+
+    def test_from_bits_wrong_length(self, spec):
+        with pytest.raises(ValueError):
+            Genotype.from_bits(spec, [0] * 10)
+
+    def test_copy_is_independent(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        clone = genotype.copy()
+        clone.function_genes[0, 0] = (clone.function_genes[0, 0] + 1) % N_FUNCTIONS
+        assert genotype != clone
+
+
+class TestGenotypeComparison:
+    def test_hamming_distance_zero_for_equal(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        assert genotype.hamming_distance(genotype.copy()) == 0
+
+    def test_hamming_distance_counts_changes(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        other = genotype.copy()
+        other.output_select = (other.output_select + 1) % 4
+        other.west_mux[0] = (other.west_mux[0] + 1) % 9
+        assert genotype.hamming_distance(other) == 2
+
+    def test_changed_function_positions(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        other = genotype.copy()
+        other.function_genes[1, 2] = (other.function_genes[1, 2] + 1) % N_FUNCTIONS
+        other.function_genes[3, 0] = (other.function_genes[3, 0] + 1) % N_FUNCTIONS
+        positions = other.changed_function_positions(genotype)
+        assert set(positions) == {(1, 2), (3, 0)}
+
+    def test_mux_change_not_a_function_change(self, spec, rng):
+        genotype = Genotype.random(spec, rng)
+        other = genotype.copy()
+        other.north_mux[1] = (other.north_mux[1] + 1) % 9
+        assert other.changed_function_positions(genotype) == []
+
+    def test_cross_spec_comparison_rejected(self, rng):
+        a = Genotype.random(GenotypeSpec(4, 4), rng)
+        b = Genotype.random(GenotypeSpec(2, 2), rng)
+        with pytest.raises(ValueError):
+            a.hamming_distance(b)
+
+    def test_equality_with_non_genotype(self, spec, rng):
+        assert Genotype.random(spec, rng) != "not a genotype"

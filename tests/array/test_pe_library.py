@@ -1,0 +1,119 @@
+"""Tests for the 16-function PE library."""
+
+import numpy as np
+import pytest
+
+from repro.array.pe_library import (
+    FUNCTION_ARITY,
+    N_FUNCTIONS,
+    PEFunction,
+    apply_function,
+    function_name,
+    function_table,
+)
+
+
+@pytest.fixture
+def planes(rng):
+    w = rng.integers(0, 256, size=(8, 8), dtype=np.uint8)
+    n = rng.integers(0, 256, size=(8, 8), dtype=np.uint8)
+    return w, n
+
+
+class TestLibraryStructure:
+    def test_exactly_sixteen_functions(self):
+        # The paper's library is reduced to 16 elements → 4-bit gene coding.
+        assert N_FUNCTIONS == 16
+        assert len(function_table()) == 16
+        assert len(FUNCTION_ARITY) == 16
+
+    def test_function_names_unique(self):
+        names = {function_name(i) for i in range(N_FUNCTIONS)}
+        assert len(names) == N_FUNCTIONS
+
+    def test_gene_out_of_range(self, planes):
+        w, n = planes
+        with pytest.raises(ValueError):
+            apply_function(16, w, n)
+        with pytest.raises(ValueError):
+            apply_function(-1, w, n)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_function(0, np.zeros((4, 4), dtype=np.uint8), np.zeros((5, 5), dtype=np.uint8))
+
+    def test_all_functions_preserve_shape_and_dtype(self, planes):
+        w, n = planes
+        for gene in range(N_FUNCTIONS):
+            out = apply_function(gene, w, n)
+            assert out.shape == w.shape
+            assert out.dtype == np.uint8
+
+
+class TestFunctionSemantics:
+    def test_const_max(self, planes):
+        w, n = planes
+        assert np.all(apply_function(PEFunction.CONST_MAX, w, n) == 255)
+
+    def test_identities(self, planes):
+        w, n = planes
+        assert np.array_equal(apply_function(PEFunction.IDENTITY_W, w, n), w)
+        assert np.array_equal(apply_function(PEFunction.IDENTITY_N, w, n), n)
+
+    def test_invert(self, planes):
+        w, n = planes
+        out = apply_function(PEFunction.INVERT_W, w, n)
+        assert np.array_equal(out.astype(int) + w.astype(int), np.full(w.shape, 255))
+
+    def test_logic_ops(self, planes):
+        w, n = planes
+        assert np.array_equal(apply_function(PEFunction.OR, w, n), w | n)
+        assert np.array_equal(apply_function(PEFunction.AND, w, n), w & n)
+        assert np.array_equal(apply_function(PEFunction.XOR, w, n), w ^ n)
+
+    def test_shifts(self, planes):
+        w, n = planes
+        assert np.array_equal(apply_function(PEFunction.SHIFT_R1_W, w, n), w >> 1)
+        assert np.array_equal(apply_function(PEFunction.SHIFT_R2_W, w, n), w >> 2)
+
+    def test_add_saturates(self):
+        w = np.full((4, 4), 200, dtype=np.uint8)
+        n = np.full((4, 4), 100, dtype=np.uint8)
+        assert np.all(apply_function(PEFunction.ADD_SAT, w, n) == 255)
+
+    def test_add_exact_when_no_overflow(self):
+        w = np.full((4, 4), 20, dtype=np.uint8)
+        n = np.full((4, 4), 30, dtype=np.uint8)
+        assert np.all(apply_function(PEFunction.ADD_SAT, w, n) == 50)
+
+    def test_sub_abs_symmetric(self, planes):
+        w, n = planes
+        a = apply_function(PEFunction.SUB_ABS, w, n)
+        b = apply_function(PEFunction.SUB_ABS, n, w)
+        assert np.array_equal(a, b)
+
+    def test_average(self):
+        w = np.full((4, 4), 11, dtype=np.uint8)
+        n = np.full((4, 4), 20, dtype=np.uint8)
+        assert np.all(apply_function(PEFunction.AVERAGE, w, n) == 15)  # floor((11+20)/2)
+
+    def test_min_max(self, planes):
+        w, n = planes
+        assert np.array_equal(apply_function(PEFunction.MAX, w, n), np.maximum(w, n))
+        assert np.array_equal(apply_function(PEFunction.MIN, w, n), np.minimum(w, n))
+
+    def test_swap_nibbles_involution(self, planes):
+        w, n = planes
+        once = apply_function(PEFunction.SWAP_NIBBLES_W, w, n)
+        twice = apply_function(PEFunction.SWAP_NIBBLES_W, once, n)
+        assert np.array_equal(twice, w)
+
+    def test_threshold(self):
+        w = np.array([[10, 200]], dtype=np.uint8)
+        n = np.array([[50, 50]], dtype=np.uint8)
+        out = apply_function(PEFunction.THRESHOLD, w, n)
+        assert out.tolist() == [[0, 255]]
+
+    def test_scalar_inputs_work(self):
+        out = apply_function(PEFunction.ADD_SAT, np.uint8(250), np.uint8(10))
+        assert out == 255

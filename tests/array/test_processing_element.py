@@ -1,0 +1,61 @@
+"""Tests for the single-PE model."""
+
+import numpy as np
+import pytest
+
+from repro.array.pe_library import PEFunction
+from repro.array.processing_element import ProcessingElement
+
+
+class TestConfiguration:
+    def test_default_configuration(self):
+        pe = ProcessingElement(row=0, col=0)
+        assert pe.function == PEFunction.IDENTITY_W
+        assert pe.arity == 1
+
+    def test_reconfigure(self):
+        pe = ProcessingElement(row=1, col=1)
+        pe.configure(int(PEFunction.ADD_SAT))
+        assert pe.function == PEFunction.ADD_SAT
+        assert pe.arity == 2
+
+    def test_invalid_gene(self):
+        pe = ProcessingElement(row=0, col=0)
+        with pytest.raises(ValueError):
+            pe.configure(99)
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(row=-1, col=0)
+
+    def test_const_function_zero_arity(self):
+        pe = ProcessingElement(row=0, col=0, function_gene=int(PEFunction.CONST_MAX))
+        assert pe.arity == 0
+
+
+class TestCompute:
+    def test_healthy_compute(self):
+        pe = ProcessingElement(row=0, col=0, function_gene=int(PEFunction.MAX))
+        w = np.array([[1, 200]], dtype=np.uint8)
+        n = np.array([[100, 3]], dtype=np.uint8)
+        assert pe.compute(w, n).tolist() == [[100, 200]]
+
+    def test_shape_mismatch(self):
+        pe = ProcessingElement(row=0, col=0)
+        with pytest.raises(ValueError):
+            pe.compute(np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+
+    def test_faulty_output_random(self):
+        pe = ProcessingElement(row=0, col=0, function_gene=int(PEFunction.IDENTITY_W))
+        pe.inject_fault(np.random.default_rng(0))
+        w = np.full((8, 8), 7, dtype=np.uint8)
+        out = pe.compute(w, w)
+        assert out.shape == w.shape
+        assert not np.array_equal(out, w)
+
+    def test_clear_fault_restores_function(self):
+        pe = ProcessingElement(row=0, col=0, function_gene=int(PEFunction.IDENTITY_W))
+        pe.inject_fault(np.random.default_rng(0))
+        pe.clear_fault()
+        w = np.full((4, 4), 9, dtype=np.uint8)
+        assert np.array_equal(pe.compute(w, w), w)

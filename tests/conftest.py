@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.systolic_array import ArrayGeometry, SystolicArray
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.imaging.images import make_test_image, make_training_pair
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def spec():
+    """The default 4x4 genotype spec."""
+    return GenotypeSpec(rows=4, cols=4)
+
+
+@pytest.fixture
+def geometry():
+    """The default 4x4 array geometry."""
+    return ArrayGeometry()
+
+
+@pytest.fixture
+def array(geometry):
+    """A healthy systolic array."""
+    return SystolicArray(geometry=geometry)
+
+
+@pytest.fixture
+def identity_genotype(spec):
+    """A pass-through circuit (output equals input)."""
+    return Genotype.identity(spec)
+
+
+@pytest.fixture
+def random_genotype(spec, rng):
+    """A random candidate circuit."""
+    return Genotype.random(spec, rng)
+
+
+@pytest.fixture
+def small_image():
+    """A 16x16 test image."""
+    return make_test_image(size=16, seed=7, kind="composite")
+
+
+@pytest.fixture
+def medium_image():
+    """A 32x32 test image."""
+    return make_test_image(size=32, seed=7, kind="composite")
+
+
+@pytest.fixture
+def denoise_pair():
+    """A small salt-and-pepper denoising task."""
+    return make_training_pair("salt_pepper_denoise", size=24, seed=11, noise_level=0.1)
+
+
+@pytest.fixture
+def platform():
+    """A three-array platform with a fixed seed."""
+    return EvolvableHardwarePlatform(n_arrays=3, seed=42)
+
+
+@pytest.fixture
+def configured_platform(platform, denoise_pair):
+    """A platform whose three arrays hold the same working (identity-seeded) circuit."""
+    genotype = Genotype.identity(platform.spec)
+    platform.configure_all(genotype)
+    for index in range(platform.n_arrays):
+        platform.set_reference(index, denoise_pair.reference)
+    return platform

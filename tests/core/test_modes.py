@@ -1,0 +1,39 @@
+"""Tests for the mode enumerations."""
+
+from repro.core.modes import (
+    CascadeFitnessMode,
+    CascadeSchedule,
+    CascadeStyle,
+    EvolutionMode,
+    FitnessSource,
+    ProcessingMode,
+)
+
+
+class TestModes:
+    def test_processing_modes_match_paper(self):
+        names = {mode.value for mode in ProcessingMode}
+        assert names == {"cascaded", "bypass", "parallel", "independent"}
+
+    def test_evolution_modes_match_paper(self):
+        names = {mode.value for mode in EvolutionMode}
+        assert names == {"independent", "parallel", "cascaded", "imitation"}
+
+    def test_cascade_styles(self):
+        assert {style.value for style in CascadeStyle} == {"collaborative", "independent"}
+
+    def test_cascade_fitness_modes(self):
+        assert {mode.value for mode in CascadeFitnessMode} == {"separate", "merged"}
+
+    def test_cascade_schedules(self):
+        assert {mode.value for mode in CascadeSchedule} == {"sequential", "interleaved"}
+
+    def test_fitness_sources(self):
+        assert {source.value for source in FitnessSource} == {
+            "reference", "input", "neighbour"
+        }
+
+    def test_enum_members_are_distinct(self):
+        assert len(ProcessingMode) == 4
+        assert len(EvolutionMode) == 4
+        assert len(FitnessSource) == 3

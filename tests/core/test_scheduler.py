@@ -1,0 +1,69 @@
+"""Tests for the Fig. 11 generation scheduler."""
+
+import pytest
+
+from repro.core.scheduler import GenerationScheduler
+from repro.timing.model import EvolutionTimingModel
+
+
+@pytest.fixture
+def model():
+    return EvolutionTimingModel()
+
+
+class TestGenerationScheduler:
+    def test_record_and_totals(self, model):
+        scheduler = GenerationScheduler(timing_model=model, n_arrays=3, n_pixels=1024)
+        record = scheduler.record_generation([2, 1, 3, 2, 2, 1, 0, 2, 1])
+        assert record.n_offspring == 9
+        assert record.n_batches == 3
+        assert record.n_pe_reconfigurations == 14
+        assert record.total_s > 0
+        assert scheduler.n_generations == 1
+        assert scheduler.total_reconfigurations == 14
+        assert scheduler.total_time_s == pytest.approx(record.total_s)
+
+    def test_single_array_slower_than_three(self, model):
+        counts = [2] * 9
+        single = GenerationScheduler(timing_model=model, n_arrays=1, n_pixels=128 * 128)
+        triple = GenerationScheduler(timing_model=model, n_arrays=3, n_pixels=128 * 128)
+        t1 = single.record_generation(counts).total_s
+        t3 = triple.record_generation(counts).total_s
+        assert t1 > t3
+        # The difference is the hidden evaluation time of 6 of the 9 candidates.
+        assert t1 - t3 == pytest.approx(6 * model.evaluation_time_s(128 * 128), rel=0.01)
+
+    def test_reconfiguration_cost_matches_counts(self, model):
+        scheduler = GenerationScheduler(timing_model=model, n_arrays=3, n_pixels=1024)
+        record = scheduler.record_generation([5, 0, 0])
+        assert record.reconfiguration_s == pytest.approx(
+            5 * model.pe_reconfiguration_time_s
+        )
+
+    def test_zero_reconfigurations_allowed(self, model):
+        scheduler = GenerationScheduler(timing_model=model, n_arrays=1, n_pixels=1024)
+        record = scheduler.record_generation([0, 0, 0])
+        assert record.reconfiguration_s == 0.0
+        assert record.evaluation_s > 0.0
+
+    def test_batch_count_ceiling(self, model):
+        scheduler = GenerationScheduler(timing_model=model, n_arrays=4, n_pixels=1024)
+        assert scheduler.record_generation([1] * 9).n_batches == 3
+
+    def test_reset(self, model):
+        scheduler = GenerationScheduler(timing_model=model, n_arrays=1, n_pixels=1024)
+        scheduler.record_generation([1])
+        scheduler.reset()
+        assert scheduler.n_generations == 0
+        assert scheduler.total_time_s == 0.0
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            GenerationScheduler(timing_model=model, n_arrays=0, n_pixels=1024)
+        with pytest.raises(ValueError):
+            GenerationScheduler(timing_model=model, n_arrays=1, n_pixels=0)
+        scheduler = GenerationScheduler(timing_model=model, n_arrays=1, n_pixels=1024)
+        with pytest.raises(ValueError):
+            scheduler.record_generation([])
+        with pytest.raises(ValueError):
+            scheduler.record_generation([-1])

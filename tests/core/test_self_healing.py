@@ -1,0 +1,172 @@
+"""Tests for the self-healing strategies (§V)."""
+
+import numpy as np
+import pytest
+
+from repro.array.genotype import Genotype
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.core.self_healing import CascadedSelfHealing, FaultClass, TmrSelfHealing
+from repro.imaging.images import make_training_pair
+
+
+@pytest.fixture
+def task():
+    return make_training_pair("salt_pepper_denoise", size=24, seed=21, noise_level=0.1)
+
+
+@pytest.fixture
+def healthy_platform(task):
+    """A platform whose arrays hold the same working circuit."""
+    platform = EvolvableHardwarePlatform(n_arrays=3, seed=77)
+    genotype = Genotype.identity(platform.spec)
+    # Make the circuit slightly non-trivial so faults measurably disturb it.
+    genotype.function_genes[0, 1] = 13  # MIN
+    genotype.function_genes[0, 2] = 12  # MAX
+    platform.configure_all(genotype)
+    return platform
+
+
+class TestCascadedSelfHealing:
+    def _healer(self, platform, task, **kwargs):
+        return CascadedSelfHealing(
+            platform,
+            calibration_image=task.training,
+            calibration_reference=task.reference,
+            imitation_generations=40,
+            imitation_target_fitness=None,
+            n_offspring=6,
+            mutation_rate=2,
+            rng=0,
+            **kwargs,
+        )
+
+    def test_no_fault_reports_none(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healer.initialize()
+        report = healer.check_and_heal()
+        assert report.fault_class == FaultClass.NONE
+        assert report.faulty_array is None
+        assert not any(event.step == "scrub" for event in report.events)
+
+    def test_requires_initialization(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        with pytest.raises(RuntimeError):
+            healer.check_and_heal()
+
+    def test_transient_fault_classified_and_scrubbed(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healer.initialize()
+        healthy_platform.inject_transient_fault(1, 0, 1)
+        report = healer.check_and_heal()
+        assert report.fault_class == FaultClass.TRANSIENT
+        assert report.faulty_array == 1
+        assert report.recovered
+        # The SEU is gone after scrubbing.
+        assert healthy_platform.fabric.effective_faults(1) == []
+
+    def test_permanent_fault_triggers_imitation(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healer.initialize()
+        healthy_platform.inject_permanent_fault(1, 0, 1)
+        report = healer.check_and_heal(stream_image=task.training)
+        assert report.fault_class == FaultClass.PERMANENT
+        assert report.faulty_array == 1
+        assert report.recovery_result is not None
+        steps = [event.step for event in report.events]
+        assert "scrub" in steps
+        assert "bypass_engaged" in steps
+        assert "evolution_by_imitation" in steps
+        assert "bypass_released" in steps
+
+    def test_permanent_fault_with_reference_available(self, healthy_platform, task):
+        healthy_platform.store_image("golden_reference", task.reference)
+        healer = self._healer(healthy_platform, task, reference_image_key="golden_reference")
+        healer.initialize()
+        healthy_platform.inject_permanent_fault(2, 0, 2)
+        report = healer.check_and_heal(stream_image=task.training)
+        assert report.fault_class == FaultClass.PERMANENT
+        steps = [event.step for event in report.events]
+        assert "reevolution_with_reference" in steps
+        assert "evolution_by_imitation" not in steps
+
+    def test_erased_reference_falls_back_to_imitation(self, healthy_platform, task):
+        healthy_platform.store_image("golden_reference", task.reference)
+        healer = self._healer(healthy_platform, task, reference_image_key="golden_reference")
+        healer.initialize()
+        healthy_platform.erase_image("golden_reference")
+        healthy_platform.inject_permanent_fault(2, 0, 2)
+        report = healer.check_and_heal(stream_image=task.training)
+        steps = [event.step for event in report.events]
+        assert "evolution_by_imitation" in steps
+
+    def test_master_is_a_healthy_neighbour(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healer.initialize()
+        healthy_platform.inject_permanent_fault(1, 0, 1)
+        report = healer.check_and_heal()
+        imitation_events = [e for e in report.events if e.step == "evolution_by_imitation"]
+        assert imitation_events
+        assert "master=0" in imitation_events[0].detail or \
+               "master=2" in imitation_events[0].detail
+
+
+class TestTmrSelfHealing:
+    def _healer(self, platform, task):
+        return TmrSelfHealing(
+            platform,
+            pattern_image=task.training,
+            pattern_reference=task.reference,
+            imitation_generations=40,
+            imitation_target_fitness=100.0,
+            n_offspring=6,
+            mutation_rate=2,
+            rng=0,
+        )
+
+    def test_requires_three_arrays(self, task):
+        platform = EvolvableHardwarePlatform(n_arrays=2, seed=0)
+        with pytest.raises(ValueError):
+            TmrSelfHealing(platform, task.training, task.reference)
+
+    def test_setup_configures_all_arrays(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healer.setup(healthy_platform.acb(0).genotype)
+        fitnesses = healer.array_fitnesses()
+        assert len(set(fitnesses.values())) == 1  # identical circuits, identical fitness
+
+    def test_no_divergence_when_healthy(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        report = healer.monitor_and_heal()
+        assert report.fault_class == FaultClass.NONE
+
+    def test_fitness_voter_detects_fault(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healthy_platform.inject_permanent_fault(2, 0, 1)
+        vote = healer.vote()
+        assert vote.fault_detected
+        assert vote.outlier_index == 2
+
+    def test_pixel_voter_masks_fault(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healthy_output = healer.voted_output(task.training)
+        healthy_platform.inject_permanent_fault(2, 0, 1)
+        masked_output = healer.voted_output(task.training)
+        assert np.array_equal(healthy_output, masked_output)
+
+    def test_transient_fault_recovered_by_scrub(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healthy_platform.inject_transient_fault(0, 0, 1)
+        report = healer.monitor_and_heal()
+        assert report.fault_class == FaultClass.TRANSIENT
+        assert report.recovered
+
+    def test_permanent_fault_recovered_by_imitation(self, healthy_platform, task):
+        healer = self._healer(healthy_platform, task)
+        healthy_platform.inject_permanent_fault(1, 0, 1)
+        report = healer.monitor_and_heal(stream_image=task.training)
+        assert report.fault_class == FaultClass.PERMANENT
+        assert report.faulty_array == 1
+        assert report.recovery_result is not None
+        assert report.recovered
+        steps = [event.step for event in report.events]
+        assert "evolution_by_imitation" in steps

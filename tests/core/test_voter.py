@@ -1,0 +1,88 @@
+"""Tests for the TMR fitness and pixel voters."""
+
+import numpy as np
+import pytest
+
+from repro.core.voter import FitnessVoter, PixelVoter
+
+
+class TestFitnessVoter:
+    def test_equal_values_no_fault(self):
+        vote = FitnessVoter().vote([100.0, 100.0, 100.0])
+        assert not vote.fault_detected
+        assert vote.outlier_index is None
+        assert vote.spread == 0.0
+
+    def test_single_outlier_identified(self):
+        vote = FitnessVoter().vote([100.0, 100.0, 5000.0])
+        assert vote.fault_detected
+        assert vote.outlier_index == 2
+
+    def test_outlier_in_any_position(self):
+        for position in range(3):
+            values = [10.0, 10.0, 10.0]
+            values[position] = 999.0
+            assert FitnessVoter().vote(values).outlier_index == position
+
+    def test_threshold_tolerates_small_divergence(self):
+        voter = FitnessVoter(threshold=50.0)
+        assert not voter.vote([100.0, 100.0, 130.0]).fault_detected
+        assert voter.vote([100.0, 100.0, 200.0]).fault_detected
+
+    def test_threshold_supports_recovered_array(self):
+        # After imitation recovery the re-evolved array may sit slightly off
+        # the others; the similarity threshold keeps the voter quiet.
+        voter = FitnessVoter(threshold=100.0)
+        assert not voter.vote([800.0, 800.0, 870.0]).fault_detected
+
+    def test_requires_two_values(self):
+        with pytest.raises(ValueError):
+            FitnessVoter().vote([1.0])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FitnessVoter(threshold=-1.0)
+
+    def test_spread_reported(self):
+        vote = FitnessVoter().vote([10.0, 20.0, 110.0])
+        assert vote.spread == 100.0
+
+
+class TestPixelVoter:
+    def test_majority_masks_single_fault(self):
+        good = np.full((8, 8), 100, dtype=np.uint8)
+        bad = np.random.default_rng(0).integers(0, 256, (8, 8), dtype=np.uint8)
+        voted = PixelVoter().vote([good, good.copy(), bad])
+        assert np.array_equal(voted, good)
+
+    def test_identical_inputs_pass_through(self):
+        img = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        voted = PixelVoter().vote([img, img.copy(), img.copy()])
+        assert np.array_equal(voted, img)
+
+    def test_output_dtype(self):
+        imgs = [np.zeros((4, 4), dtype=np.uint8)] * 3
+        assert PixelVoter().vote(imgs).dtype == np.uint8
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PixelVoter().vote([np.zeros((4, 4), dtype=np.uint8),
+                               np.zeros((5, 5), dtype=np.uint8)])
+
+    def test_requires_two_outputs(self):
+        with pytest.raises(ValueError):
+            PixelVoter().vote([np.zeros((4, 4), dtype=np.uint8)])
+
+    def test_disagreement_map_and_fraction(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = a.copy()
+        b[0, 0] = 9
+        voter = PixelVoter()
+        disagreement = voter.disagreement_map([a, a.copy(), b])
+        assert disagreement[0, 0]
+        assert disagreement.sum() == 1
+        assert voter.disagreement_fraction([a, a.copy(), b]) == pytest.approx(1 / 16)
+
+    def test_no_disagreement(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        assert PixelVoter().disagreement_fraction([a, a.copy(), a.copy()]) == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the mutation operator."""
+
+import numpy as np
+import pytest
+
+from repro.array.genotype import GeneKind, Genotype, GenotypeSpec
+from repro.ea.mutation import mutate
+
+
+class TestMutate:
+    def test_exact_number_of_changes(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        for k in (1, 3, 5, 10):
+            result = mutate(parent, k, rng)
+            assert parent.hamming_distance(result.genotype) == k
+            assert len(result.mutated_indices) == k
+
+    def test_parent_unchanged(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        snapshot = parent.copy()
+        mutate(parent, 5, rng)
+        assert parent == snapshot
+
+    def test_offspring_valid(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        for _ in range(50):
+            mutate(parent, 3, rng).genotype.validate()
+
+    def test_changed_pe_positions_match_function_diff(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        result = mutate(parent, 8, rng)
+        expected = set(result.genotype.changed_function_positions(parent))
+        assert set(result.changed_pe_positions) == expected
+        assert result.n_reconfigurations == len(expected)
+
+    def test_only_function_changes_need_reconfiguration(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        # Mutating every gene: reconfigurations are bounded by the PE count.
+        result = mutate(parent, spec.n_genes, rng)
+        assert result.n_reconfigurations <= spec.n_pes
+
+    def test_mutated_indices_sorted_unique(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        result = mutate(parent, 7, rng)
+        assert result.mutated_indices == sorted(set(result.mutated_indices))
+
+    def test_invalid_rate(self, spec, rng):
+        parent = Genotype.random(spec, rng)
+        with pytest.raises(ValueError):
+            mutate(parent, 0, rng)
+        with pytest.raises(ValueError):
+            mutate(parent, spec.n_genes + 1, rng)
+
+    def test_deterministic_with_seed(self, spec):
+        parent = Genotype.random(spec, np.random.default_rng(3))
+        a = mutate(parent, 3, 99)
+        b = mutate(parent, 3, 99)
+        assert a.genotype == b.genotype
+        assert a.mutated_indices == b.mutated_indices
+
+    def test_average_reconfigurations_tracks_expectation(self, spec):
+        # E[reconfigs per offspring] = k * n_pes / n_genes (Figs. 12-14 model).
+        rng = np.random.default_rng(7)
+        parent = Genotype.random(spec, rng)
+        k = 5
+        samples = [mutate(parent, k, rng).n_reconfigurations for _ in range(600)]
+        expected = k * spec.n_pes / spec.n_genes
+        assert abs(np.mean(samples) - expected) < 0.25
+
+    def test_gene_kind_coverage(self, spec):
+        # All gene categories are reachable by mutation.
+        rng = np.random.default_rng(11)
+        parent = Genotype.random(spec, rng)
+        kinds = set()
+        for _ in range(200):
+            result = mutate(parent, 1, rng)
+            kinds.add(spec.gene_kind(result.mutated_indices[0]))
+        assert kinds == {
+            GeneKind.FUNCTION, GeneKind.WEST_MUX, GeneKind.NORTH_MUX, GeneKind.OUTPUT
+        }

@@ -1,0 +1,173 @@
+"""Tests for the experiment runners (small-budget sanity versions).
+
+These tests verify that each experiment runner reproduces the *shape* of the
+corresponding figure of the paper — who wins, how quantities scale — at a
+reduced budget, so they stay fast.  The full-budget runs live in the
+benchmark harness and their results are recorded in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.self_healing import FaultClass
+from repro.experiments.cascade_demo import three_stage_cascade_demo
+from repro.experiments.cascade_quality import cascade_quality_comparison
+from repro.experiments.imitation_recovery import imitation_seed_comparison
+from repro.experiments.new_ea import new_ea_comparison
+from repro.experiments.parallel_speedup import (
+    evolution_time_sweep,
+    measured_speedup_sweep,
+    time_savings,
+)
+from repro.experiments.resources_table import resource_utilisation_rows
+from repro.experiments.tmr_recovery import tmr_fault_recovery_trace
+
+
+class TestResourcesTable:
+    def test_paper_values_reproduced(self):
+        rows = {row["quantity"]: row for row in resource_utilisation_rows(n_arrays=3)}
+        assert rows["PE footprint (CLBs)"]["measured"] == rows["PE footprint (CLBs)"]["paper"]
+        assert rows["array footprint (CLBs)"]["measured"] == 160
+        assert rows["per-PE reconfiguration time (us)"]["measured"] == pytest.approx(67.53)
+        assert rows["ACB slices"]["measured"] == 754
+        assert rows["platform slices (3 ACBs)"]["measured"] == 733 + 3 * 754
+
+    def test_every_row_has_measured_value(self):
+        for row in resource_utilisation_rows():
+            assert row["measured"] is not None
+
+
+class TestFig12And13ParallelSpeedup:
+    def test_model_sweep_shapes(self):
+        points = evolution_time_sweep(n_generations=100_000)
+        by_key = {(p.image_side, p.mutation_rate, p.n_arrays): p.evolution_time_s
+                  for p in points}
+        # Time grows with the mutation rate (both configurations).
+        assert by_key[(128, 1, 1)] < by_key[(128, 3, 1)] < by_key[(128, 5, 1)]
+        assert by_key[(128, 1, 3)] < by_key[(128, 3, 3)] < by_key[(128, 5, 3)]
+        # Three arrays are always faster.
+        for side in (128, 256):
+            for k in (1, 3, 5):
+                assert by_key[(side, k, 3)] < by_key[(side, k, 1)]
+
+    def test_constant_saving_and_image_size_scaling(self):
+        points = evolution_time_sweep(n_generations=100_000)
+        rows = time_savings(points)
+        savings_128 = [row["saving_s"] for row in rows if row["image_side"] == 128]
+        savings_256 = [row["saving_s"] for row in rows if row["image_side"] == 256]
+        # Fig. 12: the saving is (approximately) independent of the mutation rate.
+        assert max(savings_128) - min(savings_128) < 0.01 * np.mean(savings_128)
+        # Fig. 13: a 4x larger image gives a ~4x larger saving.
+        assert np.mean(savings_256) == pytest.approx(4 * np.mean(savings_128), rel=0.1)
+
+    def test_measured_sweep_matches_model_trends(self):
+        points = measured_speedup_sweep(
+            image_side=24, mutation_rates=(1, 5), array_counts=(1, 3),
+            n_generations=15, seed=1,
+        )
+        pe_time = 67.53e-6
+        by_key = {(p.mutation_rate, p.n_arrays): p for p in points}
+
+        def non_reconfig_time(k, n_arrays):
+            point = by_key[(k, n_arrays)]
+            return point.evolution_time_s - point.n_reconfigurations * pe_time
+
+        # Evaluation work (the parallelisable part) shrinks with 3 arrays.
+        assert non_reconfig_time(1, 3) < non_reconfig_time(1, 1)
+        assert non_reconfig_time(5, 3) < non_reconfig_time(5, 1)
+        # Total time grows with the mutation rate (reconfiguration-dominated).
+        assert by_key[(5, 1)].evolution_time_s > by_key[(1, 1)].evolution_time_s
+        assert by_key[(5, 3)].evolution_time_s > by_key[(1, 3)].evolution_time_s
+
+
+class TestFig14And15NewEa:
+    def test_new_ea_faster_and_not_worse(self):
+        points = new_ea_comparison(
+            image_side=24, mutation_rates=(1, 5), n_generations=40, n_runs=2, seed=3
+        )
+        classic = {p.mutation_rate: p for p in points if p.strategy == "classic"}
+        new = {p.mutation_rate: p for p in points if p.strategy == "two_level"}
+        for k in (1, 5):
+            assert new[k].mean_reconfigurations_per_generation <= \
+                classic[k].mean_reconfigurations_per_generation
+        # At the higher mutation rate the time advantage must be clear (Fig. 14).
+        assert new[5].mean_platform_time_s < classic[5].mean_platform_time_s
+        # Time spread across k is smaller for the new EA.
+        classic_spread = classic[5].mean_platform_time_s - classic[1].mean_platform_time_s
+        new_spread = new[5].mean_platform_time_s - new[1].mean_platform_time_s
+        assert new_spread < classic_spread
+
+
+class TestFig16And17CascadeQuality:
+    def test_adapted_cascades_beat_same_filter(self):
+        points = cascade_quality_comparison(
+            image_side=24, noise_level=0.3, n_generations=30, n_runs=2, seed=5
+        )
+        table = {(p.arrangement, p.stage): p for p in points}
+        # Final-stage comparison (Fig. 16): adapted cascades win on average.
+        assert table[("adapted_sequential", 3)].average_fitness <= \
+            table[("same_filter", 3)].average_fitness
+        assert table[("adapted_interleaved", 3)].average_fitness <= \
+            table[("same_filter", 3)].average_fitness
+        # Adapted cascades improve (or at least do not degrade) stage over stage.
+        for arrangement in ("adapted_sequential", "adapted_interleaved"):
+            assert table[(arrangement, 3)].average_fitness <= \
+                table[(arrangement, 1)].average_fitness
+        # Best-of-runs (Fig. 17) is never worse than the average.
+        for point in points:
+            assert point.best_fitness <= point.average_fitness
+
+
+class TestFig18CascadeDemo:
+    def test_cascade_denoises_heavy_noise(self):
+        result = three_stage_cascade_demo(
+            image_side=32, noise_density=0.4, n_generations=60, seed=7
+        )
+        assert result.final_fitness < result.noisy_fitness / 2
+        assert len(result.stage_fitness) == 3
+        assert set(result.images) >= {
+            "noisy_input", "clean_reference", "stage_3_output", "median_baseline"
+        }
+
+    def test_median_baseline_reported(self):
+        result = three_stage_cascade_demo(
+            image_side=32, noise_density=0.4, n_generations=40, seed=8
+        )
+        assert result.median_fitness > 0
+        assert isinstance(result.cascade_beats_median, bool)
+
+
+class TestFig19ImitationSeeding:
+    def test_inherited_seed_beats_random(self):
+        points = imitation_seed_comparison(
+            image_side=24, initial_generations=40, recovery_generations=40,
+            n_runs=2, seed=11,
+        )
+        inherited = np.mean([p.final_fitness for p in points if p.seeding == "inherited"])
+        random_seeded = np.mean([p.final_fitness for p in points if p.seeding == "random"])
+        assert inherited < random_seeded
+        # Every recovery improves on (or matches) the pre-recovery divergence.
+        for point in points:
+            if point.seeding == "inherited":
+                assert point.final_fitness <= point.pre_recovery_fitness
+
+
+class TestFig20TmrRecovery:
+    def test_trace_phases_and_detection(self):
+        result = tmr_fault_recovery_trace(
+            image_side=24, initial_generations=40, recovery_generations=50,
+            healthy_phase_samples=4, seed=13,
+        )
+        assert result.fault_detected
+        assert result.fault_class == FaultClass.PERMANENT
+        assert result.detection_fitness_gap > 0
+        phases = [point.phase for point in result.trace]
+        assert phases[0] == "healthy"
+        assert "faulty" in phases
+        assert "recovery" in phases
+        assert phases[-1] == "recovered"
+        # Pixel voter keeps the output stream at healthy quality during the fault.
+        assert result.output_masked_during_fault
+        # Imitation recovery reduces the divergence over its run.
+        recovery_values = [p.faulty_array_fitness for p in result.trace if p.phase == "recovery"]
+        assert recovery_values[-1] <= recovery_values[0]

@@ -1,0 +1,72 @@
+"""Tests for the reconfiguration engine."""
+
+import numpy as np
+import pytest
+
+from repro.array.pe_library import PEFunction
+from repro.fpga.fabric import FpgaFabric, RegionAddress
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+
+
+@pytest.fixture
+def engine():
+    return ReconfigurationEngine(FpgaFabric(n_arrays=3))
+
+
+class TestTiming:
+    def test_paper_pe_reconfiguration_time(self, engine):
+        assert engine.pe_reconfiguration_time_s * 1e6 == pytest.approx(67.53)
+
+    def test_busy_time_accumulates(self, engine):
+        engine.reconfigure_pe(RegionAddress(0, 0, 0), 3)
+        engine.reconfigure_pe(RegionAddress(0, 0, 1), 4)
+        assert engine.stats.n_pe_reconfigurations == 2
+        assert engine.stats.busy_time_s == pytest.approx(2 * engine.pe_reconfiguration_time_s)
+
+    def test_reconfigure_many_is_serial_sum(self, engine):
+        placements = [(RegionAddress(0, r, c), 1) for r in range(4) for c in range(4)]
+        elapsed = engine.reconfigure_many(placements)
+        assert elapsed == pytest.approx(16 * engine.pe_reconfiguration_time_s)
+
+    def test_stats_reset(self, engine):
+        engine.reconfigure_pe(RegionAddress(0, 0, 0), 3)
+        engine.stats.reset()
+        assert engine.stats.n_pe_reconfigurations == 0
+        assert engine.stats.busy_time_s == 0.0
+
+
+class TestOperations:
+    def test_reconfigure_updates_fabric(self, engine):
+        address = RegionAddress(1, 2, 3)
+        engine.reconfigure_pe(address, int(PEFunction.MIN))
+        assert engine.fabric.region(address).configured_gene == int(PEFunction.MIN)
+
+    def test_configure_array_writes_all_pes(self, engine):
+        genes = np.full((4, 4), int(PEFunction.XOR))
+        elapsed = engine.configure_array(0, genes)
+        assert np.all(engine.fabric.configured_genes(0) == int(PEFunction.XOR))
+        assert elapsed == pytest.approx(16 * engine.pe_reconfiguration_time_s)
+
+    def test_relocate_copies_configuration(self, engine):
+        source = RegionAddress(0, 0, 0)
+        destination = RegionAddress(1, 0, 0)
+        engine.reconfigure_pe(source, int(PEFunction.AVERAGE))
+        engine.relocate(source, destination)
+        assert engine.fabric.region(destination).configured_gene == int(PEFunction.AVERAGE)
+
+    def test_inject_dummy_pe_creates_fault(self, engine):
+        address = RegionAddress(2, 1, 1)
+        engine.inject_dummy_pe(address)
+        assert (1, 1) in engine.fabric.effective_faults(2)
+
+    def test_scrub_rewrite_restores_golden(self, engine):
+        address = RegionAddress(0, 1, 1)
+        engine.fabric.corrupt_region(address)
+        engine.scrub_rewrite(address)
+        assert engine.fabric.verify_region(address)
+        assert engine.stats.n_scrub_rewrites == 1
+
+    def test_readback_counts(self, engine):
+        engine.readback(RegionAddress(0, 0, 0))
+        assert engine.stats.n_readbacks == 1
+        assert engine.stats.busy_time_s > 0

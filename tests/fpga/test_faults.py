@@ -1,0 +1,65 @@
+"""Tests for the fault injector."""
+
+import pytest
+
+from repro.fpga.fabric import FpgaFabric, RegionAddress
+from repro.fpga.faults import FaultInjector, FaultType
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+
+
+@pytest.fixture
+def fabric():
+    return FpgaFabric(n_arrays=3)
+
+
+@pytest.fixture
+def injector(fabric):
+    return FaultInjector(fabric, engine=ReconfigurationEngine(fabric), rng=0)
+
+
+class TestInjection:
+    def test_seu_targets_named_region(self, injector, fabric):
+        address = RegionAddress(0, 1, 1)
+        record = injector.inject_seu(address)
+        assert record.fault_type == FaultType.SEU
+        assert record.detail is not None
+        assert fabric.region(address).seu_corrupted
+
+    def test_seu_random_target(self, injector, fabric):
+        record = injector.inject_seu()
+        assert fabric.region(record.address).seu_corrupted
+
+    def test_lpd(self, injector, fabric):
+        address = RegionAddress(2, 3, 3)
+        record = injector.inject_lpd(address)
+        assert record.fault_type == FaultType.LPD
+        assert fabric.region(address).permanently_damaged
+
+    def test_pe_dummy_through_engine(self, injector, fabric):
+        address = RegionAddress(1, 0, 0)
+        record = injector.inject_pe_dummy(address)
+        assert record.fault_type == FaultType.PE_DUMMY
+        assert (0, 0) in fabric.effective_faults(1)
+
+    def test_pe_dummy_requires_engine(self, fabric):
+        injector = FaultInjector(fabric, engine=None, rng=0)
+        with pytest.raises(RuntimeError):
+            injector.inject_pe_dummy(RegionAddress(0, 0, 0))
+
+    def test_injection_log(self, injector):
+        injector.inject_seu(RegionAddress(0, 0, 0))
+        injector.inject_lpd(RegionAddress(1, 0, 0))
+        injector.inject_lpd(RegionAddress(1, 1, 0))
+        assert len(injector.injected) == 3
+        assert len(injector.faults_in_array(1)) == 2
+        injector.clear_history()
+        assert injector.injected == []
+
+    def test_systematic_positions(self, injector):
+        positions = injector.systematic_positions(0)
+        assert len(positions) == 16
+        assert (0, 0) in positions and (3, 3) in positions
+
+    def test_systematic_positions_invalid_array(self, injector):
+        with pytest.raises(ValueError):
+            injector.systematic_positions(5)

@@ -1,0 +1,56 @@
+"""Tests for the ICAP timing model."""
+
+import pytest
+
+from repro.fpga.icap import FRAME_WORDS, FRAMES_PER_CLB_COLUMN, IcapModel
+
+
+class TestIcapModel:
+    def test_virtex5_frame_geometry(self):
+        assert FRAME_WORDS == 41
+        assert FRAMES_PER_CLB_COLUMN == 36
+
+    def test_word_period(self):
+        icap = IcapModel(clock_hz=100e6)
+        assert icap.word_period_s == pytest.approx(10e-9)
+
+    def test_transfer_time_linear(self):
+        icap = IcapModel()
+        assert icap.transfer_time_s(2000) == pytest.approx(2 * icap.transfer_time_s(1000))
+
+    def test_transaction_includes_overhead(self):
+        icap = IcapModel()
+        assert icap.transaction_time_s(0) == pytest.approx(
+            icap.command_overhead_words * icap.word_period_s
+        )
+
+    def test_frames_to_words(self):
+        icap = IcapModel()
+        assert icap.frames_to_words(36) == 36 * 41
+
+    def test_pe_reconfiguration_matches_paper(self):
+        # 2 CLB columns -> 72 frames -> 2952 words; readback + writeback plus
+        # the default command overhead reproduces the paper's 67.53 us.
+        icap = IcapModel()
+        pe_words = 2 * FRAMES_PER_CLB_COLUMN * FRAME_WORDS
+        assert icap.transaction_time_s(2 * pe_words) * 1e6 == pytest.approx(67.53)
+
+    def test_faster_clock_scales(self):
+        fast = IcapModel(clock_hz=200e6)
+        slow = IcapModel(clock_hz=100e6)
+        assert fast.transaction_time_s(1000) == pytest.approx(
+            slow.transaction_time_s(1000) / 2
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IcapModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            IcapModel(word_bits=7)
+        with pytest.raises(ValueError):
+            IcapModel(command_overhead_words=-1)
+        icap = IcapModel()
+        with pytest.raises(ValueError):
+            icap.transfer_time_s(-1)
+        with pytest.raises(ValueError):
+            icap.frames_to_words(-1)

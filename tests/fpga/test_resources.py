@@ -1,0 +1,73 @@
+"""Tests for the resource-utilisation model (§VI.A)."""
+
+import pytest
+
+from repro.array.systolic_array import ArrayGeometry
+from repro.fpga.resources import VIRTEX5_LX110T, DeviceModel, ResourceModel
+
+
+class TestResourceModel:
+    def test_paper_static_numbers(self):
+        report = ResourceModel().report(3)
+        assert report.static_slices == 733
+        assert report.static_ffs == 1365
+        assert report.static_luts == 1817
+
+    def test_paper_acb_numbers(self):
+        report = ResourceModel().report(3)
+        assert report.acb_slices == 754
+        assert report.acb_ffs == 1642
+        assert report.acb_luts == 1528
+
+    def test_totals_scale_with_arrays(self):
+        model = ResourceModel()
+        one = model.report(1)
+        three = model.report(3)
+        assert three.total_slices - one.total_slices == 2 * 754
+        assert three.total_ffs - one.total_ffs == 2 * 1642
+        assert three.total_luts - one.total_luts == 2 * 1528
+
+    def test_array_clbs(self):
+        report = ResourceModel().report(3)
+        assert report.array_clbs == 160
+        assert report.total_array_clbs == 480
+
+    def test_reconfiguration_time(self):
+        report = ResourceModel().report(1)
+        assert report.pe_reconfiguration_time_us == pytest.approx(67.53)
+        assert report.full_array_reconfiguration_time_us(16) == pytest.approx(16 * 67.53)
+
+    def test_utilisation_fractions(self):
+        report = ResourceModel().report(3)
+        assert 0 < report.slice_utilisation < 1
+        assert report.clock_region_utilisation == pytest.approx(3 / 16)
+
+    def test_rows_structure(self):
+        rows = ResourceModel().report(3).as_rows()
+        assert len(rows) == 3
+        assert rows[-1]["slices"] == 733 + 3 * 754
+
+    def test_max_arrays_limited_by_clock_regions(self):
+        model = ResourceModel()
+        # Slices would allow ~21 ACBs, but the LX110T has 16 clock regions.
+        assert model.max_arrays() == 16
+
+    def test_max_arrays_limited_by_slices(self):
+        tiny_device = DeviceModel(
+            name="tiny", n_slices=3000, n_luts=12000, n_ffs=12000,
+            n_clock_regions=16, clb_columns_per_region=58,
+        )
+        model = ResourceModel(device=tiny_device)
+        assert model.max_arrays() == (3000 - 733) // 754
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ResourceModel().report(0)
+        with pytest.raises(ValueError):
+            DeviceModel(name="bad", n_slices=0, n_luts=1, n_ffs=1,
+                        n_clock_regions=1, clb_columns_per_region=1)
+
+    def test_custom_geometry_scales_footprint(self):
+        geometry = ArrayGeometry(rows=8, cols=8)
+        report = ResourceModel(geometry=geometry).report(1)
+        assert report.array_clbs == 8 * 8 * 10

@@ -1,0 +1,65 @@
+"""Tests for configuration scrubbing."""
+
+import pytest
+
+from repro.fpga.fabric import FpgaFabric, RegionAddress
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+from repro.fpga.scrubbing import Scrubber
+
+
+@pytest.fixture
+def setup():
+    fabric = FpgaFabric(n_arrays=3)
+    engine = ReconfigurationEngine(fabric)
+    return fabric, engine, Scrubber(fabric, engine)
+
+
+class TestScrubbing:
+    def test_clean_fabric_reports_clean(self, setup):
+        fabric, engine, scrubber = setup
+        report = scrubber.scrub()
+        assert report.clean
+        assert len(report.checked) == fabric.n_regions
+        assert report.n_repaired == 0
+
+    def test_seu_repaired(self, setup):
+        fabric, engine, scrubber = setup
+        address = RegionAddress(0, 1, 2)
+        fabric.corrupt_region(address)
+        report = scrubber.scrub_array(0)
+        assert address in report.corrupted
+        assert report.n_repaired == 1
+        assert fabric.verify_region(address)
+        assert not fabric.region(address).seu_corrupted
+
+    def test_lpd_not_repaired(self, setup):
+        fabric, engine, scrubber = setup
+        address = RegionAddress(1, 0, 0)
+        fabric.damage_region(address)
+        report = scrubber.scrub_array(1)
+        assert address in report.still_damaged
+        assert not report.clean
+        assert fabric.region(address).permanently_damaged
+
+    def test_seu_and_lpd_together(self, setup):
+        fabric, engine, scrubber = setup
+        address = RegionAddress(2, 2, 2)
+        fabric.corrupt_region(address)
+        fabric.damage_region(address)
+        report = scrubber.scrub_region(address)
+        assert address in report.corrupted
+        assert address in report.still_damaged
+
+    def test_scrub_consumes_engine_time(self, setup):
+        fabric, engine, scrubber = setup
+        report = scrubber.scrub_array(0)
+        assert report.elapsed_s > 0
+        assert engine.stats.n_readbacks == 16
+
+    def test_scrub_only_selected_regions(self, setup):
+        fabric, engine, scrubber = setup
+        fabric.corrupt_region(RegionAddress(0, 0, 0))
+        report = scrubber.scrub(regions=[RegionAddress(1, 0, 0)])
+        # The corrupted region of array 0 was not in the scrub set.
+        assert report.n_repaired == 0
+        assert not fabric.verify_region(RegionAddress(0, 0, 0))

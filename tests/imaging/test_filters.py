@@ -1,0 +1,87 @@
+"""Tests for the baseline (non-evolved) filters."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.filters import (
+    gaussian_filter,
+    identity_filter,
+    mean_filter,
+    median_filter,
+    sobel_edges,
+)
+from repro.imaging.images import checkerboard_image, make_test_image
+from repro.imaging.metrics import sae
+from repro.imaging.noise import add_salt_and_pepper
+
+
+@pytest.fixture
+def clean():
+    return make_test_image(size=64, seed=3)
+
+
+class TestIdentityFilter:
+    def test_returns_copy(self, clean):
+        out = identity_filter(clean)
+        assert np.array_equal(out, clean)
+        assert out is not clean
+
+
+class TestMedianFilter:
+    def test_shape_preserved(self, clean):
+        assert median_filter(clean).shape == clean.shape
+
+    def test_removes_impulse_noise(self, clean):
+        noisy = add_salt_and_pepper(clean, density=0.1, rng=0)
+        filtered = median_filter(noisy)
+        assert sae(filtered, clean) < sae(noisy, clean) / 2
+
+    def test_flat_image_unchanged(self):
+        flat = np.full((16, 16), 100, dtype=np.uint8)
+        assert np.array_equal(median_filter(flat), flat)
+
+    def test_even_size_rejected(self, clean):
+        with pytest.raises(ValueError):
+            median_filter(clean, size=4)
+
+
+class TestMeanAndGaussian:
+    def test_mean_reduces_variance(self, clean):
+        out = mean_filter(clean)
+        assert out.std() <= clean.std()
+
+    def test_gaussian_reduces_variance(self, clean):
+        out = gaussian_filter(clean, sigma=2.0)
+        assert out.std() < clean.std()
+
+    def test_mean_invalid_size(self, clean):
+        with pytest.raises(ValueError):
+            mean_filter(clean, size=2)
+
+    def test_gaussian_invalid_sigma(self, clean):
+        with pytest.raises(ValueError):
+            gaussian_filter(clean, sigma=0.0)
+
+    def test_flat_image_fixed_point(self):
+        flat = np.full((16, 16), 77, dtype=np.uint8)
+        assert np.array_equal(mean_filter(flat), flat)
+        assert np.array_equal(gaussian_filter(flat), flat)
+
+
+class TestSobelEdges:
+    def test_flat_image_has_no_edges(self):
+        flat = np.full((16, 16), 128, dtype=np.uint8)
+        assert sobel_edges(flat).max() == 0
+
+    def test_checkerboard_has_strong_edges(self):
+        edges = sobel_edges(checkerboard_image(32, tile=8))
+        assert edges.max() == 255
+        # Tile interiors are flat → many zero pixels as well.
+        assert np.count_nonzero(edges == 0) > 0
+
+    def test_output_dtype(self, clean):
+        assert sobel_edges(clean).dtype == np.uint8
+
+    def test_rejects_non_uint8(self):
+        with pytest.raises(TypeError):
+            sobel_edges(np.zeros((8, 8), dtype=np.float32))

@@ -1,0 +1,93 @@
+"""Tests for the noise models."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.images import make_test_image
+from repro.imaging.noise import add_gaussian_noise, add_impulse_burst, add_salt_and_pepper
+
+
+@pytest.fixture
+def clean():
+    return make_test_image(size=64, seed=3)
+
+
+class TestSaltAndPepper:
+    def test_density_zero_is_identity(self, clean):
+        noisy = add_salt_and_pepper(clean, density=0.0, rng=0)
+        assert np.array_equal(noisy, clean)
+
+    def test_density_one_is_all_impulses(self, clean):
+        noisy = add_salt_and_pepper(clean, density=1.0, rng=0)
+        assert set(np.unique(noisy)).issubset({0, 255})
+
+    def test_approximate_density(self, clean):
+        density = 0.4
+        noisy = add_salt_and_pepper(clean, density=density, rng=0)
+        changed = np.count_nonzero(noisy != clean) / clean.size
+        # Some impulses coincide with already-extreme pixels, so the changed
+        # fraction is slightly below the density but must be close.
+        assert 0.3 <= changed <= density + 0.02
+
+    def test_input_not_modified(self, clean):
+        copy = clean.copy()
+        add_salt_and_pepper(clean, density=0.5, rng=0)
+        assert np.array_equal(clean, copy)
+
+    def test_deterministic_given_seed(self, clean):
+        a = add_salt_and_pepper(clean, density=0.3, rng=5)
+        b = add_salt_and_pepper(clean, density=0.3, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_salt_only(self, clean):
+        noisy = add_salt_and_pepper(clean, density=0.5, rng=0, salt_vs_pepper=1.0)
+        changed = noisy[noisy != clean]
+        assert np.all(changed == 255)
+
+    def test_invalid_density(self, clean):
+        with pytest.raises(ValueError):
+            add_salt_and_pepper(clean, density=1.5)
+
+    def test_invalid_ratio(self, clean):
+        with pytest.raises(ValueError):
+            add_salt_and_pepper(clean, density=0.1, salt_vs_pepper=2.0)
+
+    def test_rejects_float_image(self):
+        with pytest.raises(TypeError):
+            add_salt_and_pepper(np.zeros((8, 8)), density=0.1)
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_is_identity(self, clean):
+        assert np.array_equal(add_gaussian_noise(clean, sigma=0.0, rng=0), clean)
+
+    def test_output_in_range(self, clean):
+        noisy = add_gaussian_noise(clean, sigma=100.0, rng=0)
+        assert noisy.dtype == np.uint8
+        assert noisy.min() >= 0 and noisy.max() <= 255
+
+    def test_noise_magnitude_scales_with_sigma(self, clean):
+        small = add_gaussian_noise(clean, sigma=5.0, rng=0)
+        large = add_gaussian_noise(clean, sigma=50.0, rng=0)
+        err_small = np.mean(np.abs(small.astype(int) - clean.astype(int)))
+        err_large = np.mean(np.abs(large.astype(int) - clean.astype(int)))
+        assert err_large > 2 * err_small
+
+    def test_negative_sigma_rejected(self, clean):
+        with pytest.raises(ValueError):
+            add_gaussian_noise(clean, sigma=-1.0)
+
+
+class TestImpulseBurst:
+    def test_bursts_change_pixels(self, clean):
+        noisy = add_impulse_burst(clean, n_bursts=4, burst_size=8, rng=0)
+        assert np.count_nonzero(noisy != clean) > 0
+
+    def test_zero_bursts_identity(self, clean):
+        assert np.array_equal(add_impulse_burst(clean, n_bursts=0, rng=0), clean)
+
+    def test_invalid_parameters(self, clean):
+        with pytest.raises(ValueError):
+            add_impulse_burst(clean, n_bursts=-1)
+        with pytest.raises(ValueError):
+            add_impulse_burst(clean, burst_size=0)

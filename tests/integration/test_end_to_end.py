@@ -1,0 +1,145 @@
+"""End-to-end integration tests: evolve, operate, break, heal."""
+
+import numpy as np
+import pytest
+
+from repro.core.evolution import CascadedEvolution, ImitationEvolution, ParallelEvolution
+from repro.core.modes import CascadeFitnessMode, CascadeSchedule, ProcessingMode
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.core.self_healing import CascadedSelfHealing, FaultClass, TmrSelfHealing
+from repro.core.two_level_ea import TwoLevelMutationEvolution
+from repro.imaging.images import make_training_pair
+from repro.imaging.metrics import sae
+from repro.soc.memory import MemoryRegion
+
+
+class TestEvolveThenOperate:
+    def test_parallel_evolution_then_tmr_operation(self):
+        """Evolve a denoiser in parallel mode, deploy it as TMR, and check the
+        voted mission output actually denoises a fresh frame."""
+        pair = make_training_pair("salt_pepper_denoise", size=32, seed=3, noise_level=0.15)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=3)
+        driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=3, rng=3)
+        result = driver.run(pair.training, pair.reference, n_generations=120)
+
+        platform.set_processing_mode(ProcessingMode.PARALLEL)
+        fresh = make_training_pair(
+            "salt_pepper_denoise", size=32, seed=4, noise_level=0.15
+        )
+        voted = platform.process(fresh.training)
+        assert sae(voted, fresh.reference) < sae(fresh.training, fresh.reference)
+        assert result.platform_time_s > 0
+
+    def test_cascade_beats_single_stage(self):
+        """A three-stage adapted cascade improves on its own first stage."""
+        pair = make_training_pair("salt_pepper_denoise", size=32, seed=5, noise_level=0.3)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=5)
+        driver = CascadedEvolution(
+            platform, n_offspring=9, mutation_rate=3, rng=5,
+            fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.SEQUENTIAL,
+        )
+        driver.run(pair.training, pair.reference, n_generations=80, n_stages=3)
+        outputs = platform.cascade_stage_outputs(pair.training)
+        stage_fitness = [sae(output, pair.reference) for output in outputs]
+        assert stage_fitness[-1] <= stage_fitness[0]
+        assert stage_fitness[-1] < sae(pair.training, pair.reference)
+
+    def test_two_level_ea_full_flow(self):
+        pair = make_training_pair("salt_pepper_denoise", size=32, seed=6, noise_level=0.1)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=6)
+        driver = TwoLevelMutationEvolution(platform, n_offspring=9, mutation_rate=5, rng=6)
+        result = driver.run(pair.training, pair.reference, n_generations=100)
+        assert result.overall_best_fitness() < sae(pair.training, pair.reference)
+        # The winning circuit is deployed on all three arrays.
+        genotypes = {platform.acb(i).genotype.to_flat().tobytes() for i in range(3)}
+        assert len(genotypes) == 1
+
+
+class TestFaultRecoveryScenarios:
+    def test_full_tmr_fault_recovery_cycle(self):
+        """The §V.B scenario: evolve, deploy TMR, inject LPD, detect, recover."""
+        pair = make_training_pair("salt_pepper_denoise", size=24, seed=9, noise_level=0.1)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=9)
+        driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=3, rng=9)
+        evolved = driver.run(pair.training, pair.reference, n_generations=80)
+
+        healer = TmrSelfHealing(
+            platform, pattern_image=pair.training, pattern_reference=pair.reference,
+            imitation_generations=80, n_offspring=9, mutation_rate=3, rng=10,
+        )
+        healer.setup(evolved.best_genotypes[0])
+        assert healer.monitor_and_heal().fault_class == FaultClass.NONE
+
+        # Target a PE the deployed circuit actually routes through.
+        row, col = platform.find_sensitive_position(2, pair.training)
+        platform.inject_permanent_fault(2, row, col)
+        report = healer.monitor_and_heal(stream_image=pair.training)
+        assert report.fault_class == FaultClass.PERMANENT
+        assert report.faulty_array == 2
+        assert report.recovery_result is not None
+        # Recovery reduces the divergence of the faulty array.
+        assert report.fitness_after[2] <= report.fitness_before[2]
+
+    def test_cascaded_self_healing_keeps_stream_valid(self):
+        """The §V.A scenario: bypass keeps the cascade output usable during recovery."""
+        pair = make_training_pair("salt_pepper_denoise", size=24, seed=12, noise_level=0.1)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=12)
+        driver = CascadedEvolution(
+            platform, n_offspring=6, mutation_rate=2, rng=12,
+            fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.SEQUENTIAL,
+        )
+        driver.run(pair.training, pair.reference, n_generations=40, n_stages=3)
+
+        healer = CascadedSelfHealing(
+            platform, calibration_image=pair.training, calibration_reference=pair.reference,
+            imitation_generations=40, imitation_target_fitness=None,
+            n_offspring=6, mutation_rate=2, rng=13,
+        )
+        healer.initialize()
+        # Target a PE that stage 1's evolved circuit actually routes through.
+        row, col = platform.find_sensitive_position(1, pair.training)
+        platform.inject_permanent_fault(1, row, col)
+        report = healer.check_and_heal(stream_image=pair.training)
+        assert report.fault_class == FaultClass.PERMANENT
+        # After healing the cascade still improves on the raw noisy stream.
+        healed_output = platform.process_cascade(pair.training)
+        assert sae(healed_output, pair.reference) < sae(pair.training, pair.reference)
+
+    def test_imitation_without_reference_image(self):
+        """Imitation recovery needs no stored reference (the §IV.B motivation)."""
+        pair = make_training_pair("salt_pepper_denoise", size=24, seed=15, noise_level=0.1)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=15)
+        driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=3, rng=15)
+        driver.run(pair.training, pair.reference, n_generations=60)
+
+        # Erase every stored image: only the live input stream remains.
+        for key in list(platform.memory.keys(MemoryRegion.FLASH)):
+            platform.erase_image(key)
+
+        platform.inject_permanent_fault(1, 0, 2)
+        master_output = platform.acb(0).shadow_process(pair.training)
+        pre = sae(platform.acb(1).shadow_process(pair.training), master_output)
+        recovery = ImitationEvolution(platform, n_offspring=9, mutation_rate=3, rng=16)
+        result = recovery.run(
+            apprentice_index=1, master_index=0, input_image=pair.training,
+            n_generations=80, seed_from_master=True,
+        )
+        assert result.best_fitness[1] < pre
+
+
+class TestBaselineComparison:
+    def test_evolved_cascade_competitive_with_median(self):
+        """At heavy impulse noise the evolved cascade should at least approach
+        (and usually beat) the median-filter baseline; at minimum it must
+        massively improve on the unfiltered input."""
+        pair = make_training_pair("salt_pepper_denoise", size=32, seed=20, noise_level=0.4)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=20)
+        driver = CascadedEvolution(
+            platform, n_offspring=9, mutation_rate=3, rng=20,
+            fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.SEQUENTIAL,
+        )
+        driver.run(pair.training, pair.reference, n_generations=120, n_stages=3)
+        cascade_output = platform.process_cascade(pair.training)
+        cascade_fitness = sae(cascade_output, pair.reference)
+        noisy_fitness = sae(pair.training, pair.reference)
+        assert cascade_fitness < 0.5 * noisy_fitness

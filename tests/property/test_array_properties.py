@@ -1,0 +1,74 @@
+"""Property-based tests for the PE library, window extraction and mutation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.pe_library import N_FUNCTIONS, apply_function
+from repro.array.systolic_array import ArrayGeometry, SystolicArray
+from repro.array.window import extract_windows
+from repro.ea.mutation import mutate
+from repro.imaging.metrics import sae
+
+
+uint8_planes = hnp.arrays(
+    dtype=np.uint8, shape=st.tuples(st.integers(3, 12), st.integers(3, 12))
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(gene=st.integers(0, N_FUNCTIONS - 1), data=st.data())
+def test_pe_functions_closed_over_uint8(gene, data):
+    shape = data.draw(st.tuples(st.integers(1, 8), st.integers(1, 8)))
+    w = data.draw(hnp.arrays(dtype=np.uint8, shape=shape))
+    n = data.draw(hnp.arrays(dtype=np.uint8, shape=shape))
+    out = apply_function(gene, w, n)
+    assert out.dtype == np.uint8
+    assert out.shape == shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(image=uint8_planes)
+def test_window_planes_values_come_from_image(image):
+    planes = extract_windows(image)
+    values = set(np.unique(image).tolist())
+    for k in range(9):
+        assert set(np.unique(planes[k]).tolist()).issubset(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(image=uint8_planes)
+def test_window_centre_plane_identity(image):
+    assert np.array_equal(extract_windows(image)[4], image)
+
+
+@settings(max_examples=30, deadline=None)
+@given(image=uint8_planes, seed=st.integers(0, 2**16))
+def test_identity_circuit_is_identity_for_any_image(image, seed):
+    array = SystolicArray(ArrayGeometry())
+    genotype = Genotype.identity(GenotypeSpec())
+    assert np.array_equal(array.process(image, genotype), image)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16), image=uint8_planes)
+def test_array_output_deterministic_without_faults(seed, image):
+    array = SystolicArray(ArrayGeometry())
+    genotype = Genotype.random(GenotypeSpec(), np.random.default_rng(seed))
+    a = array.process(image, genotype)
+    b = array.process(image, genotype)
+    assert np.array_equal(a, b)
+    assert sae(a, b) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**16), k=st.integers(1, 25))
+def test_mutation_distance_invariant(seed, k):
+    rng = np.random.default_rng(seed)
+    parent = Genotype.random(GenotypeSpec(), rng)
+    result = mutate(parent, k, rng)
+    assert parent.hamming_distance(result.genotype) == k
+    assert result.n_reconfigurations <= min(k, 16)
+    result.genotype.validate()

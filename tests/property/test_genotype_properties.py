@@ -1,0 +1,92 @@
+"""Property-based tests for the genotype encoding (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.pe_library import N_FUNCTIONS
+from repro.array.window import N_WINDOW_PIXELS
+
+
+def genotype_specs():
+    return st.builds(
+        GenotypeSpec,
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+    )
+
+
+@st.composite
+def genotypes(draw, spec=None):
+    if spec is None:
+        spec = draw(genotype_specs())
+    functions = draw(
+        st.lists(
+            st.integers(0, N_FUNCTIONS - 1),
+            min_size=spec.n_pes, max_size=spec.n_pes,
+        )
+    )
+    west = draw(
+        st.lists(st.integers(0, N_WINDOW_PIXELS - 1), min_size=spec.rows, max_size=spec.rows)
+    )
+    north = draw(
+        st.lists(st.integers(0, N_WINDOW_PIXELS - 1), min_size=spec.cols, max_size=spec.cols)
+    )
+    output = draw(st.integers(0, spec.rows - 1))
+    return Genotype(
+        spec=spec,
+        function_genes=np.asarray(functions, dtype=np.uint8).reshape(spec.rows, spec.cols),
+        west_mux=np.asarray(west, dtype=np.uint8),
+        north_mux=np.asarray(north, dtype=np.uint8),
+        output_select=output,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(genotype=genotypes())
+def test_flat_round_trip(genotype):
+    rebuilt = Genotype.from_flat(genotype.spec, genotype.to_flat())
+    assert rebuilt == genotype
+
+
+@settings(max_examples=60, deadline=None)
+@given(genotype=genotypes())
+def test_bits_round_trip(genotype):
+    rebuilt = Genotype.from_bits(genotype.spec, genotype.to_bits())
+    assert rebuilt == genotype
+
+
+@settings(max_examples=60, deadline=None)
+@given(genotype=genotypes())
+def test_bit_length_matches_spec(genotype):
+    assert len(genotype.to_bits()) == genotype.spec.gene_bits()
+
+
+@settings(max_examples=60, deadline=None)
+@given(genotype=genotypes())
+def test_hamming_distance_to_self_is_zero(genotype):
+    assert genotype.hamming_distance(genotype.copy()) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_hamming_distance_symmetric(data):
+    spec = data.draw(genotype_specs())
+    a = data.draw(genotypes(spec=spec))
+    b = data.draw(genotypes(spec=spec))
+    assert a.hamming_distance(b) == b.hamming_distance(a)
+    assert 0 <= a.hamming_distance(b) <= spec.n_genes
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_changed_function_positions_subset_of_pes(data):
+    spec = data.draw(genotype_specs())
+    a = data.draw(genotypes(spec=spec))
+    b = data.draw(genotypes(spec=spec))
+    positions = a.changed_function_positions(b)
+    assert len(positions) <= spec.n_pes
+    for row, col in positions:
+        assert 0 <= row < spec.rows and 0 <= col < spec.cols
+        assert a.function_genes[row, col] != b.function_genes[row, col]

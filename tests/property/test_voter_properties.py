@@ -1,0 +1,70 @@
+"""Property-based tests for the TMR voters and metrics invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.voter import FitnessVoter, PixelVoter
+from repro.imaging.metrics import mae, sae
+
+
+images_8x8 = hnp.arrays(dtype=np.uint8, shape=(8, 8))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=images_8x8, b=images_8x8)
+def test_sae_metric_properties(a, b):
+    assert sae(a, b) >= 0
+    assert sae(a, b) == sae(b, a)
+    assert sae(a, a) == 0
+    assert mae(a, b) == sae(a, b) / a.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=images_8x8, b=images_8x8, c=images_8x8)
+def test_sae_triangle_inequality(a, b, c):
+    assert sae(a, c) <= sae(a, b) + sae(b, c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(good=images_8x8, bad=images_8x8)
+def test_pixel_voter_majority_always_wins(good, bad):
+    voted = PixelVoter().vote([good, good.copy(), bad])
+    assert np.array_equal(voted, good)
+
+
+@settings(max_examples=60, deadline=None)
+@given(outputs=st.lists(images_8x8, min_size=3, max_size=3))
+def test_pixel_voter_output_bounded_by_inputs(outputs):
+    voted = PixelVoter().vote(outputs)
+    stack = np.stack(outputs)
+    assert np.all(voted >= stack.min(axis=0))
+    assert np.all(voted <= stack.max(axis=0))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=5),
+    threshold=st.floats(0, 1000, allow_nan=False),
+)
+def test_fitness_voter_consistency(values, threshold):
+    vote = FitnessVoter(threshold=threshold).vote(values)
+    spread = max(values) - min(values)
+    assert vote.spread == spread
+    if vote.fault_detected:
+        assert vote.outlier_index is not None
+        assert 0 <= vote.outlier_index < len(values)
+    else:
+        # No detection implies every value is within the threshold of the median.
+        median = float(np.median(np.asarray(values)))
+        assert all(abs(v - median) <= threshold for v in values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(base=st.floats(0, 1e5, allow_nan=False), delta=st.floats(1.0, 1e5, allow_nan=False))
+def test_fitness_voter_detects_single_divergence(base, delta):
+    voter = FitnessVoter(threshold=delta / 2)
+    vote = voter.vote([base, base, base + delta])
+    assert vote.fault_detected
+    assert vote.outlier_index == 2

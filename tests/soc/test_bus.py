@@ -1,0 +1,38 @@
+"""Tests for the PLB bus timing model."""
+
+import pytest
+
+from repro.soc.bus import PlbBus
+
+
+class TestPlbBus:
+    def test_single_transfer_time(self):
+        bus = PlbBus(clock_hz=100e6, cycles_per_single_transfer=5)
+        assert bus.single_transfer_time_s() == pytest.approx(50e-9)
+
+    def test_register_block_scales(self):
+        bus = PlbBus()
+        assert bus.register_block_time_s(10) == pytest.approx(10 * bus.single_transfer_time_s())
+
+    def test_burst_cheaper_than_singles(self):
+        bus = PlbBus()
+        n = 64
+        assert bus.burst_time_s(n) < bus.register_block_time_s(n)
+
+    def test_burst_zero_words(self):
+        assert PlbBus().burst_time_s(0) == 0.0
+
+    def test_burst_time_formula(self):
+        bus = PlbBus(clock_hz=100e6, cycles_per_single_transfer=5, cycles_per_burst_beat=1)
+        assert bus.burst_time_s(10) == pytest.approx((5 + 9) * 10e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PlbBus(clock_hz=0)
+        with pytest.raises(ValueError):
+            PlbBus(cycles_per_single_transfer=0)
+        bus = PlbBus()
+        with pytest.raises(ValueError):
+            bus.register_block_time_s(-1)
+        with pytest.raises(ValueError):
+            bus.burst_time_s(-1)

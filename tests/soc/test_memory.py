@@ -1,0 +1,74 @@
+"""Tests for the external memory model."""
+
+import numpy as np
+import pytest
+
+from repro.soc.memory import ExternalMemory, MemoryRegion
+
+
+class TestExternalMemory:
+    def test_store_and_load(self):
+        memory = ExternalMemory()
+        image = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        memory.store(MemoryRegion.FLASH, "training", image)
+        loaded = memory.load(MemoryRegion.FLASH, "training")
+        assert np.array_equal(loaded, image)
+
+    def test_load_returns_copy(self):
+        memory = ExternalMemory()
+        image = np.zeros((4, 4), dtype=np.uint8)
+        memory.store(MemoryRegion.DDR, "img", image)
+        loaded = memory.load(MemoryRegion.DDR, "img")
+        loaded[0, 0] = 99
+        assert memory.load(MemoryRegion.DDR, "img")[0, 0] == 0
+
+    def test_missing_key(self):
+        memory = ExternalMemory()
+        with pytest.raises(KeyError):
+            memory.load(MemoryRegion.FLASH, "absent")
+
+    def test_erase_models_lost_reference(self):
+        memory = ExternalMemory()
+        memory.store(MemoryRegion.FLASH, "reference", np.zeros((4, 4), dtype=np.uint8))
+        memory.erase(MemoryRegion.FLASH, "reference")
+        assert not memory.contains(MemoryRegion.FLASH, "reference")
+
+    def test_corrupt_changes_content(self):
+        memory = ExternalMemory()
+        image = np.zeros((16, 16), dtype=np.uint8)
+        memory.store(MemoryRegion.FLASH, "reference", image)
+        memory.corrupt(MemoryRegion.FLASH, "reference", rng=np.random.default_rng(0))
+        assert not np.array_equal(memory.load(MemoryRegion.FLASH, "reference"), image)
+
+    def test_corrupt_missing_key(self):
+        memory = ExternalMemory()
+        with pytest.raises(KeyError):
+            memory.corrupt(MemoryRegion.DDR, "nothing")
+
+    def test_capacity_enforced(self):
+        memory = ExternalMemory(flash_bytes=100)
+        with pytest.raises(MemoryError):
+            memory.store(MemoryRegion.FLASH, "big", np.zeros(200, dtype=np.uint8))
+
+    def test_overwrite_frees_previous_allocation(self):
+        memory = ExternalMemory(flash_bytes=150)
+        memory.store(MemoryRegion.FLASH, "img", np.zeros(100, dtype=np.uint8))
+        # Replacing the same key must account the old allocation as freed.
+        memory.store(MemoryRegion.FLASH, "img", np.zeros(120, dtype=np.uint8))
+        assert memory.used(MemoryRegion.FLASH) == 120
+
+    def test_usage_accounting(self):
+        memory = ExternalMemory()
+        memory.store(MemoryRegion.DDR, "a", np.zeros(1000, dtype=np.uint8))
+        assert memory.used(MemoryRegion.DDR) == 1000
+        assert memory.free(MemoryRegion.DDR) == memory.capacity(MemoryRegion.DDR) - 1000
+
+    def test_keys_sorted(self):
+        memory = ExternalMemory()
+        memory.store(MemoryRegion.FLASH, "b", np.zeros(4, dtype=np.uint8))
+        memory.store(MemoryRegion.FLASH, "a", np.zeros(4, dtype=np.uint8))
+        assert memory.keys(MemoryRegion.FLASH) == ["a", "b"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ExternalMemory(ddr_bytes=0)

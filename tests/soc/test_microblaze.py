@@ -1,0 +1,42 @@
+"""Tests for the MicroBlaze software timing model."""
+
+import pytest
+
+from repro.soc.microblaze import MicroBlazeModel
+
+
+class TestMicroBlazeModel:
+    def test_mutation_time_scales_with_genes(self):
+        model = MicroBlazeModel()
+        assert model.mutation_time_s(4) == pytest.approx(4 * model.mutation_time_s(1))
+
+    def test_selection_time_scales_with_offspring(self):
+        model = MicroBlazeModel()
+        assert model.selection_time_s(9) == pytest.approx(9 * model.selection_time_s(1))
+
+    def test_generation_overhead_constant(self):
+        model = MicroBlazeModel(cycles_generation_overhead=1000, clock_hz=100e6)
+        assert model.generation_overhead_s() == pytest.approx(10e-6)
+
+    def test_zero_work_costs_nothing(self):
+        model = MicroBlazeModel()
+        assert model.mutation_time_s(0) == 0.0
+        assert model.selection_time_s(0) == 0.0
+
+    def test_software_hidden_behind_reconfiguration(self):
+        # The paper overlaps mutation with the previous evaluation; for that
+        # to be a valid simplification the mutation of a few genes must be
+        # much cheaper than a single PE reconfiguration (67.53 us).
+        model = MicroBlazeModel()
+        assert model.mutation_time_s(5) < 67.53e-6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBlazeModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            MicroBlazeModel(cycles_per_gene_mutation=-1)
+        model = MicroBlazeModel()
+        with pytest.raises(ValueError):
+            model.mutation_time_s(-1)
+        with pytest.raises(ValueError):
+            model.selection_time_s(-1)

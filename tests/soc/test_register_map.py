@@ -1,0 +1,97 @@
+"""Tests for the ACB register map and register file."""
+
+import pytest
+
+from repro.soc.register_map import ACB_WINDOW_WORDS, AcbRegisterMap, AcbRegisters, RegisterFile
+
+
+class TestAcbRegisterMap:
+    def test_bases_are_strided(self):
+        register_map = AcbRegisterMap(n_acbs=3)
+        assert register_map.acb_base(1) - register_map.acb_base(0) == ACB_WINDOW_WORDS * 4
+        assert register_map.acb_base(2) - register_map.acb_base(1) == ACB_WINDOW_WORDS * 4
+
+    def test_register_address_offsets(self):
+        register_map = AcbRegisterMap(n_acbs=2)
+        fitness = register_map.register_address(0, AcbRegisters.FITNESS_VALUE)
+        assert fitness == register_map.base_address + int(AcbRegisters.FITNESS_VALUE) * 4
+
+    def test_lane_addressing(self):
+        register_map = AcbRegisterMap(n_acbs=1)
+        base = register_map.register_address(0, AcbRegisters.WEST_MUX_BASE, lane=0)
+        lane3 = register_map.register_address(0, AcbRegisters.WEST_MUX_BASE, lane=3)
+        assert lane3 - base == 12
+
+    def test_decode_round_trip(self):
+        register_map = AcbRegisterMap(n_acbs=4)
+        for acb_index in range(4):
+            address = register_map.register_address(acb_index, AcbRegisters.STATUS)
+            decoded = register_map.decode(address)
+            assert decoded == (acb_index, int(AcbRegisters.STATUS))
+
+    def test_decode_rejects_unaligned(self):
+        register_map = AcbRegisterMap(n_acbs=1)
+        with pytest.raises(ValueError):
+            register_map.decode(register_map.base_address + 2)
+
+    def test_decode_rejects_below_base(self):
+        register_map = AcbRegisterMap(n_acbs=1)
+        with pytest.raises(ValueError):
+            register_map.decode(register_map.base_address - 4)
+
+    def test_decode_rejects_beyond_last_acb(self):
+        register_map = AcbRegisterMap(n_acbs=2)
+        beyond = register_map.base_address + 2 * register_map.acb_stride_bytes
+        with pytest.raises(ValueError):
+            register_map.decode(beyond)
+
+    def test_acb_index_bounds(self):
+        register_map = AcbRegisterMap(n_acbs=2)
+        with pytest.raises(ValueError):
+            register_map.acb_base(2)
+
+    def test_lane_overflow_rejected(self):
+        register_map = AcbRegisterMap(n_acbs=1)
+        with pytest.raises(ValueError):
+            register_map.register_address(0, AcbRegisters.NORTH_MUX_BASE, lane=20)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AcbRegisterMap(n_acbs=0)
+
+
+class TestRegisterFile:
+    def test_write_read_round_trip(self):
+        registers = RegisterFile(AcbRegisterMap(n_acbs=3))
+        registers.write_register(1, AcbRegisters.CONTROL, 0x5)
+        assert registers.read_register(1, AcbRegisters.CONTROL) == 0x5
+
+    def test_unwritten_reads_zero(self):
+        registers = RegisterFile(AcbRegisterMap(n_acbs=1))
+        assert registers.read_register(0, AcbRegisters.FITNESS_VALUE) == 0
+
+    def test_value_range_checked(self):
+        registers = RegisterFile(AcbRegisterMap(n_acbs=1))
+        with pytest.raises(ValueError):
+            registers.write_register(0, AcbRegisters.CONTROL, 2**32)
+
+    def test_acbs_isolated(self):
+        registers = RegisterFile(AcbRegisterMap(n_acbs=2))
+        registers.write_register(0, AcbRegisters.OUTPUT_SELECT, 3)
+        assert registers.read_register(1, AcbRegisters.OUTPUT_SELECT) == 0
+
+    def test_dump_acb(self):
+        registers = RegisterFile(AcbRegisterMap(n_acbs=2))
+        registers.write_register(1, AcbRegisters.CONTROL, 1)
+        registers.write_register(1, AcbRegisters.WEST_MUX_BASE, 4, lane=2)
+        dump = registers.dump_acb(1)
+        assert dump[int(AcbRegisters.CONTROL)] == 1
+        assert dump[int(AcbRegisters.WEST_MUX_BASE) + 2] == 4
+        assert registers.dump_acb(0) == {}
+
+    def test_iteration(self):
+        registers = RegisterFile(AcbRegisterMap(n_acbs=1))
+        registers.write_register(0, AcbRegisters.CONTROL, 7)
+        pairs = list(registers)
+        assert len(pairs) == 1
+        assert pairs[0][1] == 7

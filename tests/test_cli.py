@@ -1,0 +1,84 @@
+"""Tests for the repro-ehw command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub_actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+        commands = set(sub_actions[0].choices)
+        assert commands == {
+            "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
+            "imitation", "tmr-recovery", "fault-sweep",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSubcommands:
+    def test_resources(self, capsys):
+        assert main(["resources", "--arrays", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Resource utilisation" in out
+        assert "67.53" in out
+        assert "754" in out
+
+    def test_speedup_model(self, capsys):
+        assert main(["speedup", "--generations", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "evolution time" in out
+        assert "saving_s" in out
+
+    def test_speedup_measured(self, capsys):
+        assert main(["speedup", "--measured", "--generations", "5",
+                     "--image-side", "24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Measured parallel-evolution sweep" in out
+
+    def test_new_ea(self, capsys):
+        assert main(["new-ea", "--generations", "10", "--runs", "1",
+                     "--image-side", "24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "classic" in out and "two_level" in out
+
+    def test_cascade_quality(self, capsys):
+        assert main(["cascade-quality", "--generations", "8", "--runs", "1",
+                     "--image-side", "24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "adapted_sequential" in out
+
+    def test_cascade_demo(self, capsys):
+        assert main(["cascade-demo", "--generations", "15", "--image-side", "24",
+                     "--noise", "0.3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "median filter" in out
+        assert "cascade stage 3" in out
+
+    def test_imitation(self, capsys):
+        assert main(["imitation", "--generations", "10", "--runs", "1",
+                     "--image-side", "24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "inherited" in out and "random" in out
+
+    def test_tmr_recovery(self, capsys):
+        assert main(["tmr-recovery", "--generations", "20", "--image-side", "24",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault detected: True" in out
+        assert "recovery" in out
+
+    def test_fault_sweep(self, capsys):
+        assert main(["fault-sweep", "--generations", "15", "--image-side", "24",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Systematic PE-level fault sweep" in out
+        assert "critical" in out

@@ -1,0 +1,124 @@
+"""Tests for the evolution-time model (the engine behind Figs. 12-14)."""
+
+import pytest
+
+from repro.array.genotype import GenotypeSpec
+from repro.fpga.fabric import FpgaFabric
+from repro.fpga.reconfiguration_engine import ReconfigurationEngine
+from repro.timing.model import EvolutionTimingModel
+
+
+@pytest.fixture
+def model():
+    return EvolutionTimingModel()
+
+
+class TestPerEventCosts:
+    def test_evaluation_time_scales_with_pixels(self, model):
+        t128 = model.evaluation_time_s(128 * 128)
+        t256 = model.evaluation_time_s(256 * 256)
+        assert t256 > 3.5 * t128  # roughly 4x, minus constant overheads
+
+    def test_reconfiguration_time_linear(self, model):
+        assert model.reconfiguration_time_s(10) == pytest.approx(
+            10 * model.pe_reconfiguration_time_s
+        )
+
+    def test_expected_pe_writes(self, model):
+        spec = GenotypeSpec(4, 4)
+        # k * 16 / 25 for the default genotype.
+        assert model.expected_pe_writes_per_offspring(5, spec) == pytest.approx(5 * 16 / 25)
+        assert model.expected_pe_writes_per_offspring(1, spec) == pytest.approx(16 / 25)
+
+    def test_expected_pe_writes_validation(self, model):
+        with pytest.raises(ValueError):
+            model.expected_pe_writes_per_offspring(0)
+        with pytest.raises(ValueError):
+            model.expected_pe_writes_per_offspring(100)
+
+    def test_from_engine_uses_engine_latency(self):
+        engine = ReconfigurationEngine(FpgaFabric(n_arrays=1))
+        model = EvolutionTimingModel.from_engine(engine)
+        assert model.pe_reconfiguration_time_s == pytest.approx(
+            engine.pe_reconfiguration_time_s
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EvolutionTimingModel(pe_reconfiguration_time_s=0)
+        with pytest.raises(ValueError):
+            EvolutionTimingModel(pixel_clock_hz=0)
+        model = EvolutionTimingModel()
+        with pytest.raises(ValueError):
+            model.evaluation_time_s(0)
+        with pytest.raises(ValueError):
+            model.reconfiguration_time_s(-1)
+
+
+class TestGenerationSchedule:
+    def test_single_array_is_fully_serial(self, model):
+        n_pixels = 128 * 128
+        pe_writes = 2.0
+        expected = 9 * (model.reconfiguration_time_s(1) * pe_writes
+                        + model.evaluation_time_s(n_pixels))
+        got = model.generation_time_s(
+            n_offspring=9, n_arrays=1, n_pixels=n_pixels, pe_writes_per_offspring=pe_writes
+        )
+        # Selection/loop software overhead adds a little (~33 us) on top.
+        assert expected < got < expected + 1e-4
+
+    def test_three_arrays_save_constant_evaluation_time(self, model):
+        """The multi-array saving is (n_offspring - n_batches) * T_eval,
+        independent of the mutation rate — the key observation of Fig. 12."""
+        n_pixels = 128 * 128
+        eval_time = model.evaluation_time_s(n_pixels)
+        savings = []
+        for pe_writes in (0.64, 1.92, 3.2):  # k = 1, 3, 5
+            single = model.generation_time_s(9, 1, n_pixels, pe_writes)
+            triple = model.generation_time_s(9, 3, n_pixels, pe_writes)
+            savings.append(single - triple)
+        assert savings[0] == pytest.approx(6 * eval_time, rel=0.01)
+        assert max(savings) - min(savings) < 1e-9
+
+    def test_saving_grows_with_image_size(self, model):
+        small = (
+            model.generation_time_s(9, 1, 128 * 128, 2.0)
+            - model.generation_time_s(9, 3, 128 * 128, 2.0)
+        )
+        large = (
+            model.generation_time_s(9, 1, 256 * 256, 2.0)
+            - model.generation_time_s(9, 3, 256 * 256, 2.0)
+        )
+        assert large == pytest.approx(4 * small, rel=0.05)
+
+    def test_time_grows_with_mutation_rate(self, model):
+        spec = GenotypeSpec(4, 4)
+        times = [
+            model.run_time_s(1000, 9, 1, 128 * 128, k, spec) for k in (1, 3, 5)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_run_breakdown_consistent(self, model):
+        breakdown = model.run_breakdown(
+            n_generations=100, n_offspring=9, n_arrays=3, n_pixels=128 * 128,
+            pe_writes_per_offspring=2.0,
+        )
+        assert breakdown.total_s > 0
+        assert breakdown.reconfiguration_s + breakdown.evaluation_s <= breakdown.total_s * 1.01
+        assert set(breakdown.as_dict()) == {
+            "reconfiguration_s", "evaluation_s", "software_s", "total_s"
+        }
+
+    def test_full_scale_magnitude_matches_paper(self, model):
+        """50 runs x 100k generations land in the paper's hundreds-of-seconds range."""
+        spec = GenotypeSpec(4, 4)
+        total = model.run_time_s(100_000, 9, 1, 128 * 128, 3, spec)
+        assert 100 < total < 1000
+
+    def test_invalid_generation_parameters(self, model):
+        with pytest.raises(ValueError):
+            model.generation_time_s(0, 1, 100, 1.0)
+        with pytest.raises(ValueError):
+            model.generation_time_s(9, 0, 100, 1.0)
+        with pytest.raises(ValueError):
+            model.run_breakdown(-1, 9, 1, 100, 1.0)
