@@ -17,10 +17,8 @@ Run with:  python examples/cascaded_denoising.py
 
 from __future__ import annotations
 
-from repro import CascadedEvolution, EvolvableHardwarePlatform, ParallelEvolution
-from repro.core.modes import CascadeFitnessMode, CascadeSchedule
+from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig, TaskSpec
 from repro.imaging.filters import median_filter
-from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
 
 GENERATIONS_PER_STAGE = 1200
@@ -30,22 +28,24 @@ SEED = 42
 
 
 def main() -> None:
-    pair = make_training_pair(
-        "salt_pepper_denoise", size=IMAGE_SIDE, seed=SEED, noise_level=NOISE_DENSITY
-    )
+    task = TaskSpec(task="salt_pepper_denoise", image_side=IMAGE_SIDE,
+                    seed=SEED, noise_level=NOISE_DENSITY)
+    pair = task.build()
     noisy_fitness = sae(pair.training, pair.reference)
     print(f"Input: {IMAGE_SIDE}x{IMAGE_SIDE} image, {NOISE_DENSITY:.0%} salt-and-pepper noise")
     print(f"  aggregated MAE of the noisy input: {noisy_fitness:.0f}\n")
 
     # --- base (stage-1) filter: shared by both cascade arrangements ------ #
     print(f"Evolving the base stage-1 filter ({GENERATIONS_PER_STAGE} generations)...")
-    same_platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
-    single = ParallelEvolution(same_platform, n_offspring=9, mutation_rate=4, rng=SEED)
-    single_result = single.run(pair.training, pair.reference,
-                               n_generations=GENERATIONS_PER_STAGE)
-    base_filter = single_result.best_genotypes[0]
+    base_session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=SEED),
+        EvolutionConfig(strategy="parallel", n_generations=GENERATIONS_PER_STAGE,
+                        n_offspring=9, mutation_rate=4, seed=SEED),
+    )
+    base_filter = base_session.evolve(pair).raw.best_genotypes[0]
 
     # --- same filter in every stage (the iterative approach) ------------- #
+    same_platform = base_session.platform
     for stage in range(3):
         same_platform.configure_array(stage, base_filter)
     same_outputs = same_platform.cascade_stage_outputs(pair.training)
@@ -54,23 +54,24 @@ def main() -> None:
         print(f"  stage {stage}: {sae(output, pair.reference):10.0f}")
 
     # --- adapted cascade (collaborative cascaded evolution) -------------- #
-    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
-    cascade = CascadedEvolution(
-        platform,
-        n_offspring=9,
-        mutation_rate=4,
-        rng=SEED,
-        fitness_mode=CascadeFitnessMode.SEPARATE,
-        schedule=CascadeSchedule.SEQUENTIAL,
+    cascade_session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=SEED),
+        EvolutionConfig(
+            strategy="cascaded",
+            n_generations=GENERATIONS_PER_STAGE,
+            n_offspring=9,
+            mutation_rate=4,
+            seed=SEED,
+            options={"fitness_mode": "separate", "schedule": "sequential",
+                     "n_stages": 3},
+        ),
     )
     print(f"Adapting stages 2 and 3 on top of the base filter "
           f"({GENERATIONS_PER_STAGE} generations per stage)...")
-    cascade.run(pair.training, pair.reference,
-                n_generations=GENERATIONS_PER_STAGE, n_stages=3,
-                seed_genotypes=[base_filter])
+    cascade_session.evolve(pair, seed_genotypes=[base_filter])
 
     print("Adapted cascade, aggregated MAE after each stage:")
-    outputs = platform.cascade_stage_outputs(pair.training)
+    outputs = cascade_session.platform.cascade_stage_outputs(pair.training)
     for stage, output in enumerate(outputs, start=1):
         print(f"  stage {stage}: {sae(output, pair.reference):10.0f}")
     adapted_final = sae(outputs[-1], pair.reference)

@@ -18,25 +18,28 @@ Run with:  python examples/fault_criticality_report.py
 
 from __future__ import annotations
 
-from repro import EvolvableHardwarePlatform, ParallelEvolution
 from repro.analysis import describe_genotype, fault_sweep, platform_fault_sweep
+from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig, TaskSpec
 from repro.array.genotype import Genotype
 from repro.experiments.fault_sweep import summarise
-from repro.imaging.images import make_training_pair
 
 SEED = 17
 
 
 def main() -> None:
-    pair = make_training_pair("salt_pepper_denoise", size=48, seed=SEED, noise_level=0.2)
-    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    task = TaskSpec(task="salt_pepper_denoise", image_side=48, seed=SEED, noise_level=0.2)
+    pair = task.build()
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=SEED),
+        EvolutionConfig(strategy="parallel", n_generations=600,
+                        n_offspring=9, mutation_rate=4, seed=SEED),
+    )
+    platform = session.platform
 
     print("Evolving the working circuit...")
-    driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=4, rng=SEED)
-    result = driver.run(
-        pair.training, pair.reference, n_generations=600,
-        seed_genotype=Genotype.identity(platform.spec),
-    )
+    result = session.evolve(
+        task, seed_genotype=Genotype.identity(platform.spec)
+    ).raw
     working = result.best_genotypes[0]
     print(f"  best fitness: {result.overall_best_fitness():.0f}\n")
 

@@ -19,40 +19,50 @@ Run with:  python examples/fault_tolerant_tmr.py
 
 from __future__ import annotations
 
-from repro import EvolvableHardwarePlatform, ParallelEvolution, TmrSelfHealing
+from repro.api import (
+    EvolutionConfig,
+    EvolutionSession,
+    PlatformConfig,
+    SelfHealingConfig,
+    TaskSpec,
+)
 from repro.array.genotype import Genotype
-from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
 
 SEED = 11
 
 
 def main() -> None:
-    pair = make_training_pair("salt_pepper_denoise", size=48, seed=SEED, noise_level=0.15)
-    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    task = TaskSpec(task="salt_pepper_denoise", image_side=48, seed=SEED, noise_level=0.15)
+    pair = task.build()
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=SEED),
+        EvolutionConfig(strategy="parallel", n_generations=800,
+                        n_offspring=9, mutation_rate=4, seed=SEED),
+    )
+    platform = session.platform
 
     # ------------------------------------------------------------------ #
     # 1. Initial evolution and TMR deployment.
     # ------------------------------------------------------------------ #
     print("Evolving the working circuit (parallel evolution mode)...")
-    driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=4, rng=SEED)
-    evolved = driver.run(
-        pair.training, pair.reference, n_generations=800,
-        seed_genotype=Genotype.identity(platform.spec),
-    )
+    artifact = session.evolve(task, seed_genotype=Genotype.identity(platform.spec))
+    evolved = artifact.raw
     working = evolved.best_genotypes[0]
     print(f"  best fitness after {evolved.n_generations} generations: "
           f"{evolved.overall_best_fitness():.0f}")
 
-    healer = TmrSelfHealing(
-        platform,
-        pattern_image=pair.training,
-        pattern_reference=pair.reference,
-        imitation_generations=600,
-        imitation_target_fitness=100.0,
-        n_offspring=9,
-        mutation_rate=3,
-        rng=SEED + 1,
+    healer = session.heal(
+        SelfHealingConfig(
+            strategy="tmr",
+            imitation_generations=600,
+            imitation_target_fitness=100.0,
+            n_offspring=9,
+            mutation_rate=3,
+            seed=SEED + 1,
+        ),
+        calibration_image=pair.training,
+        calibration_reference=pair.reference,
     )
     healer.setup(working)
     print("\nTMR deployed: the same circuit runs on all three arrays.")

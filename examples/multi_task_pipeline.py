@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import EvolvableHardwarePlatform, IndependentEvolution
+from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig
 from repro.array.genotype import Genotype
 from repro.imaging.filters import gaussian_filter, median_filter, sobel_edges
 from repro.imaging.images import make_test_image
@@ -42,19 +42,23 @@ def main() -> None:
     smoothed_reference = gaussian_filter(clean, sigma=1.0)
     edge_reference = sobel_edges(smoothed_reference)
 
-    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=SEED),
+        EvolutionConfig(strategy="independent", n_generations=GENERATIONS,
+                        n_offspring=9, mutation_rate=4, seed=SEED),
+    )
+    platform = session.platform
     print("Evolving three independent stages (denoise, smooth, edge-detect)...")
-    driver = IndependentEvolution(platform, n_offspring=9, mutation_rate=4, rng=SEED)
     identity = Genotype.identity(platform.spec)
-    result = driver.run(
+    result = session.evolve(
+        (noisy, clean),  # default task; per-array tasks override below
         tasks={
             0: (noisy, clean),                      # denoise
             1: (clean, smoothed_reference),         # smooth
             2: (smoothed_reference, edge_reference) # detect edges
         },
-        n_generations=GENERATIONS,
         seed_genotypes={0: identity, 1: identity, 2: identity},
-    )
+    ).raw
     for stage, task in enumerate(("denoise", "smooth", "edge detect")):
         print(f"  stage {stage} ({task:11s}): final training fitness "
               f"{result.best_fitness[stage]:.0f}")

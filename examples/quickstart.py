@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: evolve a salt-and-pepper denoiser on the multi-array platform.
 
-This is the smallest end-to-end use of the library:
+This is the smallest end-to-end use of the library, written against the
+unified Session API (``repro.api``):
 
-1. build a synthetic training pair (noisy image + clean reference);
-2. instantiate a three-array evolvable hardware platform;
-3. run parallel evolution (offspring distributed over the arrays, as in the
-   paper's Fig. 5) for a few hundred generations;
+1. describe the task declaratively (noisy image + clean reference);
+2. describe the platform (three arrays) and the evolution strategy
+   ("parallel": offspring distributed over the arrays, as in the paper's
+   Fig. 5) as validated configs;
+3. run ``session.evolve(task)`` and inspect the returned, serialisable
+   :class:`~repro.api.artifact.RunArtifact`;
 4. apply the evolved filter to a *fresh* noisy frame and compare it against
    the conventional 3x3 median filter baseline.
 
@@ -15,7 +18,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import EvolvableHardwarePlatform, ParallelEvolution
+from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig, TaskSpec
 from repro.array.genotype import Genotype
 from repro.imaging.filters import median_filter
 from repro.imaging.images import make_training_pair
@@ -24,46 +27,47 @@ from repro.imaging.metrics import mae, sae
 
 def main() -> None:
     # ------------------------------------------------------------------ #
-    # 1. Training data: a noisy image and the clean reference.
+    # 1. The task, declaratively: 25% salt-and-pepper noise on a 64x64 image.
     # ------------------------------------------------------------------ #
-    pair = make_training_pair(
-        "salt_pepper_denoise", size=64, seed=7, noise_level=0.25
-    )
+    task = TaskSpec(task="salt_pepper_denoise", image_side=64, seed=7, noise_level=0.25)
+    pair = task.build()
     print("Task: remove 25% salt-and-pepper noise from a 64x64 image")
     print(f"  aggregated MAE of the noisy input : {sae(pair.training, pair.reference):>10.0f}")
 
     # ------------------------------------------------------------------ #
-    # 2. The platform: three Array Control Blocks on a simulated fabric.
+    # 2. The session: a three-ACB platform plus a named evolution strategy.
     # ------------------------------------------------------------------ #
-    platform = EvolvableHardwarePlatform(n_arrays=3, seed=7)
-    report = platform.resource_report()
-    print(f"Platform: {platform.n_arrays} arrays, "
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=7),
+        EvolutionConfig(strategy="parallel", n_generations=1500,
+                        n_offspring=9, mutation_rate=4, seed=7),
+    )
+    report = session.platform.resource_report()
+    print(f"Platform: {session.platform.n_arrays} arrays, "
           f"{report.total_slices} slices, "
           f"{report.pe_reconfiguration_time_us:.2f} us per PE reconfiguration")
 
     # ------------------------------------------------------------------ #
-    # 3. Parallel evolution: 9 offspring per generation spread over 3 arrays.
+    # 3. Evolve.  The artifact bundles results + timing + config provenance
+    #    (artifact.to_json() / artifact.save(path) make it machine-readable).
     # ------------------------------------------------------------------ #
-    driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=4, rng=7)
-    result = driver.run(
-        pair.training,
-        pair.reference,
-        n_generations=1500,
-        seed_genotype=Genotype.identity(platform.spec),
+    artifact = session.evolve(
+        task, seed_genotype=Genotype.identity(session.platform.spec)
     )
+    results = artifact.results
     print("Evolution finished:")
-    print(f"  generations            : {result.n_generations}")
-    print(f"  candidate evaluations  : {result.n_evaluations}")
-    print(f"  PE reconfigurations    : {result.n_reconfigurations}")
-    print(f"  platform time estimate : {result.platform_time_s:.2f} s "
+    print(f"  generations            : {results['n_generations']}")
+    print(f"  candidate evaluations  : {results['n_evaluations']}")
+    print(f"  PE reconfigurations    : {results['n_reconfigurations']}")
+    print(f"  platform time estimate : {artifact.timing['platform_time_s']:.2f} s "
           "(intrinsic-evolution time on the modelled FPGA, not Python time)")
-    print(f"  best fitness           : {result.overall_best_fitness():.0f}")
+    print(f"  best fitness           : {results['overall_best_fitness']:.0f}")
 
     # ------------------------------------------------------------------ #
     # 4. Mission time: filter a fresh frame and compare with the median filter.
     # ------------------------------------------------------------------ #
     fresh = make_training_pair("salt_pepper_denoise", size=64, seed=8, noise_level=0.25)
-    evolved_output = platform.acb(0).shadow_process(fresh.training)
+    evolved_output = session.platform.acb(0).shadow_process(fresh.training)
     median_output = median_filter(fresh.training)
     print("Generalisation to an unseen frame (per-pixel MAE):")
     print(f"  unfiltered     : {mae(fresh.training, fresh.reference):6.2f}")

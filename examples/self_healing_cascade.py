@@ -18,9 +18,13 @@ Run with:  python examples/self_healing_cascade.py
 
 from __future__ import annotations
 
-from repro import CascadedEvolution, CascadedSelfHealing, EvolvableHardwarePlatform
-from repro.core.modes import CascadeFitnessMode, CascadeSchedule
-from repro.imaging.images import make_training_pair
+from repro.api import (
+    EvolutionConfig,
+    EvolutionSession,
+    PlatformConfig,
+    SelfHealingConfig,
+    TaskSpec,
+)
 from repro.imaging.metrics import sae
 
 SEED = 23
@@ -38,35 +42,43 @@ def print_report(title, report) -> None:
 
 
 def main() -> None:
-    pair = make_training_pair("salt_pepper_denoise", size=48, seed=SEED, noise_level=0.2)
-    platform = EvolvableHardwarePlatform(n_arrays=3, seed=SEED)
+    task = TaskSpec(task="salt_pepper_denoise", image_side=48, seed=SEED, noise_level=0.2)
+    pair = task.build()
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=SEED),
+        EvolutionConfig(
+            strategy="cascaded", n_generations=500, n_offspring=9,
+            mutation_rate=3, seed=SEED,
+            options={"fitness_mode": "separate", "schedule": "sequential",
+                     "n_stages": 3},
+        ),
+    )
+    platform = session.platform
 
     # ------------------------------------------------------------------ #
     # 1. Initial adaptation: evolve the collaborative cascade and store the
     #    training/reference images in the (simulated) flash memory.
     # ------------------------------------------------------------------ #
     print("Evolving the 3-stage collaborative cascade...")
-    driver = CascadedEvolution(
-        platform, n_offspring=9, mutation_rate=3, rng=SEED,
-        fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.SEQUENTIAL,
-    )
-    driver.run(pair.training, pair.reference, n_generations=500, n_stages=3)
+    session.evolve(task)
     platform.store_image("training", pair.training)
     platform.store_image("reference", pair.reference)
     cascade_fitness = sae(platform.process_cascade(pair.training), pair.reference)
     print(f"  cascade output MAE: {cascade_fitness:.0f} "
           f"(noisy input: {sae(pair.training, pair.reference):.0f})")
 
-    healer = CascadedSelfHealing(
-        platform,
+    healer = session.heal(
+        SelfHealingConfig(
+            strategy="cascaded",
+            imitation_generations=400,
+            imitation_target_fitness=100.0,
+            reference_image_key="reference",
+            n_offspring=9,
+            mutation_rate=3,
+            seed=SEED + 1,
+        ),
         calibration_image=pair.training,
         calibration_reference=pair.reference,
-        imitation_generations=400,
-        imitation_target_fitness=100.0,
-        reference_image_key="reference",
-        n_offspring=9,
-        mutation_rate=3,
-        rng=SEED + 1,
     )
     baseline = healer.initialize()
     print(f"  calibration baseline per array: "

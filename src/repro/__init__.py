@@ -11,6 +11,21 @@ combine scrubbing, TMR voting and evolution by imitation.
 
 Quick start
 -----------
+The unified Session API (:mod:`repro.api`) is the recommended entry point:
+
+>>> from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig, TaskSpec
+>>> session = EvolutionSession(
+...     PlatformConfig(n_arrays=3, seed=1),
+...     EvolutionConfig(strategy="parallel", n_generations=50, seed=1),
+... )
+>>> artifact = session.evolve(
+...     TaskSpec(task="salt_pepper_denoise", image_side=32, seed=1, noise_level=0.1)
+... )
+>>> artifact.results["overall_best_fitness"] < float("inf")
+True
+
+The class-based entry points remain fully supported:
+
 >>> from repro import EvolvableHardwarePlatform, ParallelEvolution
 >>> from repro.imaging import make_training_pair
 >>> pair = make_training_pair("salt_pepper_denoise", size=32, seed=1, noise_level=0.1)
@@ -24,7 +39,15 @@ The package is organised as one sub-package per subsystem; see ``DESIGN.md``
 in the repository root for the full inventory and the per-experiment index.
 """
 
-from repro import analysis, experiments, imaging
+from repro import analysis, api, experiments, imaging
+from repro.api import (
+    EvolutionConfig,
+    EvolutionSession,
+    PlatformConfig,
+    RunArtifact,
+    SelfHealingConfig,
+    TaskSpec,
+)
 from repro.array import ArrayGeometry, Genotype, GenotypeSpec, SystolicArray
 from repro.core import (
     ArrayControlBlock,
@@ -50,8 +73,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "experiments",
     "imaging",
+    "EvolutionConfig",
+    "EvolutionSession",
+    "PlatformConfig",
+    "RunArtifact",
+    "SelfHealingConfig",
+    "TaskSpec",
     "ArrayGeometry",
     "Genotype",
     "GenotypeSpec",

@@ -1,0 +1,66 @@
+"""Unified Session API: declarative configs, strategy registry, one façade.
+
+This package is the single entry point the CLI, the examples, the
+experiment runners and any future service layer build on:
+
+* **Configs** (:mod:`repro.api.config`) — frozen, validated dataclasses
+  (:class:`PlatformConfig`, :class:`EvolutionConfig`, :class:`TaskSpec`,
+  :class:`SelfHealingConfig`) with dict/JSON round-tripping for
+  provenance.
+* **Registry** (:mod:`repro.api.registry`) — string-keyed registries of
+  evolution drivers, self-healing strategies, imaging tasks and
+  experiment runners, extensible with the ``@register(...)`` decorator.
+* **Session** (:mod:`repro.api.session`) — the
+  :class:`EvolutionSession` façade:
+  ``EvolutionSession(platform, evolution).evolve(task) -> RunArtifact``.
+* **Artifacts** (:mod:`repro.api.artifact`) — :class:`RunArtifact`, the
+  serialisable bundle of results, timing, resources and the configs that
+  produced them.
+
+The legacy class-based entry points (the driver classes of
+:mod:`repro.core.evolution`, :class:`~repro.core.platform.EvolvableHardwarePlatform`)
+remain fully supported; sessions drive them underneath and reproduce
+their results byte for byte given the same seeds.
+"""
+
+from repro.api.artifact import RunArtifact
+from repro.api.config import (
+    EvolutionConfig,
+    PlatformConfig,
+    SelfHealingConfig,
+    TaskSpec,
+)
+from repro.api.experiment import ExperimentSpec, register_experiment
+from repro.api.registry import (
+    DRIVERS,
+    EXPERIMENTS,
+    SELF_HEALERS,
+    TASKS,
+    Registry,
+    UnknownStrategyError,
+    get_registry,
+    register,
+)
+from repro.api.session import EvolutionSession
+
+# Populate the registries with the paper's built-in strategies.
+from repro.api import builtins as _builtins  # noqa: F401  (import for side effects)
+
+__all__ = [
+    "RunArtifact",
+    "PlatformConfig",
+    "EvolutionConfig",
+    "TaskSpec",
+    "SelfHealingConfig",
+    "ExperimentSpec",
+    "register_experiment",
+    "Registry",
+    "UnknownStrategyError",
+    "register",
+    "get_registry",
+    "DRIVERS",
+    "SELF_HEALERS",
+    "TASKS",
+    "EXPERIMENTS",
+    "EvolutionSession",
+]

@@ -1,0 +1,126 @@
+"""The serialisable result bundle returned by the Session API.
+
+A :class:`RunArtifact` packages everything a caller, a CI job or a future
+service layer needs from one run: the structured results, the timing and
+resource accounting, and the *configs that produced them* — so any
+artifact can be traced back to (and re-run from) its exact inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["RunArtifact"]
+
+#: Version of the artifact wire format, bumped on breaking layout changes.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and mappings to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, float) and not np.isfinite(value):
+        # JSON has no Infinity/NaN; store as string so round trips stay valid.
+        return repr(value)
+    return value
+
+
+@dataclass
+class RunArtifact:
+    """Self-describing, JSON-serialisable outcome of one API run.
+
+    Attributes
+    ----------
+    kind:
+        What produced this artifact (``evolution-run`` for
+        :meth:`~repro.api.session.EvolutionSession.evolve`, or the
+        experiment name for CLI experiment runs).
+    config:
+        The declarative configs that produced the run, as plain dicts
+        (platform/evolution/task/CLI arguments as applicable).
+    results:
+        The structured payload: per-array fitness, histories, experiment
+        rows — whatever the producer reports.
+    timing:
+        Platform-time accounting (modelled hardware time, not Python time).
+    resources:
+        Optional §VI.A resource-utilisation snapshot of the platform.
+    provenance:
+        Library version, schema version and free-form producer notes.
+    raw:
+        The in-memory result object (e.g. a
+        :class:`~repro.core.evolution.PlatformEvolutionResult`) for
+        programmatic callers; never serialised.
+    """
+
+    kind: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+    timing: Dict[str, Any] = field(default_factory=dict)
+    resources: Optional[Dict[str, Any]] = None
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("artifact kind must be a non-empty string")
+        self.provenance.setdefault("schema_version", ARTIFACT_SCHEMA_VERSION)
+        if "library_version" not in self.provenance:
+            from repro import __version__
+
+            self.provenance["library_version"] = __version__
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (numpy values converted; ``raw`` excluded)."""
+        payload = {
+            "kind": self.kind,
+            "config": self.config,
+            "results": self.results,
+            "timing": self.timing,
+            "resources": self.resources,
+            "provenance": self.provenance,
+        }
+        return _jsonable(payload)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON view of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        """Write the artifact as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunArtifact":
+        """Rebuild an artifact from :meth:`to_dict` output."""
+        return cls(
+            kind=data["kind"],
+            config=dict(data.get("config") or {}),
+            results=dict(data.get("results") or {}),
+            timing=dict(data.get("timing") or {}),
+            resources=data.get("resources"),
+            provenance=dict(data.get("provenance") or {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,96 @@
+"""Experiment registration: how paper-figure runners plug into the CLI.
+
+Each module in :mod:`repro.experiments` registers an
+:class:`ExperimentSpec` describing its CLI subcommand — name, help text,
+argument configuration, the runner producing a
+:class:`~repro.api.artifact.RunArtifact`, and the table renderer.  The
+CLI iterates the ``experiment`` registry instead of hard-wiring one
+function per figure, so new experiments (including third-party plugins)
+appear as subcommands simply by registering.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.api.artifact import RunArtifact
+from repro.api.registry import register
+
+__all__ = [
+    "ExperimentSpec",
+    "register_experiment",
+    "add_common_options",
+    "print_table",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One CLI-exposed experiment.
+
+    Attributes
+    ----------
+    name:
+        Subcommand name (e.g. ``new-ea``).
+    help:
+        One-line help shown in ``repro-ehw --help``.
+    configure:
+        Adds the experiment's arguments to its subparser.
+    run:
+        Executes the experiment from parsed arguments and returns a
+        :class:`RunArtifact`.
+    render:
+        Prints the artifact as the human-readable tables the benchmark
+        harness and the paper comparison expect.
+    """
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], RunArtifact]
+    render: Callable[[RunArtifact], None]
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register ``spec`` in the ``experiment`` registry and return it."""
+    return register("experiment", spec.name, spec)
+
+
+def add_common_options(
+    parser: argparse.ArgumentParser,
+    generations: int,
+    image_side: int = 32,
+    runs: int = 3,
+) -> None:
+    """Add the budget options every experiment subcommand shares."""
+    parser.add_argument("--seed", type=int, default=2013, help="random seed")
+    parser.add_argument("--generations", type=int, default=generations,
+                        help="generation budget")
+    parser.add_argument("--image-side", type=int, default=image_side,
+                        help="test image side in pixels")
+    parser.add_argument("--runs", type=int, default=runs, help="repetitions")
+
+
+def print_table(title: str, rows: Iterable[Mapping], columns: Sequence[str]) -> None:
+    """Print experiment rows as a fixed-width table."""
+    rows = list(rows)
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {c: max(len(c), *(len(fmt(r.get(c))) for r in rows)) for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(fmt(row.get(c)).ljust(widths[c]) for c in columns))

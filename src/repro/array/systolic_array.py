@@ -31,15 +31,20 @@ corresponding to a dummy PE, which generates a random value in its output").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.array.genotype import Genotype, GenotypeSpec
-from repro.array.pe_library import apply_function
+from repro.array.pe_library import apply_function, function_table
 from repro.array.window import N_WINDOW_PIXELS, extract_windows
 
 __all__ = ["ArrayGeometry", "SystolicArray"]
+
+#: Function implementations indexed by gene value, resolved once: the batch
+#: evaluator dispatches through this table directly to skip the per-call
+#: validation of :func:`apply_function` (genes are validated by Genotype).
+_IMPLS_BY_GENE = function_table()
 
 
 @dataclass(frozen=True)
@@ -222,9 +227,128 @@ class SystolicArray:
                 south[c] = output
         return east[int(genotype.output_select)]
 
+    def process_planes_batch(
+        self, planes: np.ndarray, genotypes: Sequence[Genotype]
+    ) -> np.ndarray:
+        """Evaluate a batch of candidate circuits in one windowed NumPy pass.
+
+        This is the vectorised hot path behind ``evaluate_batch``: instead of
+        sweeping the array once per candidate (``len(genotypes)`` passes of
+        ``rows*cols`` whole-image operations each), all candidates advance
+        through the systolic sweep together on ``(B, H, W)`` planes.  At each
+        PE position candidates are grouped by function gene, so a generation
+        whose offspring share most genes with the parent — the common case
+        under low mutation rates — costs close to *one* array sweep instead
+        of ``B``.
+
+        The result is bit-identical to evaluating every candidate separately
+        with :meth:`process_planes`: PE operations are element-wise and each
+        faulty PE draws its random planes from its own generator once per
+        candidate, in candidate order, exactly as the sequential path does.
+
+        Parameters
+        ----------
+        planes:
+            ``(9, H, W)`` uint8 array from :func:`repro.array.window.extract_windows`.
+        genotypes:
+            The candidate circuits (all with this array's geometry).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(B, H, W)`` uint8 array; slice ``b`` is candidate ``b``'s output.
+        """
+        planes = np.asarray(planes)
+        if planes.ndim != 3 or planes.shape[0] != N_WINDOW_PIXELS:
+            raise ValueError(f"planes must have shape (9, H, W), got {planes.shape}")
+        if planes.dtype != np.uint8:
+            raise TypeError(f"planes must be uint8, got {planes.dtype}")
+        genotypes = list(genotypes)
+        if not genotypes:
+            raise ValueError("genotypes must contain at least one candidate")
+        rows, cols = self.geometry.rows, self.geometry.cols
+        for genotype in genotypes:
+            spec = genotype.spec
+            if (spec.rows, spec.cols) != (rows, cols):
+                raise ValueError(
+                    f"genotype geometry {spec.rows}x{spec.cols} does not match "
+                    f"array {rows}x{cols}"
+                )
+
+        n = len(genotypes)
+        h, w = planes.shape[1:]
+        # Gene bookkeeping runs over tiny (B,)-sized vectors, so plain Python
+        # lists beat numpy reductions here; the numpy work is reserved for
+        # the (B, H, W) image planes.
+        west_mux = np.stack([g.west_mux for g in genotypes]).T.tolist()       # rows x B
+        north_mux = np.stack([g.north_mux for g in genotypes]).T.tolist()     # cols x B
+        functions = (
+            np.stack([g.function_genes for g in genotypes]).reshape(n, -1).T.tolist()
+        )  # (rows*cols) x B
+        output_select = [int(g.output_select) for g in genotypes]
+        impls = _IMPLS_BY_GENE
+
+        def select_planes(genes: list) -> np.ndarray:
+            # (B,) mux genes -> (B, H, W) array inputs.  Stride-0 broadcast
+            # views defeat numpy's contiguous fast paths inside the PE
+            # functions, so the batch is materialised either way; the
+            # all-same case (the common one: mux mutations are rare) still
+            # avoids the fancy-indexing gather.
+            first = genes[0]
+            if genes.count(first) == n:
+                return np.ascontiguousarray(np.broadcast_to(planes[first], (n, h, w)))
+            return planes[np.asarray(genes)]
+
+        east: list = [select_planes(west_mux[r]) for r in range(rows)]
+        south: list = [select_planes(north_mux[c]) for c in range(cols)]
+        for r in range(rows):
+            for c in range(cols):
+                west = east[r]
+                north = south[c]
+                position = (r, c)
+                if position in self._fault_rngs:
+                    # One draw per candidate, in candidate order, so the
+                    # per-position RNG stream matches sequential evaluation.
+                    fault_rng = self._fault_rngs[position]
+                    output = np.stack([
+                        fault_rng.integers(0, 256, size=(h, w), dtype=np.uint8)
+                        for _ in range(n)
+                    ])
+                else:
+                    # Mutated offspring share most genes with their parent, so
+                    # almost every candidate agrees on the function here: run
+                    # the majority function over the whole batch in one pass
+                    # and patch the few dissenting candidates individually.
+                    genes = functions[r * cols + c]
+                    first = genes[0]
+                    if genes.count(first) == n:
+                        output = impls[first](west, north)
+                    else:
+                        majority = max(set(genes), key=genes.count)
+                        output = impls[majority](west, north)
+                        for i, gene in enumerate(genes):
+                            if gene != majority:
+                                output[i] = impls[gene](west[i], north[i])
+                east[r] = output
+                south[c] = output
+
+        first_select = output_select[0]
+        if output_select.count(first_select) == n:
+            return east[first_select]
+        majority_row = max(set(output_select), key=output_select.count)
+        result = east[majority_row]
+        for i, row in enumerate(output_select):
+            if row != majority_row:
+                result[i] = east[row][i]
+        return result
+
     def process(self, image: np.ndarray, genotype: Genotype) -> np.ndarray:
         """Evaluate a candidate circuit on an image (window extraction included)."""
         return self.process_planes(extract_windows(image), genotype)
+
+    def process_batch(self, image: np.ndarray, genotypes: Sequence[Genotype]) -> np.ndarray:
+        """Evaluate a batch of candidates on an image (window extraction included)."""
+        return self.process_planes_batch(extract_windows(image), genotypes)
 
     def process_stream(
         self, images: Iterable[np.ndarray], genotype: Genotype

@@ -14,271 +14,54 @@ figures can be regenerated without writing Python::
     repro-ehw tmr-recovery                 # Fig. 20
     repro-ehw fault-sweep                  # systematic fault analysis (extension)
 
-Every subcommand accepts ``--seed`` and budget options so that quick looks
-and full-fidelity runs use the same entry point.
+Subcommands are not hard-wired here: every experiment registers an
+:class:`~repro.api.experiment.ExperimentSpec` in the ``experiment``
+registry (see :mod:`repro.api.registry`), and this module builds one
+subcommand per entry — so plugins that register an experiment appear in
+the CLI automatically.
+
+Every subcommand accepts ``--seed`` and budget options, plus ``--json``
+to emit the run's :class:`~repro.api.artifact.RunArtifact` as
+machine-readable JSON — to stdout with a bare ``--json``, or to a file
+with ``--json PATH`` (the human-readable tables are still printed in the
+file case).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
 
 
-def _print_table(title: str, rows: Iterable[Mapping], columns: Sequence[str]) -> None:
-    rows = list(rows)
-    print(f"\n=== {title} ===")
-    if not rows:
-        print("(no rows)")
-        return
-
-    def fmt(value) -> str:
-        if value is None:
-            return "-"
-        if isinstance(value, float):
-            return f"{value:.2f}"
-        return str(value)
-
-    widths = {c: max(len(c), *(len(fmt(r.get(c))) for r in rows)) for c in columns}
-    header = "  ".join(c.ljust(widths[c]) for c in columns)
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        print("  ".join(fmt(row.get(c)).ljust(widths[c]) for c in columns))
-
-
-# --------------------------------------------------------------------------- #
-# Subcommand implementations
-# --------------------------------------------------------------------------- #
-def _cmd_resources(args: argparse.Namespace) -> int:
-    from repro.experiments.resources_table import resource_utilisation_rows
-
-    rows = resource_utilisation_rows(n_arrays=args.arrays)
-    _print_table(f"Resource utilisation ({args.arrays} ACBs)", rows,
-                 ["quantity", "paper", "measured"])
-    return 0
-
-
-def _cmd_speedup(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel_speedup import (
-        evolution_time_sweep,
-        measured_speedup_sweep,
-        time_savings,
-    )
-
-    if args.measured:
-        points = measured_speedup_sweep(
-            image_side=args.image_side,
-            n_generations=args.generations,
-            seed=args.seed,
-        )
-        rows = [
-            {"image": p.image_side, "k": p.mutation_rate, "arrays": p.n_arrays,
-             "time_s": p.evolution_time_s, "pe_writes": p.n_reconfigurations}
-            for p in points
-        ]
-        _print_table("Measured parallel-evolution sweep", rows,
-                     ["image", "k", "arrays", "time_s", "pe_writes"])
-        return 0
-
-    points = evolution_time_sweep(n_generations=args.generations)
-    rows = [
-        {"image": f"{p.image_side}x{p.image_side}", "k": p.mutation_rate,
-         "arrays": p.n_arrays, "time_s": p.evolution_time_s}
-        for p in points
-    ]
-    _print_table(f"Figs. 12-13: evolution time, {args.generations} generations",
-                 rows, ["image", "k", "arrays", "time_s"])
-    _print_table("Time saving of 3 arrays vs 1", time_savings(points),
-                 ["image_side", "mutation_rate", "single_array_s",
-                  "three_arrays_s", "saving_s"])
-    return 0
-
-
-def _cmd_new_ea(args: argparse.Namespace) -> int:
-    from repro.experiments.new_ea import new_ea_comparison
-
-    points = new_ea_comparison(
-        image_side=args.image_side,
-        n_generations=args.generations,
-        n_runs=args.runs,
-        seed=args.seed,
-    )
-    rows = [
-        {"strategy": p.strategy, "k": p.mutation_rate,
-         "time_s": p.mean_platform_time_s, "fitness": p.mean_final_fitness,
-         "pe_writes_per_gen": p.mean_reconfigurations_per_generation}
-        for p in points
-    ]
-    _print_table("Figs. 14-15: classic vs two-level-mutation EA", rows,
-                 ["strategy", "k", "time_s", "fitness", "pe_writes_per_gen"])
-    return 0
-
-
-def _cmd_cascade_quality(args: argparse.Namespace) -> int:
-    from repro.experiments.cascade_quality import cascade_quality_comparison
-
-    points = cascade_quality_comparison(
-        image_side=args.image_side,
-        noise_level=args.noise,
-        n_generations=args.generations,
-        n_runs=args.runs,
-        seed=args.seed,
-    )
-    rows = [
-        {"arrangement": p.arrangement, "stage": p.stage,
-         "avg_fitness": p.average_fitness, "best_fitness": p.best_fitness}
-        for p in points
-    ]
-    _print_table("Figs. 16-17: cascade arrangements, per-stage fitness", rows,
-                 ["arrangement", "stage", "avg_fitness", "best_fitness"])
-    return 0
-
-
-def _cmd_cascade_demo(args: argparse.Namespace) -> int:
-    from repro.experiments.cascade_demo import three_stage_cascade_demo
-
-    result = three_stage_cascade_demo(
-        image_side=args.image_side,
-        noise_density=args.noise,
-        n_generations=args.generations,
-        seed=args.seed,
-    )
-    rows = [{"output": "noisy input", "aggregated_MAE": result.noisy_fitness}]
-    rows += [
-        {"output": f"cascade stage {i + 1}", "aggregated_MAE": fitness}
-        for i, fitness in enumerate(result.stage_fitness)
-    ]
-    rows.append({"output": "median filter (3x3)", "aggregated_MAE": result.median_fitness})
-    _print_table("Fig. 18: adapted 3-stage cascade vs median filter", rows,
-                 ["output", "aggregated_MAE"])
-    print(f"cascade beats median baseline: {result.cascade_beats_median}")
-    return 0
-
-
-def _cmd_imitation(args: argparse.Namespace) -> int:
-    from repro.experiments.imitation_recovery import imitation_seed_comparison
-
-    points = imitation_seed_comparison(
-        image_side=args.image_side,
-        initial_generations=args.generations,
-        recovery_generations=args.generations,
-        n_runs=args.runs,
-        seed=args.seed,
-    )
-    rows = [
-        {"seeding": p.seeding, "run": p.run, "fault_pe": str(p.fault_position),
-         "pre_recovery": p.pre_recovery_fitness, "final": p.final_fitness}
-        for p in points
-    ]
-    _print_table("Fig. 19: imitation recovery, inherited vs random seeding", rows,
-                 ["seeding", "run", "fault_pe", "pre_recovery", "final"])
-    return 0
-
-
-def _cmd_tmr_recovery(args: argparse.Namespace) -> int:
-    from repro.experiments.tmr_recovery import tmr_fault_recovery_trace
-
-    result = tmr_fault_recovery_trace(
-        image_side=args.image_side,
-        initial_generations=args.generations,
-        recovery_generations=args.generations,
-        seed=args.seed,
-    )
-    rows = [
-        {"generation": p.generation, "phase": p.phase,
-         "faulty_fitness": p.faulty_array_fitness,
-         "healthy_fitness": p.healthy_array_fitness}
-        for p in result.trace
-    ]
-    _print_table("Fig. 20: TMR fault/recovery trace", rows,
-                 ["generation", "phase", "faulty_fitness", "healthy_fitness"])
-    print(f"fault detected: {result.fault_detected}; "
-          f"class: {result.fault_class.value}; "
-          f"final imitation fitness: {result.final_imitation_fitness:.0f}")
-    return 0
-
-
-def _cmd_fault_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.fault_sweep import systematic_fault_analysis
-
-    summaries = systematic_fault_analysis(
-        image_side=args.image_side,
-        n_generations=args.generations,
-        seed=args.seed,
-    )
-    rows = [
-        {"array": s.array_index, "benign": s.n_benign, "critical": s.n_critical,
-         "max_degradation": s.max_degradation,
-         "inactive_but_critical": s.structurally_inactive_but_critical}
-        for s in summaries
-    ]
-    _print_table("Systematic PE-level fault sweep", rows,
-                 ["array", "benign", "critical", "max_degradation",
-                  "inactive_but_critical"])
-    return 0
-
-
-# --------------------------------------------------------------------------- #
-# Parser
-# --------------------------------------------------------------------------- #
-def _add_common(parser: argparse.ArgumentParser, generations: int,
-                image_side: int = 32, runs: int = 3) -> None:
-    parser.add_argument("--seed", type=int, default=2013, help="random seed")
-    parser.add_argument("--generations", type=int, default=generations,
-                        help="generation budget")
-    parser.add_argument("--image-side", type=int, default=image_side,
-                        help="test image side in pixels")
-    parser.add_argument("--runs", type=int, default=runs, help="repetitions")
-
-
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser from the experiment registry."""
+    # Importing the experiments package registers every ExperimentSpec.
+    import repro.experiments  # noqa: F401
+    from repro.api.registry import EXPERIMENTS
+
     parser = argparse.ArgumentParser(
         prog="repro-ehw",
         description="Reproduce the evaluation of the IPPS 2013 multi-array "
                     "evolvable hardware system.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("resources", help="resource utilisation (§VI.A)")
-    p.add_argument("--arrays", type=int, default=3, help="number of ACBs")
-    p.set_defaults(func=_cmd_resources)
-
-    p = sub.add_parser("speedup", help="parallel-evolution speed-up (Figs. 12-13)")
-    p.add_argument("--measured", action="store_true",
-                   help="run real evolution instead of the timing model")
-    _add_common(p, generations=100_000)
-    p.set_defaults(func=_cmd_speedup)
-
-    p = sub.add_parser("new-ea", help="classic vs two-level EA (Figs. 14-15)")
-    _add_common(p, generations=150)
-    p.set_defaults(func=_cmd_new_ea)
-
-    p = sub.add_parser("cascade-quality", help="cascade arrangements (Figs. 16-17)")
-    p.add_argument("--noise", type=float, default=0.3, help="salt-and-pepper density")
-    _add_common(p, generations=60)
-    p.set_defaults(func=_cmd_cascade_quality)
-
-    p = sub.add_parser("cascade-demo", help="3-stage cascade vs median filter (Fig. 18)")
-    p.add_argument("--noise", type=float, default=0.4, help="salt-and-pepper density")
-    _add_common(p, generations=1200, image_side=64)
-    p.set_defaults(func=_cmd_cascade_demo)
-
-    p = sub.add_parser("imitation", help="imitation-recovery seeding comparison (Fig. 19)")
-    _add_common(p, generations=120)
-    p.set_defaults(func=_cmd_imitation)
-
-    p = sub.add_parser("tmr-recovery", help="TMR fault/recovery trace (Fig. 20)")
-    _add_common(p, generations=120)
-    p.set_defaults(func=_cmd_tmr_recovery)
-
-    p = sub.add_parser("fault-sweep", help="systematic PE-level fault sweep (extension)")
-    _add_common(p, generations=150)
-    p.set_defaults(func=_cmd_fault_sweep)
-
+    for name in EXPERIMENTS.names():
+        spec = EXPERIMENTS.get(name)
+        p = sub.add_parser(name, help=spec.help)
+        spec.configure(p)
+        p.add_argument(
+            "--json",
+            nargs="?",
+            const="-",
+            default=None,
+            metavar="FILE",
+            help="emit the run artifact as JSON (to stdout with no value, "
+                 "or to FILE)",
+        )
+        p.set_defaults(spec=spec)
     return parser
 
 
@@ -286,7 +69,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    artifact = args.spec.run(args)
+    if args.json == "-":
+        print(artifact.to_json())
+        return 0
+    args.spec.render(artifact)
+    if args.json:
+        artifact.save(args.json)
+        print(f"\nartifact written to {args.json}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,12 +17,14 @@ provides:
 
 from repro.core.acb import ArrayControlBlock, FitnessUnit
 from repro.core.evolution import (
+    ArrayEvalContext,
     CascadedEvolution,
     EvolutionDriver,
     ImitationEvolution,
     IndependentEvolution,
     ParallelEvolution,
     PlatformEvolutionResult,
+    evaluate_batch,
 )
 from repro.core.modes import (
     CascadeFitnessMode,
@@ -46,6 +48,7 @@ from repro.core.voter import FitnessVoter, PixelVoter, VoteResult
 
 __all__ = [
     "ArrayControlBlock",
+    "ArrayEvalContext",
     "FitnessUnit",
     "CascadedEvolution",
     "EvolutionDriver",
@@ -53,6 +56,7 @@ __all__ = [
     "IndependentEvolution",
     "ParallelEvolution",
     "PlatformEvolutionResult",
+    "evaluate_batch",
     "CascadeFitnessMode",
     "CascadeSchedule",
     "CascadeStyle",

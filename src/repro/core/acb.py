@@ -28,6 +28,7 @@ timing model charges for.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -161,17 +162,31 @@ class ArrayControlBlock:
         elapsed = self.engine.reconfigure_many(placements)
         self._write_mux_registers(genotype)
         self.genotype = genotype
-        self._sync_faults()
+        self.sync_faults()
         return len(placements), elapsed
 
-    def _sync_faults(self) -> None:
-        """Propagate the fabric's fault state into the functional array model."""
+    def sync_faults(self) -> None:
+        """Propagate the fabric's fault state into the functional array model.
+
+        The platform calls this after every operation that may change the
+        fabric's fault set (injection, scrubbing, reconfiguration) so the
+        functional array model always mirrors the hardware state.
+        """
         self.array.clear_all_faults()
         for position in self.fabric.effective_faults(self.index):
             # Seed the garbage generator deterministically from the position
             # so repeated experiments are reproducible.
             seed = hash((self.index, position)) & 0x7FFFFFFF
             self.array.inject_fault(position, seed)
+
+    def _sync_faults(self) -> None:
+        """Deprecated alias of :meth:`sync_faults` (kept for compatibility)."""
+        warnings.warn(
+            "ArrayControlBlock._sync_faults is deprecated; use sync_faults()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.sync_faults()
 
     # ------------------------------------------------------------------ #
     # Control registers / modes
@@ -239,7 +254,7 @@ class ArrayControlBlock:
             raise RuntimeError(
                 f"ACB {self.index} has no configured circuit; call configure() first"
             )
-        self._sync_faults()
+        self.sync_faults()
         return self.array.process(image, self.genotype)
 
     def evaluate_fitness(

@@ -45,11 +45,13 @@ from repro.timing.model import EvolutionTimingModel
 
 __all__ = [
     "PlatformEvolutionResult",
+    "ArrayEvalContext",
     "EvolutionDriver",
     "IndependentEvolution",
     "ParallelEvolution",
     "CascadedEvolution",
     "ImitationEvolution",
+    "evaluate_batch",
 ]
 
 
@@ -91,8 +93,14 @@ class PlatformEvolutionResult:
         return np.asarray(self.fitness_history.get(array_index, []), dtype=np.float64)
 
 
-class _ArrayEvalContext:
-    """Cached evaluation context for one array and one training image."""
+class ArrayEvalContext:
+    """Cached evaluation context for one array and one training image.
+
+    Extracts the window planes of the training image once and tracks the
+    function genes currently placed on the array, so candidate evaluation
+    and reconfiguration accounting are both cheap.  This is the handle
+    :func:`evaluate_batch` scores candidates through.
+    """
 
     def __init__(self, platform: EvolvableHardwarePlatform, array_index: int,
                  training_image: np.ndarray) -> None:
@@ -103,7 +111,7 @@ class _ArrayEvalContext:
         self.planes = extract_windows(self.training_image)
         # Function genes currently placed on the array's fabric regions.
         self.placed_functions = platform.fabric.configured_genes(array_index).astype(np.int16)
-        self.acb._sync_faults()
+        self.acb.sync_faults()
 
     def retarget(self, training_image: np.ndarray) -> None:
         """Switch the training image (cascaded evolution stages)."""
@@ -125,9 +133,58 @@ class _ArrayEvalContext:
         """Array output for ``genotype`` on the cached training image."""
         return self.acb.array.process_planes(self.planes, genotype)
 
+    def outputs_batch(self, genotypes: Sequence[Genotype]) -> np.ndarray:
+        """Array outputs for a batch of candidates, as one ``(B, H, W)`` pass."""
+        return self.acb.array.process_planes_batch(self.planes, genotypes)
+
     def fitness(self, genotype: Genotype, reference: np.ndarray) -> float:
         """Aggregated MAE of the candidate against ``reference``."""
         return sae(self.output(genotype), reference)
+
+    def fitness_batch(self, genotypes: Sequence[Genotype], reference: np.ndarray) -> List[float]:
+        """Aggregated MAE of each candidate against ``reference`` (one vector pass)."""
+        return evaluate_batch(self, genotypes, reference)
+
+
+def evaluate_batch(
+    context: "ArrayEvalContext",
+    genotypes: Sequence[Genotype],
+    reference: np.ndarray,
+) -> List[float]:
+    """Score a whole offspring batch through one windowed NumPy pass.
+
+    This is the platform's vectorised evaluation hot path: the λ offspring of
+    a generation advance through the systolic sweep together (see
+    :meth:`repro.array.systolic_array.SystolicArray.process_planes_batch`)
+    and their aggregated-MAE fitnesses are reduced in a single vector
+    operation.  The returned values are bit-identical to calling
+    ``context.fitness`` candidate by candidate — the drivers rely on this to
+    keep batched runs byte-reproducible against the sequential path.
+
+    Parameters
+    ----------
+    context:
+        Cached evaluation context of the target array.
+    genotypes:
+        The candidate circuits to score.
+    reference:
+        Reference image the fitness unit compares against.
+
+    Returns
+    -------
+    list of float
+        Aggregated MAE per candidate, in input order.
+    """
+    outputs = context.outputs_batch(genotypes)
+    # uint8 differences fit int16 exactly; accumulate in int64 so the values
+    # match sae()'s int64 arithmetic bit for bit.
+    reference = np.asarray(reference).astype(np.int16)
+    errors = np.abs(outputs.astype(np.int16) - reference).sum(axis=(1, 2), dtype=np.int64)
+    return [float(error) for error in errors]
+
+
+#: Deprecated pre-1.1 name of :class:`ArrayEvalContext`.
+_ArrayEvalContext = ArrayEvalContext
 
 
 class EvolutionDriver:
@@ -148,6 +205,11 @@ class EvolutionDriver:
         reconfiguration engine.
     accept_equal:
         Whether equal-fitness offspring replace the parent (CGP neutral drift).
+    batched:
+        When ``True`` the λ offspring of each generation are scored through
+        the vectorised :func:`evaluate_batch` pass instead of one Python
+        evaluation per candidate.  Results are byte-identical either way;
+        batching only changes the wall-clock cost of the simulation.
     """
 
     def __init__(
@@ -158,6 +220,7 @@ class EvolutionDriver:
         rng: Union[int, np.random.Generator, None] = None,
         timing_model: Optional[EvolutionTimingModel] = None,
         accept_equal: bool = True,
+        batched: bool = False,
     ) -> None:
         if n_offspring < 1:
             raise ValueError("n_offspring must be >= 1")
@@ -167,6 +230,7 @@ class EvolutionDriver:
         self.n_offspring = n_offspring
         self.mutation_rate = mutation_rate
         self.accept_equal = accept_equal
+        self.batched = bool(batched)
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self.timing_model = timing_model if timing_model is not None else platform.timing_model()
 
@@ -185,6 +249,29 @@ class EvolutionDriver:
         if child_fitness < parent_fitness:
             return True
         return self.accept_equal and child_fitness == parent_fitness
+
+    def _evaluate_offspring(
+        self,
+        context: ArrayEvalContext,
+        genotypes: Sequence[Genotype],
+        reference: np.ndarray,
+    ) -> List[float]:
+        """Fitness of each offspring on one array, batched or sequential."""
+        if self.batched and len(genotypes) > 1:
+            return context.fitness_batch(genotypes, reference)
+        return [context.fitness(genotype, reference) for genotype in genotypes]
+
+    @staticmethod
+    def _best_offspring(
+        mutations: Sequence[MutationResult], fitnesses: Sequence[float]
+    ) -> Tuple[Optional[Genotype], float]:
+        """First strictly-best offspring, matching the sequential selection order."""
+        best_child: Optional[Genotype] = None
+        best_child_fitness = math.inf
+        for mutation, fitness in zip(mutations, fitnesses):
+            if fitness < best_child_fitness:
+                best_child, best_child_fitness = mutation.genotype, fitness
+        return best_child, best_child_fitness
 
 
 class IndependentEvolution(EvolutionDriver):
@@ -221,7 +308,7 @@ class IndependentEvolution(EvolutionDriver):
         result = PlatformEvolutionResult()
 
         for array_index, (training, reference) in sorted(tasks.items()):
-            context = _ArrayEvalContext(self.platform, array_index, training)
+            context = ArrayEvalContext(self.platform, array_index, training)
             reference = np.asarray(reference)
             scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(np.asarray(training).size))
 
@@ -231,16 +318,16 @@ class IndependentEvolution(EvolutionDriver):
             history: List[float] = []
 
             for _ in range(n_generations):
-                offspring_counts: List[int] = []
-                best_child: Optional[Genotype] = None
-                best_child_fitness = math.inf
-                for _ in range(self.n_offspring):
-                    mutation = mutate(parent, self.mutation_rate, self.rng)
-                    offspring_counts.append(context.place(mutation.genotype))
-                    fitness = context.fitness(mutation.genotype, reference)
-                    result.n_evaluations += 1
-                    if fitness < best_child_fitness:
-                        best_child, best_child_fitness = mutation.genotype, fitness
+                mutations = [
+                    mutate(parent, self.mutation_rate, self.rng)
+                    for _ in range(self.n_offspring)
+                ]
+                offspring_counts = [context.place(m.genotype) for m in mutations]
+                fitnesses = self._evaluate_offspring(
+                    context, [m.genotype for m in mutations], reference
+                )
+                result.n_evaluations += len(mutations)
+                best_child, best_child_fitness = self._best_offspring(mutations, fitnesses)
                 scheduler.record_generation(offspring_counts)
                 if best_child is not None and self._accept(best_child_fitness, parent_fitness):
                     parent, parent_fitness = best_child, best_child_fitness
@@ -281,7 +368,7 @@ class ParallelEvolution(EvolutionDriver):
             )
 
     def _generation_offspring(
-        self, parent: Genotype, contexts: List[_ArrayEvalContext]
+        self, parent: Genotype, contexts: List[ArrayEvalContext]
     ) -> List[Tuple[int, MutationResult]]:
         """Produce the generation's offspring as (array_slot, mutation) pairs.
 
@@ -295,6 +382,43 @@ class ParallelEvolution(EvolutionDriver):
             plan.append((slot, mutate(parent, self.mutation_rate, self.rng)))
         return plan
 
+    def _evaluate_plan(
+        self,
+        contexts: List[ArrayEvalContext],
+        plan: Sequence[Tuple[int, MutationResult]],
+        reference: np.ndarray,
+    ) -> List[float]:
+        """Fitness of every planned offspring, in plan order.
+
+        With batching enabled, each array scores its share of the plan in
+        one vectorised pass; candidates keep their plan-order position so
+        selection (and each array's fault-RNG stream) matches the
+        sequential path exactly.
+        """
+        fitnesses = [math.inf] * len(plan)
+        if self.batched and len(plan) > 1:
+            if all(context.acb.array.n_faults == 0 for context in contexts):
+                # Healthy arrays are functionally identical and fault-free
+                # evaluation consumes no RNG, so the whole generation can be
+                # scored as one batch without perturbing any random stream.
+                return contexts[0].fitness_batch(
+                    [mutation.genotype for _, mutation in plan], reference
+                )
+            per_slot: Dict[int, List[int]] = {}
+            for index, (slot, _) in enumerate(plan):
+                per_slot.setdefault(slot, []).append(index)
+            for slot, indices in per_slot.items():
+                values = contexts[slot].fitness_batch(
+                    [plan[index][1].genotype for index in indices],
+                    reference,
+                )
+                for index, value in zip(indices, values):
+                    fitnesses[index] = value
+        else:
+            for index, (slot, mutation) in enumerate(plan):
+                fitnesses[index] = contexts[slot].fitness(mutation.genotype, reference)
+        return fitnesses
+
     def run(
         self,
         training_image: np.ndarray,
@@ -307,7 +431,7 @@ class ParallelEvolution(EvolutionDriver):
         training_image = np.asarray(training_image)
         reference_image = np.asarray(reference_image)
         contexts = [
-            _ArrayEvalContext(self.platform, index, training_image)
+            ArrayEvalContext(self.platform, index, training_image)
             for index in range(self.n_arrays)
         ]
         scheduler = self._make_scheduler(
@@ -322,16 +446,14 @@ class ParallelEvolution(EvolutionDriver):
 
         for _ in range(n_generations):
             plan = self._generation_offspring(parent, contexts)
-            offspring_counts: List[int] = []
-            best_child: Optional[Genotype] = None
-            best_child_fitness = math.inf
-            for slot, mutation in plan:
-                context = contexts[slot]
-                offspring_counts.append(context.place(mutation.genotype))
-                fitness = context.fitness(mutation.genotype, reference_image)
-                result.n_evaluations += 1
-                if fitness < best_child_fitness:
-                    best_child, best_child_fitness = mutation.genotype, fitness
+            offspring_counts = [
+                contexts[slot].place(mutation.genotype) for slot, mutation in plan
+            ]
+            fitnesses = self._evaluate_plan(contexts, plan, reference_image)
+            result.n_evaluations += len(plan)
+            best_child, best_child_fitness = self._best_offspring(
+                [mutation for _, mutation in plan], fitnesses
+            )
             scheduler.record_generation(offspring_counts)
             if best_child is not None and self._accept(best_child_fitness, parent_fitness):
                 parent, parent_fitness = best_child, best_child_fitness
@@ -398,7 +520,7 @@ class CascadedEvolution(EvolutionDriver):
     # ------------------------------------------------------------------ #
     def _chain_output(
         self,
-        contexts: List[_ArrayEvalContext],
+        contexts: List[ArrayEvalContext],
         parents: List[Genotype],
         stage: int,
         candidate: Genotype,
@@ -416,7 +538,7 @@ class CascadedEvolution(EvolutionDriver):
 
     def _stage_fitness(
         self,
-        contexts: List[_ArrayEvalContext],
+        contexts: List[ArrayEvalContext],
         parents: List[Genotype],
         stage: int,
         candidate: Genotype,
@@ -431,7 +553,7 @@ class CascadedEvolution(EvolutionDriver):
 
     def _stage_input(
         self,
-        contexts: List[_ArrayEvalContext],
+        contexts: List[ArrayEvalContext],
         parents: List[Genotype],
         stage: int,
         training_image: np.ndarray,
@@ -467,7 +589,7 @@ class CascadedEvolution(EvolutionDriver):
                 f"n_stages must be in [1, {self.platform.n_arrays}], got {n_stages}"
             )
         contexts = [
-            _ArrayEvalContext(self.platform, index, training_image)
+            ArrayEvalContext(self.platform, index, training_image)
             for index in range(n_stages)
         ]
         scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(training_image.size))
@@ -505,18 +627,33 @@ class CascadedEvolution(EvolutionDriver):
                     if repeat_fitness < parent_fitness[stage]:
                         parents[stage] = repeat
                         parent_fitness[stage] = repeat_fitness
-            offspring_counts: List[int] = []
-            best_child: Optional[Genotype] = None
-            best_child_fitness = math.inf
-            for _ in range(self.n_offspring):
-                mutation = mutate(parents[stage], self.mutation_rate, self.rng)
-                offspring_counts.append(contexts[stage].place(mutation.genotype))
-                fitness = self._stage_fitness(
-                    contexts, parents, stage, mutation.genotype, stage_input, reference_image
+            mutations = [
+                mutate(parents[stage], self.mutation_rate, self.rng)
+                for _ in range(self.n_offspring)
+            ]
+            offspring_counts = [contexts[stage].place(m.genotype) for m in mutations]
+            if (
+                self.batched
+                and self.fitness_mode == CascadeFitnessMode.SEPARATE
+                and len(mutations) > 1
+            ):
+                # Separate fitness units judge each candidate on its own
+                # stage output, so the whole offspring batch can share one
+                # windowed pass over the stage input.
+                planes = extract_windows(stage_input)
+                outputs = contexts[stage].acb.array.process_planes_batch(
+                    planes, [m.genotype for m in mutations]
                 )
-                result.n_evaluations += 1
-                if fitness < best_child_fitness:
-                    best_child, best_child_fitness = mutation.genotype, fitness
+                fitnesses = [sae(output, reference_image) for output in outputs]
+            else:
+                fitnesses = [
+                    self._stage_fitness(
+                        contexts, parents, stage, m.genotype, stage_input, reference_image
+                    )
+                    for m in mutations
+                ]
+            result.n_evaluations += len(mutations)
+            best_child, best_child_fitness = self._best_offspring(mutations, fitnesses)
             scheduler.record_generation(offspring_counts)
             if best_child is not None and self._accept(best_child_fitness, parent_fitness[stage]):
                 parents[stage] = best_child
@@ -601,7 +738,7 @@ class ImitationEvolution(EvolutionDriver):
         # The apprentice is bypassed so the cascade keeps streaming while it
         # re-learns (online recovery with an offline-style method).
         self.platform.set_bypass(apprentice_index, True)
-        context = _ArrayEvalContext(self.platform, apprentice_index, input_image)
+        context = ArrayEvalContext(self.platform, apprentice_index, input_image)
         scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(input_image.size))
         result = PlatformEvolutionResult()
 
@@ -616,16 +753,16 @@ class ImitationEvolution(EvolutionDriver):
         history: List[float] = []
 
         for _ in range(n_generations):
-            offspring_counts: List[int] = []
-            best_child: Optional[Genotype] = None
-            best_child_fitness = math.inf
-            for _ in range(self.n_offspring):
-                mutation = mutate(parent, self.mutation_rate, self.rng)
-                offspring_counts.append(context.place(mutation.genotype))
-                fitness = context.fitness(mutation.genotype, master_output)
-                result.n_evaluations += 1
-                if fitness < best_child_fitness:
-                    best_child, best_child_fitness = mutation.genotype, fitness
+            mutations = [
+                mutate(parent, self.mutation_rate, self.rng)
+                for _ in range(self.n_offspring)
+            ]
+            offspring_counts = [context.place(m.genotype) for m in mutations]
+            fitnesses = self._evaluate_offspring(
+                context, [m.genotype for m in mutations], master_output
+            )
+            result.n_evaluations += len(mutations)
+            best_child, best_child_fitness = self._best_offspring(mutations, fitnesses)
             scheduler.record_generation(offspring_counts)
             if best_child is not None and self._accept(best_child_fitness, parent_fitness):
                 parent, parent_fitness = best_child, best_child_fitness

@@ -308,36 +308,36 @@ class EvolvableHardwarePlatform:
             disturbed = acb.array.process(image, acb.genotype)
             acb.array.clear_fault(position)
             if not np.array_equal(disturbed, baseline):
-                acb._sync_faults()
+                acb.sync_faults()
                 return position
-        acb._sync_faults()
+        acb.sync_faults()
         return output_pe
 
     def inject_permanent_fault(self, array_index: int, row: int, col: int) -> RegionAddress:
         """Inject an LPD at a PE position (the paper's PE-level fault model)."""
         address = RegionAddress(array_index, row, col)
         self.fault_injector.inject_lpd(address)
-        self.acb(array_index)._sync_faults()
+        self.acb(array_index).sync_faults()
         return address
 
     def inject_transient_fault(self, array_index: int, row: int, col: int) -> RegionAddress:
         """Inject an SEU (configuration corruption) at a PE position."""
         address = RegionAddress(array_index, row, col)
         self.fault_injector.inject_seu(address)
-        self.acb(array_index)._sync_faults()
+        self.acb(array_index).sync_faults()
         return address
 
     def scrub_array(self, array_index: int) -> ScrubReport:
         """Scrub one array's configuration; repairs SEUs, not LPDs."""
         report = self.scrubber.scrub_array(array_index)
-        self.acb(array_index)._sync_faults()
+        self.acb(array_index).sync_faults()
         return report
 
     def scrub_all(self) -> ScrubReport:
         """Scrub the whole reconfigurable fabric."""
         report = self.scrubber.scrub()
         for acb in self.acbs:
-            acb._sync_faults()
+            acb.sync_faults()
         return report
 
     def calibrate(self, calibration_image: np.ndarray,

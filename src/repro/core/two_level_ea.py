@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.array.genotype import Genotype
-from repro.core.evolution import ParallelEvolution, _ArrayEvalContext
+from repro.core.evolution import ParallelEvolution, ArrayEvalContext
 from repro.ea.mutation import MutationResult, mutate
 
 __all__ = ["TwoLevelMutationEvolution"]
@@ -50,7 +50,7 @@ class TwoLevelMutationEvolution(ParallelEvolution):
         self.low_mutation_rate = low_mutation_rate
 
     def _generation_offspring(
-        self, parent: Genotype, contexts: List[_ArrayEvalContext]
+        self, parent: Genotype, contexts: List[ArrayEvalContext]
     ) -> List[Tuple[int, MutationResult]]:
         """Two-level offspring plan.
 

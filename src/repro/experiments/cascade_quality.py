@@ -25,9 +25,15 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.evolution import CascadedEvolution, ParallelEvolution
-from repro.core.modes import CascadeFitnessMode, CascadeSchedule
-from repro.core.platform import EvolvableHardwarePlatform
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_common_options,
+    print_table,
+    register_experiment,
+)
+from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
 
@@ -84,12 +90,19 @@ def cascade_quality_comparison(
         # arrangement and as the first stage of both adapted cascades, so
         # the comparison isolates what the paper compares: whether *adapting
         # the later stages* beats simply repeating the first one.
-        platform = EvolvableHardwarePlatform(n_arrays=n_stages, seed=run_seed)
-        single = ParallelEvolution(
-            platform, n_offspring=n_offspring, mutation_rate=mutation_rate,
-            rng=run_seed, n_arrays=1,
+        base_session = EvolutionSession(
+            PlatformConfig(n_arrays=n_stages, seed=run_seed),
+            EvolutionConfig(
+                strategy="parallel",
+                n_generations=n_generations,
+                n_offspring=n_offspring,
+                mutation_rate=mutation_rate,
+                seed=run_seed,
+                options={"n_arrays": 1},
+            ),
         )
-        result = single.run(pair.training, pair.reference, n_generations=n_generations)
+        result = base_session.evolve(pair).raw
+        platform = base_session.platform
         base_filter = result.best_genotypes[0]
 
         # --- same filter in every stage --------------------------------- #
@@ -100,29 +113,27 @@ def cascade_quality_comparison(
             _stage_fitnesses(platform, pair.training, pair.reference, n_stages)
         )
 
-        # --- adapted filters, sequential cascaded evolution -------------- #
-        platform = EvolvableHardwarePlatform(n_arrays=n_stages, seed=run_seed)
-        sequential = CascadedEvolution(
-            platform, n_offspring=n_offspring, mutation_rate=mutation_rate, rng=run_seed,
-            fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.SEQUENTIAL,
-        )
-        sequential.run(pair.training, pair.reference, n_generations=n_generations,
-                       n_stages=n_stages, seed_genotypes=[base_filter])
-        per_arrangement["adapted_sequential"].append(
-            _stage_fitnesses(platform, pair.training, pair.reference, n_stages)
-        )
-
-        # --- adapted filters, interleaved cascaded evolution ------------- #
-        platform = EvolvableHardwarePlatform(n_arrays=n_stages, seed=run_seed)
-        interleaved = CascadedEvolution(
-            platform, n_offspring=n_offspring, mutation_rate=mutation_rate, rng=run_seed,
-            fitness_mode=CascadeFitnessMode.SEPARATE, schedule=CascadeSchedule.INTERLEAVED,
-        )
-        interleaved.run(pair.training, pair.reference, n_generations=n_generations,
-                        n_stages=n_stages, seed_genotypes=[base_filter])
-        per_arrangement["adapted_interleaved"].append(
-            _stage_fitnesses(platform, pair.training, pair.reference, n_stages)
-        )
+        # --- adapted filters, sequential / interleaved cascaded evolution - #
+        for schedule in ("sequential", "interleaved"):
+            session = EvolutionSession(
+                PlatformConfig(n_arrays=n_stages, seed=run_seed),
+                EvolutionConfig(
+                    strategy="cascaded",
+                    n_generations=n_generations,
+                    n_offspring=n_offspring,
+                    mutation_rate=mutation_rate,
+                    seed=run_seed,
+                    options={
+                        "fitness_mode": "separate",
+                        "schedule": schedule,
+                        "n_stages": n_stages,
+                    },
+                ),
+            )
+            session.evolve(pair, seed_genotypes=[base_filter])
+            per_arrangement[f"adapted_{schedule}"].append(
+                _stage_fitnesses(session.platform, pair.training, pair.reference, n_stages)
+            )
 
     points: List[CascadePoint] = []
     for arrangement, runs in per_arrangement.items():
@@ -138,3 +149,49 @@ def cascade_quality_comparison(
                 )
             )
     return points
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    parser.add_argument("--noise", type=float, default=0.3,
+                        help="salt-and-pepper density")
+    add_common_options(parser, generations=60)
+
+
+def _run(args) -> RunArtifact:
+    points = cascade_quality_comparison(
+        image_side=args.image_side,
+        noise_level=args.noise,
+        n_generations=args.generations,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    rows = [
+        {"arrangement": p.arrangement, "stage": p.stage,
+         "avg_fitness": p.average_fitness, "best_fitness": p.best_fitness}
+        for p in points
+    ]
+    return RunArtifact(
+        kind="cascade-quality",
+        config={"args": {"noise": args.noise, "generations": args.generations,
+                         "runs": args.runs, "image_side": args.image_side,
+                         "seed": args.seed}},
+        results={"rows": rows},
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    print_table("Figs. 16-17: cascade arrangements, per-stage fitness",
+                artifact.results["rows"],
+                ["arrangement", "stage", "avg_fitness", "best_fitness"])
+
+
+register_experiment(ExperimentSpec(
+    name="cascade-quality",
+    help="cascade arrangements (Figs. 16-17)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

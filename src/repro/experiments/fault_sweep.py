@@ -17,8 +17,15 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.criticality import CriticalityReport, platform_fault_sweep
-from repro.core.evolution import ParallelEvolution
-from repro.core.platform import EvolvableHardwarePlatform
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_common_options,
+    print_table,
+    register_experiment,
+)
+from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
 
 __all__ = ["FaultSweepSummary", "systematic_fault_analysis"]
@@ -80,13 +87,61 @@ def systematic_fault_analysis(
     pair = make_training_pair(
         "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
     )
-    platform = EvolvableHardwarePlatform(n_arrays=n_arrays, seed=seed)
-    driver = ParallelEvolution(
-        platform, n_offspring=n_offspring, mutation_rate=mutation_rate, rng=seed
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=n_arrays, seed=seed),
+        EvolutionConfig(
+            strategy="parallel",
+            n_generations=n_generations,
+            n_offspring=n_offspring,
+            mutation_rate=mutation_rate,
+            seed=seed,
+        ),
     )
-    driver.run(pair.training, pair.reference, n_generations=n_generations)
+    session.evolve(pair)
 
     reports = platform_fault_sweep(
-        platform, pair.training, pair.reference, n_repeats=n_repeats, seed=seed
+        session.platform, pair.training, pair.reference, n_repeats=n_repeats, seed=seed
     )
     return [summarise(report) for report in reports]
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    add_common_options(parser, generations=150)
+
+
+def _run(args) -> RunArtifact:
+    summaries = systematic_fault_analysis(
+        image_side=args.image_side,
+        n_generations=args.generations,
+        seed=args.seed,
+    )
+    rows = [
+        {"array": s.array_index, "benign": s.n_benign, "critical": s.n_critical,
+         "max_degradation": s.max_degradation,
+         "inactive_but_critical": s.structurally_inactive_but_critical}
+        for s in summaries
+    ]
+    return RunArtifact(
+        kind="fault-sweep",
+        config={"args": {"generations": args.generations,
+                         "image_side": args.image_side, "seed": args.seed}},
+        results={"rows": rows},
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    print_table("Systematic PE-level fault sweep", artifact.results["rows"],
+                ["array", "benign", "critical", "max_degradation",
+                 "inactive_but_critical"])
+
+
+register_experiment(ExperimentSpec(
+    name="fault-sweep",
+    help="systematic PE-level fault sweep (extension)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

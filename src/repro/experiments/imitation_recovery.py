@@ -24,8 +24,15 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.evolution import ImitationEvolution, ParallelEvolution
-from repro.core.platform import EvolvableHardwarePlatform
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_common_options,
+    print_table,
+    register_experiment,
+)
+from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
 
@@ -63,13 +70,18 @@ def imitation_seed_comparison(
             "salt_pepper_denoise", size=image_side, seed=run_seed, noise_level=noise_level
         )
         for seeding in ("inherited", "random"):
-            platform = EvolvableHardwarePlatform(n_arrays=3, seed=run_seed)
-            initial = ParallelEvolution(
-                platform, n_offspring=n_offspring, mutation_rate=mutation_rate, rng=run_seed
+            session = EvolutionSession(
+                PlatformConfig(n_arrays=3, seed=run_seed),
+                EvolutionConfig(
+                    strategy="parallel",
+                    n_generations=initial_generations,
+                    n_offspring=n_offspring,
+                    mutation_rate=mutation_rate,
+                    seed=run_seed,
+                ),
             )
-            initial_result = initial.run(
-                pair.training, pair.reference, n_generations=initial_generations
-            )
+            initial_result = session.evolve(pair).raw
+            platform = session.platform
             working = initial_result.best_genotypes[0]
             platform.configure_all(working)
 
@@ -88,17 +100,22 @@ def imitation_seed_comparison(
             faulty_output = platform.acb(1).shadow_process(pair.training)
             pre_recovery = sae(faulty_output, master_output)
 
-            recovery = ImitationEvolution(
-                platform, n_offspring=n_offspring, mutation_rate=mutation_rate,
-                rng=run_seed + 1,
+            recovery_session = EvolutionSession(
+                platform,
+                EvolutionConfig(
+                    strategy="imitation",
+                    n_generations=recovery_generations,
+                    n_offspring=n_offspring,
+                    mutation_rate=mutation_rate,
+                    seed=run_seed + 1,
+                ),
             )
-            result = recovery.run(
-                apprentice_index=1,
-                master_index=0,
-                input_image=pair.training,
-                n_generations=recovery_generations,
+            result = recovery_session.evolve(
+                pair,
+                apprentice=1,
+                master=0,
                 seed_from_master=(seeding == "inherited"),
-            )
+            ).raw
             points.append(
                 ImitationPoint(
                     seeding=seeding,
@@ -110,3 +127,46 @@ def imitation_seed_comparison(
                 )
             )
     return points
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    add_common_options(parser, generations=120)
+
+
+def _run(args) -> RunArtifact:
+    points = imitation_seed_comparison(
+        image_side=args.image_side,
+        initial_generations=args.generations,
+        recovery_generations=args.generations,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    rows = [
+        {"seeding": p.seeding, "run": p.run, "fault_pe": str(p.fault_position),
+         "pre_recovery": p.pre_recovery_fitness, "final": p.final_fitness}
+        for p in points
+    ]
+    return RunArtifact(
+        kind="imitation",
+        config={"args": {"generations": args.generations, "runs": args.runs,
+                         "image_side": args.image_side, "seed": args.seed}},
+        results={"rows": rows},
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    print_table("Fig. 19: imitation recovery, inherited vs random seeding",
+                artifact.results["rows"],
+                ["seeding", "run", "fault_pe", "pre_recovery", "final"])
+
+
+register_experiment(ExperimentSpec(
+    name="imitation",
+    help="imitation-recovery seeding comparison (Fig. 19)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

@@ -23,9 +23,15 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.evolution import ParallelEvolution
-from repro.core.platform import EvolvableHardwarePlatform
-from repro.core.two_level_ea import TwoLevelMutationEvolution
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_common_options,
+    print_table,
+    register_experiment,
+)
+from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
 
 __all__ = ["NewEaPoint", "new_ea_comparison"]
@@ -69,22 +75,18 @@ def new_ea_comparison(
                     seed=run_seed,
                     noise_level=noise_level,
                 )
-                platform = EvolvableHardwarePlatform(n_arrays=n_arrays, seed=run_seed)
-                if strategy == "classic":
-                    driver = ParallelEvolution(
-                        platform, n_offspring=n_offspring, mutation_rate=k, rng=run_seed
-                    )
-                else:
-                    driver = TwoLevelMutationEvolution(
-                        platform,
+                session = EvolutionSession(
+                    PlatformConfig(n_arrays=n_arrays, seed=run_seed),
+                    EvolutionConfig(
+                        strategy="parallel" if strategy == "classic" else "two_level",
+                        n_generations=n_generations,
                         n_offspring=n_offspring,
                         mutation_rate=k,
-                        low_mutation_rate=1,
-                        rng=run_seed,
-                    )
-                result = driver.run(
-                    pair.training, pair.reference, n_generations=n_generations
+                        seed=run_seed,
+                        options={} if strategy == "classic" else {"low_mutation_rate": 1},
+                    ),
                 )
+                result = session.evolve(pair).raw
                 times.append(result.platform_time_s)
                 fitnesses.append(result.overall_best_fitness())
                 reconfigs.append(result.n_reconfigurations / max(1, result.n_generations))
@@ -100,3 +102,46 @@ def new_ea_comparison(
                 )
             )
     return points
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    add_common_options(parser, generations=150)
+
+
+def _run(args) -> RunArtifact:
+    points = new_ea_comparison(
+        image_side=args.image_side,
+        n_generations=args.generations,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    rows = [
+        {"strategy": p.strategy, "k": p.mutation_rate,
+         "time_s": p.mean_platform_time_s, "fitness": p.mean_final_fitness,
+         "pe_writes_per_gen": p.mean_reconfigurations_per_generation}
+        for p in points
+    ]
+    return RunArtifact(
+        kind="new-ea",
+        config={"args": {"generations": args.generations, "runs": args.runs,
+                         "image_side": args.image_side, "seed": args.seed}},
+        results={"rows": rows},
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    print_table("Figs. 14-15: classic vs two-level-mutation EA",
+                artifact.results["rows"],
+                ["strategy", "k", "time_s", "fitness", "pe_writes_per_gen"])
+
+
+register_experiment(ExperimentSpec(
+    name="new-ea",
+    help="classic vs two-level EA (Figs. 14-15)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

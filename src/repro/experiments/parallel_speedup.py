@@ -30,9 +30,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_common_options,
+    print_table,
+    register_experiment,
+)
+from repro.api.session import EvolutionSession
 from repro.array.genotype import GenotypeSpec
-from repro.core.evolution import ParallelEvolution
-from repro.core.platform import EvolvableHardwarePlatform
 from repro.imaging.images import make_training_pair
 from repro.timing.model import EvolutionTimingModel
 
@@ -139,15 +146,18 @@ def measured_speedup_sweep(
     points: List[SpeedupPoint] = []
     for k in mutation_rates:
         for n_arrays in array_counts:
-            platform = EvolvableHardwarePlatform(n_arrays=max(3, n_arrays), seed=seed)
-            driver = ParallelEvolution(
-                platform,
-                n_offspring=n_offspring,
-                mutation_rate=k,
-                rng=seed,
-                n_arrays=n_arrays,
+            session = EvolutionSession(
+                PlatformConfig(n_arrays=max(3, n_arrays), seed=seed),
+                EvolutionConfig(
+                    strategy="parallel",
+                    n_generations=n_generations,
+                    n_offspring=n_offspring,
+                    mutation_rate=k,
+                    seed=seed,
+                    options={"n_arrays": n_arrays},
+                ),
             )
-            result = driver.run(pair.training, pair.reference, n_generations=n_generations)
+            result = session.evolve(pair).raw
             points.append(
                 SpeedupPoint(
                     image_side=image_side,
@@ -159,3 +169,69 @@ def measured_speedup_sweep(
                 )
             )
     return points
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    parser.add_argument("--measured", action="store_true",
+                        help="run real evolution instead of the timing model")
+    add_common_options(parser, generations=100_000)
+
+
+def _run(args) -> RunArtifact:
+    config = {
+        "args": {
+            "measured": args.measured,
+            "generations": args.generations,
+            "image_side": args.image_side,
+            "seed": args.seed,
+        }
+    }
+    if args.measured:
+        points = measured_speedup_sweep(
+            image_side=args.image_side,
+            n_generations=args.generations,
+            seed=args.seed,
+        )
+        rows = [
+            {"image": p.image_side, "k": p.mutation_rate, "arrays": p.n_arrays,
+             "time_s": p.evolution_time_s, "pe_writes": p.n_reconfigurations}
+            for p in points
+        ]
+        return RunArtifact(kind="speedup", config=config,
+                           results={"mode": "measured", "rows": rows})
+    points = evolution_time_sweep(n_generations=args.generations)
+    rows = [
+        {"image": f"{p.image_side}x{p.image_side}", "k": p.mutation_rate,
+         "arrays": p.n_arrays, "time_s": p.evolution_time_s}
+        for p in points
+    ]
+    return RunArtifact(
+        kind="speedup",
+        config=config,
+        results={"mode": "model", "rows": rows, "savings": time_savings(points)},
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    generations = artifact.config["args"]["generations"]
+    if artifact.results["mode"] == "measured":
+        print_table("Measured parallel-evolution sweep", artifact.results["rows"],
+                    ["image", "k", "arrays", "time_s", "pe_writes"])
+        return
+    print_table(f"Figs. 12-13: evolution time, {generations} generations",
+                artifact.results["rows"], ["image", "k", "arrays", "time_s"])
+    print_table("Time saving of 3 arrays vs 1", artifact.results["savings"],
+                ["image_side", "mutation_rate", "single_array_s",
+                 "three_arrays_s", "saving_s"])
+
+
+register_experiment(ExperimentSpec(
+    name="speedup",
+    help="parallel-evolution speed-up (Figs. 12-13)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

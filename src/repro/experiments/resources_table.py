@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.api.artifact import RunArtifact
+from repro.api.experiment import ExperimentSpec, print_table, register_experiment
 from repro.array.systolic_array import ArrayGeometry
 from repro.fpga.icap import IcapModel
 from repro.fpga.reconfiguration_engine import ReconfigurationEngine
@@ -100,3 +102,34 @@ def resource_utilisation_rows(n_arrays: int = 3,
         },
     ]
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    parser.add_argument("--arrays", type=int, default=3, help="number of ACBs")
+
+
+def _run(args) -> RunArtifact:
+    rows = resource_utilisation_rows(n_arrays=args.arrays)
+    return RunArtifact(
+        kind="resources",
+        config={"args": {"arrays": args.arrays}},
+        results={"rows": rows},
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    arrays = artifact.config["args"]["arrays"]
+    print_table(f"Resource utilisation ({arrays} ACBs)", artifact.results["rows"],
+                ["quantity", "paper", "measured"])
+
+
+register_experiment(ExperimentSpec(
+    name="resources",
+    help="resource utilisation (§VI.A)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

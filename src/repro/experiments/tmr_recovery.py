@@ -25,9 +25,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.evolution import ParallelEvolution
-from repro.core.platform import EvolvableHardwarePlatform
-from repro.core.self_healing import FaultClass, TmrSelfHealing
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig, SelfHealingConfig
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_common_options,
+    print_table,
+    register_experiment,
+)
+from repro.api.session import EvolutionSession
+from repro.core.self_healing import FaultClass
 from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
 
@@ -89,29 +96,34 @@ def tmr_fault_recovery_trace(
     pair = make_training_pair(
         "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
     )
-    platform = EvolvableHardwarePlatform(
-        n_arrays=3, seed=seed, fitness_voter_threshold=voter_threshold
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=seed, fitness_voter_threshold=voter_threshold),
+        EvolutionConfig(
+            strategy="parallel",
+            n_generations=initial_generations,
+            n_offspring=n_offspring,
+            mutation_rate=mutation_rate,
+            seed=seed,
+        ),
     )
 
     # Phase 0: initial evolution (parallel mode) and TMR deployment.
-    initial = ParallelEvolution(
-        platform, n_offspring=n_offspring, mutation_rate=mutation_rate, rng=seed
-    )
-    initial_result = initial.run(
-        pair.training, pair.reference, n_generations=initial_generations
-    )
+    initial_result = session.evolve(pair).raw
+    platform = session.platform
     working = initial_result.best_genotypes[0]
     if fault_position is None:
         fault_position = platform.find_sensitive_position(faulty_array, pair.training)
 
-    healer = TmrSelfHealing(
-        platform,
-        pattern_image=pair.training,
-        pattern_reference=pair.reference,
-        imitation_generations=recovery_generations,
-        n_offspring=n_offspring,
-        mutation_rate=mutation_rate,
-        rng=seed + 1,
+    healer = session.heal(
+        SelfHealingConfig(
+            strategy="tmr",
+            imitation_generations=recovery_generations,
+            n_offspring=n_offspring,
+            mutation_rate=mutation_rate,
+            seed=seed + 1,
+        ),
+        calibration_image=pair.training,
+        calibration_reference=pair.reference,
     )
     healer.setup(working)
 
@@ -187,3 +199,53 @@ def tmr_fault_recovery_trace(
         )
         generation += 1
     return result
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    add_common_options(parser, generations=120)
+
+
+def _run(args) -> RunArtifact:
+    result = tmr_fault_recovery_trace(
+        image_side=args.image_side,
+        initial_generations=args.generations,
+        recovery_generations=args.generations,
+        seed=args.seed,
+    )
+    rows = [
+        {"generation": p.generation, "phase": p.phase,
+         "faulty_fitness": p.faulty_array_fitness,
+         "healthy_fitness": p.healthy_array_fitness}
+        for p in result.trace
+    ]
+    return RunArtifact(
+        kind="tmr-recovery",
+        config={"args": {"generations": args.generations,
+                         "image_side": args.image_side, "seed": args.seed}},
+        results={
+            "rows": rows,
+            "fault_detected": result.fault_detected,
+            "fault_class": result.fault_class.value,
+            "final_imitation_fitness": result.final_imitation_fitness,
+        },
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    print_table("Fig. 20: TMR fault/recovery trace", artifact.results["rows"],
+                ["generation", "phase", "faulty_fitness", "healthy_fitness"])
+    print(f"fault detected: {artifact.results['fault_detected']}; "
+          f"class: {artifact.results['fault_class']}; "
+          f"final imitation fitness: {artifact.results['final_imitation_fitness']:.0f}")
+
+
+register_experiment(ExperimentSpec(
+    name="tmr-recovery",
+    help="TMR fault/recovery trace (Fig. 20)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

@@ -1,0 +1,228 @@
+"""EvolutionSession parity: byte-identical results vs the legacy drivers.
+
+The acceptance contract of the Session API is that declaring a run and
+hand-wiring the legacy classes are *the same computation*: same platform
+seed, same EA seed, same fitness values, same winning genotypes — even
+though sessions evaluate offspring through the vectorised batch pass.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EvolutionConfig,
+    EvolutionSession,
+    PlatformConfig,
+    RunArtifact,
+    TaskSpec,
+)
+from repro.core.evolution import (
+    CascadedEvolution,
+    ImitationEvolution,
+    IndependentEvolution,
+    ParallelEvolution,
+)
+from repro.core.modes import CascadeFitnessMode, CascadeSchedule
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.core.two_level_ea import TwoLevelMutationEvolution
+from repro.imaging.images import make_training_pair
+
+PLATFORM_SEED = 42
+EA_SEED = 11
+GENS = 20
+
+
+@pytest.fixture
+def pair():
+    return make_training_pair("salt_pepper_denoise", size=24, seed=EA_SEED,
+                              noise_level=0.1)
+
+
+def session_for(strategy, pair_seed_options=None, **config_kwargs):
+    return EvolutionSession(
+        PlatformConfig(n_arrays=3, seed=PLATFORM_SEED),
+        EvolutionConfig(strategy=strategy, n_generations=GENS, seed=EA_SEED,
+                        options=pair_seed_options or {}, **config_kwargs),
+    )
+
+
+def assert_identical(legacy_result, artifact):
+    result = artifact.raw
+    assert legacy_result.best_fitness == result.best_fitness
+    assert legacy_result.best_genotypes == result.best_genotypes
+    assert legacy_result.fitness_history == result.fitness_history
+    assert legacy_result.n_evaluations == result.n_evaluations
+    assert legacy_result.n_reconfigurations == result.n_reconfigurations
+    assert legacy_result.platform_time_s == result.platform_time_s
+
+
+class TestParallelParity:
+    def test_byte_identical_to_legacy_driver(self, pair):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=PLATFORM_SEED)
+        legacy = ParallelEvolution(platform, n_offspring=9, mutation_rate=3,
+                                   rng=EA_SEED).run(
+            pair.training, pair.reference, n_generations=GENS
+        )
+        artifact = session_for("parallel").evolve(pair)
+        assert_identical(legacy, artifact)
+
+    def test_taskspec_equals_inline_pair(self, pair):
+        spec = TaskSpec(task="salt_pepper_denoise", image_side=24, seed=EA_SEED,
+                        noise_level=0.1)
+        from_spec = session_for("parallel").evolve(spec)
+        from_pair = session_for("parallel").evolve(pair)
+        assert from_spec.raw.best_fitness == from_pair.raw.best_fitness
+
+
+class TestTwoLevelParity:
+    def test_byte_identical_to_legacy_driver(self, pair):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=PLATFORM_SEED)
+        legacy = TwoLevelMutationEvolution(
+            platform, n_offspring=9, mutation_rate=3, low_mutation_rate=1,
+            rng=EA_SEED,
+        ).run(pair.training, pair.reference, n_generations=GENS)
+        artifact = session_for(
+            "two_level", {"low_mutation_rate": 1}
+        ).evolve(pair)
+        assert_identical(legacy, artifact)
+
+
+class TestCascadedParity:
+    def test_byte_identical_to_legacy_driver(self, pair):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=PLATFORM_SEED)
+        legacy = CascadedEvolution(
+            platform, n_offspring=9, mutation_rate=3, rng=EA_SEED,
+            fitness_mode=CascadeFitnessMode.SEPARATE,
+            schedule=CascadeSchedule.INTERLEAVED,
+        ).run(pair.training, pair.reference, n_generations=GENS, n_stages=3)
+        artifact = session_for(
+            "cascaded",
+            {"fitness_mode": "separate", "schedule": "interleaved", "n_stages": 3},
+        ).evolve(pair)
+        assert_identical(legacy, artifact)
+
+
+class TestIndependentParity:
+    def test_byte_identical_to_legacy_driver(self, pair):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=PLATFORM_SEED)
+        tasks = {index: (pair.training, pair.reference) for index in range(3)}
+        legacy = IndependentEvolution(
+            platform, n_offspring=9, mutation_rate=3, rng=EA_SEED
+        ).run(tasks=tasks, n_generations=GENS)
+        artifact = session_for("independent").evolve(pair)
+        assert_identical(legacy, artifact)
+
+
+class TestImitationParity:
+    def test_byte_identical_to_legacy_driver(self, pair):
+        def deploy(platform):
+            driver = ParallelEvolution(platform, n_offspring=9, mutation_rate=3,
+                                       rng=EA_SEED)
+            driver.run(pair.training, pair.reference, n_generations=GENS)
+            platform.inject_permanent_fault(1, 1, 1)
+
+        legacy_platform = EvolvableHardwarePlatform(n_arrays=3, seed=PLATFORM_SEED)
+        deploy(legacy_platform)
+        legacy = ImitationEvolution(
+            legacy_platform, n_offspring=9, mutation_rate=3, rng=EA_SEED + 1
+        ).run(apprentice_index=1, master_index=0, input_image=pair.training,
+              n_generations=GENS)
+
+        session_platform = EvolvableHardwarePlatform(n_arrays=3, seed=PLATFORM_SEED)
+        deploy(session_platform)
+        session = EvolutionSession(
+            session_platform,
+            EvolutionConfig(strategy="imitation", n_generations=GENS,
+                            seed=EA_SEED + 1),
+        )
+        artifact = session.evolve(pair, apprentice=1, master=0)
+        assert_identical(legacy, artifact)
+
+    def test_missing_indices_rejected(self, pair):
+        with pytest.raises(ValueError, match="apprentice"):
+            session_for("imitation").evolve(pair)
+
+
+class TestRuntimeKeyValidation:
+    def test_unknown_runtime_kwarg_rejected(self, pair):
+        with pytest.raises(TypeError, match="bogus_kwarg"):
+            session_for("parallel").evolve(pair, bogus_kwarg=123)
+
+    def test_wrong_strategys_runtime_kwarg_rejected(self, pair):
+        # seed_genotypes (plural) belongs to cascaded/independent; passing it
+        # to the parallel strategy must fail loudly, not be silently ignored.
+        from repro.array.genotype import Genotype
+
+        seed = Genotype.identity()
+        with pytest.raises(TypeError, match="seed_genotypes"):
+            session_for("parallel").evolve(pair, seed_genotypes=[seed])
+
+    def test_error_lists_accepted_keys(self, pair):
+        with pytest.raises(TypeError, match="seed_genotype"):
+            session_for("parallel").evolve(pair, nope=1)
+
+    def test_unknown_config_option_rejected(self, pair):
+        # A typo'd option (nstages for n_stages) must fail loudly instead of
+        # silently running with the default.
+        with pytest.raises(ValueError, match="nstages"):
+            session_for("cascaded", {"nstages": 2}).evolve(pair)
+
+    def test_wrong_strategys_config_option_rejected(self, pair):
+        with pytest.raises(ValueError, match="low_mutation_rate"):
+            session_for("parallel", {"low_mutation_rate": 1}).evolve(pair)
+
+
+class TestArtifact:
+    def test_artifact_is_json_serialisable_and_round_trips(self, pair):
+        artifact = session_for("parallel").evolve(pair)
+        payload = json.loads(artifact.to_json())
+        assert payload["kind"] == "evolution-run"
+        assert payload["config"]["evolution"]["strategy"] == "parallel"
+        assert payload["config"]["platform"]["n_arrays"] == 3
+        assert payload["results"]["overall_best_fitness"] == \
+            artifact.raw.overall_best_fitness()
+        assert payload["timing"]["platform_time_s"] == artifact.raw.platform_time_s
+        assert payload["resources"]["total_slices"] > 0
+        assert payload["provenance"]["schema_version"] == 1
+
+        rebuilt = RunArtifact.from_json(artifact.to_json())
+        assert rebuilt.to_dict() == artifact.to_dict()
+
+    def test_artifact_genotypes_rebuild(self, pair):
+        from repro.array.genotype import Genotype, GenotypeSpec
+
+        artifact = session_for("parallel").evolve(pair)
+        flat = artifact.to_dict()["results"]["best_genotypes"]["0"]
+        genotype = Genotype.from_flat(GenotypeSpec(rows=4, cols=4), flat)
+        assert genotype == artifact.raw.best_genotypes[0]
+
+    def test_unknown_strategy_reported(self, pair):
+        from repro.api import UnknownStrategyError
+
+        with pytest.raises(UnknownStrategyError):
+            session_for("parallel").evolve(
+                pair, evolution=EvolutionConfig(strategy="not-a-strategy")
+            )
+
+    def test_save_writes_json_file(self, tmp_path, pair):
+        artifact = session_for("parallel").evolve(pair)
+        path = tmp_path / "artifact.json"
+        artifact.save(str(path))
+        assert json.loads(path.read_text())["kind"] == "evolution-run"
+
+
+class TestSessionPlatformReuse:
+    def test_platform_is_built_once_and_reused(self):
+        session = session_for("parallel")
+        assert session.platform is session.platform
+
+    def test_existing_platform_accepted(self):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=1)
+        session = EvolutionSession(platform, EvolutionConfig())
+        assert session.platform is platform
+
+    def test_bad_platform_type_rejected(self):
+        with pytest.raises(TypeError):
+            EvolutionSession("not a platform")

@@ -1,5 +1,7 @@
 """Tests for the repro-ehw command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,3 +84,38 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "Systematic PE-level fault sweep" in out
         assert "critical" in out
+
+
+class TestJsonFlag:
+    def test_every_subcommand_accepts_json(self):
+        parser = build_parser()
+        sub_actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+        for command, subparser in sub_actions[0].choices.items():
+            options = {opt for a in subparser._actions for opt in a.option_strings}
+            assert "--json" in options, f"{command} is missing --json"
+
+    def test_json_to_stdout_replaces_tables(self, capsys):
+        assert main(["resources", "--arrays", "3", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["kind"] == "resources"
+        assert payload["config"]["args"]["arrays"] == 3
+        rows = {row["quantity"]: row for row in payload["results"]["rows"]}
+        assert rows["ACB slices"]["measured"] == 754
+
+    def test_json_to_file_keeps_tables(self, capsys, tmp_path):
+        path = tmp_path / "artifact.json"
+        assert main(["resources", "--arrays", "3", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Resource utilisation" in out  # tables still rendered
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "resources"
+
+    def test_experiment_json_is_machine_readable(self, capsys):
+        assert main(["speedup", "--measured", "--generations", "5",
+                     "--image-side", "24", "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "speedup"
+        assert payload["results"]["mode"] == "measured"
+        assert len(payload["results"]["rows"]) == 6  # 3 mutation rates x 2 array counts
+        assert payload["provenance"]["schema_version"] == 1
