@@ -1,0 +1,104 @@
+"""Benchmark: process-executor campaign vs serial on the fault-sweep grid.
+
+The campaign runtime exists to make the paper's embarrassingly parallel
+scenario grids actually run concurrently.  This benchmark takes the
+systematic fault-sweep campaign (one run per array of a six-array
+platform, each run sweeping a PE-level fault over every position of its
+circuit), executes it serially and on the multiprocessing executor, and
+asserts
+
+* bit-identical results — the executor can never change the numbers;
+* a >= 2x wall-clock speedup for the process executor.
+
+The speedup gate needs real hardware parallelism, so the benchmark skips
+on machines with fewer than three usable cores (the grid's 6 runs give a
+3x ideal speedup at 3 workers, leaving margin over the 2x gate).
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.session import EvolutionSession
+from repro.experiments.fault_sweep import build_fault_sweep_campaign
+from repro.imaging.images import make_training_pair
+from repro.runtime.engine import run_campaign
+from repro.runtime.executors import available_cpus
+
+N_ARRAYS = 6
+IMAGE_SIDE = 64
+N_REPEATS = 80
+N_GENERATIONS = 30
+SEED = 2013
+MEASURE_REPEATS = 3
+
+pytestmark = pytest.mark.skipif(
+    available_cpus() < 3,
+    reason="campaign speedup gate needs >= 3 usable cores",
+)
+
+
+def _measure(run, repeats=MEASURE_REPEATS):
+    """Best-of-N wall-clock time of ``run()`` (returns (seconds, result))."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _campaign_payloads(result):
+    return [artifact.to_dict() for artifact in result.ordered_artifacts()]
+
+
+def test_fault_sweep_campaign_process_speedup(run_once):
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=IMAGE_SIDE, seed=SEED, noise_level=0.15
+    )
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=N_ARRAYS, seed=SEED),
+        EvolutionConfig(
+            strategy="parallel", n_generations=N_GENERATIONS, seed=SEED
+        ),
+    )
+    session.evolve(pair)
+    genotypes = {
+        index: session.platform.acb(index).genotype for index in range(N_ARRAYS)
+    }
+    spec = build_fault_sweep_campaign(
+        genotypes, pair, n_repeats=N_REPEATS, seed=SEED, name="bench-fault-sweep"
+    )
+    workers = min(available_cpus(), spec.n_runs())
+
+    serial_s, serial = _measure(lambda: run_campaign(spec, executor="serial"))
+    process_s, process = _measure(
+        lambda: run_campaign(spec, executor="process", max_workers=workers)
+    )
+
+    assert serial.n_failed == process.n_failed == 0
+    # Executor parity: identical artifacts, bit for bit.
+    assert _campaign_payloads(serial) == _campaign_payloads(process)
+
+    speedup = serial_s / process_s
+    print_table(
+        f"Fault-sweep campaign ({spec.n_runs()} runs, {IMAGE_SIDE}x{IMAGE_SIDE} "
+        f"image, {N_REPEATS} repeats/position, {workers} workers)",
+        [
+            {"executor": "serial", "wall_s": serial_s},
+            {"executor": "process", "wall_s": process_s},
+            {"executor": "speedup", "wall_s": speedup},
+        ],
+        columns=["executor", "wall_s"],
+    )
+
+    # The whole point of the runtime: the process executor must at least
+    # halve the wall-clock time of the sweep.
+    assert speedup >= 2.0, f"process-executor speedup {speedup:.2f}x < 2x"
+
+    # run_once records one timed pass for the benchmark report.
+    run_once(lambda: run_campaign(spec, executor="process", max_workers=workers))

@@ -22,13 +22,12 @@ Run with:  python examples/multi_task_pipeline.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig
 from repro.array.genotype import Genotype
 from repro.imaging.filters import gaussian_filter, median_filter, sobel_edges
 from repro.imaging.images import make_test_image
-from repro.imaging.metrics import mae, sae
+from repro.imaging.metrics import mae
 from repro.imaging.noise import add_salt_and_pepper
 
 SEED = 31

@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so legacy tooling (and offline `pip install -e . --no-use-pep517`
+in environments without the `wheel` package) can still do an editable
+install; `pip install -e .` uses pyproject.toml directly.
+"""
+
+from setuptools import setup
+
+setup()

@@ -39,7 +39,7 @@ The package is organised as one sub-package per subsystem; see ``DESIGN.md``
 in the repository root for the full inventory and the per-experiment index.
 """
 
-from repro import analysis, api, experiments, imaging
+from repro import analysis, api, experiments, imaging, runtime
 from repro.api import (
     EvolutionConfig,
     EvolutionSession,
@@ -67,15 +67,20 @@ from repro.core import (
     TmrSelfHealing,
     TwoLevelMutationEvolution,
 )
+from repro.runtime import CampaignSpec, CampaignStore, run_campaign
 from repro.timing import EvolutionTimingModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "api",
     "experiments",
     "imaging",
+    "runtime",
+    "CampaignSpec",
+    "CampaignStore",
+    "run_campaign",
     "EvolutionConfig",
     "EvolutionSession",
     "PlatformConfig",

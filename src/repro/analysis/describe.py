@@ -13,7 +13,6 @@ something an engineer can read or plot:
 
 from __future__ import annotations
 
-from typing import Dict
 
 import networkx as nx
 

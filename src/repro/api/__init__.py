@@ -46,6 +46,33 @@ from repro.api.session import EvolutionSession
 # Populate the registries with the paper's built-in strategies.
 from repro.api import builtins as _builtins  # noqa: F401  (import for side effects)
 
+#: Campaign-runtime names re-exported lazily (PEP 562) from repro.runtime,
+#: so `from repro.api import CampaignSpec, run_campaign` works without the
+#: api package importing the (higher) runtime layer at import time.
+_RUNTIME_EXPORTS = frozenset(
+    {
+        "CampaignSpec",
+        "RunSpec",
+        "CampaignStore",
+        "CampaignResult",
+        "CampaignRunError",
+        "run_campaign",
+        "derive_seed",
+        "EXECUTORS",
+        "RUNNERS",
+        "register_runner",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNTIME_EXPORTS:
+        from repro import runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "RunArtifact",
     "PlatformConfig",
@@ -63,4 +90,15 @@ __all__ = [
     "TASKS",
     "EXPERIMENTS",
     "EvolutionSession",
+    # Lazily re-exported from repro.runtime:
+    "CampaignSpec",
+    "RunSpec",
+    "CampaignStore",
+    "CampaignResult",
+    "CampaignRunError",
+    "run_campaign",
+    "derive_seed",
+    "EXECUTORS",
+    "RUNNERS",
+    "register_runner",
 ]

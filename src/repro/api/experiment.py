@@ -22,6 +22,7 @@ __all__ = [
     "ExperimentSpec",
     "register_experiment",
     "add_common_options",
+    "add_executor_options",
     "print_table",
 ]
 
@@ -71,6 +72,26 @@ def add_common_options(
     parser.add_argument("--image-side", type=int, default=image_side,
                         help="test image side in pixels")
     parser.add_argument("--runs", type=int, default=runs, help="repetitions")
+
+
+def add_executor_options(parser: argparse.ArgumentParser) -> None:
+    """Add the campaign-executor options of embarrassingly parallel experiments."""
+    # Imported lazily: the api layer sits below repro.runtime, and the
+    # registry keeps the choices in sync with pluggable executors.
+    from repro.runtime.executors import EXECUTORS
+
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=sorted(EXECUTORS.names()),
+        help="campaign execution backend for the experiment's scenario grid",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker cap for the thread/process executors",
+    )
 
 
 def print_table(title: str, rows: Iterable[Mapping], columns: Sequence[str]) -> None:

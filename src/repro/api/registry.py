@@ -36,7 +36,7 @@ Registering a new strategy is one decorator::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List
 
 __all__ = [
     "UnknownStrategyError",

@@ -23,7 +23,7 @@ hand with the same seeds (the batched evaluation path is bit-exact).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 

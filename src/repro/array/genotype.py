@@ -21,7 +21,7 @@ of function genes dominate the reconfiguration cost).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple, Union
 
 import numpy as np

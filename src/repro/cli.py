@@ -13,6 +13,7 @@ figures can be regenerated without writing Python::
     repro-ehw imitation                    # Fig. 19
     repro-ehw tmr-recovery                 # Fig. 20
     repro-ehw fault-sweep                  # systematic fault analysis (extension)
+    repro-ehw campaign --grid ...          # declarative parameter-sweep campaigns
 
 Subcommands are not hard-wired here: every experiment registers an
 :class:`~repro.api.experiment.ExperimentSpec` in the ``experiment``
@@ -38,8 +39,10 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser from the experiment registry."""
-    # Importing the experiments package registers every ExperimentSpec.
+    # Importing the experiments package (and the campaign runtime command)
+    # registers every ExperimentSpec.
     import repro.experiments  # noqa: F401
+    import repro.runtime.experiment  # noqa: F401
     from repro.api.registry import EXPERIMENTS
 
     parser = argparse.ArgumentParser(

@@ -31,7 +31,7 @@ import numpy as np
 from repro.array.genotype import Genotype, GenotypeSpec
 from repro.array.systolic_array import ArrayGeometry
 from repro.core.acb import ArrayControlBlock
-from repro.core.modes import FitnessSource, ProcessingMode
+from repro.core.modes import ProcessingMode
 from repro.core.voter import FitnessVoter, PixelVoter
 from repro.fpga.fabric import FpgaFabric, RegionAddress
 from repro.fpga.faults import FaultInjector

@@ -21,7 +21,7 @@ voter is able to keep the system working with no fault impact." (§V.B)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ evaluated on, which the platform-level evolution drivers use for bookkeeping.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.array.genotype import Genotype

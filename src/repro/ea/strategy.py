@@ -15,7 +15,6 @@ reconfiguration/evaluation timing accounting.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Union
 

@@ -21,7 +21,7 @@ the sequential and interleaved schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -30,14 +30,26 @@ from repro.api.config import EvolutionConfig, PlatformConfig
 from repro.api.experiment import (
     ExperimentSpec,
     add_common_options,
+    add_executor_options,
     print_table,
     register_experiment,
 )
 from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
+from repro.runtime.campaign import CampaignSpec
+from repro.runtime.engine import run_campaign
+from repro.runtime.runners import register_runner
 
-__all__ = ["CascadePoint", "cascade_quality_comparison"]
+__all__ = [
+    "CascadePoint",
+    "ARRANGEMENTS",
+    "build_cascade_quality_campaign",
+    "cascade_quality_comparison",
+]
+
+#: The three cascade arrangements Figs. 16-17 compare.
+ARRANGEMENTS = ("same_filter", "adapted_sequential", "adapted_interleaved")
 
 
 @dataclass(frozen=True)
@@ -62,6 +74,123 @@ def _stage_fitnesses(platform: EvolvableHardwarePlatform, training, reference,
     return fitnesses
 
 
+def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate):
+    """Evolve the stage-1 circuit shared by every arrangement of one run.
+
+    The same circuit is used for the "same filter in every stage"
+    arrangement and as the first stage of both adapted cascades, so the
+    comparison isolates what the paper compares: whether *adapting the
+    later stages* beats simply repeating the first one.  Evolution is
+    fully deterministic given the seeds, so each arrangement run can
+    recompute it independently and still start from the same circuit.
+    """
+    session = EvolutionSession(
+        PlatformConfig(n_arrays=n_stages, seed=run_seed),
+        EvolutionConfig(
+            strategy="parallel",
+            n_generations=n_generations,
+            n_offspring=n_offspring,
+            mutation_rate=mutation_rate,
+            seed=run_seed,
+            options={"n_arrays": 1},
+        ),
+    )
+    result = session.evolve(pair).raw
+    return session, result.best_genotypes[0]
+
+
+@register_runner("cascade-arrangement")
+def run_cascade_arrangement(run) -> RunArtifact:
+    """Campaign runner: per-stage fitness of one cascade arrangement.
+
+    One run covers one (run seed, arrangement) cell of the Figs. 16-17
+    comparison; the three arrangements of a repetition share the same
+    deterministic base filter, so fanning the cells out over workers
+    changes nothing about the numbers.
+    """
+    params = run.params
+    arrangement = params["arrangement"]
+    if arrangement not in ARRANGEMENTS:
+        raise ValueError(f"unknown cascade arrangement {arrangement!r}")
+    run_seed = int(params["run_seed"])
+    n_stages = int(params["n_stages"])
+    n_generations = int(params["n_generations"])
+    n_offspring = int(params["n_offspring"])
+    mutation_rate = int(params["mutation_rate"])
+    pair = make_training_pair(
+        "salt_pepper_denoise",
+        size=int(params["image_side"]),
+        seed=run_seed,
+        noise_level=float(params["noise_level"]),
+    )
+    base_session, base_filter = _evolve_base_filter(
+        pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate
+    )
+
+    if arrangement == "same_filter":
+        platform = base_session.platform
+        for stage in range(n_stages):
+            platform.configure_array(stage, base_filter)
+            platform.set_bypass(stage, False)
+        fitnesses = _stage_fitnesses(platform, pair.training, pair.reference, n_stages)
+    else:
+        schedule = arrangement.removeprefix("adapted_")
+        session = EvolutionSession(
+            PlatformConfig(n_arrays=n_stages, seed=run_seed),
+            EvolutionConfig(
+                strategy="cascaded",
+                n_generations=n_generations,
+                n_offspring=n_offspring,
+                mutation_rate=mutation_rate,
+                seed=run_seed,
+                options={
+                    "fitness_mode": "separate",
+                    "schedule": schedule,
+                    "n_stages": n_stages,
+                },
+            ),
+        )
+        session.evolve(pair, seed_genotypes=[base_filter])
+        fitnesses = _stage_fitnesses(
+            session.platform, pair.training, pair.reference, n_stages
+        )
+    return RunArtifact(
+        kind="cascade-arrangement",
+        config={"arrangement": arrangement, "run_seed": run_seed},
+        results={"stage_fitnesses": fitnesses},
+    )
+
+
+def build_cascade_quality_campaign(
+    image_side: int = 32,
+    noise_level: float = 0.3,
+    n_stages: int = 3,
+    n_generations: int = 120,
+    n_runs: int = 3,
+    n_offspring: int = 9,
+    mutation_rate: int = 3,
+    seed: int = 2013,
+) -> CampaignSpec:
+    """The Figs. 16-17 comparison as a (repetition x arrangement) campaign."""
+    return CampaignSpec(
+        name="cascade-quality",
+        runner="cascade-arrangement",
+        grid={
+            "run_seed": [seed + 31 * run for run in range(n_runs)],
+            "arrangement": list(ARRANGEMENTS),
+        },
+        params={
+            "image_side": int(image_side),
+            "noise_level": float(noise_level),
+            "n_stages": int(n_stages),
+            "n_generations": int(n_generations),
+            "n_offspring": int(n_offspring),
+            "mutation_rate": int(mutation_rate),
+        },
+        seed=seed,
+    )
+
+
 def cascade_quality_comparison(
     image_side: int = 32,
     noise_level: float = 0.3,
@@ -71,69 +200,34 @@ def cascade_quality_comparison(
     n_offspring: int = 9,
     mutation_rate: int = 3,
     seed: int = 2013,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> List[CascadePoint]:
-    """Run the three cascade arrangements and return per-stage fitness points."""
+    """Run the three cascade arrangements and return per-stage fitness points.
+
+    Every (repetition, arrangement) cell is an independent campaign run,
+    so the whole comparison fans out on the selected executor without
+    changing any of the resulting points.
+    """
+    spec = build_cascade_quality_campaign(
+        image_side=image_side,
+        noise_level=noise_level,
+        n_stages=n_stages,
+        n_generations=n_generations,
+        n_runs=n_runs,
+        n_offspring=n_offspring,
+        mutation_rate=mutation_rate,
+        seed=seed,
+    )
+    campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     per_arrangement: Dict[str, List[List[float]]] = {
-        "same_filter": [],
-        "adapted_sequential": [],
-        "adapted_interleaved": [],
+        arrangement: [] for arrangement in ARRANGEMENTS
     }
-
-    for run in range(n_runs):
-        run_seed = seed + 31 * run
-        pair = make_training_pair(
-            "salt_pepper_denoise", size=image_side, seed=run_seed, noise_level=noise_level
+    for run in campaign.runs:
+        artifact = campaign.artifact_for(run)
+        per_arrangement[run.params["arrangement"]].append(
+            [float(value) for value in artifact.results["stage_fitnesses"]]
         )
-
-        # --- evolve the base (stage-1) filter once per run --------------- #
-        # The same circuit is used for the "same filter in every stage"
-        # arrangement and as the first stage of both adapted cascades, so
-        # the comparison isolates what the paper compares: whether *adapting
-        # the later stages* beats simply repeating the first one.
-        base_session = EvolutionSession(
-            PlatformConfig(n_arrays=n_stages, seed=run_seed),
-            EvolutionConfig(
-                strategy="parallel",
-                n_generations=n_generations,
-                n_offspring=n_offspring,
-                mutation_rate=mutation_rate,
-                seed=run_seed,
-                options={"n_arrays": 1},
-            ),
-        )
-        result = base_session.evolve(pair).raw
-        platform = base_session.platform
-        base_filter = result.best_genotypes[0]
-
-        # --- same filter in every stage --------------------------------- #
-        for stage in range(n_stages):
-            platform.configure_array(stage, base_filter)
-            platform.set_bypass(stage, False)
-        per_arrangement["same_filter"].append(
-            _stage_fitnesses(platform, pair.training, pair.reference, n_stages)
-        )
-
-        # --- adapted filters, sequential / interleaved cascaded evolution - #
-        for schedule in ("sequential", "interleaved"):
-            session = EvolutionSession(
-                PlatformConfig(n_arrays=n_stages, seed=run_seed),
-                EvolutionConfig(
-                    strategy="cascaded",
-                    n_generations=n_generations,
-                    n_offspring=n_offspring,
-                    mutation_rate=mutation_rate,
-                    seed=run_seed,
-                    options={
-                        "fitness_mode": "separate",
-                        "schedule": schedule,
-                        "n_stages": n_stages,
-                    },
-                ),
-            )
-            session.evolve(pair, seed_genotypes=[base_filter])
-            per_arrangement[f"adapted_{schedule}"].append(
-                _stage_fitnesses(session.platform, pair.training, pair.reference, n_stages)
-            )
 
     points: List[CascadePoint] = []
     for arrangement, runs in per_arrangement.items():
@@ -158,6 +252,7 @@ def _configure(parser) -> None:
     parser.add_argument("--noise", type=float, default=0.3,
                         help="salt-and-pepper density")
     add_common_options(parser, generations=60)
+    add_executor_options(parser)
 
 
 def _run(args) -> RunArtifact:
@@ -167,6 +262,8 @@ def _run(args) -> RunArtifact:
         n_generations=args.generations,
         n_runs=args.runs,
         seed=args.seed,
+        executor=args.executor,
+        max_workers=args.workers,
     )
     rows = [
         {"arrangement": p.arrangement, "stage": p.stage,

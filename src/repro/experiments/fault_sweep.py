@@ -13,22 +13,33 @@ claim that faults in unused PEs do not need healing at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
-from repro.analysis.criticality import CriticalityReport, platform_fault_sweep
+import numpy as np
+
+from repro.analysis.criticality import CriticalityReport, fault_sweep
 from repro.api.artifact import RunArtifact
 from repro.api.config import EvolutionConfig, PlatformConfig
 from repro.api.experiment import (
     ExperimentSpec,
     add_common_options,
+    add_executor_options,
     print_table,
     register_experiment,
 )
 from repro.api.session import EvolutionSession
-from repro.imaging.images import make_training_pair
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.imaging.images import ImagePair, make_training_pair
+from repro.runtime.campaign import CampaignSpec
+from repro.runtime.engine import run_campaign
+from repro.runtime.runners import register_runner
 
-__all__ = ["FaultSweepSummary", "systematic_fault_analysis"]
+__all__ = [
+    "FaultSweepSummary",
+    "build_fault_sweep_campaign",
+    "systematic_fault_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +79,82 @@ def summarise(report: CriticalityReport) -> FaultSweepSummary:
     )
 
 
+@register_runner("fault-sweep-array")
+def run_fault_sweep_array(run) -> RunArtifact:
+    """Campaign runner: sweep a PE-level fault over one array's circuit.
+
+    Everything arrives JSON-serialised in ``run.params``: the flat gene
+    vector of the configured circuit, the workload images (with their
+    dtype, so the round trip is lossless) and the sweep parameters.  The
+    runner reproduces exactly what
+    :func:`repro.analysis.criticality.platform_fault_sweep` computes for
+    one array — same per-position fault seeds, same report — just as an
+    independent, schedulable unit of work.
+    """
+    params = run.params
+    array_index = int(params["array_index"])
+    spec = GenotypeSpec(rows=int(params["rows"]), cols=int(params["cols"]))
+    genotype = Genotype.from_flat(spec, params["genotype"])
+    dtype = np.dtype(params["image_dtype"])
+    training = np.asarray(params["training"], dtype=dtype)
+    reference = np.asarray(params["reference"], dtype=dtype)
+    report = fault_sweep(
+        genotype,
+        training,
+        reference,
+        n_repeats=int(params["n_repeats"]),
+        seed=int(params["sweep_seed"]) + array_index,
+        array_index=array_index,
+    )
+    return RunArtifact(
+        kind="fault-sweep-array",
+        config={"array_index": array_index, "n_repeats": int(params["n_repeats"])},
+        results={
+            "summary": asdict(summarise(report)),
+            "baseline_fitness": report.baseline_fitness,
+            "positions": report.as_rows(),
+        },
+    )
+
+
+def build_fault_sweep_campaign(
+    genotypes: Dict[int, Genotype],
+    pair: ImagePair,
+    n_repeats: int = 3,
+    seed: int = 2013,
+    name: str = "fault-sweep",
+) -> CampaignSpec:
+    """One campaign run per configured array, sweeping that array's circuit.
+
+    ``genotypes`` maps array indices to the circuits to assess (typically
+    ``platform.acb(i).genotype`` after an evolution run).  The genotype of
+    each array rides along its ``array_index`` as a paired axis, so the
+    expansion stays a flat list of independent, JSON-shippable runs.
+    """
+    indices = sorted(genotypes)
+    if not indices:
+        raise ValueError("fault-sweep campaign needs at least one configured array")
+    spec = genotypes[indices[0]].spec
+    return CampaignSpec(
+        name=name,
+        runner="fault-sweep-array",
+        paired={
+            "array_index": [int(index) for index in indices],
+            "genotype": [genotypes[index].to_flat().tolist() for index in indices],
+        },
+        params={
+            "rows": spec.rows,
+            "cols": spec.cols,
+            "n_repeats": int(n_repeats),
+            "sweep_seed": int(seed),
+            "image_dtype": str(pair.training.dtype),
+            "training": pair.training.tolist(),
+            "reference": pair.reference.tolist(),
+        },
+        seed=seed,
+    )
+
+
 def systematic_fault_analysis(
     image_side: int = 32,
     noise_level: float = 0.15,
@@ -77,12 +164,16 @@ def systematic_fault_analysis(
     n_offspring: int = 9,
     mutation_rate: int = 3,
     seed: int = 2013,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> List[FaultSweepSummary]:
     """Evolve a working circuit, then fault-sweep every PE of every array.
 
-    Returns one :class:`FaultSweepSummary` per array.  The detailed
-    per-position reports are available through
-    :func:`repro.analysis.criticality.platform_fault_sweep` directly.
+    The initial evolution runs once in this process; the per-array sweeps
+    are independent, so they fan out as a campaign on the selected
+    executor.  Returns one :class:`FaultSweepSummary` per array, identical
+    for every executor (and to the legacy serial
+    :func:`repro.analysis.criticality.platform_fault_sweep` path).
     """
     pair = make_training_pair(
         "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
@@ -99,10 +190,17 @@ def systematic_fault_analysis(
     )
     session.evolve(pair)
 
-    reports = platform_fault_sweep(
-        session.platform, pair.training, pair.reference, n_repeats=n_repeats, seed=seed
-    )
-    return [summarise(report) for report in reports]
+    genotypes = {
+        index: session.platform.acb(index).genotype
+        for index in range(session.platform.n_arrays)
+        if session.platform.acb(index).genotype is not None
+    }
+    spec = build_fault_sweep_campaign(genotypes, pair, n_repeats=n_repeats, seed=seed)
+    campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
+    return [
+        FaultSweepSummary(**campaign.artifact_for(run).results["summary"])
+        for run in campaign.runs
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -110,6 +208,7 @@ def systematic_fault_analysis(
 # --------------------------------------------------------------------------- #
 def _configure(parser) -> None:
     add_common_options(parser, generations=150)
+    add_executor_options(parser)
 
 
 def _run(args) -> RunArtifact:
@@ -117,6 +216,8 @@ def _run(args) -> RunArtifact:
         image_side=args.image_side,
         n_generations=args.generations,
         seed=args.seed,
+        executor=args.executor,
+        max_workers=args.workers,
     )
     rows = [
         {"array": s.array_index, "benign": s.n_benign, "critical": s.n_critical,

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.api.artifact import RunArtifact
 from repro.api.config import EvolutionConfig, PlatformConfig

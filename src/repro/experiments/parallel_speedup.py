@@ -31,19 +31,25 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.api.artifact import RunArtifact
-from repro.api.config import EvolutionConfig, PlatformConfig
+from repro.api.config import EvolutionConfig, PlatformConfig, TaskSpec
 from repro.api.experiment import (
     ExperimentSpec,
     add_common_options,
+    add_executor_options,
     print_table,
     register_experiment,
 )
-from repro.api.session import EvolutionSession
 from repro.array.genotype import GenotypeSpec
-from repro.imaging.images import make_training_pair
+from repro.runtime.campaign import CampaignSpec
+from repro.runtime.engine import run_campaign
 from repro.timing.model import EvolutionTimingModel
 
-__all__ = ["SpeedupPoint", "evolution_time_sweep", "measured_speedup_sweep"]
+__all__ = [
+    "SpeedupPoint",
+    "evolution_time_sweep",
+    "build_measured_speedup_campaign",
+    "measured_speedup_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,47 @@ def time_savings(points: Sequence[SpeedupPoint]) -> List[dict]:
     return rows
 
 
+def build_measured_speedup_campaign(
+    image_side: int = 32,
+    mutation_rates: Sequence[int] = (1, 3, 5),
+    array_counts: Sequence[int] = (1, 3),
+    n_generations: int = 60,
+    n_offspring: int = 9,
+    noise_level: float = 0.1,
+    seed: int = 2013,
+) -> CampaignSpec:
+    """The Fig. 12/13 measured sweep as a declarative campaign.
+
+    One run per (mutation rate, array count) point: the mutation rate is a
+    full grid axis, while the array count pairs the platform size with the
+    ``n_arrays`` option of the parallel driver (the platform always keeps
+    at least the paper's three arrays).
+    """
+    return CampaignSpec(
+        name="measured-speedup",
+        runner="evolve",
+        platform=PlatformConfig(n_arrays=3, seed=seed),
+        evolution=EvolutionConfig(
+            strategy="parallel",
+            n_generations=n_generations,
+            n_offspring=n_offspring,
+            seed=seed,
+        ),
+        task=TaskSpec(
+            task="salt_pepper_denoise",
+            image_side=image_side,
+            noise_level=noise_level,
+            seed=seed,
+        ),
+        grid={"evolution.mutation_rate": [int(k) for k in mutation_rates]},
+        paired={
+            "platform.n_arrays": [max(3, int(n)) for n in array_counts],
+            "evolution.options": [{"n_arrays": int(n)} for n in array_counts],
+        },
+        seed=seed,
+    )
+
+
 def measured_speedup_sweep(
     image_side: int = 32,
     mutation_rates: Sequence[int] = (1, 3, 5),
@@ -132,6 +179,8 @@ def measured_speedup_sweep(
     n_offspring: int = 9,
     noise_level: float = 0.1,
     seed: int = 2013,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> List[SpeedupPoint]:
     """Small-scale measured sweep: real evolution runs, platform time from the scheduler.
 
@@ -139,35 +188,34 @@ def measured_speedup_sweep(
     benchmark time; the platform-time axis still reflects the full Fig. 11
     schedule because it is driven by the per-offspring reconfiguration
     counts the runs actually produce.
+
+    The sweep's points are independent runs, so they execute as a campaign
+    on the selected executor (``serial``/``thread``/``process``); the
+    executor never changes the points, only the wall-clock time.
     """
-    pair = make_training_pair(
-        "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
+    spec = build_measured_speedup_campaign(
+        image_side=image_side,
+        mutation_rates=mutation_rates,
+        array_counts=array_counts,
+        n_generations=n_generations,
+        n_offspring=n_offspring,
+        noise_level=noise_level,
+        seed=seed,
     )
+    campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     points: List[SpeedupPoint] = []
-    for k in mutation_rates:
-        for n_arrays in array_counts:
-            session = EvolutionSession(
-                PlatformConfig(n_arrays=max(3, n_arrays), seed=seed),
-                EvolutionConfig(
-                    strategy="parallel",
-                    n_generations=n_generations,
-                    n_offspring=n_offspring,
-                    mutation_rate=k,
-                    seed=seed,
-                    options={"n_arrays": n_arrays},
-                ),
+    for run in campaign.runs:
+        artifact = campaign.artifact_for(run)
+        points.append(
+            SpeedupPoint(
+                image_side=run.task.image_side,
+                mutation_rate=run.evolution.mutation_rate,
+                n_arrays=int(run.evolution.options["n_arrays"]),
+                n_generations=artifact.results["n_generations"],
+                evolution_time_s=artifact.timing["platform_time_s"],
+                n_reconfigurations=artifact.results["n_reconfigurations"],
             )
-            result = session.evolve(pair).raw
-            points.append(
-                SpeedupPoint(
-                    image_side=image_side,
-                    mutation_rate=k,
-                    n_arrays=n_arrays,
-                    n_generations=result.n_generations,
-                    evolution_time_s=result.platform_time_s,
-                    n_reconfigurations=result.n_reconfigurations,
-                )
-            )
+        )
     return points
 
 
@@ -178,6 +226,7 @@ def _configure(parser) -> None:
     parser.add_argument("--measured", action="store_true",
                         help="run real evolution instead of the timing model")
     add_common_options(parser, generations=100_000)
+    add_executor_options(parser)
 
 
 def _run(args) -> RunArtifact:
@@ -194,6 +243,8 @@ def _run(args) -> RunArtifact:
             image_side=args.image_side,
             n_generations=args.generations,
             seed=args.seed,
+            executor=args.executor,
+            max_workers=args.workers,
         )
         rows = [
             {"image": p.image_side, "k": p.mutation_rate, "arrays": p.n_arrays,

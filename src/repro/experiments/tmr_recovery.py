@@ -21,9 +21,8 @@ stayed correct throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.api.artifact import RunArtifact
 from repro.api.config import EvolutionConfig, PlatformConfig, SelfHealingConfig

@@ -19,7 +19,7 @@ sweeps the paper refers to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Tuple, Union
 

@@ -19,10 +19,10 @@ this comes to the paper's 67.53 µs per PE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
-from repro.fpga.bitstream import DUMMY_FAULT_GENE, BitstreamLibrary, PartialBitstream
+from repro.fpga.bitstream import DUMMY_FAULT_GENE, BitstreamLibrary
 from repro.fpga.fabric import FpgaFabric, RegionAddress
 from repro.fpga.icap import IcapModel
 

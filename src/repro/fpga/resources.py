@@ -19,7 +19,7 @@ arrays fit on the device before running out of slices or clock regions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.array.systolic_array import ArrayGeometry

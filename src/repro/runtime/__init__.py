@@ -1,0 +1,56 @@
+"""Parallel campaign runtime: declarative sweeps over the Session API.
+
+The paper's headline claim is scalability — multiple processing arrays
+evolving in parallel and surviving systematic fault sweeps — and the
+experiments that back it are embarrassingly parallel scenario grids.
+This package is the layer that actually runs them concurrently:
+
+* **Campaigns** (:mod:`repro.runtime.campaign`) — a declarative
+  :class:`CampaignSpec` expands parameter grids and zipped sweeps over
+  the Session API configs into concrete :class:`RunSpec` runs, with
+  deterministic per-run seed derivation from one campaign seed.
+* **Runners** (:mod:`repro.runtime.runners`) — the string-keyed registry
+  of per-run workloads (the default ``evolve`` runner drives one
+  :class:`~repro.api.session.EvolutionSession`); experiments register
+  their own runners the same way.
+* **Executors** (:mod:`repro.runtime.executors`) — pluggable ``serial``,
+  ``thread`` and ``process`` execution backends.  Every backend runs the
+  same JSON-round-tripped payloads, so the executor choice can never
+  change a campaign's results — only its wall-clock time.
+* **Store** (:mod:`repro.runtime.store`) — a resumable on-disk
+  :class:`CampaignStore` (JSONL run index plus one
+  :class:`~repro.api.artifact.RunArtifact` file per run); rerunning a
+  campaign skips runs that already completed.
+* **Engine** (:mod:`repro.runtime.engine`) — :func:`run_campaign`, the
+  one call that expands, dispatches, persists and aggregates.
+
+The CLI exposes all of this as the ``repro-ehw campaign`` subcommand
+(:mod:`repro.runtime.experiment`).
+"""
+
+from repro.runtime.campaign import CampaignSpec, RunSpec, derive_seed
+from repro.runtime.engine import CampaignResult, CampaignRunError, run_campaign
+from repro.runtime.executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.runtime.runners import RUNNERS, register_runner
+from repro.runtime.store import CampaignStore
+
+__all__ = [
+    "CampaignSpec",
+    "RunSpec",
+    "derive_seed",
+    "CampaignResult",
+    "CampaignRunError",
+    "run_campaign",
+    "EXECUTORS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "RUNNERS",
+    "register_runner",
+    "CampaignStore",
+]

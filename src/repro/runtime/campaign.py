@@ -1,0 +1,377 @@
+"""Campaign specifications: declarative sweeps expanded into concrete runs.
+
+A :class:`CampaignSpec` describes a whole family of Session-API runs in
+one JSON-serialisable object: the base configs, the parameter axes to
+sweep (full cartesian ``grid`` axes and length-matched ``paired`` axes
+that advance together), the runner that executes one run, and a single
+campaign ``seed`` from which every run's missing seeds are derived
+deterministically.  :meth:`CampaignSpec.expand` turns it into an ordered
+list of :class:`RunSpec` objects — the exact same list on every machine
+and every executor, which is what makes campaigns resumable and their
+results independent of how they are scheduled.
+
+Axis keys are dotted: ``"evolution.mutation_rate"``,
+``"platform.n_arrays"``, ``"task.noise_level"``, ``"healing.tolerance"``
+address fields of the corresponding config; any other key (optionally
+prefixed ``"params."``) becomes a per-run parameter passed through to
+the runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.config import (
+    EvolutionConfig,
+    PlatformConfig,
+    SelfHealingConfig,
+    TaskSpec,
+)
+
+__all__ = ["CampaignSpec", "RunSpec", "derive_seed"]
+
+#: Axis prefixes addressing the four Session-API configs.
+_CONFIG_SECTIONS = {
+    "platform": PlatformConfig,
+    "evolution": EvolutionConfig,
+    "task": TaskSpec,
+    "healing": SelfHealingConfig,
+}
+
+
+def derive_seed(campaign_seed: int, *parts: Any) -> int:
+    """Derive a deterministic 31-bit seed from the campaign seed and labels.
+
+    Uses SHA-256 (never Python's salted ``hash``) so the same campaign
+    expands to the same per-run seeds in every process, on every platform
+    — the property the executor-parity guarantee rests on.
+    """
+    text = "|".join([str(int(campaign_seed)), *[str(part) for part in parts]])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def _freeze_mapping(value: Mapping[str, Any], label: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise TypeError(f"{label} must be a mapping, got {type(value)!r}")
+    return MappingProxyType(dict(value))
+
+
+def _split_axis_key(key: str) -> Tuple[Optional[str], str]:
+    """Split an axis key into (config section, field) or (None, param name)."""
+    if "." in key:
+        section, _, rest = key.partition(".")
+        if section in _CONFIG_SECTIONS:
+            return section, rest
+        if section == "params":
+            return None, rest
+    return None, key
+
+
+def _validate_axis_key(key: str) -> None:
+    section, name = _split_axis_key(key)
+    if not name:
+        raise ValueError(f"axis key {key!r} has an empty field name")
+    if section is not None:
+        known = {f.name for f in dataclasses.fields(_CONFIG_SECTIONS[section])}
+        if name not in known:
+            raise ValueError(
+                f"axis {key!r} addresses unknown {section} config field {name!r}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully resolved run of a campaign.
+
+    Everything a worker needs is here — resolved configs, runner name,
+    derived seed and runner parameters — and all of it round-trips
+    through JSON, which is exactly how the process executor ships runs
+    to its workers.
+    """
+
+    campaign: str
+    index: int
+    run_id: str
+    runner: str
+    seed: int
+    platform: PlatformConfig
+    evolution: EvolutionConfig
+    task: TaskSpec
+    healing: Optional[SelfHealingConfig] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_mapping(self.params, "params"))
+        object.__setattr__(self, "overrides", _freeze_mapping(self.overrides, "overrides"))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "index": self.index,
+            "run_id": self.run_id,
+            "runner": self.runner,
+            "seed": self.seed,
+            "platform": self.platform.to_dict(),
+            "evolution": self.evolution.to_dict(),
+            "task": self.task.to_dict(),
+            "healing": None if self.healing is None else self.healing.to_dict(),
+            "params": dict(self.params),
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        healing = data.get("healing")
+        return cls(
+            campaign=data["campaign"],
+            index=int(data["index"]),
+            run_id=data["run_id"],
+            runner=data["runner"],
+            seed=int(data["seed"]),
+            platform=PlatformConfig.from_dict(data["platform"]),
+            evolution=EvolutionConfig.from_dict(data["evolution"]),
+            task=TaskSpec.from_dict(data["task"]),
+            healing=None if healing is None else SelfHealingConfig.from_dict(healing),
+            params=dict(data.get("params") or {}),
+            overrides=dict(data.get("overrides") or {}),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep over Session-API configs.
+
+    Parameters
+    ----------
+    name:
+        Campaign identifier (recorded in every artifact and in the store).
+    runner:
+        Name of a registered campaign runner (see
+        :mod:`repro.runtime.runners`); the default ``evolve`` runner
+        drives one :class:`~repro.api.session.EvolutionSession` per run.
+    platform, evolution, task, healing:
+        Base configs every run starts from; axis values override fields.
+    grid:
+        ``{axis_key: [value, ...]}`` swept as a full cartesian product,
+        in insertion order (first axis outermost).
+    paired:
+        ``{axis_key: [value, ...]}`` axes of equal length that advance
+        together (a zipped sweep), forming one innermost composite axis.
+    params:
+        Constant runner parameters shared by every run.
+    seed:
+        Campaign seed.  Per-run seeds (and any config seeds left at
+        ``None``) are derived from it with :func:`derive_seed`.
+    repeats:
+        Number of replicates per grid point (an extra innermost axis;
+        the repeat index is part of each run's seed derivation).
+    """
+
+    name: str
+    runner: str = "evolve"
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    task: TaskSpec = field(default_factory=TaskSpec)
+    healing: Optional[SelfHealingConfig] = None
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    paired: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be a non-empty string")
+        if not self.runner:
+            raise ValueError("campaign runner must be a non-empty name")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        grid = _freeze_mapping(self.grid, "grid")
+        paired = _freeze_mapping(self.paired, "paired")
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(self, "paired", paired)
+        object.__setattr__(self, "params", _freeze_mapping(self.params, "params"))
+        for key, values in itertools.chain(grid.items(), paired.items()):
+            _validate_axis_key(key)
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise TypeError(f"axis {key!r} must map to a sequence of values")
+            if not values:
+                raise ValueError(f"axis {key!r} has no values")
+        if paired:
+            lengths = {len(values) for values in paired.values()}
+            if len(lengths) > 1:
+                raise ValueError(
+                    "paired axes must all have the same length, got lengths "
+                    f"{sorted(lengths)}"
+                )
+        overlap = set(grid) & set(paired)
+        if overlap:
+            raise ValueError(f"axes appear in both grid and paired: {sorted(overlap)}")
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def axes(self) -> List[Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]]:
+        """The sweep axes: one per grid key plus one composite paired axis."""
+        axes: List[Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]] = [
+            ((key,), [(value,) for value in values]) for key, values in self.grid.items()
+        ]
+        if self.paired:
+            keys = tuple(self.paired)
+            axes.append((keys, list(zip(*self.paired.values()))))
+        return axes
+
+    def n_runs(self) -> int:
+        """Number of runs this campaign expands into."""
+        total = self.repeats
+        for _, values in self.axes():
+            total *= len(values)
+        return total
+
+    def expand(self) -> List[RunSpec]:
+        """Expand the sweep into its ordered, fully seeded list of runs."""
+        axes = self.axes()
+        key_groups = [keys for keys, _ in axes]
+        value_lists = [values for _, values in axes]
+        runs: List[RunSpec] = []
+        index = 0
+        for combo in itertools.product(*value_lists):
+            overrides: Dict[str, Any] = {}
+            for keys, values in zip(key_groups, combo):
+                overrides.update(zip(keys, values))
+            for repeat in range(self.repeats):
+                runs.append(self._resolve_run(index, overrides, repeat))
+                index += 1
+        return runs
+
+    def _resolve_run(self, index: int, overrides: Mapping[str, Any], repeat: int) -> RunSpec:
+        sections: Dict[str, Dict[str, Any]] = {name: {} for name in _CONFIG_SECTIONS}
+        params: Dict[str, Any] = dict(self.params)
+        recorded: Dict[str, Any] = {}
+        for key, value in overrides.items():
+            section, name = _split_axis_key(key)
+            recorded[key] = value
+            if section is None:
+                params[name] = value
+            else:
+                sections[section][name] = value
+        if self.repeats > 1:
+            params["repeat"] = repeat
+            recorded["repeat"] = repeat
+
+        platform = (
+            self.platform.replace(**sections["platform"])
+            if sections["platform"]
+            else self.platform
+        )
+        evolution = (
+            self.evolution.replace(**sections["evolution"])
+            if sections["evolution"]
+            else self.evolution
+        )
+        task = self.task.replace(**sections["task"]) if sections["task"] else self.task
+        healing = self.healing
+        if sections["healing"]:
+            if healing is None:
+                raise ValueError(
+                    "campaign sweeps a 'healing.*' axis but has no base healing config"
+                )
+            healing = healing.replace(**sections["healing"])
+
+        # Deterministic seeding: any config seed left unset is derived from
+        # the campaign seed and the run index, so replicates and grid points
+        # get distinct-but-reproducible random streams.
+        if platform.seed is None:
+            platform = platform.replace(seed=derive_seed(self.seed, index, "platform"))
+        if evolution.seed is None:
+            evolution = evolution.replace(seed=derive_seed(self.seed, index, "evolution"))
+        if healing is not None and healing.seed is None:
+            healing = healing.replace(seed=derive_seed(self.seed, index, "healing"))
+
+        canonical = json.dumps(
+            {"overrides": recorded, "repeat": repeat}, sort_keys=True, default=str
+        )
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
+        return RunSpec(
+            campaign=self.name,
+            index=index,
+            run_id=f"run-{index:04d}-{digest}",
+            runner=self.runner,
+            seed=derive_seed(self.seed, index),
+            platform=platform,
+            evolution=evolution,
+            task=task,
+            healing=healing,
+            params=params,
+            overrides=recorded,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "platform": self.platform.to_dict(),
+            "evolution": self.evolution.to_dict(),
+            "task": self.task.to_dict(),
+            "healing": None if self.healing is None else self.healing.to_dict(),
+            "grid": {key: list(values) for key, values in self.grid.items()},
+            "paired": {key: list(values) for key, values in self.paired.items()},
+            "params": dict(self.params),
+            "seed": self.seed,
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"CampaignSpec does not accept field(s): {', '.join(sorted(unknown))}"
+            )
+        healing = data.get("healing")
+        return cls(
+            name=data["name"],
+            runner=data.get("runner", "evolve"),
+            platform=PlatformConfig.from_dict(data.get("platform") or {}),
+            evolution=EvolutionConfig.from_dict(data.get("evolution") or {}),
+            task=TaskSpec.from_dict(data.get("task") or {}),
+            healing=None if healing is None else SelfHealingConfig.from_dict(healing),
+            grid=dict(data.get("grid") or {}),
+            paired=dict(data.get("paired") or {}),
+            params=dict(data.get("params") or {}),
+            seed=int(data.get("seed", 0)),
+            repeats=int(data.get("repeats", 1)),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable content hash used by the store to detect spec changes."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()

@@ -1,0 +1,245 @@
+"""The campaign engine: expand, dispatch, persist, aggregate.
+
+:func:`run_campaign` is the one call behind the ``repro-ehw campaign``
+subcommand and the migrated experiment sweeps: it expands a
+:class:`~repro.runtime.campaign.CampaignSpec` into runs, skips the ones
+an attached :class:`~repro.runtime.store.CampaignStore` already holds,
+dispatches the rest through the selected executor and returns a
+:class:`CampaignResult` whose campaign-level
+:class:`~repro.api.artifact.RunArtifact` summarises every run.
+
+The worker boundary (:func:`execute_run_payload`) takes and returns JSON
+strings only; per-run failures are captured as structured error payloads
+rather than exceptions, so one bad grid point cannot take down a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.api.artifact import RunArtifact
+from repro.runtime.campaign import CampaignSpec, RunSpec
+from repro.runtime.executors import EXECUTORS, CampaignExecutor
+from repro.runtime.runners import RUNNERS, ensure_runners_loaded
+from repro.runtime.store import CampaignStore
+
+__all__ = [
+    "CampaignRunError",
+    "CampaignResult",
+    "run_campaign",
+    "execute_run_payload",
+    "prime_worker",
+]
+
+
+class CampaignRunError(RuntimeError):
+    """Raised when a caller needs a failed run's artifact.
+
+    Carries the worker's captured traceback, so consumers that treat any
+    failure as fatal (the migrated experiments do) surface the original
+    error instead of an opaque missing-key lookup.
+    """
+
+
+def prime_worker() -> None:
+    """Process-pool initializer: load the runner registry in the worker."""
+    ensure_runners_loaded()
+
+
+def execute_run_payload(payload: str) -> str:
+    """Execute one JSON-serialised :class:`RunSpec`; return a JSON outcome.
+
+    The returned payload is ``{"status": "completed", "artifact": {...}}``
+    or ``{"status": "failed", "error": "<traceback>"}`` — never an
+    exception, so executors treat worker results uniformly.
+    """
+    ensure_runners_loaded()
+    run = RunSpec.from_json(payload)
+    try:
+        runner = RUNNERS.get(run.runner)
+        artifact = runner(run)
+        if not isinstance(artifact, RunArtifact):
+            raise TypeError(
+                f"campaign runner {run.runner!r} must return a RunArtifact, "
+                f"got {type(artifact)!r}"
+            )
+        artifact.provenance["campaign"] = {
+            "name": run.campaign,
+            "run_id": run.run_id,
+            "index": run.index,
+            "runner": run.runner,
+            "seed": run.seed,
+            "overrides": dict(run.overrides),
+        }
+        outcome = {"status": "completed", "artifact": artifact.to_dict()}
+    except Exception:
+        outcome = {"status": "failed", "error": traceback.format_exc()}
+    return json.dumps(outcome)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` call."""
+
+    spec: CampaignSpec
+    executor: str
+    runs: List[RunSpec]
+    artifacts: Dict[str, RunArtifact] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    resumed_run_ids: List[str] = field(default_factory=list)
+    store_root: Optional[str] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.artifacts)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    def artifact_for(self, run: RunSpec) -> RunArtifact:
+        """The artifact of ``run``; a failed run raises :class:`CampaignRunError`
+        carrying the worker's traceback."""
+        try:
+            return self.artifacts[run.run_id]
+        except KeyError:
+            error = self.failures.get(run.run_id)
+            if error is not None:
+                raise CampaignRunError(
+                    f"campaign {self.spec.name!r} run {run.run_id} "
+                    f"({dict(run.overrides)}) failed:\n{error}"
+                ) from None
+            raise KeyError(
+                f"campaign {self.spec.name!r} has no run {run.run_id!r}"
+            ) from None
+
+    def ordered_artifacts(self) -> List[Optional[RunArtifact]]:
+        """Artifacts in campaign (expansion) order; ``None`` where failed."""
+        return [self.artifacts.get(run.run_id) for run in self.runs]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One summary row per run, in campaign order."""
+        rows: List[Dict[str, Any]] = []
+        for run in self.runs:
+            row: Dict[str, Any] = {
+                "run_id": run.run_id,
+                "index": run.index,
+                "seed": run.seed,
+                "overrides": dict(run.overrides),
+            }
+            artifact = self.artifacts.get(run.run_id)
+            if artifact is not None:
+                row["status"] = "completed"
+                best = artifact.results.get("overall_best_fitness")
+                if best is not None:
+                    row["overall_best_fitness"] = best
+            else:
+                row["status"] = "failed"
+                row["error"] = self.failures.get(run.run_id, "unknown")
+            rows.append(row)
+        return rows
+
+    def artifact(self) -> RunArtifact:
+        """Campaign-level artifact: spec provenance plus per-run summary rows."""
+        return RunArtifact(
+            kind="campaign",
+            config={"campaign": self.spec.to_dict()},
+            results={
+                "n_runs": len(self.runs),
+                "n_completed": self.n_completed,
+                "n_failed": self.n_failed,
+                "n_resumed": len(self.resumed_run_ids),
+                "executor": self.executor,
+                "rows": self.rows(),
+            },
+            timing={"wall_time_s": self.wall_time_s},
+            provenance={"store": self.store_root},
+            raw=self,
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    executor: Union[str, CampaignExecutor] = "serial",
+    max_workers: Optional[int] = None,
+    store: Union[CampaignStore, str, None] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[RunSpec, str], None]] = None,
+) -> CampaignResult:
+    """Execute a campaign and return its collected results.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    executor:
+        Name of a registered executor (``serial``/``thread``/``process``)
+        or an executor instance.
+    max_workers:
+        Worker cap for the concurrent executors (default: the machine's
+        available CPUs, clamped to the number of pending runs).
+    store:
+        Optional :class:`CampaignStore` (or directory path) to persist
+        results into.  With ``resume=True`` (the default), runs already
+        recorded as completed are loaded from the store instead of being
+        re-executed.
+    progress:
+        Optional callback invoked as ``progress(run, status)`` after each
+        run finishes (status: ``completed``/``failed``/``resumed``).
+    """
+    ensure_runners_loaded()
+    if isinstance(executor, str):
+        entry = EXECUTORS.get(executor)
+        executor_obj: CampaignExecutor = entry() if isinstance(entry, type) else entry
+    else:
+        executor_obj = executor
+
+    if store is not None and not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+
+    runs = spec.expand()
+    result = CampaignResult(
+        spec=spec,
+        executor=executor_obj.name,
+        runs=runs,
+        store_root=None if store is None else str(store.root),
+    )
+
+    started = time.perf_counter()
+    pending = runs
+    if store is not None:
+        store.initialise(spec)
+        if resume:
+            completed = store.completed_run_ids()
+            pending = []
+            for run in runs:
+                if run.run_id in completed:
+                    result.artifacts[run.run_id] = store.load_artifact(run.run_id)
+                    result.resumed_run_ids.append(run.run_id)
+                    if progress is not None:
+                        progress(run, "resumed")
+                else:
+                    pending.append(run)
+
+    payloads = [run.to_json() for run in pending]
+    for position, outcome_payload in executor_obj.execute(payloads, max_workers):
+        run = pending[position]
+        outcome = json.loads(outcome_payload)
+        if outcome["status"] == "completed":
+            artifact_dict = outcome["artifact"]
+            result.artifacts[run.run_id] = RunArtifact.from_dict(artifact_dict)
+            if store is not None:
+                store.record(run, "completed", artifact=artifact_dict)
+        else:
+            result.failures[run.run_id] = outcome.get("error", "unknown error")
+            if store is not None:
+                store.record(run, "failed", error=result.failures[run.run_id])
+        if progress is not None:
+            progress(run, outcome["status"])
+    result.wall_time_s = time.perf_counter() - started
+    return result

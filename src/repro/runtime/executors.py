@@ -1,0 +1,159 @@
+"""Pluggable campaign executors: serial, thread pool, process pool.
+
+Every executor runs the same top-level worker function
+(:func:`repro.runtime.engine.execute_run_payload`) on the same
+JSON-serialised :class:`~repro.runtime.campaign.RunSpec` payloads — the
+process pool ships them across the process boundary through the configs'
+existing JSON round-trip, and the serial and thread backends feed the
+identical payloads through the identical function in-process.  The
+executor therefore only ever changes *where and when* runs execute,
+never *what they compute*; the parity test in
+``tests/runtime/test_executors.py`` holds all three to that contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.api.registry import Registry
+
+__all__ = [
+    "EXECUTORS",
+    "register_executor",
+    "available_cpus",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+]
+
+#: Registry of campaign executors, keyed by name.
+EXECUTORS = Registry("campaign executor")
+
+
+def register_executor(name: str, obj=None, *, replace: bool = False):
+    """Register an executor class; usable directly or as a decorator."""
+    return EXECUTORS.register(name, obj, replace=replace)
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class CampaignExecutor:
+    """Executor contract: dispatch payloads, yield results as they finish.
+
+    Subclasses implement :meth:`execute`, taking the JSON run payloads in
+    campaign order and yielding ``(position, result_payload)`` tuples in
+    *completion* order; the engine reassociates positions with runs, so
+    out-of-order completion is expected and harmless.
+    """
+
+    name = "?"
+
+    def resolve_workers(self, n_payloads: int, max_workers: Optional[int]) -> int:
+        """Clamp the worker count to the work available and the machine."""
+        if max_workers is not None:
+            if max_workers < 1:
+                raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+            return min(max_workers, max(1, n_payloads))
+        return min(available_cpus(), max(1, n_payloads))
+
+    def execute(
+        self, payloads: Sequence[str], max_workers: Optional[int] = None
+    ) -> Iterator[Tuple[int, str]]:
+        raise NotImplementedError
+
+
+def _run_payload(payload: str) -> str:
+    # Imported lazily so the executors module does not cycle with the engine.
+    from repro.runtime.engine import execute_run_payload
+
+    return execute_run_payload(payload)
+
+
+@register_executor("serial")
+class SerialExecutor(CampaignExecutor):
+    """Run every payload in this process, one after the other."""
+
+    name = "serial"
+
+    def execute(
+        self, payloads: Sequence[str], max_workers: Optional[int] = None
+    ) -> Iterator[Tuple[int, str]]:
+        for position, payload in enumerate(payloads):
+            yield position, _run_payload(payload)
+
+
+@register_executor("thread")
+class ThreadExecutor(CampaignExecutor):
+    """Run payloads on a thread pool.
+
+    Python threads interleave rather than truly parallelise CPU-bound
+    runs, but the backend is useful for I/O-heavy runners and as the
+    cheapest concurrency smoke test of the executor contract.
+    """
+
+    name = "thread"
+
+    def execute(
+        self, payloads: Sequence[str], max_workers: Optional[int] = None
+    ) -> Iterator[Tuple[int, str]]:
+        workers = self.resolve_workers(len(payloads), max_workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_payload, payload): position
+                for position, payload in enumerate(payloads)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+
+
+@register_executor("process")
+class ProcessExecutor(CampaignExecutor):
+    """Run payloads on a multiprocessing pool (the scale-out backend).
+
+    Run descriptions cross the process boundary as JSON payloads and come
+    back as JSON artifacts, so nothing needs to be picklable beyond
+    strings.  Workers are primed with the runner registry via an
+    initializer, which keeps the ``spawn`` start method working; ``fork``
+    is preferred where available because it avoids re-importing the
+    library in every worker.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def execute(
+        self, payloads: Sequence[str], max_workers: Optional[int] = None
+    ) -> Iterator[Tuple[int, str]]:
+        from repro.runtime.engine import execute_run_payload, prime_worker
+
+        workers = self.resolve_workers(len(payloads), max_workers)
+        context = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context, initializer=prime_worker
+        ) as pool:
+            futures = {
+                pool.submit(execute_run_payload, payload): position
+                for position, payload in enumerate(payloads)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()

@@ -1,0 +1,182 @@
+"""The ``repro-ehw campaign`` subcommand: declarative sweeps from the CLI.
+
+A campaign can be given as a JSON spec file (``--spec``) or assembled
+inline from axis flags::
+
+    repro-ehw campaign \\
+        --grid "evolution.mutation_rate=[1,3]" \\
+        --grid "task.noise_level=[0.05,0.1]" \\
+        --executor process --store out/campaign --json out/campaign.json
+
+Axis values are parsed as JSON (falling back to comma-separated
+strings), so grids can sweep numbers, strings or whole option objects.
+The subcommand registers through the same experiment registry as the
+paper-figure runners, so ``--json`` artifact output works unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+from repro.api.artifact import RunArtifact
+from repro.api.config import EvolutionConfig, PlatformConfig, TaskSpec
+from repro.api.experiment import ExperimentSpec, print_table, register_experiment
+from repro.runtime.campaign import CampaignSpec
+from repro.runtime.engine import run_campaign
+from repro.runtime.executors import EXECUTORS
+
+__all__ = ["build_spec_from_args"]
+
+
+def _parse_values(text: str) -> List[Any]:
+    """Parse an axis value list: JSON first, comma-separated strings second."""
+    try:
+        values = json.loads(text)
+    except json.JSONDecodeError:
+        return [item.strip() for item in text.split(",") if item.strip()]
+    return values if isinstance(values, list) else [values]
+
+
+def _parse_scalar(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _split_assignment(item: str, flag: str) -> Tuple[str, str]:
+    key, sep, value = item.partition("=")
+    if not sep or not key.strip():
+        raise SystemExit(f"{flag} expects KEY=VALUE, got {item!r}")
+    return key.strip(), value
+
+
+def build_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the campaign spec from ``--spec`` or the inline axis flags."""
+    if args.spec_file:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            spec = CampaignSpec.from_json(handle.read())
+        if args.grid or args.pair or args.set:
+            raise SystemExit("--grid/--pair/--set cannot be combined with --spec")
+        return spec
+
+    grid: Dict[str, List[Any]] = {}
+    for item in args.grid or []:
+        key, value = _split_assignment(item, "--grid")
+        grid[key] = _parse_values(value)
+    paired: Dict[str, List[Any]] = {}
+    for item in args.pair or []:
+        key, value = _split_assignment(item, "--pair")
+        paired[key] = _parse_values(value)
+    params: Dict[str, Any] = {}
+    for item in args.set or []:
+        key, value = _split_assignment(item, "--set")
+        params[key] = _parse_scalar(value)
+    if not grid and not paired and args.repeats == 1:
+        raise SystemExit(
+            "a campaign needs at least one sweep axis (--grid/--pair), "
+            "--repeats > 1, or a --spec file"
+        )
+    return CampaignSpec(
+        name=args.name,
+        runner=args.runner,
+        platform=PlatformConfig(seed=args.seed),
+        evolution=EvolutionConfig(n_generations=args.generations, seed=args.seed),
+        task=TaskSpec(image_side=args.image_side, seed=args.seed),
+        grid=grid,
+        paired=paired,
+        params=params,
+        seed=args.campaign_seed if args.campaign_seed is not None else args.seed,
+        repeats=args.repeats,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", dest="spec_file", metavar="FILE",
+                        help="JSON CampaignSpec file (overrides the inline flags)")
+    parser.add_argument("--grid", action="append", metavar="KEY=VALUES",
+                        help="cartesian sweep axis, e.g. "
+                             "--grid 'evolution.mutation_rate=[1,3,5]' (repeatable)")
+    parser.add_argument("--pair", action="append", metavar="KEY=VALUES",
+                        help="zipped sweep axis; all --pair axes advance together")
+    parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        help="constant runner parameter for every run")
+    parser.add_argument("--name", default="cli-campaign", help="campaign name")
+    parser.add_argument("--runner", default="evolve",
+                        help="registered campaign runner (default: evolve)")
+    parser.add_argument("--executor", default="serial", choices=sorted(EXECUTORS.names()),
+                        help="execution backend")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker cap for the thread/process executors")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="resumable campaign store directory")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-execute runs already completed in the store")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="replicates per grid point")
+    parser.add_argument("--campaign-seed", type=int, default=None,
+                        help="campaign seed (default: --seed)")
+    parser.add_argument("--seed", type=int, default=2013, help="base config seed")
+    parser.add_argument("--generations", type=int, default=100,
+                        help="generation budget of the base evolution config")
+    parser.add_argument("--image-side", type=int, default=32,
+                        help="test image side of the base task config")
+
+
+def _run(args: argparse.Namespace) -> RunArtifact:
+    spec = build_spec_from_args(args)
+
+    def progress(run, status):
+        # Progress goes to stderr so `--json` stdout stays machine-readable.
+        print(
+            f"[campaign {spec.name}] {run.run_id} ({dict(run.overrides)}): {status}",
+            file=sys.stderr,
+        )
+
+    result = run_campaign(
+        spec,
+        executor=args.executor,
+        max_workers=args.workers,
+        store=args.store,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+    return result.artifact()
+
+
+def _render(artifact: RunArtifact) -> None:
+    results = artifact.results
+    rows = [
+        {
+            "run_id": row["run_id"],
+            "status": row["status"],
+            "overrides": json.dumps(row["overrides"], sort_keys=True),
+            "best_fitness": row.get("overall_best_fitness"),
+        }
+        for row in results["rows"]
+    ]
+    print_table(
+        f"Campaign {artifact.config['campaign']['name']} "
+        f"({results['executor']} executor, "
+        f"{results['n_completed']}/{results['n_runs']} completed, "
+        f"{results['n_resumed']} resumed, {results['n_failed']} failed)",
+        rows,
+        ["run_id", "status", "overrides", "best_fitness"],
+    )
+    if artifact.provenance.get("store"):
+        print(f"\nstore: {artifact.provenance['store']}")
+
+
+register_experiment(ExperimentSpec(
+    name="campaign",
+    help="run a declarative parameter-sweep campaign (serial/thread/process)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

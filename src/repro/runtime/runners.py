@@ -1,0 +1,61 @@
+"""Campaign runners: the string-keyed registry of per-run workloads.
+
+A runner is a callable ``(RunSpec) -> RunArtifact`` registered by name,
+so the process executor can resolve it inside a worker from the shipped
+JSON run description alone.  The built-in ``evolve`` runner covers the
+common case — one :class:`~repro.api.session.EvolutionSession` per run —
+and the experiment modules register their own runners (fault-sweep
+arrays, cascade arrangements) the same way::
+
+    from repro.runtime.runners import register_runner
+
+    @register_runner("my-workload")
+    def run_my_workload(run):
+        ...
+        return RunArtifact(kind="my-workload", results={...})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.api.artifact import RunArtifact
+from repro.api.registry import Registry
+from repro.api.session import EvolutionSession
+
+__all__ = ["RUNNERS", "register_runner", "ensure_runners_loaded"]
+
+#: Registry of campaign runners, keyed by name.
+RUNNERS = Registry("campaign runner")
+
+
+def register_runner(name: str, obj: Any = None, *, replace: bool = False):
+    """Register a campaign runner; usable directly or as a decorator."""
+    return RUNNERS.register(name, obj, replace=replace)
+
+
+def ensure_runners_loaded() -> None:
+    """Import every module that registers built-in campaign runners.
+
+    Called at the worker boundary so a freshly spawned process (which has
+    not imported the experiment modules) resolves the same runner names
+    as the parent.
+    """
+    import repro.experiments  # noqa: F401  (imports register experiment runners)
+
+
+@register_runner("evolve")
+def run_evolve(run) -> RunArtifact:
+    """The default runner: one evolution session per run.
+
+    Builds the platform from ``run.platform``, runs ``run.evolution`` on
+    ``run.task`` and returns the session's :class:`RunArtifact`.
+    """
+    session = EvolutionSession(run.platform, run.evolution)
+    return session.evolve(run.task)
+
+
+def resolve(name: str) -> Callable:
+    """Look up a runner by name (loading the built-ins first)."""
+    ensure_runners_loaded()
+    return RUNNERS.get(name)

@@ -1,0 +1,165 @@
+"""Resumable on-disk storage for campaign results.
+
+A :class:`CampaignStore` is one directory per campaign::
+
+    <root>/
+      campaign.json        # the CampaignSpec + its content digest
+      runs.jsonl           # append-only run index, one JSON object per line
+      runs/<run_id>.json   # one RunArtifact file per completed run
+
+The JSONL index is append-only and last-write-wins per ``run_id``, so a
+campaign that crashes mid-sweep (or is deliberately re-run with more
+grid points) resumes by skipping every run already marked completed.
+The per-run artifact files are exactly what
+:meth:`~repro.api.artifact.RunArtifact.save` writes, so any downstream
+tool that understands run artifacts understands a campaign store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.api.artifact import RunArtifact
+from repro.runtime.campaign import CampaignSpec, RunSpec
+
+__all__ = ["CampaignStore"]
+
+SPEC_FILE = "campaign.json"
+INDEX_FILE = "runs.jsonl"
+RUNS_DIR = "runs"
+
+
+class CampaignStore:
+    """Directory-backed, resumable result store for one campaign."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_path(self) -> Path:
+        return self.root / SPEC_FILE
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_FILE
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / RUNS_DIR
+
+    def artifact_path(self, run_id: str) -> Path:
+        return self.runs_dir / f"{run_id}.json"
+
+    # ------------------------------------------------------------------ #
+    def initialise(self, spec: CampaignSpec) -> None:
+        """Create the store layout (or attach to an existing one).
+
+        Attaching to a directory initialised for a *different* spec is an
+        error: silently mixing two campaigns' runs in one index would make
+        resume-by-run-id meaningless.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.runs_dir.mkdir(exist_ok=True)
+        digest = spec.digest()
+        if self.spec_path.exists():
+            existing = json.loads(self.spec_path.read_text(encoding="utf-8"))
+            if existing.get("digest") != digest:
+                raise ValueError(
+                    f"store at {self.root} was initialised for campaign "
+                    f"{existing.get('spec', {}).get('name')!r} with a different "
+                    "spec; use a fresh directory (or delete the store) to run "
+                    "a changed campaign"
+                )
+            return
+        payload = {"digest": digest, "spec": spec.to_dict()}
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self.spec_path.write_text(text, encoding="utf-8")
+
+    def load_spec(self) -> CampaignSpec:
+        """The spec this store was initialised for."""
+        payload = json.loads(self.spec_path.read_text(encoding="utf-8"))
+        return CampaignSpec.from_dict(payload["spec"])
+
+    # ------------------------------------------------------------------ #
+    def index(self) -> List[Dict[str, Any]]:
+        """The run index, deduplicated by ``run_id`` (last write wins)."""
+        if not self.index_path.exists():
+            return []
+        by_run_id: Dict[str, Dict[str, Any]] = {}
+        with self.index_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                by_run_id[entry["run_id"]] = entry
+        return sorted(by_run_id.values(), key=lambda entry: entry["index"])
+
+    def completed_run_ids(self) -> Set[str]:
+        """Run ids recorded as completed (the ones a rerun skips)."""
+        return {
+            entry["run_id"] for entry in self.index() if entry["status"] == "completed"
+        }
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        run: RunSpec,
+        status: str,
+        artifact: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Persist one run outcome: its artifact file plus an index line."""
+        if status == "completed":
+            if artifact is None:
+                raise ValueError("a completed run must provide its artifact")
+            path = self.artifact_path(run.run_id)
+            path.write_text(
+                json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        entry: Dict[str, Any] = {
+            "run_id": run.run_id,
+            "index": run.index,
+            "status": status,
+            "runner": run.runner,
+            "seed": run.seed,
+            "overrides": dict(run.overrides),
+        }
+        if status == "completed":
+            entry["artifact"] = f"{RUNS_DIR}/{run.run_id}.json"
+            results = (artifact or {}).get("results", {})
+            if "overall_best_fitness" in results:
+                entry["overall_best_fitness"] = results["overall_best_fitness"]
+        if error is not None:
+            entry["error"] = error
+        with self.index_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def load_artifact(self, run_id: str) -> RunArtifact:
+        """Load one completed run's artifact back from disk."""
+        return RunArtifact.from_json(self.artifact_path(run_id).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view of the store: counts plus one row per run."""
+        rows = self.index()
+        completed = [entry for entry in rows if entry["status"] == "completed"]
+        fitnesses = [
+            entry["overall_best_fitness"]
+            for entry in completed
+            if isinstance(entry.get("overall_best_fitness"), (int, float))
+        ]
+        summary: Dict[str, Any] = {
+            "n_runs": len(rows),
+            "n_completed": len(completed),
+            "n_failed": sum(1 for entry in rows if entry["status"] == "failed"),
+            "rows": rows,
+        }
+        if fitnesses:
+            summary["best_fitness"] = min(fitnesses)
+            summary["mean_fitness"] = sum(fitnesses) / len(fitnesses)
+        return summary

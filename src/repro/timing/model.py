@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.array.genotype import GenotypeSpec
-from repro.fpga.icap import IcapModel
 from repro.fpga.reconfiguration_engine import ReconfigurationEngine
 from repro.soc.microblaze import MicroBlazeModel
 

@@ -1,7 +1,6 @@
 """Tests for the structural activity analysis."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.activity import active_pes, activity_map, n_active_pes
 from repro.array.genotype import Genotype, GenotypeSpec

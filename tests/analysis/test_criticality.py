@@ -1,11 +1,9 @@
 """Tests for the fault-criticality analysis and the fault-sweep experiment."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.criticality import fault_sweep, platform_fault_sweep
 from repro.array.genotype import Genotype
-from repro.array.pe_library import PEFunction
 from repro.core.platform import EvolvableHardwarePlatform
 from repro.experiments.fault_sweep import summarise, systematic_fault_analysis
 from repro.imaging.images import make_test_image

@@ -1,7 +1,6 @@
 """Tests for circuit description and phenotype graph export."""
 
 import networkx as nx
-import pytest
 
 from repro.analysis.describe import describe_genotype, phenotype_graph
 from repro.array.genotype import Genotype

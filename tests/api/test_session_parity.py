@@ -8,7 +8,6 @@ though sessions evaluate offspring through the vectorised batch pass.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.api import (

@@ -7,7 +7,6 @@ from repro.array.genotype import Genotype, GenotypeSpec
 from repro.array.systolic_array import SystolicArray
 from repro.array.window import extract_windows
 from repro.ea.mutation import mutate
-from repro.imaging.images import make_test_image
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the fitness evaluators."""
 
-import numpy as np
 import pytest
 
 from repro.array.genotype import Genotype

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.array.genotype import GeneKind, Genotype, GenotypeSpec
+from repro.array.genotype import GeneKind, Genotype
 from repro.ea.mutation import mutate
 
 

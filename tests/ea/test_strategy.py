@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.genotype import Genotype
 from repro.ea.strategy import OnePlusLambdaES
 
 

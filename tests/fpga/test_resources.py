@@ -3,7 +3,7 @@
 import pytest
 
 from repro.array.systolic_array import ArrayGeometry
-from repro.fpga.resources import VIRTEX5_LX110T, DeviceModel, ResourceModel
+from repro.fpga.resources import DeviceModel, ResourceModel
 
 
 class TestResourceModel:

@@ -1,7 +1,5 @@
 """End-to-end integration tests: evolve, operate, break, heal."""
 
-import numpy as np
-import pytest
 
 from repro.core.evolution import CascadedEvolution, ImitationEvolution, ParallelEvolution
 from repro.core.modes import CascadeFitnessMode, CascadeSchedule, ProcessingMode

@@ -1,0 +1,21 @@
+"""Shared fixtures for the campaign-runtime tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.config import EvolutionConfig, PlatformConfig, TaskSpec
+from repro.runtime.campaign import CampaignSpec
+
+
+@pytest.fixture
+def tiny_campaign() -> CampaignSpec:
+    """A fast 2x2 evolve campaign with fully pinned seeds."""
+    return CampaignSpec(
+        name="tiny",
+        platform=PlatformConfig(n_arrays=3, seed=1),
+        evolution=EvolutionConfig(strategy="parallel", n_generations=4, seed=2),
+        task=TaskSpec(image_side=16, seed=3, noise_level=0.1),
+        grid={"evolution.mutation_rate": [1, 3], "task.noise_level": [0.05, 0.1]},
+        seed=99,
+    )

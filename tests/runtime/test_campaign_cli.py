@@ -1,0 +1,95 @@
+"""Tests for the ``repro-ehw campaign`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.campaign import CampaignSpec
+
+TINY_ARGS = [
+    "campaign",
+    "--grid", "evolution.mutation_rate=[1,3]",
+    "--generations", "4",
+    "--image-side", "16",
+    "--seed", "1",
+]
+
+
+class TestInlineCampaign:
+    def test_runs_and_renders_summary(self, capsys):
+        assert main(TINY_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Campaign cli-campaign" in out
+        assert "2/2 completed" in out
+
+    def test_json_artifact_contains_rows_and_spec(self, capsys):
+        assert main(TINY_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign"
+        assert payload["results"]["n_runs"] == 2
+        assert payload["results"]["n_completed"] == 2
+        assert payload["config"]["campaign"]["name"] == "cli-campaign"
+        assert len(payload["results"]["rows"]) == 2
+
+    def test_store_is_populated_and_resumed(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        args = TINY_ARGS + ["--store", str(store)]
+        assert main(args) == 0
+        assert (store / "runs.jsonl").exists()
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed" in out
+
+    def test_pair_and_set_flags(self, capsys):
+        assert main([
+            "campaign",
+            "--pair", "platform.n_arrays=[3,4]",
+            "--pair", "evolution.options=" + json.dumps([{"n_arrays": 1}, {"n_arrays": 3}]),
+            "--set", "note=hello",
+            "--generations", "4",
+            "--image-side", "16",
+            "--seed", "1",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["results"]["rows"]
+        assert len(rows) == 2
+        assert rows[0]["overrides"]["platform.n_arrays"] == 3
+        assert rows[1]["overrides"]["platform.n_arrays"] == 4
+
+    def test_without_axes_exits_with_guidance(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--generations", "4"])
+
+    def test_bad_assignment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--grid", "no-equals-sign"])
+
+
+class TestSpecFileCampaign:
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        spec = CampaignSpec(
+            name="from-file",
+            grid={"evolution.mutation_rate": [1, 3]},
+            seed=7,
+        )
+        spec = CampaignSpec.from_dict({
+            **spec.to_dict(),
+            "evolution": {"strategy": "parallel", "n_generations": 4, "seed": 2},
+            "task": {"image_side": 16, "seed": 3},
+            "platform": {"n_arrays": 3, "seed": 1},
+        })
+        path = tmp_path / "campaign.json"
+        path.write_text(spec.to_json())
+        assert main(["campaign", "--spec", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["campaign"]["name"] == "from-file"
+        assert payload["results"]["n_completed"] == 2
+
+    def test_spec_file_conflicts_with_inline_axes(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(CampaignSpec(name="x", grid={"k": [1]}).to_json())
+        with pytest.raises(SystemExit):
+            main(["campaign", "--spec", str(path), "--grid", "k=[2]"])

@@ -1,0 +1,119 @@
+"""Executor contract tests: parity, worker caps, failure capture.
+
+The acceptance-critical test is :class:`TestExecutorParity`: the
+``serial``, ``thread`` and ``process`` executors must produce *identical*
+run results for the same campaign seed — the executor may only change
+wall-clock time, never numbers.
+"""
+
+import pytest
+
+from repro.api.registry import UnknownStrategyError
+from repro.runtime.campaign import CampaignSpec
+from repro.runtime.engine import CampaignRunError, run_campaign
+from repro.runtime.executors import EXECUTORS, available_cpus
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+def _result_payloads(result):
+    """Per-run artifact dicts in campaign order (the executor-independent view)."""
+    return [artifact.to_dict() for artifact in result.ordered_artifacts()]
+
+
+class TestRegistry:
+    def test_builtin_executors_registered(self):
+        assert set(EXECUTOR_NAMES) <= set(EXECUTORS.names())
+
+    def test_unknown_executor_errors_with_choices(self):
+        with pytest.raises(UnknownStrategyError, match="serial"):
+            run_campaign(
+                CampaignSpec(name="x", grid={"evolution.mutation_rate": [1]}),
+                executor="warp-drive",
+            )
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestExecutorParity:
+    def test_all_executors_produce_identical_results(self, tiny_campaign):
+        """serial == thread == process for the same campaign seed."""
+        results = {
+            name: run_campaign(tiny_campaign, executor=name, max_workers=2)
+            for name in EXECUTOR_NAMES
+        }
+        for result in results.values():
+            assert result.n_completed == 4
+            assert result.n_failed == 0
+        serial = _result_payloads(results["serial"])
+        assert _result_payloads(results["thread"]) == serial
+        assert _result_payloads(results["process"]) == serial
+
+    def test_run_order_metadata_is_executor_independent(self, tiny_campaign):
+        serial = run_campaign(tiny_campaign, executor="serial")
+        process = run_campaign(tiny_campaign, executor="process", max_workers=2)
+        assert [r.run_id for r in serial.runs] == [r.run_id for r in process.runs]
+        assert serial.artifact().results["rows"] == process.artifact().results["rows"]
+
+
+class TestWorkerResolution:
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_worker_cap_is_clamped_to_work(self, name):
+        executor = EXECUTORS.get(name)()
+        assert executor.resolve_workers(2, 16) == 2
+        assert executor.resolve_workers(100, 2) == 2
+        assert executor.resolve_workers(0, None) == 1
+
+    def test_invalid_worker_cap_rejected(self):
+        executor = EXECUTORS.get("serial")()
+        with pytest.raises(ValueError):
+            executor.resolve_workers(4, 0)
+
+
+class TestFailureCapture:
+    def test_failed_run_is_recorded_not_raised(self, tiny_campaign):
+        # An unknown driver strategy only explodes inside the worker; the
+        # campaign must survive it and keep the healthy runs.
+        spec = CampaignSpec(
+            name="mixed",
+            platform=tiny_campaign.platform,
+            evolution=tiny_campaign.evolution,
+            task=tiny_campaign.task,
+            grid={"evolution.strategy": ["parallel", "definitely-not-a-driver"]},
+            seed=1,
+        )
+        result = run_campaign(spec, executor="serial")
+        assert result.n_completed == 1
+        assert result.n_failed == 1
+        (error,) = result.failures.values()
+        assert "definitely-not-a-driver" in error
+        rows = result.artifact().results["rows"]
+        assert [row["status"] for row in rows] == ["completed", "failed"]
+
+    def test_artifact_for_failed_run_carries_worker_traceback(self, tiny_campaign):
+        spec = CampaignSpec(
+            name="mixed",
+            platform=tiny_campaign.platform,
+            evolution=tiny_campaign.evolution,
+            task=tiny_campaign.task,
+            grid={"evolution.strategy": ["parallel", "definitely-not-a-driver"]},
+            seed=1,
+        )
+        result = run_campaign(spec, executor="serial")
+        failed_run = result.runs[1]
+        with pytest.raises(CampaignRunError, match="definitely-not-a-driver"):
+            result.artifact_for(failed_run)
+
+    def test_process_executor_captures_worker_failures(self, tiny_campaign):
+        spec = CampaignSpec(
+            name="mixed",
+            platform=tiny_campaign.platform,
+            evolution=tiny_campaign.evolution,
+            task=tiny_campaign.task,
+            grid={"evolution.strategy": ["parallel", "definitely-not-a-driver"]},
+            seed=1,
+        )
+        result = run_campaign(spec, executor="process", max_workers=2)
+        assert result.n_completed == 1
+        assert result.n_failed == 1

@@ -1,0 +1,125 @@
+"""Tests for the resumable campaign store."""
+
+import json
+
+import pytest
+
+from repro.api.artifact import RunArtifact
+from repro.runtime.engine import run_campaign
+from repro.runtime.store import CampaignStore
+
+
+class TestLayout:
+    def test_store_layout_written(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        result = run_campaign(tiny_campaign, executor="serial", store=store)
+        assert result.n_completed == 4
+        assert store.spec_path.exists()
+        assert store.index_path.exists()
+        artifact_files = sorted(path.name for path in store.runs_dir.iterdir())
+        assert artifact_files == sorted(
+            f"{run.run_id}.json" for run in tiny_campaign.expand()
+        )
+
+    def test_spec_round_trips_from_store(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.initialise(tiny_campaign)
+        assert store.load_spec() == tiny_campaign
+
+    def test_index_rows_have_summary_fields(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_campaign, executor="serial", store=store)
+        rows = store.index()
+        assert [row["index"] for row in rows] == [0, 1, 2, 3]
+        for row in rows:
+            assert row["status"] == "completed"
+            assert row["artifact"].startswith("runs/")
+            assert isinstance(row["overall_best_fitness"], float)
+
+    def test_artifacts_load_back_as_run_artifacts(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        result = run_campaign(tiny_campaign, executor="serial", store=store)
+        for run in result.runs:
+            loaded = store.load_artifact(run.run_id)
+            assert isinstance(loaded, RunArtifact)
+            assert loaded.to_dict() == result.artifact_for(run).to_dict()
+
+
+class TestResume:
+    def test_rerun_skips_completed_runs(self, tiny_campaign, tmp_path):
+        store = tmp_path / "store"
+        first = run_campaign(tiny_campaign, executor="serial", store=store)
+        second = run_campaign(tiny_campaign, executor="serial", store=store)
+        assert len(second.resumed_run_ids) == 4
+        assert second.n_completed == 4
+        assert [a.to_dict() for a in second.ordered_artifacts()] == \
+            [a.to_dict() for a in first.ordered_artifacts()]
+
+    def test_partial_store_only_runs_the_remainder(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        # Complete the first run by hand, then let the engine fill the rest.
+        seeded = run_campaign(tiny_campaign, executor="serial")
+        store.initialise(tiny_campaign)
+        store.record(
+            runs[0], "completed", artifact=seeded.artifact_for(runs[0]).to_dict()
+        )
+        executed = []
+        result = run_campaign(
+            tiny_campaign,
+            executor="serial",
+            store=store,
+            progress=lambda run, status: executed.append((run.run_id, status)),
+        )
+        assert result.resumed_run_ids == [runs[0].run_id]
+        assert (runs[0].run_id, "resumed") in executed
+        assert sum(1 for _, status in executed if status == "completed") == 3
+
+    def test_no_resume_re_executes_everything(self, tiny_campaign, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(tiny_campaign, executor="serial", store=store)
+        result = run_campaign(
+            tiny_campaign, executor="serial", store=store, resume=False
+        )
+        assert result.resumed_run_ids == []
+        assert result.n_completed == 4
+
+    def test_failed_runs_are_retried_on_resume(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        store.initialise(tiny_campaign)
+        store.record(runs[0], "failed", error="boom")
+        result = run_campaign(tiny_campaign, executor="serial", store=store)
+        assert result.resumed_run_ids == []
+        assert result.n_completed == 4
+        # Last index write wins: the run is now recorded as completed.
+        assert store.completed_run_ids() == {run.run_id for run in runs}
+
+    def test_store_rejects_a_different_spec(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.initialise(tiny_campaign)
+        changed = tiny_campaign.__class__.from_dict(
+            {**tiny_campaign.to_dict(), "seed": 12345}
+        )
+        with pytest.raises(ValueError, match="different"):
+            store.initialise(changed)
+
+
+class TestSummary:
+    def test_summary_aggregates_counts_and_fitness(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_campaign, executor="serial", store=store)
+        summary = store.summary()
+        assert summary["n_runs"] == 4
+        assert summary["n_completed"] == 4
+        assert summary["n_failed"] == 0
+        assert summary["best_fitness"] <= summary["mean_fitness"]
+        assert len(summary["rows"]) == 4
+
+    def test_index_is_valid_jsonl(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_campaign, executor="serial", store=store)
+        lines = store.index_path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)

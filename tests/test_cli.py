@@ -4,17 +4,45 @@ import json
 
 import pytest
 
+from repro.api.artifact import RunArtifact
 from repro.cli import build_parser, main
+
+#: Minimal fast arguments per subcommand, used by the --json round-trip
+#: sweep below.  Registering a new experiment without adding an entry
+#: here fails the sweep, so coverage keeps up with the registry.
+FAST_ARGS = {
+    "resources": ["--arrays", "3"],
+    "speedup": ["--generations", "1000"],
+    "new-ea": ["--generations", "8", "--runs", "1", "--image-side", "24", "--seed", "1"],
+    "cascade-quality": [
+        "--generations", "8", "--runs", "1", "--image-side", "24", "--seed", "1",
+    ],
+    "cascade-demo": [
+        "--generations", "10", "--image-side", "24", "--noise", "0.3", "--seed", "1",
+    ],
+    "imitation": [
+        "--generations", "8", "--runs", "1", "--image-side", "24", "--seed", "1",
+    ],
+    "tmr-recovery": ["--generations", "15", "--image-side", "24", "--seed", "1"],
+    "fault-sweep": ["--generations", "10", "--image-side", "24", "--seed", "1"],
+    "campaign": [
+        "--grid", "evolution.mutation_rate=[1]",
+        "--generations", "4", "--image-side", "16", "--seed", "1",
+    ],
+}
+
+
+def registered_commands():
+    parser = build_parser()
+    sub_actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+    return sorted(sub_actions[0].choices)
 
 
 class TestParser:
     def test_all_subcommands_registered(self):
-        parser = build_parser()
-        sub_actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
-        commands = set(sub_actions[0].choices)
-        assert commands == {
+        assert set(registered_commands()) == {
             "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
-            "imitation", "tmr-recovery", "fault-sweep",
+            "imitation", "tmr-recovery", "fault-sweep", "campaign",
         }
 
     def test_missing_command_errors(self):
@@ -119,3 +147,25 @@ class TestJsonFlag:
         assert payload["results"]["mode"] == "measured"
         assert len(payload["results"]["rows"]) == 6  # 3 mutation rates x 2 array counts
         assert payload["provenance"]["schema_version"] == 1
+
+
+class TestJsonRoundTrip:
+    """Every registered subcommand's --json FILE output is a valid RunArtifact."""
+
+    def test_every_registered_command_has_fast_args(self):
+        missing = set(registered_commands()) - set(FAST_ARGS)
+        assert not missing, (
+            f"add FAST_ARGS entries for new subcommand(s): {sorted(missing)}"
+        )
+
+    @pytest.mark.parametrize("command", sorted(FAST_ARGS))
+    def test_json_file_round_trips_through_run_artifact(self, command, tmp_path, capsys):
+        path = tmp_path / f"{command}.json"
+        assert main([command, *FAST_ARGS[command], "--json", str(path)]) == 0
+        capsys.readouterr()  # tables still render in the file case; drop them
+        text = path.read_text()
+        artifact = RunArtifact.from_json(text)
+        assert artifact.kind
+        assert artifact.provenance["schema_version"] == 1
+        # A full round trip: parse -> RunArtifact -> dict equals the raw JSON.
+        assert artifact.to_dict() == json.loads(text)
