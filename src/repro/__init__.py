@@ -35,11 +35,12 @@ The class-based entry points remain fully supported:
 >>> result.overall_best_fitness() < float("inf")
 True
 
-The package is organised as one sub-package per subsystem; see ``DESIGN.md``
-in the repository root for the full inventory and the per-experiment index.
+The package is organised as one sub-package per subsystem; see
+``docs/architecture.md`` for the full inventory and ``docs/paper_map.md``
+for the per-experiment index.
 """
 
-from repro import analysis, api, experiments, imaging, runtime
+from repro import analysis, api, backends, experiments, imaging, runtime
 from repro.api import (
     EvolutionConfig,
     EvolutionSession,
@@ -70,11 +71,12 @@ from repro.core import (
 from repro.runtime import CampaignSpec, CampaignStore, run_campaign
 from repro.timing import EvolutionTimingModel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
     "api",
+    "backends",
     "experiments",
     "imaging",
     "runtime",

@@ -107,6 +107,7 @@ def fault_sweep(
     n_repeats: int = 3,
     seed: int = 0,
     array_index: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> CriticalityReport:
     """Systematically inject a PE-level fault at every position of a circuit.
 
@@ -123,13 +124,18 @@ def fault_sweep(
         Base seed for the per-position fault generators.
     array_index:
         Optional label recorded in the report (used by the platform sweep).
+    backend:
+        Evaluation backend of the probe array (``None`` = reference).
+        Backends are bit-exact, so the report is the same either way;
+        the sweep is fault-dominated, so gains from ``"numpy"`` are
+        modest compared to evolution workloads.
     """
     if n_repeats < 1:
         raise ValueError("n_repeats must be >= 1")
     training_image = np.asarray(training_image)
     reference_image = np.asarray(reference_image)
     spec = genotype.spec
-    array = SystolicArray(geometry=_geometry_for(spec))
+    array = SystolicArray(geometry=_geometry_for(spec), backend=backend)
     baseline = sae(array.process(training_image, genotype), reference_image)
     active = active_pes(genotype)
 

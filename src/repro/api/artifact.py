@@ -4,6 +4,18 @@ A :class:`RunArtifact` packages everything a caller, a CI job or a future
 service layer needs from one run: the structured results, the timing and
 resource accounting, and the *configs that produced them* — so any
 artifact can be traced back to (and re-run from) its exact inputs.
+
+Artifacts round-trip losslessly through JSON (``raw`` excluded):
+
+>>> from repro.api import RunArtifact
+>>> artifact = RunArtifact(kind="demo", results={"best": 42.0})
+>>> artifact.provenance["schema_version"]
+1
+>>> restored = RunArtifact.from_json(artifact.to_json())
+>>> restored.kind, restored.results["best"]
+('demo', 42.0)
+>>> restored == artifact
+True
 """
 
 from __future__ import annotations

@@ -85,6 +85,28 @@ class PlatformConfig(_ConfigBase):
         Similarity threshold of the TMR fitness voter.
     seed:
         Platform RNG seed (fault targeting, random candidates).
+    backend:
+        Evaluation backend of every array, by registry name
+        (``"reference"`` or ``"numpy"``; see :mod:`repro.backends`).
+        Backends are bit-exact against each other — this switch changes
+        the simulation's wall-clock time only, never its results — so
+        campaigns can sweep or pin it freely (``platform.backend`` axis,
+        CLI ``--backend``).
+
+    Examples
+    --------
+    >>> from repro.api import PlatformConfig
+    >>> config = PlatformConfig(n_arrays=3, seed=1, backend="numpy")
+    >>> PlatformConfig.from_dict(config.to_dict()) == config
+    True
+    >>> platform = config.build()
+    >>> platform.n_arrays, platform.backend_name
+    (3, 'numpy')
+    >>> PlatformConfig(backend="no-such-engine")
+    Traceback (most recent call last):
+        ...
+    repro.backends.base.UnknownBackendError: unknown evaluation backend \
+'no-such-engine'; available: numpy, reference
     """
 
     n_arrays: int = 3
@@ -92,6 +114,7 @@ class PlatformConfig(_ConfigBase):
     cols: int = 4
     fitness_voter_threshold: float = 0.0
     seed: Optional[int] = None
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.n_arrays < 1:
@@ -100,6 +123,12 @@ class PlatformConfig(_ConfigBase):
             raise ValueError(f"array geometry must be at least 1x1, got {self.rows}x{self.cols}")
         if self.fitness_voter_threshold < 0:
             raise ValueError("fitness_voter_threshold must be non-negative")
+        # Fail at config-build time, not generations into a run: the name
+        # must exist in the backend registry.
+        from repro.backends import BACKENDS, UnknownBackendError
+
+        if self.backend not in BACKENDS:
+            raise UnknownBackendError(self.backend, BACKENDS.names())
 
     def build(self):
         """Instantiate the platform this config describes."""
@@ -111,6 +140,7 @@ class PlatformConfig(_ConfigBase):
             geometry=ArrayGeometry(rows=self.rows, cols=self.cols),
             fitness_voter_threshold=self.fitness_voter_threshold,
             seed=self.seed,
+            backend=self.backend,
         )
 
 
@@ -148,6 +178,17 @@ class EvolutionConfig(_ConfigBase):
         copied and exposed read-only, so a config's recorded provenance
         always matches what actually ran (note: ``options`` also makes
         ``EvolutionConfig`` unhashable, unlike the other configs).
+
+    Examples
+    --------
+    >>> from repro.api import EvolutionConfig
+    >>> config = EvolutionConfig(strategy="cascaded", options={"n_stages": 2})
+    >>> config.options["n_stages"]
+    2
+    >>> EvolutionConfig.from_json(config.to_json()) == config
+    True
+    >>> config.replace(mutation_rate=5).mutation_rate
+    5
     """
 
     strategy: str = "parallel"
@@ -195,6 +236,15 @@ class TaskSpec(_ConfigBase):
         :func:`repro.imaging.images.make_test_image`).
     seed:
         Seed controlling image synthesis and noise.
+
+    Examples
+    --------
+    >>> from repro.api import TaskSpec
+    >>> pair = TaskSpec(task="identity", image_side=8, seed=1).build()
+    >>> pair.training.shape
+    (8, 8)
+    >>> bool((pair.training == pair.reference).all())
+    True
     """
 
     task: str = "salt_pepper_denoise"

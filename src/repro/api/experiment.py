@@ -66,12 +66,21 @@ def add_common_options(
     runs: int = 3,
 ) -> None:
     """Add the budget options every experiment subcommand shares."""
+    from repro.backends import BACKENDS
+
     parser.add_argument("--seed", type=int, default=2013, help="random seed")
     parser.add_argument("--generations", type=int, default=generations,
                         help="generation budget")
     parser.add_argument("--image-side", type=int, default=image_side,
                         help="test image side in pixels")
     parser.add_argument("--runs", type=int, default=runs, help="repetitions")
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=sorted(BACKENDS.names()),
+        help="array evaluation backend (bit-exact; changes wall-clock "
+             "time only)",
+    )
 
 
 def add_executor_options(parser: argparse.ArgumentParser) -> None:

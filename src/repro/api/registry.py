@@ -25,13 +25,34 @@ Four registries are provided:
     :class:`repro.api.experiment.ExperimentSpec` objects the CLI uses to
     build its subcommands.
 
-Registering a new strategy is one decorator::
+Registering a new strategy is one decorator — here against a scratch
+registry (real plugins use ``register(kind, name)`` against the four
+process-wide registries the same way):
 
-    from repro.api.registry import register
+>>> from repro.api.registry import Registry, UnknownStrategyError
+>>> demo = Registry("demo strategy")
+>>> @demo.register("mine")
+... def build_mine():
+...     return 42
+>>> demo.get("mine")()
+42
+>>> sorted(demo.names())
+['mine']
+>>> demo.get("typo")
+Traceback (most recent call last):
+    ...
+repro.api.registry.UnknownStrategyError: unknown demo strategy 'typo'; \
+available: mine
 
-    @register("task", "my_noise_model")
-    def build_my_task(spec):
-        return ImagePair(training=..., reference=..., name="my_noise_model")
+Duplicate names are rejected unless explicitly replaced, so plugins
+cannot silently shadow each other:
+
+>>> demo.register("mine", build_mine)
+Traceback (most recent call last):
+    ...
+ValueError: demo strategy 'mine' is already registered
+>>> demo.register("mine", build_mine, replace=True) is build_mine
+True
 """
 
 from __future__ import annotations

@@ -52,6 +52,24 @@ class EvolutionSession:
     evolution:
         The default :class:`~repro.api.config.EvolutionConfig` used by
         :meth:`evolve` (a per-call override is accepted).
+
+    Examples
+    --------
+    A complete (tiny) run; results are deterministic in the seeds and
+    independent of the evaluation backend:
+
+    >>> from repro.api import EvolutionConfig, EvolutionSession, PlatformConfig, TaskSpec
+    >>> session = EvolutionSession(
+    ...     PlatformConfig(n_arrays=2, seed=1, backend="numpy"),
+    ...     EvolutionConfig(strategy="parallel", n_generations=3, seed=1),
+    ... )
+    >>> artifact = session.evolve(TaskSpec(task="identity", image_side=8, seed=1))
+    >>> artifact.kind
+    'evolution-run'
+    >>> artifact.results["overall_best_fitness"] < float("inf")
+    True
+    >>> artifact.config["platform"]["backend"]
+    'numpy'
     """
 
     def __init__(

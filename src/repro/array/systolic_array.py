@@ -19,6 +19,14 @@ candidate evaluation costs ``rows*cols`` element-wise operations — the key
 to running evolution with thousands of generations in Python (see the
 hpc-parallel optimisation guides: vectorise the inner loop).
 
+*How* those operations are executed is pluggable: the array owns the
+geometry, genotype validation and fault state, and delegates evaluation to
+an :class:`~repro.backends.base.EvaluationBackend` selected by name
+(``backend="reference"`` for the auditable per-PE sweep,
+``backend="numpy"`` for the memoised vectorised engine; see
+:mod:`repro.backends`).  Backends are bit-exact against each other — the
+switch changes wall-clock time only, never results.
+
 Fault support
 -------------
 ``SystolicArray`` accepts a mapping of faulty PE positions.  A faulty PE
@@ -31,20 +39,17 @@ corresponding to a dummy PE, which generates a random value in its output").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.array.genotype import Genotype, GenotypeSpec
-from repro.array.pe_library import apply_function, function_table
 from repro.array.window import N_WINDOW_PIXELS, extract_windows
 
-__all__ = ["ArrayGeometry", "SystolicArray"]
+if TYPE_CHECKING:  # pragma: no cover - runtime import stays lazy (cycle guard)
+    from repro.backends.base import EvaluationBackend
 
-#: Function implementations indexed by gene value, resolved once: the batch
-#: evaluator dispatches through this table directly to skip the per-call
-#: validation of :func:`apply_function` (genes are validated by Genotype).
-_IMPLS_BY_GENE = function_table()
+__all__ = ["ArrayGeometry", "SystolicArray"]
 
 
 @dataclass(frozen=True)
@@ -105,18 +110,44 @@ class SystolicArray:
         Optional mapping ``{(row, col): seed}`` of permanently faulty PE
         positions.  Faults can also be injected later via
         :meth:`inject_fault` (which is what :mod:`repro.fpga.faults` does).
+    backend:
+        Evaluation engine: a registered backend name (``"reference"``,
+        ``"numpy"``), an :class:`~repro.backends.base.EvaluationBackend`
+        instance, or ``None`` for the reference default.  All backends
+        are bit-exact; see :mod:`repro.backends`.
     """
 
     def __init__(
         self,
         geometry: ArrayGeometry = ArrayGeometry(),
         faults: Optional[Mapping[Tuple[int, int], int]] = None,
+        backend: Union[str, "EvaluationBackend", None] = None,
     ) -> None:
         self.geometry = geometry
         self._fault_rngs: Dict[Tuple[int, int], np.random.Generator] = {}
         if faults:
             for position, seed in faults.items():
                 self.inject_fault(position, seed)
+        self.set_backend(backend)
+
+    # ------------------------------------------------------------------ #
+    # Backend selection
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> "EvaluationBackend":
+        """The evaluation engine currently driving this array."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the current evaluation engine."""
+        return self._backend.name
+
+    def set_backend(self, backend: Union[str, "EvaluationBackend", None]) -> None:
+        """Select the evaluation engine (name, instance, or ``None`` = reference)."""
+        from repro.backends import resolve_backend
+
+        self._backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------ #
     # Fault management (PE-level fault model)
@@ -157,6 +188,21 @@ class SystolicArray:
     def clear_all_faults(self) -> None:
         """Remove every injected fault."""
         self._fault_rngs.clear()
+
+    def is_faulty(self, position: Tuple[int, int]) -> bool:
+        """Whether the PE at ``position`` is currently faulty."""
+        return position in self._fault_rngs
+
+    def fault_rng(self, position: Tuple[int, int]) -> np.random.Generator:
+        """The garbage generator of a faulty position (backends draw from it).
+
+        Each faulty position owns an independent random stream; every
+        evaluation of a candidate must consume exactly one ``(H, W)``
+        block from it, in candidate order — that is the contract that
+        keeps all evaluation backends (and batch vs sequential paths)
+        bit-exact on fault experiments.
+        """
+        return self._fault_rngs[position]
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -201,31 +247,7 @@ class SystolicArray:
                 f"genotype geometry {spec.rows}x{spec.cols} does not match array "
                 f"{self.geometry.rows}x{self.geometry.cols}"
             )
-
-        rows, cols = self.geometry.rows, self.geometry.cols
-        # Array inputs selected by the 9-to-1 multiplexers.
-        west_inputs = [planes[int(genotype.west_mux[r])] for r in range(rows)]
-        north_inputs = [planes[int(genotype.north_mux[c])] for c in range(cols)]
-
-        # east[r] holds the east output of the PE most recently computed in
-        # row r; south[c] likewise for column c.  Sweeping in row-major order
-        # respects the systolic data dependencies.
-        east: list = list(west_inputs)
-        south: list = list(north_inputs)
-        for r in range(rows):
-            for c in range(cols):
-                west = east[r]
-                north = south[c]
-                position = (r, c)
-                if position in self._fault_rngs:
-                    output = self._fault_rngs[position].integers(
-                        0, 256, size=west.shape, dtype=np.uint8
-                    )
-                else:
-                    output = apply_function(int(genotype.function_genes[r, c]), west, north)
-                east[r] = output
-                south[c] = output
-        return east[int(genotype.output_select)]
+        return self._backend.process_planes(self, planes, genotype)
 
     def process_planes_batch(
         self, planes: np.ndarray, genotypes: Sequence[Genotype]
@@ -234,17 +256,20 @@ class SystolicArray:
 
         This is the vectorised hot path behind ``evaluate_batch``: instead of
         sweeping the array once per candidate (``len(genotypes)`` passes of
-        ``rows*cols`` whole-image operations each), all candidates advance
-        through the systolic sweep together on ``(B, H, W)`` planes.  At each
-        PE position candidates are grouped by function gene, so a generation
-        whose offspring share most genes with the parent — the common case
-        under low mutation rates — costs close to *one* array sweep instead
-        of ``B``.
+        ``rows*cols`` whole-image operations each), the whole batch is handed
+        to the evaluation backend, which exploits the genes the candidates
+        share — a generation whose offspring differ from the parent in a few
+        genes (the common case under low mutation rates) costs close to
+        *one* array sweep instead of ``B``.  How the sharing is exploited is
+        the backend's business: ``reference`` groups candidates by function
+        gene per PE position, ``numpy`` memoises whole subcircuits (see
+        :mod:`repro.backends`).
 
         The result is bit-identical to evaluating every candidate separately
-        with :meth:`process_planes`: PE operations are element-wise and each
-        faulty PE draws its random planes from its own generator once per
-        candidate, in candidate order, exactly as the sequential path does.
+        with :meth:`process_planes`, on every backend: PE operations are
+        element-wise and each faulty PE draws its random planes from its own
+        generator once per candidate, in candidate order, exactly as the
+        sequential path does.
 
         Parameters
         ----------
@@ -274,73 +299,7 @@ class SystolicArray:
                     f"genotype geometry {spec.rows}x{spec.cols} does not match "
                     f"array {rows}x{cols}"
                 )
-
-        n = len(genotypes)
-        h, w = planes.shape[1:]
-        # Gene bookkeeping runs over tiny (B,)-sized vectors, so plain Python
-        # lists beat numpy reductions here; the numpy work is reserved for
-        # the (B, H, W) image planes.
-        west_mux = np.stack([g.west_mux for g in genotypes]).T.tolist()       # rows x B
-        north_mux = np.stack([g.north_mux for g in genotypes]).T.tolist()     # cols x B
-        functions = (
-            np.stack([g.function_genes for g in genotypes]).reshape(n, -1).T.tolist()
-        )  # (rows*cols) x B
-        output_select = [int(g.output_select) for g in genotypes]
-        impls = _IMPLS_BY_GENE
-
-        def select_planes(genes: list) -> np.ndarray:
-            # (B,) mux genes -> (B, H, W) array inputs.  Stride-0 broadcast
-            # views defeat numpy's contiguous fast paths inside the PE
-            # functions, so the batch is materialised either way; the
-            # all-same case (the common one: mux mutations are rare) still
-            # avoids the fancy-indexing gather.
-            first = genes[0]
-            if genes.count(first) == n:
-                return np.ascontiguousarray(np.broadcast_to(planes[first], (n, h, w)))
-            return planes[np.asarray(genes)]
-
-        east: list = [select_planes(west_mux[r]) for r in range(rows)]
-        south: list = [select_planes(north_mux[c]) for c in range(cols)]
-        for r in range(rows):
-            for c in range(cols):
-                west = east[r]
-                north = south[c]
-                position = (r, c)
-                if position in self._fault_rngs:
-                    # One draw per candidate, in candidate order, so the
-                    # per-position RNG stream matches sequential evaluation.
-                    fault_rng = self._fault_rngs[position]
-                    output = np.stack([
-                        fault_rng.integers(0, 256, size=(h, w), dtype=np.uint8)
-                        for _ in range(n)
-                    ])
-                else:
-                    # Mutated offspring share most genes with their parent, so
-                    # almost every candidate agrees on the function here: run
-                    # the majority function over the whole batch in one pass
-                    # and patch the few dissenting candidates individually.
-                    genes = functions[r * cols + c]
-                    first = genes[0]
-                    if genes.count(first) == n:
-                        output = impls[first](west, north)
-                    else:
-                        majority = max(set(genes), key=genes.count)
-                        output = impls[majority](west, north)
-                        for i, gene in enumerate(genes):
-                            if gene != majority:
-                                output[i] = impls[gene](west[i], north[i])
-                east[r] = output
-                south[c] = output
-
-        first_select = output_select[0]
-        if output_select.count(first_select) == n:
-            return east[first_select]
-        majority_row = max(set(output_select), key=output_select.count)
-        result = east[majority_row]
-        for i, row in enumerate(output_select):
-            if row != majority_row:
-                result[i] = east[row][i]
-        return result
+        return self._backend.process_planes_batch(self, planes, genotypes)
 
     def process(self, image: np.ndarray, genotype: Genotype) -> np.ndarray:
         """Evaluate a candidate circuit on an image (window extraction included)."""

@@ -1,0 +1,513 @@
+"""The ``numpy`` evaluation backend: genotypes lowered to vectorised pipelines.
+
+The reference sweep evaluates ``rows*cols`` whole-plane operations per
+candidate, every time, even though (1+λ) evolution evaluates thousands of
+candidates that are tiny mutations of each other on the *same* training
+planes.  This engine exploits that structure while staying bit-exact:
+
+**Lowering.**  Each genotype is lowered to a data-flow program over the
+nine window planes (extracted once by the caller, via the stride-tricks
+style shifted views of :func:`repro.array.window.extract_windows`).  Each
+PE position becomes one whole-plane NumPy operation; pass-through PEs
+(``IDENTITY_W``/``IDENTITY_N``) become aliases instead of copies, and
+``CONST_MAX`` collapses to one shared constant plane.
+
+**Dead-PE elimination.**  The array output is the east output of PE
+``(output_select, cols - 1)``; a PE at row ``r`` can only influence PEs
+at rows ``>= r``, so every PE below the selected output row is dead code
+and is never evaluated.  (Faulty positions still consume their random
+draws — see below.)
+
+**Hash-consed memoisation.**  Every evaluated subcircuit gets a
+structural signature ``(function gene, west id, north id)``; equal
+signatures mean equal output planes, so each distinct subcircuit is
+evaluated once per batch — and, because the signature store is kept per
+training-plane set, once per *evolution run*: offspring share almost all
+of their parent's subcircuits, so a generation costs only the handful of
+planes its mutations actually changed.
+
+**Fault semantics.**  A faulty PE's output is random, not structural, so
+fault outputs are drawn up front — one ``(H, W)`` block per faulty
+position per candidate, in candidate order from each position's own
+generator, exactly the reference draw pattern — and everything
+downstream of a fault is memoised per call only (its signature embeds
+the draw, which never recurs).
+
+The engine is bit-exact against ``reference`` on every PE function,
+processing mode and fault pattern (``tests/backends/`` enforces this),
+and ``benchmarks/test_bench_backends.py`` gates its >=5x speedup on the
+Fig. 12/13 evolution workload.
+
+>>> import numpy as np
+>>> from repro.array import Genotype, SystolicArray
+>>> from repro.backends import NumpyBackend
+>>> backend = NumpyBackend(max_cache_bytes=1 << 20)
+>>> array = SystolicArray(backend=backend)
+>>> image = np.zeros((8, 8), dtype=np.uint8)
+>>> array.process(image, Genotype.identity()).shape
+(8, 8)
+>>> backend.clear_cache()  # drop the memoised planes explicitly
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.array.pe_library import FUNCTION_ARITY, N_FUNCTIONS, PEFunction, function_table
+from repro.backends.base import EvaluationBackend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.array.genotype import Genotype
+    from repro.array.systolic_array import SystolicArray
+
+__all__ = ["NumpyBackend"]
+
+_ARITY2 = tuple(FUNCTION_ARITY[PEFunction(gene)] == 2 for gene in range(N_FUNCTIONS))
+_CONST_MAX = int(PEFunction.CONST_MAX)
+_IDENTITY_W = int(PEFunction.IDENTITY_W)
+_IDENTITY_N = int(PEFunction.IDENTITY_N)
+
+#: Genes whose operation is commutative: their signatures are canonicalised
+#: with the smaller operand id first, so OP(a, b) and OP(b, a) share one
+#: cached plane (element-wise commutativity makes that bit-exact).
+_COMMUTATIVE = tuple(
+    gene
+    in (
+        int(PEFunction.OR),
+        int(PEFunction.AND),
+        int(PEFunction.XOR),
+        int(PEFunction.ADD_SAT),
+        int(PEFunction.SUB_ABS),
+        int(PEFunction.AVERAGE),
+        int(PEFunction.MAX),
+        int(PEFunction.MIN),
+    )
+    for gene in range(N_FUNCTIONS)
+)
+
+_U8_255 = np.uint8(255)
+
+#: Signature packing: an arity-2 signature packs into one int as
+#: ((west << 21) | north) << 4 | gene, so node ids must stay below
+#: _NO_NORTH (the arity-1 sentinel).  Stores are rebuilt once they reach
+#: _MAX_NODES ids, and a single call whose worst case would cross the
+#: sentinel is rejected up front (see _evaluate).
+_NO_NORTH = (1 << 21) - 1
+_MAX_NODES = 1 << 20
+
+
+_U8_1 = np.uint8(1)
+_U8_4 = np.uint8(4)
+_U8_15 = np.uint8(0x0F)
+
+
+def _invert_w_fast(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    # 255 - w never underflows, so it can stay in uint8 (the reference
+    # implementation routes through int16; the values are identical).
+    return np.subtract(_U8_255, w)
+
+
+def _add_sat_fast(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    # min(w + n, 255) in pure uint8: the wrapping sum is below w exactly
+    # when w + n overflowed, and -1 (mod 256) turns that mask into 255.
+    total = np.add(w, n)
+    mask = np.less(total, w).view(np.uint8)
+    np.negative(mask, out=mask)
+    np.bitwise_or(total, mask, out=total)
+    return total
+
+
+def _sub_abs_fast(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    # |w - n| == max(w, n) - min(w, n), underflow-free in uint8.
+    low = np.minimum(w, n)
+    high = np.maximum(w, n)
+    np.subtract(high, low, out=high)
+    return high
+
+
+def _average_fast(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    # (w + n) >> 1 == (w & n) + ((w ^ n) >> 1), carry-free in uint8.
+    half = np.bitwise_xor(w, n)
+    np.right_shift(half, _U8_1, out=half)
+    np.add(half, np.bitwise_and(w, n), out=half)
+    return half
+
+
+def _swap_nibbles_fast(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    low = np.bitwise_and(w, _U8_15)
+    np.left_shift(low, _U8_4, out=low)
+    np.bitwise_or(low, np.right_shift(w, _U8_4), out=low)
+    return low
+
+
+def _threshold_fast(w: np.ndarray, n: np.ndarray) -> np.ndarray:
+    # 255 where w > n else 0: negate the 0/1 comparison mask in uint8.
+    mask = np.greater(w, n).view(np.uint8)
+    np.negative(mask, out=mask)
+    return mask
+
+
+def _build_impls():
+    """The PE function table with allocation-lean, bit-exact replacements.
+
+    Each replacement computes the same uint8 value for every input pair as
+    the reference implementation (``tests/backends/test_backend_parity.py`` proves
+    this exhaustively over all 256x256 input combinations); they avoid the
+    int16 round-trips and scalar-broadcast overhead of the readable
+    reference kernels on the hot path.
+    """
+    impls = list(function_table())
+    impls[int(PEFunction.INVERT_W)] = _invert_w_fast
+    impls[int(PEFunction.ADD_SAT)] = _add_sat_fast
+    impls[int(PEFunction.SUB_ABS)] = _sub_abs_fast
+    impls[int(PEFunction.AVERAGE)] = _average_fast
+    impls[int(PEFunction.SWAP_NIBBLES_W)] = _swap_nibbles_fast
+    impls[int(PEFunction.THRESHOLD)] = _threshold_fast
+    return tuple(impls)
+
+
+_IMPLS = _build_impls()
+
+
+class _PlaneStore:
+    """Persistent hash-cons store for one training-plane set.
+
+    Node ids are non-negative ints; ``values[id]`` is the node's output
+    plane, or ``None`` for a node that has been hash-consed but whose
+    plane no candidate has demanded yet (``specs[id]`` then holds its
+    ``(gene, west, north)`` recipe).  The store is only ever consulted for
+    the exact plane array it was built from (``snapshot`` guards against
+    in-place mutation), so a signature hit is guaranteed to reproduce the
+    reference computation.
+    """
+
+    __slots__ = (
+        "planes",
+        "snapshot",
+        "intern",
+        "cand_intern",
+        "values",
+        "specs",
+        "input_ids",
+        "const_id",
+        "nbytes",
+    )
+
+    def __init__(self, planes: np.ndarray) -> None:
+        self.planes = planes
+        self.snapshot = planes.tobytes()
+        self.intern: Dict[int, int] = {}
+        self.cand_intern: Dict[Tuple, int] = {}
+        self.values: List[Optional[np.ndarray]] = []
+        self.specs: Dict[int, Tuple[int, int, int]] = {}
+        # Window-plane input nodes, one per mux selection.
+        self.input_ids = []
+        for k in range(planes.shape[0]):
+            self.input_ids.append(len(self.values))
+            self.values.append(planes[k])
+        self.const_id = -1  # allocated lazily (most circuits never use CONST_MAX)
+        self.nbytes = 0
+
+    def matches(self, planes: np.ndarray) -> bool:
+        # Identity pins the object (the held reference keeps its id from
+        # being recycled); the byte compare catches in-place mutation.
+        return self.planes is planes and self.snapshot == planes.tobytes()
+
+
+class NumpyBackend(EvaluationBackend):
+    """Vectorised evaluation engine with memoised genotype lowering.
+
+    Parameters
+    ----------
+    max_cache_bytes:
+        Budget for memoised subcircuit planes per training-plane set;
+        when a store outgrows it, the store is rebuilt from scratch
+        (correctness is unaffected — only the hit rate resets).
+    max_stores:
+        Number of distinct training-plane sets kept concurrently
+        (cascaded evolution re-extracts planes per stage input).
+    """
+
+    name = "numpy"
+
+    def __init__(self, max_cache_bytes: int = 32 * 1024 * 1024, max_stores: int = 4) -> None:
+        if max_cache_bytes < 1 or max_stores < 1:
+            raise ValueError("cache budgets must be positive")
+        self.max_cache_bytes = int(max_cache_bytes)
+        self.max_stores = int(max_stores)
+        self._stores: "OrderedDict[int, _PlaneStore]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> None:
+        """Drop every memoised plane store."""
+        self._stores.clear()
+
+    def _store_for(self, planes: np.ndarray) -> _PlaneStore:
+        key = id(planes)
+        store = self._stores.get(key)
+        if store is not None and store.matches(planes):
+            self._stores.move_to_end(key)
+            return store
+        store = _PlaneStore(planes)
+        self._stores[key] = store
+        self._stores.move_to_end(key)
+        while len(self._stores) > self.max_stores:
+            self._stores.popitem(last=False)
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def process_planes(
+        self, array: "SystolicArray", planes: np.ndarray, genotype: "Genotype"
+    ) -> np.ndarray:
+        out, owned = self._evaluate(array, planes, [genotype], want_batch=False)
+        return out if owned else out.copy()
+
+    def process_planes_batch(
+        self, array: "SystolicArray", planes: np.ndarray, genotypes: Sequence["Genotype"]
+    ) -> np.ndarray:
+        out, _ = self._evaluate(array, planes, list(genotypes), want_batch=True)
+        return out
+
+    def _evaluate(
+        self,
+        array: "SystolicArray",
+        planes: np.ndarray,
+        genotypes: Sequence["Genotype"],
+        want_batch: bool,
+    ):
+        cols = array.geometry.cols
+        n = len(genotypes)
+        h, w = planes.shape[1:]
+
+        # Fault draws happen up front, per position in row-major order and
+        # per candidate in candidate order — one (H, W) block each, exactly
+        # what the reference sweep consumes, so the per-position random
+        # streams stay aligned whether or not the position is live.
+        faulty = array.faulty_positions
+        fault_planes: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        for position in faulty:
+            rng = array.fault_rng(position)
+            fault_planes[position] = [
+                rng.integers(0, 256, size=(h, w), dtype=np.uint8) for _ in range(n)
+            ]
+
+        store = self._store_for(planes)
+        if store.nbytes > self.max_cache_bytes or len(store.values) > _MAX_NODES:
+            # Budget exceeded: rebuild the store (hit rate resets, results
+            # cannot change — every entry is recomputed from the planes).
+            self._stores.pop(id(planes), None)
+            store = self._store_for(planes)
+        # The packed signatures give node ids 21 bits; the entry reset above
+        # bounds the store, and this guard bounds what one call can add, so
+        # an id can never collide with the _NO_NORTH sentinel.
+        n_pes = array.geometry.rows * cols
+        if len(store.values) + n * n_pes >= _NO_NORTH:
+            raise ValueError(
+                f"batch of {n} candidates could exhaust the numpy backend's "
+                f"signature space ({_NO_NORTH - len(store.values)} node ids "
+                "left); split the batch into smaller chunks"
+            )
+        intern = store.intern
+        values = store.values
+        input_ids = store.input_ids
+        impls = _IMPLS
+        arity2 = _ARITY2
+        commutative = _COMMUTATIVE
+
+        # Per-call overlay for fault-tainted nodes: their signatures embed
+        # this call's random draws, so they must not persist in the store.
+        # Overlay ids are negative; `vid >= 0` selects the store.
+        call_values: Dict[int, Optional[np.ndarray]] = {}
+        call_specs: Dict[int, Tuple[int, int, int]] = {}
+        next_call_id = -1
+        specs = store.specs
+        plane_nbytes = h * w
+
+        def force(root: int) -> np.ndarray:
+            """Materialise node ``root``, evaluating its demanded cone.
+
+            The walk below only records *recipes* (hash-consed
+            ``(gene, west, north)`` specs); planes are computed here, on
+            demand from the selected output — so a subcircuit whose value
+            is never consumed (e.g. the north operand of an arity-1 PE)
+            costs nothing, and anything computed once is memoised for
+            every later candidate and call.
+            """
+            value = values[root] if root >= 0 else call_values[root]
+            if value is not None:
+                return value
+            # Fast path: both operands already materialised (the common
+            # case — offspring mostly force nodes whose inputs were
+            # computed for the parent or an earlier sibling).
+            gene, wid, nid = specs[root] if root >= 0 else call_specs[root]
+            west = values[wid] if wid >= 0 else call_values[wid]
+            if west is not None:
+                north = (
+                    west
+                    if nid == _NO_NORTH
+                    else (values[nid] if nid >= 0 else call_values[nid])
+                )
+                if north is not None:
+                    result = impls[gene](west, north)
+                    if root >= 0:
+                        values[root] = result
+                        store.nbytes += plane_nbytes
+                        del specs[root]
+                    else:
+                        call_values[root] = result
+                    return result
+            stack = [root]
+            while stack:
+                vid = stack[-1]
+                if vid >= 0:
+                    if values[vid] is not None:
+                        stack.pop()
+                        continue
+                    gene, wid, nid = specs[vid]
+                else:
+                    if call_values[vid] is not None:
+                        stack.pop()
+                        continue
+                    gene, wid, nid = call_specs[vid]
+                west = values[wid] if wid >= 0 else call_values[wid]
+                if west is None:
+                    stack.append(wid)
+                    continue
+                if nid == _NO_NORTH:
+                    north = west
+                else:
+                    north = values[nid] if nid >= 0 else call_values[nid]
+                    if north is None:
+                        stack.append(nid)
+                        continue
+                result = impls[gene](west, north)
+                if vid >= 0:
+                    values[vid] = result
+                    store.nbytes += plane_nbytes
+                    del specs[vid]
+                else:
+                    call_values[vid] = result
+                stack.pop()
+            value = values[root] if root >= 0 else call_values[root]
+            return value
+
+        out = np.empty((n, h, w), dtype=np.uint8) if want_batch else None
+        single_value: np.ndarray = planes[0]  # overwritten below (n >= 1)
+        single_owned = False
+        fault_free = not fault_planes
+        intern_get = intern.get
+        cand_intern = store.cand_intern
+        cand_intern_get = cand_intern.get
+
+        for b, genotype in enumerate(genotypes):
+            # Whole-candidate memo: under low mutation rates the same
+            # offspring genotype recurs across generations, so the walk
+            # below is skipped entirely on a repeat.  (Faulty arrays never
+            # take this path — their outputs embed per-call random draws.)
+            if fault_free:
+                cand_key = (
+                    genotype.function_genes.tobytes(),
+                    genotype.west_mux.tobytes(),
+                    genotype.north_mux.tobytes(),
+                    genotype.output_select,
+                )
+                vid = cand_intern_get(cand_key)
+                if vid is not None:
+                    if want_batch:
+                        out[b] = force(vid)
+                    else:
+                        single_value = force(vid)
+                        single_owned = False
+                    continue
+            # Gene bookkeeping runs over tiny vectors: one tolist() per gene
+            # array beats thousands of numpy scalar conversions.
+            fg = genotype.function_genes.reshape(-1).tolist()
+            out_row = genotype.output_select
+            # Dead-PE elimination: rows below the selected output row cannot
+            # reach the output PE, so the sweep stops at out_row.
+            west_mux = genotype.west_mux.tolist()
+            north_ids = [input_ids[k] for k in genotype.north_mux.tolist()]
+            for r in range(out_row + 1):
+                vid = input_ids[west_mux[r]]
+                base = r * cols
+                for c in range(cols):
+                    if not fault_free and (r, c) in fault_planes:
+                        next_call_id -= 1
+                        call_values[next_call_id] = fault_planes[(r, c)][b]
+                        vid = next_call_id
+                        north_ids[c] = vid
+                        continue
+                    gene = fg[base + c]
+                    if arity2[gene]:
+                        nid = north_ids[c]
+                        if vid >= 0 and nid >= 0:
+                            # Signatures pack into one int (ids < 2**21 by
+                            # the node budget): faster to hash than tuples.
+                            if nid < vid and commutative[gene]:
+                                sig = ((nid << 21) | vid) << 4 | gene
+                            else:
+                                sig = ((vid << 21) | nid) << 4 | gene
+                            cached = intern_get(sig)
+                            if cached is None:
+                                cached = len(values)
+                                values.append(None)
+                                specs[cached] = (gene, vid, nid)
+                                intern[sig] = cached
+                            vid = cached
+                        else:
+                            next_call_id -= 1
+                            call_values[next_call_id] = None
+                            call_specs[next_call_id] = (gene, vid, nid)
+                            vid = next_call_id
+                    elif gene == _IDENTITY_W:
+                        pass  # output aliases the west input: vid unchanged
+                    elif gene == _IDENTITY_N:
+                        vid = north_ids[c]
+                        continue  # north_ids[c] already holds vid
+                    elif gene == _CONST_MAX:
+                        if store.const_id < 0:
+                            store.const_id = len(values)
+                            values.append(np.full((h, w), 255, dtype=np.uint8))
+                        vid = store.const_id
+                    elif vid >= 0:  # remaining genes are arity 1 on west
+                        sig = ((vid << 21) | _NO_NORTH) << 4 | gene
+                        cached = intern_get(sig)
+                        if cached is None:
+                            cached = len(values)
+                            values.append(None)
+                            specs[cached] = (gene, vid, _NO_NORTH)
+                            intern[sig] = cached
+                        vid = cached
+                    else:
+                        next_call_id -= 1
+                        call_values[next_call_id] = None
+                        call_specs[next_call_id] = (gene, vid, _NO_NORTH)
+                        vid = next_call_id
+                    north_ids[c] = vid
+                # vid now holds east[r]; after the final row this is the
+                # selected output node (r == out_row, c == cols - 1).
+            if fault_free:
+                cand_intern[cand_key] = vid
+            if want_batch:
+                out[b] = force(vid)
+            elif vid >= 0:
+                # Store nodes are shared across calls (and input/const nodes
+                # alias the caller's planes), so the caller gets a copy.
+                single_value = force(vid)
+                single_owned = False
+            else:
+                # Fault-tainted nodes are per-call scratch with no surviving
+                # references once this call returns: hand the array over.
+                single_value = force(vid)
+                single_owned = True
+
+        if want_batch:
+            return out, True
+        return single_value, single_owned

@@ -96,6 +96,12 @@ class ArrayControlBlock:
         Shared reconfiguration engine.
     registers:
         Shared register file implementing the self-addressing scheme.
+    backend:
+        Evaluation backend of the functional array model (a registered
+        name such as ``"reference"``/``"numpy"``, an
+        :class:`~repro.backends.base.EvaluationBackend` instance, or
+        ``None`` for the reference default).  Backends are bit-exact;
+        see :mod:`repro.backends`.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class ArrayControlBlock:
         fabric: FpgaFabric,
         engine: ReconfigurationEngine,
         registers: RegisterFile,
+        backend=None,
     ) -> None:
         if index < 0 or index >= fabric.n_arrays:
             raise ValueError(
@@ -113,7 +120,7 @@ class ArrayControlBlock:
         self.fabric = fabric
         self.engine = engine
         self.registers = registers
-        self.array = SystolicArray(geometry=fabric.geometry)
+        self.array = SystolicArray(geometry=fabric.geometry, backend=backend)
         self.fitness_unit = FitnessUnit()
         self.genotype: Optional[Genotype] = None
         self.bypassed = False

@@ -64,6 +64,13 @@ class EvolvableHardwarePlatform:
     seed:
         Seed for the platform's random number generator (fault targeting,
         initial random candidates drawn through :meth:`random_genotype`).
+    backend:
+        Evaluation backend of every array's functional model: a name
+        registered in :data:`repro.backends.BACKENDS` (``"reference"``,
+        ``"numpy"``), an :class:`~repro.backends.base.EvaluationBackend`
+        instance, or ``None`` for the reference default.  All backends
+        are bit-exact against each other, so the switch only changes the
+        simulation's wall-clock time — never its results.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class EvolvableHardwarePlatform:
         icap: IcapModel = IcapModel(),
         fitness_voter_threshold: float = 0.0,
         seed: Optional[int] = None,
+        backend=None,
     ) -> None:
         if n_arrays < 1:
             raise ValueError(f"n_arrays must be >= 1, got {n_arrays}")
@@ -89,8 +97,12 @@ class EvolvableHardwarePlatform:
         self.resource_model = ResourceModel(geometry=geometry)
 
         # ACB stack ----------------------------------------------------- #
+        # A backend *name* resolves to one engine instance per array; an
+        # explicit instance is shared by every array (safe: cached planes
+        # are array-independent — fault draws never enter any cache).
         self.acbs: List[ArrayControlBlock] = [
-            ArrayControlBlock(index, self.fabric, self.engine, self.registers)
+            ArrayControlBlock(index, self.fabric, self.engine, self.registers,
+                              backend=backend)
             for index in range(n_arrays)
         ]
 
@@ -112,6 +124,11 @@ class EvolvableHardwarePlatform:
     def spec(self) -> GenotypeSpec:
         """Genotype spec matching the platform's array geometry."""
         return self.geometry.spec()
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the arrays' evaluation backend."""
+        return self.acbs[0].array.backend_name
 
     def acb(self, index: int) -> ArrayControlBlock:
         """The ACB at position ``index``."""

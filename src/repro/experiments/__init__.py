@@ -3,8 +3,8 @@
 Each module reproduces one figure or table: it builds the workload, runs the
 sweep on the simulated platform, and returns the same rows/series the paper
 reports, as plain dataclasses / dictionaries that the benchmark harness and
-the examples print.  See ``DESIGN.md`` for the experiment ↔ module index and
-``EXPERIMENTS.md`` for paper-vs-measured results.
+the examples print.  See ``docs/paper_map.md`` for the experiment ↔ module
+index and ``EXPERIMENTS.md`` for paper-vs-measured results.
 """
 
 from repro.experiments.resources_table import resource_utilisation_rows

@@ -70,13 +70,14 @@ def three_stage_cascade_demo(
     n_offspring: int = 9,
     mutation_rate: int = 3,
     seed: int = 2013,
+    backend: str = "reference",
 ) -> CascadeDemoResult:
     """Evolve and evaluate the three-stage cascade of Fig. 18."""
     pair = make_training_pair(
         "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_density
     )
     session = EvolutionSession(
-        PlatformConfig(n_arrays=n_stages, seed=seed),
+        PlatformConfig(n_arrays=n_stages, seed=seed, backend=backend),
         EvolutionConfig(
             strategy="cascaded",
             n_generations=n_generations,
@@ -126,6 +127,7 @@ def _run(args) -> RunArtifact:
         noise_density=args.noise,
         n_generations=args.generations,
         seed=args.seed,
+        backend=args.backend,
     )
     rows = [{"output": "noisy input", "aggregated_MAE": result.noisy_fitness}]
     rows += [
@@ -136,7 +138,8 @@ def _run(args) -> RunArtifact:
     return RunArtifact(
         kind="cascade-demo",
         config={"args": {"noise": args.noise, "generations": args.generations,
-                         "image_side": args.image_side, "seed": args.seed}},
+                         "image_side": args.image_side, "seed": args.seed,
+                         "backend": args.backend}},
         results={
             "rows": rows,
             "cascade_beats_median": result.cascade_beats_median,

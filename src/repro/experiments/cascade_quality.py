@@ -74,7 +74,8 @@ def _stage_fitnesses(platform: EvolvableHardwarePlatform, training, reference,
     return fitnesses
 
 
-def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate):
+def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
+                        mutation_rate, backend="reference"):
     """Evolve the stage-1 circuit shared by every arrangement of one run.
 
     The same circuit is used for the "same filter in every stage"
@@ -85,7 +86,7 @@ def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring, mu
     recompute it independently and still start from the same circuit.
     """
     session = EvolutionSession(
-        PlatformConfig(n_arrays=n_stages, seed=run_seed),
+        PlatformConfig(n_arrays=n_stages, seed=run_seed, backend=backend),
         EvolutionConfig(
             strategy="parallel",
             n_generations=n_generations,
@@ -117,6 +118,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
     n_generations = int(params["n_generations"])
     n_offspring = int(params["n_offspring"])
     mutation_rate = int(params["mutation_rate"])
+    backend = str(params.get("backend", "reference"))
     pair = make_training_pair(
         "salt_pepper_denoise",
         size=int(params["image_side"]),
@@ -124,7 +126,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
         noise_level=float(params["noise_level"]),
     )
     base_session, base_filter = _evolve_base_filter(
-        pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate
+        pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate, backend
     )
 
     if arrangement == "same_filter":
@@ -136,7 +138,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
     else:
         schedule = arrangement.removeprefix("adapted_")
         session = EvolutionSession(
-            PlatformConfig(n_arrays=n_stages, seed=run_seed),
+            PlatformConfig(n_arrays=n_stages, seed=run_seed, backend=backend),
             EvolutionConfig(
                 strategy="cascaded",
                 n_generations=n_generations,
@@ -170,6 +172,7 @@ def build_cascade_quality_campaign(
     n_offspring: int = 9,
     mutation_rate: int = 3,
     seed: int = 2013,
+    backend: str = "reference",
 ) -> CampaignSpec:
     """The Figs. 16-17 comparison as a (repetition x arrangement) campaign."""
     return CampaignSpec(
@@ -186,6 +189,7 @@ def build_cascade_quality_campaign(
             "n_generations": int(n_generations),
             "n_offspring": int(n_offspring),
             "mutation_rate": int(mutation_rate),
+            "backend": str(backend),
         },
         seed=seed,
     )
@@ -202,6 +206,7 @@ def cascade_quality_comparison(
     seed: int = 2013,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    backend: str = "reference",
 ) -> List[CascadePoint]:
     """Run the three cascade arrangements and return per-stage fitness points.
 
@@ -218,6 +223,7 @@ def cascade_quality_comparison(
         n_offspring=n_offspring,
         mutation_rate=mutation_rate,
         seed=seed,
+        backend=backend,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     per_arrangement: Dict[str, List[List[float]]] = {
@@ -264,6 +270,7 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         executor=args.executor,
         max_workers=args.workers,
+        backend=args.backend,
     )
     rows = [
         {"arrangement": p.arrangement, "stage": p.stage,
@@ -274,7 +281,7 @@ def _run(args) -> RunArtifact:
         kind="cascade-quality",
         config={"args": {"noise": args.noise, "generations": args.generations,
                          "runs": args.runs, "image_side": args.image_side,
-                         "seed": args.seed}},
+                         "seed": args.seed, "backend": args.backend}},
         results={"rows": rows},
     )
 

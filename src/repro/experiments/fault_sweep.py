@@ -105,6 +105,7 @@ def run_fault_sweep_array(run) -> RunArtifact:
         n_repeats=int(params["n_repeats"]),
         seed=int(params["sweep_seed"]) + array_index,
         array_index=array_index,
+        backend=str(params.get("backend", "reference")),
     )
     return RunArtifact(
         kind="fault-sweep-array",
@@ -123,6 +124,7 @@ def build_fault_sweep_campaign(
     n_repeats: int = 3,
     seed: int = 2013,
     name: str = "fault-sweep",
+    backend: str = "reference",
 ) -> CampaignSpec:
     """One campaign run per configured array, sweeping that array's circuit.
 
@@ -147,6 +149,7 @@ def build_fault_sweep_campaign(
             "cols": spec.cols,
             "n_repeats": int(n_repeats),
             "sweep_seed": int(seed),
+            "backend": str(backend),
             "image_dtype": str(pair.training.dtype),
             "training": pair.training.tolist(),
             "reference": pair.reference.tolist(),
@@ -166,6 +169,7 @@ def systematic_fault_analysis(
     seed: int = 2013,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    backend: str = "reference",
 ) -> List[FaultSweepSummary]:
     """Evolve a working circuit, then fault-sweep every PE of every array.
 
@@ -179,7 +183,7 @@ def systematic_fault_analysis(
         "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
     )
     session = EvolutionSession(
-        PlatformConfig(n_arrays=n_arrays, seed=seed),
+        PlatformConfig(n_arrays=n_arrays, seed=seed, backend=backend),
         EvolutionConfig(
             strategy="parallel",
             n_generations=n_generations,
@@ -195,7 +199,9 @@ def systematic_fault_analysis(
         for index in range(session.platform.n_arrays)
         if session.platform.acb(index).genotype is not None
     }
-    spec = build_fault_sweep_campaign(genotypes, pair, n_repeats=n_repeats, seed=seed)
+    spec = build_fault_sweep_campaign(
+        genotypes, pair, n_repeats=n_repeats, seed=seed, backend=backend
+    )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     return [
         FaultSweepSummary(**campaign.artifact_for(run).results["summary"])
@@ -218,6 +224,7 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         executor=args.executor,
         max_workers=args.workers,
+        backend=args.backend,
     )
     rows = [
         {"array": s.array_index, "benign": s.n_benign, "critical": s.n_critical,
@@ -228,7 +235,8 @@ def _run(args) -> RunArtifact:
     return RunArtifact(
         kind="fault-sweep",
         config={"args": {"generations": args.generations,
-                         "image_side": args.image_side, "seed": args.seed}},
+                         "image_side": args.image_side, "seed": args.seed,
+                         "backend": args.backend}},
         results={"rows": rows},
     )
 

@@ -60,6 +60,7 @@ def imitation_seed_comparison(
     n_offspring: int = 9,
     mutation_rate: int = 3,
     seed: int = 2013,
+    backend: str = "reference",
 ) -> List[ImitationPoint]:
     """Compare inherited-vs-random seeding of the imitation recovery."""
     points: List[ImitationPoint] = []
@@ -70,7 +71,7 @@ def imitation_seed_comparison(
         )
         for seeding in ("inherited", "random"):
             session = EvolutionSession(
-                PlatformConfig(n_arrays=3, seed=run_seed),
+                PlatformConfig(n_arrays=3, seed=run_seed, backend=backend),
                 EvolutionConfig(
                     strategy="parallel",
                     n_generations=initial_generations,
@@ -142,6 +143,7 @@ def _run(args) -> RunArtifact:
         recovery_generations=args.generations,
         n_runs=args.runs,
         seed=args.seed,
+        backend=args.backend,
     )
     rows = [
         {"seeding": p.seeding, "run": p.run, "fault_pe": str(p.fault_position),
@@ -151,7 +153,8 @@ def _run(args) -> RunArtifact:
     return RunArtifact(
         kind="imitation",
         config={"args": {"generations": args.generations, "runs": args.runs,
-                         "image_side": args.image_side, "seed": args.seed}},
+                         "image_side": args.image_side, "seed": args.seed,
+                         "backend": args.backend}},
         results={"rows": rows},
     )
 

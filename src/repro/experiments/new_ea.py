@@ -59,6 +59,7 @@ def new_ea_comparison(
     n_arrays: int = 3,
     noise_level: float = 0.1,
     seed: int = 2013,
+    backend: str = "reference",
 ) -> List[NewEaPoint]:
     """Run the classic-vs-new-EA comparison and return one point per cell."""
     points: List[NewEaPoint] = []
@@ -76,7 +77,7 @@ def new_ea_comparison(
                     noise_level=noise_level,
                 )
                 session = EvolutionSession(
-                    PlatformConfig(n_arrays=n_arrays, seed=run_seed),
+                    PlatformConfig(n_arrays=n_arrays, seed=run_seed, backend=backend),
                     EvolutionConfig(
                         strategy="parallel" if strategy == "classic" else "two_level",
                         n_generations=n_generations,
@@ -117,6 +118,7 @@ def _run(args) -> RunArtifact:
         n_generations=args.generations,
         n_runs=args.runs,
         seed=args.seed,
+        backend=args.backend,
     )
     rows = [
         {"strategy": p.strategy, "k": p.mutation_rate,
@@ -127,7 +129,8 @@ def _run(args) -> RunArtifact:
     return RunArtifact(
         kind="new-ea",
         config={"args": {"generations": args.generations, "runs": args.runs,
-                         "image_side": args.image_side, "seed": args.seed}},
+                         "image_side": args.image_side, "seed": args.seed,
+                         "backend": args.backend}},
         results={"rows": rows},
     )
 

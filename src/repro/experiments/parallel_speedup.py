@@ -138,6 +138,7 @@ def build_measured_speedup_campaign(
     n_offspring: int = 9,
     noise_level: float = 0.1,
     seed: int = 2013,
+    backend: str = "reference",
 ) -> CampaignSpec:
     """The Fig. 12/13 measured sweep as a declarative campaign.
 
@@ -149,7 +150,7 @@ def build_measured_speedup_campaign(
     return CampaignSpec(
         name="measured-speedup",
         runner="evolve",
-        platform=PlatformConfig(n_arrays=3, seed=seed),
+        platform=PlatformConfig(n_arrays=3, seed=seed, backend=backend),
         evolution=EvolutionConfig(
             strategy="parallel",
             n_generations=n_generations,
@@ -181,6 +182,7 @@ def measured_speedup_sweep(
     seed: int = 2013,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    backend: str = "reference",
 ) -> List[SpeedupPoint]:
     """Small-scale measured sweep: real evolution runs, platform time from the scheduler.
 
@@ -201,6 +203,7 @@ def measured_speedup_sweep(
         n_offspring=n_offspring,
         noise_level=noise_level,
         seed=seed,
+        backend=backend,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     points: List[SpeedupPoint] = []
@@ -236,6 +239,7 @@ def _run(args) -> RunArtifact:
             "generations": args.generations,
             "image_side": args.image_side,
             "seed": args.seed,
+            "backend": args.backend,
         }
     }
     if args.measured:
@@ -245,6 +249,7 @@ def _run(args) -> RunArtifact:
             seed=args.seed,
             executor=args.executor,
             max_workers=args.workers,
+            backend=args.backend,
         )
         rows = [
             {"image": p.image_side, "k": p.mutation_rate, "arrays": p.n_arrays,

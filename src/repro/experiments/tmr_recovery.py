@@ -83,6 +83,7 @@ def tmr_fault_recovery_trace(
     mutation_rate: int = 3,
     voter_threshold: float = 0.0,
     seed: int = 2013,
+    backend: str = "reference",
 ) -> TmrRecoveryResult:
     """Run the complete Fig. 20 scenario and return its trace.
 
@@ -96,7 +97,8 @@ def tmr_fault_recovery_trace(
         "salt_pepper_denoise", size=image_side, seed=seed, noise_level=noise_level
     )
     session = EvolutionSession(
-        PlatformConfig(n_arrays=3, seed=seed, fitness_voter_threshold=voter_threshold),
+        PlatformConfig(n_arrays=3, seed=seed, fitness_voter_threshold=voter_threshold,
+                       backend=backend),
         EvolutionConfig(
             strategy="parallel",
             n_generations=initial_generations,
@@ -213,6 +215,7 @@ def _run(args) -> RunArtifact:
         initial_generations=args.generations,
         recovery_generations=args.generations,
         seed=args.seed,
+        backend=args.backend,
     )
     rows = [
         {"generation": p.generation, "phase": p.phase,
@@ -223,7 +226,8 @@ def _run(args) -> RunArtifact:
     return RunArtifact(
         kind="tmr-recovery",
         config={"args": {"generations": args.generations,
-                         "image_side": args.image_side, "seed": args.seed}},
+                         "image_side": args.image_side, "seed": args.seed,
+                         "backend": args.backend}},
         results={
             "rows": rows,
             "fault_detected": result.fault_detected,

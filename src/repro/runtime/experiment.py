@@ -83,7 +83,7 @@ def build_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     return CampaignSpec(
         name=args.name,
         runner=args.runner,
-        platform=PlatformConfig(seed=args.seed),
+        platform=PlatformConfig(seed=args.seed, backend=args.backend),
         evolution=EvolutionConfig(n_generations=args.generations, seed=args.seed),
         task=TaskSpec(image_side=args.image_side, seed=args.seed),
         grid=grid,
@@ -127,6 +127,15 @@ def _configure(parser: argparse.ArgumentParser) -> None:
                         help="generation budget of the base evolution config")
     parser.add_argument("--image-side", type=int, default=32,
                         help="test image side of the base task config")
+    from repro.backends import BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=sorted(BACKENDS.names()),
+        help="array evaluation backend of the base platform config "
+             "(bit-exact; sweepable as a 'platform.backend' axis too)",
+    )
 
 
 def _run(args: argparse.Namespace) -> RunArtifact:

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Link-check Markdown documentation.
+
+Scans the given Markdown files for inline links/images
+(``[text](target)`` / ``![alt](target)``) and reference definitions
+(``[label]: target``) and verifies that every *local* target resolves to
+an existing file or directory, relative to the file containing the link.
+``http(s)``/``mailto`` targets are skipped (CI must not depend on
+network), as are pure in-page anchors (``#section``); an anchor suffix
+on a local target is stripped before the existence check.
+
+Usage::
+
+    python tools/check_doc_links.py README.md DESIGN.md docs/*.md
+
+Exits 1 and lists every broken link when any local target is missing.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+__all__ = ["find_broken_links", "iter_local_targets", "main"]
+
+#: Inline links/images: [text](target) — target captured without title.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference-style definitions: [label]: target
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+#: Schemes that are never checked locally.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_local_targets(markdown: str) -> Iterable[str]:
+    """Yield every link target in ``markdown`` that points at a local path."""
+    fenced = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    targets = [match.group(1) for match in _INLINE_LINK.finditer(fenced)]
+    targets += [match.group(1) for match in _REF_DEF.finditer(fenced)]
+    for target in targets:
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        yield target
+
+
+def find_broken_links(paths: Iterable[Path]) -> List[Tuple[Path, str]]:
+    """Return ``(file, target)`` for every local link that does not resolve."""
+    broken: List[Tuple[Path, str]] = []
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        for target in iter_local_targets(text):
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = (path.parent / local).resolve()
+            if not resolved.exists():
+                broken.append((path, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    paths = [Path(arg) for arg in argv]
+    missing_files = [path for path in paths if not path.is_file()]
+    if missing_files:
+        for path in missing_files:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    broken = find_broken_links(paths)
+    for path, target in broken:
+        print(f"{path}: broken link -> {target}")
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(paths)} file(s): all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
