@@ -1,0 +1,187 @@
+"""Benchmark: the population-batched evolution engine vs the PR 3 paths.
+
+The Fig. 12/13 workload at the paper's image scale — parallel evolution,
+λ = 9 offspring per generation, mutation rates k = 1, 3, 5, 128x128
+salt-and-pepper denoising — run end to end through three engines that
+all produce byte-identical results:
+
+* the **PR 3 default engine**: the reference backend with batched
+  offspring scoring, exactly what an ``EvolutionSession`` with default
+  configs executed before the population engine landed;
+* the **per-candidate loop** on the numpy backend: the single-candidate
+  vectorised path whose per-candidate Python overhead (one ``mutate``,
+  one backend call, one ``sae`` reduction per offspring) motivated the
+  population engine;
+* the **population-batched engine**: ``mutate_population`` offspring
+  construction, vectorised placement accounting and the fused
+  ``evaluate_population`` backend entry point.
+
+Gates: ≥ 2x aggregate end-to-end speedup over the PR 3 default engine,
+≥ 1.5x over the same-backend per-candidate loop, and never slower than
+the plain batched path.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.core.evolution import ParallelEvolution
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.imaging.images import make_training_pair
+
+IMAGE_SIDE = 128  # the paper's Fig. 12/13 image scale
+N_OFFSPRING = 9
+MUTATION_RATES = (1, 3, 5)
+N_GENERATIONS = 120
+REPEATS = 3
+
+
+def _measure(run, repeats=REPEATS):
+    """Best-of-N wall-clock time of ``run()`` (returns (seconds, result))."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run_driver(pair, mutation_rate, backend, batched=False, population=False):
+    platform = EvolvableHardwarePlatform(n_arrays=3, seed=2013, backend=backend)
+    driver = ParallelEvolution(
+        platform,
+        n_offspring=N_OFFSPRING,
+        mutation_rate=mutation_rate,
+        rng=2013,
+        batched=batched,
+        population_batching=population,
+    )
+    return driver.run(pair.training, pair.reference, n_generations=N_GENERATIONS)
+
+
+def _assert_parity(a, b):
+    assert a.best_fitness == b.best_fitness
+    assert a.fitness_history == b.fitness_history
+    assert a.n_reconfigurations == b.n_reconfigurations
+
+
+def test_population_engine_speedup_vs_pr3(run_once):
+    """≥ 2x end-to-end vs the PR 3 session-default engine, byte-identical."""
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=IMAGE_SIDE, seed=2013, noise_level=0.1
+    )
+    rows = []
+    total_pr3 = 0.0
+    total_population = 0.0
+    for k in MUTATION_RATES:
+        pr3_s, pr3 = _measure(
+            lambda: _run_driver(pair, k, backend="reference", batched=True)
+        )
+        population_s, population = _measure(
+            lambda: _run_driver(pair, k, backend="numpy", population=True)
+        )
+        _assert_parity(pr3, population)  # engines must agree byte for byte
+        total_pr3 += pr3_s
+        total_population += population_s
+        rows.append(
+            {
+                "k": k,
+                "pr3_default_s": pr3_s,
+                "population_s": population_s,
+                "speedup": pr3_s / population_s,
+            }
+        )
+    aggregate = total_pr3 / total_population
+    rows.append(
+        {
+            "k": "all",
+            "pr3_default_s": total_pr3,
+            "population_s": total_population,
+            "speedup": aggregate,
+        }
+    )
+    print_table(
+        f"Population engine vs PR 3 default engine "
+        f"({N_OFFSPRING} offspring/gen, {N_GENERATIONS} generations, "
+        f"{IMAGE_SIDE}x{IMAGE_SIDE} image)",
+        rows,
+        columns=["k", "pr3_default_s", "population_s", "speedup"],
+    )
+    assert aggregate >= 2.0, f"population engine speedup {aggregate:.2f}x < 2x"
+
+    # run_once records one timed pass for the benchmark JSON artifact.
+    run_once(lambda: _run_driver(pair, 3, backend="numpy", population=True))
+
+
+def test_population_vs_per_candidate_loop(run_once):
+    """The per-candidate Python overhead the engine removes: ≥ 1.5x on the
+    same backend, byte-identical."""
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=IMAGE_SIDE, seed=2013, noise_level=0.1
+    )
+    rows = []
+    total_sequential = 0.0
+    total_population = 0.0
+    for k in MUTATION_RATES:
+        sequential_s, sequential = _measure(
+            lambda: _run_driver(pair, k, backend="numpy")
+        )
+        population_s, population = _measure(
+            lambda: _run_driver(pair, k, backend="numpy", population=True)
+        )
+        _assert_parity(sequential, population)
+        total_sequential += sequential_s
+        total_population += population_s
+        rows.append(
+            {
+                "k": k,
+                "per_candidate_s": sequential_s,
+                "population_s": population_s,
+                "speedup": sequential_s / population_s,
+            }
+        )
+    aggregate = total_sequential / total_population
+    rows.append(
+        {
+            "k": "all",
+            "per_candidate_s": total_sequential,
+            "population_s": total_population,
+            "speedup": aggregate,
+        }
+    )
+    print_table(
+        "Population engine vs per-candidate loop (numpy backend)",
+        rows,
+        columns=["k", "per_candidate_s", "population_s", "speedup"],
+    )
+    assert aggregate >= 1.5, f"population-vs-per-candidate {aggregate:.2f}x < 1.5x"
+
+    run_once(lambda: _run_driver(pair, 3, backend="numpy", population=True))
+
+
+def test_population_not_slower_than_batched(run_once):
+    """Against PR 3's best configuration (numpy + batched) the population
+    engine must help, never hurt."""
+    pair = make_training_pair(
+        "salt_pepper_denoise", size=IMAGE_SIDE, seed=2013, noise_level=0.1
+    )
+    batched_s, batched = _measure(
+        lambda: _run_driver(pair, 3, backend="numpy", batched=True)
+    )
+    population_s, population = _measure(
+        lambda: _run_driver(pair, 3, backend="numpy", population=True)
+    )
+    _assert_parity(batched, population)
+    print_table(
+        "Population engine vs batched path (numpy backend, k=3)",
+        [
+            {"path": "batched", "wall_s": batched_s},
+            {"path": "population", "wall_s": population_s},
+            {"path": "speedup", "wall_s": batched_s / population_s},
+        ],
+        columns=["path", "wall_s"],
+    )
+    assert population_s <= batched_s * 1.05  # never a regression
+
+    run_once(lambda: _run_driver(pair, 3, backend="numpy", population=True))

@@ -59,6 +59,7 @@ class EvolutionStrategy:
             rng=config.seed,
             accept_equal=config.accept_equal,
             batched=config.batched,
+            population_batching=config.population_batching,
         )
 
     def build(self, platform, config: EvolutionConfig) -> EvolutionDriver:

@@ -170,6 +170,18 @@ class EvolutionConfig(_ConfigBase):
         Score each generation's offspring through the vectorised
         :func:`~repro.core.evolution.evaluate_batch` pass (byte-identical
         to the sequential path, just faster).
+    population_batching:
+        Run the whole generation step population-batched: offspring
+        construction through
+        :func:`~repro.ea.mutation.mutate_population`, placement accounting
+        as one vectorised diff per array, and fitness through the
+        evaluation backend's fused
+        :meth:`~repro.backends.base.EvaluationBackend.evaluate_population`
+        entry point.  Byte-identical to the per-candidate path (same RNG
+        streams, same fault draws) on every backend; takes precedence over
+        ``batched``.  JSON round-trips like every other field, so it can
+        be swept or pinned as the ``evolution.population_batching``
+        campaign axis.
     options:
         Strategy-specific options (e.g. ``{"n_arrays": 1}`` for parallel
         evolution, ``{"fitness_mode": "merged", "schedule": "interleaved"}``
@@ -199,6 +211,7 @@ class EvolutionConfig(_ConfigBase):
     target_fitness: Optional[float] = None
     accept_equal: bool = True
     batched: bool = True
+    population_batching: bool = True
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -81,6 +81,15 @@ def add_common_options(
         help="array evaluation backend (bit-exact; changes wall-clock "
              "time only)",
     )
+    parser.add_argument(
+        "--population-batching",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="score each generation's offspring population through the "
+             "backend's fused evaluate_population entry point (bit-exact; "
+             "changes wall-clock time only; --no-population-batching "
+             "restores the per-candidate loop)",
+    )
 
 
 def add_executor_options(parser: argparse.ArgumentParser) -> None:

@@ -18,7 +18,10 @@ artifact::
 
 Sessions are deterministic: the same configs produce byte-identical
 results to driving the legacy :mod:`repro.core.evolution` classes by
-hand with the same seeds (the batched evaluation path is bit-exact).
+hand with the same seeds — the batched and population-batched evaluation
+paths (``EvolutionConfig.batched`` / ``EvolutionConfig.population_batching``)
+are bit-exact against the per-candidate loop, including the per-position
+fault-RNG streams.
 """
 
 from __future__ import annotations

@@ -38,18 +38,30 @@ corresponding to a dummy PE, which generates a random value in its output").
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.processing_element import _PE_FAULT_STREAM_TAG
 from repro.array.window import N_WINDOW_PIXELS, extract_windows
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import stays lazy (cycle guard)
     from repro.backends.base import EvaluationBackend
 
 __all__ = ["ArrayGeometry", "SystolicArray"]
+
+#: Stream tag mixed into the derived per-position fault seed used when
+#: :meth:`SystolicArray.inject_fault` is called without an explicit seed.
+#: The derived entropy is ``SeedSequence([_FAULT_STREAM_TAG, row, col])``,
+#: so the implicit stream of a position is stable across runs and distinct
+#: from every explicitly seeded stream.  Shared with (imported from)
+#: :class:`~repro.array.processing_element.ProcessingElement` so a bare PE
+#: and an array position derive the *same* stream — part of the documented
+#: RNG determinism contract (see ``docs/architecture.md``).
+_FAULT_STREAM_TAG = _PE_FAULT_STREAM_TAG
 
 
 @dataclass(frozen=True)
@@ -125,6 +137,10 @@ class SystolicArray:
     ) -> None:
         self.geometry = geometry
         self._fault_rngs: Dict[Tuple[int, int], np.random.Generator] = {}
+        # The entropy each position's stream was created from, kept so
+        # reset_fault_streams() can rewind a reused array to generation
+        # zero of the same garbage sequence.
+        self._fault_seeds: Dict[Tuple[int, int], Union[int, Tuple[int, ...], None]] = {}
         if faults:
             for position, seed in faults.items():
                 self.inject_fault(position, seed)
@@ -171,23 +187,72 @@ class SystolicArray:
             )
         return row, col
 
+    @staticmethod
+    def _spawn_fault_rng(entropy: Union[int, Tuple[int, ...]]) -> np.random.Generator:
+        if isinstance(entropy, tuple):
+            return np.random.default_rng(np.random.SeedSequence(list(entropy)))
+        return np.random.default_rng(entropy)
+
     def inject_fault(self, position: Tuple[int, int], seed: Optional[int] = None) -> None:
         """Mark a PE position as permanently damaged.
 
         The faulty PE will output random pixels on every evaluation; evolution
         can only recover by routing useful computation around that position.
+
+        Each faulty position owns an independent, seeded random stream,
+        (re)started here: injecting the same seed at the same position
+        always reproduces the same garbage sequence, which is what makes
+        fault campaigns replayable.  When ``seed`` is omitted the stream is
+        derived deterministically from the position
+        (``SeedSequence([_FAULT_STREAM_TAG, row, col])``) instead of the
+        old unseeded fallback; relying on the implicit derivation is
+        deprecated — pass an explicit seed so the stream identity is part
+        of the experiment spec.
         """
         row, col = self._check_position(position)
-        self._fault_rngs[(row, col)] = np.random.default_rng(seed)
+        if seed is None:
+            warnings.warn(
+                "SystolicArray.inject_fault() without a seed is deprecated: the "
+                "fault stream is now derived from the PE position instead of an "
+                "unseeded generator; pass an explicit seed to make the stream "
+                "identity part of the experiment spec",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            entropy: Union[int, Tuple[int, ...]] = (_FAULT_STREAM_TAG, row, col)
+        else:
+            entropy = int(seed)
+        self._fault_seeds[(row, col)] = entropy
+        self._fault_rngs[(row, col)] = self._spawn_fault_rng(entropy)
 
     def clear_fault(self, position: Tuple[int, int]) -> None:
         """Remove a previously injected fault (used by tests and scrubbing of SEUs)."""
         row, col = self._check_position(position)
         self._fault_rngs.pop((row, col), None)
+        self._fault_seeds.pop((row, col), None)
 
     def clear_all_faults(self) -> None:
-        """Remove every injected fault."""
+        """Remove every injected fault (and its recorded stream seed)."""
         self._fault_rngs.clear()
+        self._fault_seeds.clear()
+
+    def reset_fault_streams(self) -> None:
+        """Rewind every fault stream to the start of its seeded sequence.
+
+        Evaluation consumes the per-position streams, so re-running a fault
+        scenario on a *reused* array would otherwise continue mid-stream
+        and produce different garbage than the first run.  This rewinds
+        each position's generator to the entropy it was injected with,
+        making the next evaluation byte-identical to the first one after
+        injection.  (:meth:`~repro.core.acb.ArrayControlBlock.sync_faults`
+        achieves the same by re-injecting from the fabric state.)
+        """
+        for position, entropy in self._fault_seeds.items():
+            self._fault_rngs[position] = self._spawn_fault_rng(entropy)
+
+    def fault_seed(self, position: Tuple[int, int]) -> Union[int, Tuple[int, ...]]:
+        """The entropy a faulty position's stream was created from."""
+        return self._fault_seeds[position]
 
     def is_faulty(self, position: Tuple[int, int]) -> bool:
         """Whether the PE at ``position`` is currently faulty."""
@@ -283,6 +348,11 @@ class SystolicArray:
         numpy.ndarray
             ``(B, H, W)`` uint8 array; slice ``b`` is candidate ``b``'s output.
         """
+        planes, genotypes = self._validate_batch(planes, genotypes)
+        return self._backend.process_planes_batch(self, planes, genotypes)
+
+    def _validate_batch(self, planes, genotypes):
+        """Shared input validation of the batch/population entry points."""
         planes = np.asarray(planes)
         if planes.ndim != 3 or planes.shape[0] != N_WINDOW_PIXELS:
             raise ValueError(f"planes must have shape (9, H, W), got {planes.shape}")
@@ -299,7 +369,54 @@ class SystolicArray:
                     f"genotype geometry {spec.rows}x{spec.cols} does not match "
                     f"array {rows}x{cols}"
                 )
-        return self._backend.process_planes_batch(self, planes, genotypes)
+        return planes, genotypes
+
+    def evaluate_population(
+        self,
+        planes: np.ndarray,
+        genotypes: Sequence[Genotype],
+        reference: np.ndarray,
+    ) -> np.ndarray:
+        """Fitness of a whole candidate population in one backend call.
+
+        The population entry point of the evaluation-backend protocol: each
+        candidate's aggregated absolute error against ``reference`` (the
+        paper's aggregated-MAE fitness,
+        :func:`repro.imaging.metrics.sae`) is computed inside the backend,
+        which can share hash-consed subprograms across the population and
+        skip materialising per-candidate output images entirely (see
+        :meth:`repro.backends.base.EvaluationBackend.evaluate_population`).
+
+        Bit-exact against scoring candidates one at a time with
+        :meth:`process_planes` + ``sae``: the values are identical floats
+        and every faulty position draws exactly one ``(H, W)`` block per
+        candidate, in candidate order, from its own seeded stream.
+
+        Parameters
+        ----------
+        planes:
+            ``(9, H, W)`` uint8 array from :func:`repro.array.window.extract_windows`.
+        genotypes:
+            The candidate circuits (all with this array's geometry).
+        reference:
+            ``(H, W)`` reference image the fitness unit compares against.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(B,)`` float64 array; entry ``b`` is candidate ``b``'s fitness.
+        """
+        planes, genotypes = self._validate_batch(planes, genotypes)
+        reference = np.asarray(reference)
+        if reference.shape != planes.shape[1:]:
+            raise ValueError(
+                f"reference shape {reference.shape} does not match the "
+                f"{planes.shape[1:]} image planes"
+            )
+        # Any reference dtype is accepted, exactly like the per-candidate
+        # sae() path: backends take an int16 fast reduce for uint8 (the
+        # hardware pixel format) and sae()'s int64 arithmetic otherwise.
+        return self._backend.evaluate_population(self, planes, genotypes, reference)
 
     def process(self, image: np.ndarray, genotype: Genotype) -> np.ndarray:
         """Evaluate a candidate circuit on an image (window extraction included)."""

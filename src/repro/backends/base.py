@@ -105,6 +105,36 @@ class EvaluationBackend:
         outputs = [self.process_planes(array, planes, genotype) for genotype in genotypes]
         return np.stack(outputs)
 
+    def evaluate_population(
+        self,
+        array: "SystolicArray",
+        planes: np.ndarray,
+        genotypes: Sequence["Genotype"],
+        reference: np.ndarray,
+    ) -> np.ndarray:
+        """Fitness of a candidate population; returns ``(B,)`` float64.
+
+        The population entry point fuses evaluation and the fitness
+        reduction: each candidate's aggregated absolute error (the paper's
+        aggregated-MAE fitness, :func:`repro.imaging.metrics.sae`) against
+        ``reference`` is computed inside the backend, so engines can share
+        work *across* the population and skip materialising per-candidate
+        output planes entirely.
+
+        The default implementation loops through
+        :meth:`process_planes_batch` (itself a loop over
+        :meth:`process_planes` unless the engine overrides it) and reduces
+        the stacked outputs — always bit-exact, including the fault-RNG
+        contract: every faulty position draws one ``(H, W)`` block per
+        candidate, in candidate order, exactly like per-candidate
+        evaluation.  Returned values are integral-valued float64 and must
+        equal ``sae(output_b, reference)`` for every candidate ``b``.
+        """
+        from repro.imaging.metrics import sae_batch
+
+        outputs = self.process_planes_batch(array, planes, genotypes)
+        return sae_batch(outputs, reference).astype(np.float64)
+
     def clear_cache(self) -> None:
         """Drop any cached derived data (a no-op for stateless backends)."""
 

@@ -194,6 +194,9 @@ class _PlaneStore:
         "input_ids",
         "const_id",
         "nbytes",
+        "fit_ref",
+        "fit_ref16",
+        "fit_memo",
     )
 
     def __init__(self, planes: np.ndarray) -> None:
@@ -210,6 +213,15 @@ class _PlaneStore:
             self.values.append(planes[k])
         self.const_id = -1  # allocated lazily (most circuits never use CONST_MAX)
         self.nbytes = 0
+        # Population-fitness memo: per reference image, the aggregated
+        # absolute error of every store node whose fitness has been
+        # demanded.  Node planes are immutable once materialised, so a hit
+        # is guaranteed to reproduce the reduce — neutral mutations and
+        # recurring candidates cost one dict lookup instead of a plane
+        # reduction.
+        self.fit_ref: Optional[bytes] = None
+        self.fit_ref16: Optional[np.ndarray] = None
+        self.fit_memo: Dict[int, int] = {}
 
     def matches(self, planes: np.ndarray) -> bool:
         # Identity pins the object (the held reference keeps its id from
@@ -275,12 +287,49 @@ class NumpyBackend(EvaluationBackend):
         out, _ = self._evaluate(array, planes, list(genotypes), want_batch=True)
         return out
 
+    def evaluate_population(
+        self,
+        array: "SystolicArray",
+        planes: np.ndarray,
+        genotypes: Sequence["Genotype"],
+        reference: np.ndarray,
+    ) -> np.ndarray:
+        """Fused population fitness: hash-consed evaluation + memoised reduce.
+
+        Candidates share the plane store's hash-consed subprograms exactly
+        as in :meth:`process_planes_batch`, but instead of materialising a
+        ``(B, H, W)`` output stack the aggregated absolute error of each
+        candidate's output *node* is computed (and memoised per store and
+        reference) directly — a candidate whose mutations were all neutral
+        (dead PEs, unconsumed operands) resolves to an already-scored node
+        and costs a dict lookup.  Values are bit-exact against evaluating
+        and reducing candidates one at a time; the fault-draw contract (one
+        block per faulty position per candidate, in candidate order) is
+        unchanged.
+
+        The fused reduce widens pixels to int16, which is exact only for
+        uint8 references (the hardware pixel format, and all the
+        :meth:`~repro.array.systolic_array.SystolicArray.evaluate_population`
+        surface accepts); a wider reference — possible only through direct
+        protocol calls — takes the unfused batch path whose
+        ``sae_batch`` reduce matches ``sae``'s int64 arithmetic, keeping
+        the backends interchangeable for every input.
+        """
+        reference = np.asarray(reference)
+        if reference.dtype != np.uint8:
+            return super().evaluate_population(array, planes, genotypes, reference)
+        fits, _ = self._evaluate(
+            array, planes, list(genotypes), want_batch=False, reduce_ref=reference
+        )
+        return fits
+
     def _evaluate(
         self,
         array: "SystolicArray",
         planes: np.ndarray,
         genotypes: Sequence["Genotype"],
         want_batch: bool,
+        reduce_ref: Optional[np.ndarray] = None,
     ):
         cols = array.geometry.cols
         n = len(genotypes)
@@ -320,6 +369,47 @@ class NumpyBackend(EvaluationBackend):
         impls = _IMPLS
         arity2 = _ARITY2
         commutative = _COMMUTATIVE
+
+        reduce_mode = reduce_ref is not None
+        fits: Optional[np.ndarray] = None
+        fit_memo: Dict[int, int] = {}
+        # Reduce-mode misses: one (node id or None, output plane) row per
+        # *distinct* demanded node, scored in one vectorised pass after the
+        # candidate loop; fit_rows maps candidates onto rows, so siblings
+        # resolving to the same node share a single reduce.
+        fit_pending: List[Tuple[Optional[int], np.ndarray]] = []
+        fit_rows: List[Tuple[int, int]] = []
+        fit_pending_rows: Dict[int, int] = {}
+
+        def pend_fitness(b: int, vid: int) -> None:
+            if vid >= 0:
+                fit = fit_memo.get(vid)
+                if fit is not None:
+                    fits[b] = fit
+                    return
+                row = fit_pending_rows.get(vid)
+                if row is None:
+                    row = len(fit_pending)
+                    fit_pending.append((vid, force(vid)))
+                    fit_pending_rows[vid] = row
+            else:
+                # Fault-tainted output: embeds this call's draws, reduced
+                # directly and never memoised.
+                row = len(fit_pending)
+                fit_pending.append((None, force(vid)))
+            fit_rows.append((b, row))
+
+        if reduce_mode:
+            reference = np.asarray(reduce_ref)
+            ref_bytes = reference.tobytes()
+            if store.fit_ref != ref_bytes:
+                # New reference for this plane store: reset the node-fitness
+                # memo (values keyed under the old reference are unrelated).
+                store.fit_ref = ref_bytes
+                store.fit_ref16 = reference.astype(np.int16)
+                store.fit_memo = {}
+            fit_memo = store.fit_memo
+            fits = np.empty(n, dtype=np.float64)
 
         # Per-call overlay for fault-tainted nodes: their signatures embed
         # this call's random draws, so they must not persist in the store.
@@ -406,96 +496,145 @@ class NumpyBackend(EvaluationBackend):
         cand_intern = store.cand_intern
         cand_intern_get = cand_intern.get
 
+        # Reference lowering for prefix resume: the walk is deterministic
+        # and hash-consed, so two candidates whose consumed genes agree on
+        # rows 0..r-1 reach *identical* node ids after those rows.  The
+        # first fully walked fault-free candidate of the call donates
+        # per-row state snapshots; later candidates (mutated siblings
+        # sharing most of their genes) resume from the snapshot after their
+        # common prefix instead of re-walking it.  Never used on a faulty
+        # array, where the walk embeds per-candidate draw ids.
+        ref_genes: Optional[Tuple[bytes, bytes, bytes]] = None
+        ref_depth = -1
+        ref_east: List[int] = []
+        ref_north: List[List[int]] = []
+
         for b, genotype in enumerate(genotypes):
+            # Gene bookkeeping runs over the raw gene bytes: uint8 arrays
+            # expose their values directly through tobytes(), which doubles
+            # as the memo key and makes prefix comparisons C-speed slices.
+            fg_b = genotype.function_genes.tobytes()
+            w_b = genotype.west_mux.tobytes()
+            n_b = genotype.north_mux.tobytes()
+            out_row = genotype.output_select
             # Whole-candidate memo: under low mutation rates the same
             # offspring genotype recurs across generations, so the walk
             # below is skipped entirely on a repeat.  (Faulty arrays never
             # take this path — their outputs embed per-call random draws.)
             if fault_free:
-                cand_key = (
-                    genotype.function_genes.tobytes(),
-                    genotype.west_mux.tobytes(),
-                    genotype.north_mux.tobytes(),
-                    genotype.output_select,
-                )
+                cand_key = (fg_b, w_b, n_b, out_row)
                 vid = cand_intern_get(cand_key)
                 if vid is not None:
-                    if want_batch:
+                    if reduce_mode:
+                        pend_fitness(b, vid)
+                    elif want_batch:
                         out[b] = force(vid)
                     else:
                         single_value = force(vid)
                         single_owned = False
                     continue
-            # Gene bookkeeping runs over tiny vectors: one tolist() per gene
-            # array beats thousands of numpy scalar conversions.
-            fg = genotype.function_genes.reshape(-1).tolist()
-            out_row = genotype.output_select
-            # Dead-PE elimination: rows below the selected output row cannot
-            # reach the output PE, so the sweep stops at out_row.
-            west_mux = genotype.west_mux.tolist()
-            north_ids = [input_ids[k] for k in genotype.north_mux.tolist()]
-            for r in range(out_row + 1):
-                vid = input_ids[west_mux[r]]
-                base = r * cols
-                for c in range(cols):
-                    if not fault_free and (r, c) in fault_planes:
-                        next_call_id -= 1
-                        call_values[next_call_id] = fault_planes[(r, c)][b]
-                        vid = next_call_id
-                        north_ids[c] = vid
-                        continue
-                    gene = fg[base + c]
-                    if arity2[gene]:
-                        nid = north_ids[c]
-                        if vid >= 0 and nid >= 0:
-                            # Signatures pack into one int (ids < 2**21 by
-                            # the node budget): faster to hash than tuples.
-                            if nid < vid and commutative[gene]:
-                                sig = ((nid << 21) | vid) << 4 | gene
+            start_row = 0
+            walk = True
+            north_ids: Optional[List[int]] = None
+            if ref_genes is not None and n_b == ref_genes[2]:
+                ref_fg, ref_w = ref_genes[0], ref_genes[1]
+                match = 0
+                while match <= out_row:
+                    base = match * cols
+                    if (
+                        w_b[match] != ref_w[match]
+                        or fg_b[base : base + cols] != ref_fg[base : base + cols]
+                    ):
+                        break
+                    match += 1
+                if match > out_row and out_row <= ref_depth:
+                    # Every consumed gene matches the reference: the output
+                    # node is the reference's east output of out_row.
+                    vid = ref_east[out_row]
+                    walk = False
+                else:
+                    start_row = match if match <= ref_depth else ref_depth + 1
+                    if start_row:
+                        north_ids = ref_north[start_row - 1].copy()
+            if walk:
+                record = fault_free and ref_genes is None
+                if north_ids is None:
+                    north_ids = [input_ids[n_b[c]] for c in range(cols)]
+                # Dead-PE elimination: rows below the selected output row
+                # cannot reach the output PE, so the sweep stops at out_row.
+                for r in range(start_row, out_row + 1):
+                    vid = input_ids[w_b[r]]
+                    base = r * cols
+                    for c in range(cols):
+                        if not fault_free and (r, c) in fault_planes:
+                            next_call_id -= 1
+                            call_values[next_call_id] = fault_planes[(r, c)][b]
+                            vid = next_call_id
+                            north_ids[c] = vid
+                            continue
+                        gene = fg_b[base + c]
+                        if arity2[gene]:
+                            nid = north_ids[c]
+                            if vid >= 0 and nid >= 0:
+                                # Signatures pack into one int (ids < 2**21 by
+                                # the node budget): faster to hash than tuples.
+                                if nid < vid and commutative[gene]:
+                                    sig = ((nid << 21) | vid) << 4 | gene
+                                else:
+                                    sig = ((vid << 21) | nid) << 4 | gene
+                                cached = intern_get(sig)
+                                if cached is None:
+                                    cached = len(values)
+                                    values.append(None)
+                                    specs[cached] = (gene, vid, nid)
+                                    intern[sig] = cached
+                                vid = cached
                             else:
-                                sig = ((vid << 21) | nid) << 4 | gene
+                                next_call_id -= 1
+                                call_values[next_call_id] = None
+                                call_specs[next_call_id] = (gene, vid, nid)
+                                vid = next_call_id
+                        elif gene == _IDENTITY_W:
+                            pass  # output aliases the west input: vid unchanged
+                        elif gene == _IDENTITY_N:
+                            vid = north_ids[c]
+                            continue  # north_ids[c] already holds vid
+                        elif gene == _CONST_MAX:
+                            if store.const_id < 0:
+                                store.const_id = len(values)
+                                values.append(np.full((h, w), 255, dtype=np.uint8))
+                            vid = store.const_id
+                        elif vid >= 0:  # remaining genes are arity 1 on west
+                            sig = ((vid << 21) | _NO_NORTH) << 4 | gene
                             cached = intern_get(sig)
                             if cached is None:
                                 cached = len(values)
                                 values.append(None)
-                                specs[cached] = (gene, vid, nid)
+                                specs[cached] = (gene, vid, _NO_NORTH)
                                 intern[sig] = cached
                             vid = cached
                         else:
                             next_call_id -= 1
                             call_values[next_call_id] = None
-                            call_specs[next_call_id] = (gene, vid, nid)
+                            call_specs[next_call_id] = (gene, vid, _NO_NORTH)
                             vid = next_call_id
-                    elif gene == _IDENTITY_W:
-                        pass  # output aliases the west input: vid unchanged
-                    elif gene == _IDENTITY_N:
-                        vid = north_ids[c]
-                        continue  # north_ids[c] already holds vid
-                    elif gene == _CONST_MAX:
-                        if store.const_id < 0:
-                            store.const_id = len(values)
-                            values.append(np.full((h, w), 255, dtype=np.uint8))
-                        vid = store.const_id
-                    elif vid >= 0:  # remaining genes are arity 1 on west
-                        sig = ((vid << 21) | _NO_NORTH) << 4 | gene
-                        cached = intern_get(sig)
-                        if cached is None:
-                            cached = len(values)
-                            values.append(None)
-                            specs[cached] = (gene, vid, _NO_NORTH)
-                            intern[sig] = cached
-                        vid = cached
-                    else:
-                        next_call_id -= 1
-                        call_values[next_call_id] = None
-                        call_specs[next_call_id] = (gene, vid, _NO_NORTH)
-                        vid = next_call_id
-                    north_ids[c] = vid
-                # vid now holds east[r]; after the final row this is the
-                # selected output node (r == out_row, c == cols - 1).
+                        north_ids[c] = vid
+                    # vid now holds east[r]; after the final row this is the
+                    # selected output node (r == out_row, c == cols - 1).
+                    if record:
+                        ref_east.append(vid)
+                        ref_north.append(north_ids.copy())
+                if record:
+                    ref_genes = (fg_b, w_b, n_b)
+                    ref_depth = out_row
             if fault_free:
                 cand_intern[cand_key] = vid
-            if want_batch:
+            if reduce_mode:
+                # Pure store nodes (vid >= 0 — even on a faulty array, when
+                # no fault reached the selected output) are memoisable and
+                # deduplicated; fault-tainted outputs get their own row.
+                pend_fitness(b, vid)
+            elif want_batch:
                 out[b] = force(vid)
             elif vid >= 0:
                 # Store nodes are shared across calls (and input/const nodes
@@ -508,6 +647,25 @@ class NumpyBackend(EvaluationBackend):
                 single_value = force(vid)
                 single_owned = True
 
+        if reduce_mode:
+            if fit_pending:
+                # One vectorised reduce over the distinct missed nodes: uint8
+                # differences fit int16 exactly and accumulate in int64 —
+                # the same arithmetic as sae()/sae_batch bit for bit (kept
+                # in-place here because the reference is pre-widened once
+                # per store as fit_ref16).
+                diffs = np.empty((len(fit_pending), h, w), dtype=np.int16)
+                for row_index, (_, plane) in enumerate(fit_pending):
+                    diffs[row_index] = plane
+                diffs -= store.fit_ref16
+                np.abs(diffs, out=diffs)
+                totals = diffs.sum(axis=(1, 2), dtype=np.int64).tolist()
+                for (vid, _), total in zip(fit_pending, totals):
+                    if vid is not None:
+                        fit_memo[vid] = total
+                for b, row in fit_rows:
+                    fits[b] = totals[row]
+            return fits, True
         if want_batch:
             return out, True
         return single_value, single_owned

@@ -39,8 +39,8 @@ from repro.array.window import extract_windows
 from repro.core.modes import CascadeFitnessMode, CascadeSchedule
 from repro.core.platform import EvolvableHardwarePlatform
 from repro.core.scheduler import GenerationScheduler
-from repro.ea.mutation import MutationResult, mutate
-from repro.imaging.metrics import sae
+from repro.ea.mutation import MutationResult, mutate, mutate_population
+from repro.imaging.metrics import sae, sae_batch
 from repro.timing.model import EvolutionTimingModel
 
 __all__ = [
@@ -111,12 +111,25 @@ class ArrayEvalContext:
         self.planes = extract_windows(self.training_image)
         # Function genes currently placed on the array's fabric regions.
         self.placed_functions = platform.fabric.configured_genes(array_index).astype(np.int16)
+        # Genotype-keyed fitness memo of the population-batched path; only
+        # valid for a fault-free array (fault evaluation must consume the
+        # per-position random streams) and for the current planes/reference.
+        # Bounded like every other cache on this path: past the entry cap
+        # it is dropped wholesale (correctness unaffected, hit rate resets).
+        self._fitness_cache: Dict[Tuple, float] = {}
+        self._fitness_cache_token: Optional[bytes] = None
         self.acb.sync_faults()
+
+    #: Entry cap of the genotype-keyed fitness cache (~300 bytes/entry).
+    _FITNESS_CACHE_MAX_ENTRIES = 1 << 16
 
     def retarget(self, training_image: np.ndarray) -> None:
         """Switch the training image (cascaded evolution stages)."""
         self.training_image = np.asarray(training_image)
         self.planes = extract_windows(self.training_image)
+        # Cached fitnesses were computed on the previous planes.
+        self._fitness_cache = {}
+        self._fitness_cache_token = None
 
     def reconfiguration_count(self, genotype: Genotype) -> int:
         """PE writes needed to place ``genotype`` given what is on the array."""
@@ -128,6 +141,24 @@ class ArrayEvalContext:
         count = self.reconfiguration_count(genotype)
         self.placed_functions = genotype.function_genes.astype(np.int16)
         return count
+
+    def place_population(self, genotypes: Sequence[Genotype]) -> List[int]:
+        """Account placing ``genotypes`` in order; returns each PE-write count.
+
+        One vectorised pass over the stacked function genes, identical to
+        calling :meth:`place` candidate by candidate (each candidate is
+        diffed against its predecessor on this array).
+        """
+        if not genotypes:
+            return []
+        rows, cols = self.placed_functions.shape
+        stack = np.empty((len(genotypes) + 1, rows, cols), dtype=np.int16)
+        stack[0] = self.placed_functions
+        for index, genotype in enumerate(genotypes):
+            stack[index + 1] = genotype.function_genes
+        counts = np.count_nonzero(stack[1:] != stack[:-1], axis=(1, 2))
+        self.placed_functions = stack[-1]
+        return counts.tolist()
 
     def output(self, genotype: Genotype) -> np.ndarray:
         """Array output for ``genotype`` on the cached training image."""
@@ -144,6 +175,63 @@ class ArrayEvalContext:
     def fitness_batch(self, genotypes: Sequence[Genotype], reference: np.ndarray) -> List[float]:
         """Aggregated MAE of each candidate against ``reference`` (one vector pass)."""
         return evaluate_batch(self, genotypes, reference)
+
+    @staticmethod
+    def _genotype_key(genotype: Genotype) -> Tuple:
+        return (
+            genotype.function_genes.tobytes(),
+            genotype.west_mux.tobytes(),
+            genotype.north_mux.tobytes(),
+            genotype.output_select,
+        )
+
+    def fitness_population(
+        self, genotypes: Sequence[Genotype], reference: np.ndarray
+    ) -> List[float]:
+        """Aggregated MAE per candidate through the backend's population entry point.
+
+        The fused path of the population-batched engine: fitness values come
+        straight out of
+        :meth:`~repro.array.systolic_array.SystolicArray.evaluate_population`,
+        and on a fault-free array a genotype-keyed cache short-circuits
+        candidates whose fitness is already known (unchanged elites,
+        recurring offspring) without calling the backend at all.  On a
+        faulty array the cache is bypassed entirely so every candidate
+        consumes its per-position fault draws, keeping the random streams —
+        and therefore the run — byte-identical to per-candidate evaluation.
+        """
+        genotypes = list(genotypes)
+        if not genotypes:
+            return []
+        array = self.acb.array
+        reference = np.asarray(reference)
+        if array.n_faults:
+            values = array.evaluate_population(self.planes, genotypes, reference)
+            return [float(value) for value in values]
+        token = reference.tobytes()
+        if token != self._fitness_cache_token:
+            self._fitness_cache = {}
+            self._fitness_cache_token = token
+        elif len(self._fitness_cache) > self._FITNESS_CACHE_MAX_ENTRIES:
+            self._fitness_cache = {}
+        cache = self._fitness_cache
+        keys = [self._genotype_key(genotype) for genotype in genotypes]
+        # One backend slot per *distinct* uncached genotype: duplicates
+        # within the population resolve through the cache entry their
+        # first occurrence fills.
+        misses: List[int] = []
+        pending = set()
+        for index, key in enumerate(keys):
+            if key not in cache and key not in pending:
+                pending.add(key)
+                misses.append(index)
+        if misses:
+            values = array.evaluate_population(
+                self.planes, [genotypes[index] for index in misses], reference
+            )
+            for index, value in zip(misses, values):
+                cache[keys[index]] = float(value)
+        return [cache[key] for key in keys]
 
 
 def evaluate_batch(
@@ -176,10 +264,7 @@ def evaluate_batch(
         Aggregated MAE per candidate, in input order.
     """
     outputs = context.outputs_batch(genotypes)
-    # uint8 differences fit int16 exactly; accumulate in int64 so the values
-    # match sae()'s int64 arithmetic bit for bit.
-    reference = np.asarray(reference).astype(np.int16)
-    errors = np.abs(outputs.astype(np.int16) - reference).sum(axis=(1, 2), dtype=np.int64)
+    errors = sae_batch(outputs, reference)
     return [float(error) for error in errors]
 
 
@@ -210,6 +295,17 @@ class EvolutionDriver:
         the vectorised :func:`evaluate_batch` pass instead of one Python
         evaluation per candidate.  Results are byte-identical either way;
         batching only changes the wall-clock cost of the simulation.
+    population_batching:
+        When ``True`` the whole generation step runs population-batched:
+        offspring are constructed through
+        :func:`~repro.ea.mutation.mutate_population`, placement accounting
+        is one vectorised diff per array, and fitness comes from the
+        evaluation backend's fused
+        :meth:`~repro.backends.base.EvaluationBackend.evaluate_population`
+        entry point (with a genotype-keyed fitness cache on fault-free
+        arrays).  Takes precedence over ``batched``.  Results are
+        byte-identical to the per-candidate path — same RNG streams, same
+        fault draws — as enforced by ``tests/core/test_population_parity.py``.
     """
 
     def __init__(
@@ -221,6 +317,7 @@ class EvolutionDriver:
         timing_model: Optional[EvolutionTimingModel] = None,
         accept_equal: bool = True,
         batched: bool = False,
+        population_batching: bool = False,
     ) -> None:
         if n_offspring < 1:
             raise ValueError("n_offspring must be >= 1")
@@ -231,6 +328,7 @@ class EvolutionDriver:
         self.mutation_rate = mutation_rate
         self.accept_equal = accept_equal
         self.batched = bool(batched)
+        self.population_batching = bool(population_batching)
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self.timing_model = timing_model if timing_model is not None else platform.timing_model()
 
@@ -250,13 +348,34 @@ class EvolutionDriver:
             return True
         return self.accept_equal and child_fitness == parent_fitness
 
+    def _offspring_mutations(self, parent: Genotype) -> List[MutationResult]:
+        """One generation of offspring, population-batched when enabled.
+
+        Both paths draw identically from ``self.rng`` and return identical
+        mutation results; the population path only removes per-call Python
+        overhead.
+        """
+        if self.population_batching:
+            return mutate_population(parent, self.mutation_rate, self.rng, self.n_offspring)
+        return [mutate(parent, self.mutation_rate, self.rng) for _ in range(self.n_offspring)]
+
+    def _place_offspring(
+        self, context: ArrayEvalContext, mutations: Sequence[MutationResult]
+    ) -> List[int]:
+        """Placement accounting for one array's offspring, in order."""
+        if self.population_batching:
+            return context.place_population([m.genotype for m in mutations])
+        return [context.place(m.genotype) for m in mutations]
+
     def _evaluate_offspring(
         self,
         context: ArrayEvalContext,
         genotypes: Sequence[Genotype],
         reference: np.ndarray,
     ) -> List[float]:
-        """Fitness of each offspring on one array, batched or sequential."""
+        """Fitness of each offspring on one array: population, batched or sequential."""
+        if self.population_batching and genotypes:
+            return context.fitness_population(genotypes, reference)
         if self.batched and len(genotypes) > 1:
             return context.fitness_batch(genotypes, reference)
         return [context.fitness(genotype, reference) for genotype in genotypes]
@@ -318,11 +437,8 @@ class IndependentEvolution(EvolutionDriver):
             history: List[float] = []
 
             for _ in range(n_generations):
-                mutations = [
-                    mutate(parent, self.mutation_rate, self.rng)
-                    for _ in range(self.n_offspring)
-                ]
-                offspring_counts = [context.place(m.genotype) for m in mutations]
+                mutations = self._offspring_mutations(parent)
+                offspring_counts = self._place_offspring(context, mutations)
                 fitnesses = self._evaluate_offspring(
                     context, [m.genotype for m in mutations], reference
                 )
@@ -376,11 +492,44 @@ class ParallelEvolution(EvolutionDriver):
         the nominal mutation rate; offspring are assigned to arrays
         round-robin in batches of ``n_arrays``.
         """
-        plan: List[Tuple[int, MutationResult]] = []
-        for position in range(self.n_offspring):
-            slot = position % self.n_arrays
-            plan.append((slot, mutate(parent, self.mutation_rate, self.rng)))
-        return plan
+        mutations = self._offspring_mutations(parent)
+        return [(position % self.n_arrays, mutation) for position, mutation in enumerate(mutations)]
+
+    def _place_plan(
+        self,
+        contexts: List[ArrayEvalContext],
+        plan: Sequence[Tuple[int, MutationResult]],
+    ) -> List[int]:
+        """Placement accounting for a whole offspring plan, in plan order.
+
+        With population batching, each array diffs its share of the plan in
+        one vectorised pass; candidates keep their plan-order position and
+        each array sees its candidates in the same order as sequential
+        placement, so the counts are identical.
+        """
+        if not self.population_batching:
+            return [contexts[slot].place(mutation.genotype) for slot, mutation in plan]
+        return self._per_slot(
+            plan, lambda slot, genotypes: contexts[slot].place_population(genotypes)
+        )
+
+    @staticmethod
+    def _per_slot(plan, fn) -> List:
+        """Apply ``fn(slot, genotypes)`` per array slot, in plan order.
+
+        Each slot sees its candidates in plan order (matching sequential
+        per-candidate processing on that array), and the per-slot results
+        are scattered back into plan-order positions.
+        """
+        values: List = [None] * len(plan)
+        per_slot: Dict[int, List[int]] = {}
+        for index, (slot, _) in enumerate(plan):
+            per_slot.setdefault(slot, []).append(index)
+        for slot, indices in per_slot.items():
+            results = fn(slot, [plan[index][1].genotype for index in indices])
+            for index, value in zip(indices, results):
+                values[index] = value
+        return values
 
     def _evaluate_plan(
         self,
@@ -390,34 +539,32 @@ class ParallelEvolution(EvolutionDriver):
     ) -> List[float]:
         """Fitness of every planned offspring, in plan order.
 
-        With batching enabled, each array scores its share of the plan in
-        one vectorised pass; candidates keep their plan-order position so
-        selection (and each array's fault-RNG stream) matches the
-        sequential path exactly.
+        With batching (or population batching) enabled, each array scores
+        its share of the plan in one vectorised pass; candidates keep their
+        plan-order position so selection (and each array's fault-RNG
+        stream) matches the sequential path exactly.
         """
-        fitnesses = [math.inf] * len(plan)
-        if self.batched and len(plan) > 1:
+        population = self.population_batching and bool(plan)
+        if population or (self.batched and len(plan) > 1):
             if all(context.acb.array.n_faults == 0 for context in contexts):
                 # Healthy arrays are functionally identical and fault-free
                 # evaluation consumes no RNG, so the whole generation can be
                 # scored as one batch without perturbing any random stream.
-                return contexts[0].fitness_batch(
-                    [mutation.genotype for _, mutation in plan], reference
-                )
-            per_slot: Dict[int, List[int]] = {}
-            for index, (slot, _) in enumerate(plan):
-                per_slot.setdefault(slot, []).append(index)
-            for slot, indices in per_slot.items():
-                values = contexts[slot].fitness_batch(
-                    [plan[index][1].genotype for index in indices],
-                    reference,
-                )
-                for index, value in zip(indices, values):
-                    fitnesses[index] = value
-        else:
-            for index, (slot, mutation) in enumerate(plan):
-                fitnesses[index] = contexts[slot].fitness(mutation.genotype, reference)
-        return fitnesses
+                genotypes = [mutation.genotype for _, mutation in plan]
+                if population:
+                    return contexts[0].fitness_population(genotypes, reference)
+                return contexts[0].fitness_batch(genotypes, reference)
+
+            def score(slot: int, genotypes: List[Genotype]) -> List[float]:
+                if population:
+                    return contexts[slot].fitness_population(genotypes, reference)
+                return contexts[slot].fitness_batch(genotypes, reference)
+
+            return self._per_slot(plan, score)
+        return [
+            contexts[slot].fitness(mutation.genotype, reference)
+            for slot, mutation in plan
+        ]
 
     def run(
         self,
@@ -446,9 +593,7 @@ class ParallelEvolution(EvolutionDriver):
 
         for _ in range(n_generations):
             plan = self._generation_offspring(parent, contexts)
-            offspring_counts = [
-                contexts[slot].place(mutation.genotype) for slot, mutation in plan
-            ]
+            offspring_counts = self._place_plan(contexts, plan)
             fitnesses = self._evaluate_plan(contexts, plan, reference_image)
             result.n_evaluations += len(plan)
             best_child, best_child_fitness = self._best_offspring(
@@ -627,12 +772,31 @@ class CascadedEvolution(EvolutionDriver):
                     if repeat_fitness < parent_fitness[stage]:
                         parents[stage] = repeat
                         parent_fitness[stage] = repeat_fitness
-            mutations = [
-                mutate(parents[stage], self.mutation_rate, self.rng)
-                for _ in range(self.n_offspring)
-            ]
-            offspring_counts = [contexts[stage].place(m.genotype) for m in mutations]
+            mutations = self._offspring_mutations(parents[stage])
+            offspring_counts = self._place_offspring(contexts[stage], mutations)
             if (
+                self.population_batching
+                and self.fitness_mode == CascadeFitnessMode.SEPARATE
+                and mutations
+            ):
+                # Separate fitness units judge each candidate on its own
+                # stage output, so the whole offspring population goes
+                # through the fused population entry point via the stage's
+                # cached context.  Retargeting only when the stage input
+                # actually changed *in value* keeps the context's planes
+                # object stable while upstream parents are frozen (always
+                # for stage 0; per sequential-stage run for later stages),
+                # so the backend's per-plane-set stores — and the
+                # memoisation they carry — survive across generations.
+                context = contexts[stage]
+                if context.training_image is not stage_input and not np.array_equal(
+                    context.training_image, stage_input
+                ):
+                    context.retarget(stage_input)
+                fitnesses = context.fitness_population(
+                    [m.genotype for m in mutations], reference_image
+                )
+            elif (
                 self.batched
                 and self.fitness_mode == CascadeFitnessMode.SEPARATE
                 and len(mutations) > 1
@@ -753,11 +917,8 @@ class ImitationEvolution(EvolutionDriver):
         history: List[float] = []
 
         for _ in range(n_generations):
-            mutations = [
-                mutate(parent, self.mutation_rate, self.rng)
-                for _ in range(self.n_offspring)
-            ]
-            offspring_counts = [context.place(m.genotype) for m in mutations]
+            mutations = self._offspring_mutations(parent)
+            offspring_counts = self._place_offspring(context, mutations)
             fitnesses = self._evaluate_offspring(
                 context, [m.genotype for m in mutations], master_output
             )

@@ -88,7 +88,9 @@ class EvolvableHardwarePlatform:
         self.rng = np.random.default_rng(seed)
 
         # Substrates --------------------------------------------------- #
-        self.fabric = FpgaFabric(n_arrays=n_arrays, geometry=geometry)
+        # The fabric derives its own SEU-targeting stream from the platform
+        # seed (tagged, so it never aliases self.rng's stream).
+        self.fabric = FpgaFabric(n_arrays=n_arrays, geometry=geometry, seed=seed)
         self.engine = ReconfigurationEngine(self.fabric, icap=icap)
         self.registers = RegisterFile(AcbRegisterMap(n_acbs=n_arrays))
         self.memory = ExternalMemory()

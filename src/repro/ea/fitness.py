@@ -82,6 +82,22 @@ class FitnessEvaluator:
         self.n_evaluations += 1
         return sae(self.output(genotype), self.reference_image)
 
+    def evaluate_population(self, genotypes) -> list:
+        """Fitness of a candidate population through one fused backend call.
+
+        Bit-exact against calling :meth:`evaluate` per candidate (same
+        values, same fault-stream consumption); see
+        :meth:`repro.array.systolic_array.SystolicArray.evaluate_population`.
+        Suitable as the ``evaluate_population`` hook of
+        :class:`~repro.ea.strategy.OnePlusLambdaES`.
+        """
+        genotypes = list(genotypes)
+        self.n_evaluations += len(genotypes)
+        values = self.array.evaluate_population(
+            self._planes, genotypes, self.reference_image
+        )
+        return [float(value) for value in values]
+
     def retarget(self, training_image: Optional[np.ndarray] = None,
                  reference_image: Optional[np.ndarray] = None) -> None:
         """Change the training and/or reference image in place.

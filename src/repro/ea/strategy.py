@@ -16,13 +16,13 @@ reconfiguration/evaluation timing accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.array.genotype import Genotype, GenotypeSpec
 from repro.ea.chromosome import Individual
-from repro.ea.mutation import mutate
+from repro.ea.mutation import mutate, mutate_population
 
 __all__ = ["GenerationRecord", "EvolutionResult", "OnePlusLambdaES"]
 
@@ -93,6 +93,22 @@ class OnePlusLambdaES:
     accept_equal:
         Whether an offspring with fitness equal to the parent replaces it
         (CGP neutral drift).  Default ``True``.
+    evaluate_population:
+        Optional population evaluator mapping a sequence of genotypes to
+        their fitnesses in order (e.g.
+        ``FitnessEvaluator.evaluate_population``).  When provided, each
+        generation's λ offspring are scored through one call instead of λ
+        ``evaluate`` calls.  It must return exactly the values ``evaluate``
+        would — the strategy relies on this to keep population-batched runs
+        byte-identical to per-candidate runs.
+    population_batching:
+        When ``True`` the generation step is population-batched: offspring
+        come from :func:`~repro.ea.mutation.mutate_population` (same RNG
+        stream, less per-call overhead) and are scored through
+        ``evaluate_population`` when available.  Note that all mutation
+        draws of a generation then happen *before* its evaluations; this is
+        only observable if ``evaluate`` itself consumes the same generator,
+        which no shipped evaluator does.
     """
 
     def __init__(
@@ -103,6 +119,10 @@ class OnePlusLambdaES:
         mutation_rate: int = 3,
         rng: Union[int, np.random.Generator, None] = None,
         accept_equal: bool = True,
+        evaluate_population: Optional[
+            Callable[[Sequence[Genotype]], Sequence[float]]
+        ] = None,
+        population_batching: bool = False,
     ) -> None:
         if n_offspring < 1:
             raise ValueError(f"n_offspring must be >= 1, got {n_offspring}")
@@ -113,6 +133,8 @@ class OnePlusLambdaES:
         self.n_offspring = n_offspring
         self.mutation_rate = mutation_rate
         self.accept_equal = accept_equal
+        self.evaluate_population = evaluate_population
+        self.population_batching = bool(population_batching)
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
     # ------------------------------------------------------------------ #
@@ -157,17 +179,45 @@ class OnePlusLambdaES:
         result = EvolutionResult(best=parent.copy())
         result.n_evaluations = 1
 
+        population = self.population_batching or self.evaluate_population is not None
         for generation in range(1, n_generations + 1):
             best_offspring: Optional[Individual] = None
             generation_reconfigurations = 0
-            for _ in range(self.n_offspring):
-                mutation = mutate(parent.genotype, self.mutation_rate, self.rng)
+            if population:
+                # Population-batched generation step: collect the whole
+                # offspring population, score it in one call.  Selection
+                # below keeps the sequential rule either way.
+                if self.population_batching:
+                    mutations = mutate_population(
+                        parent.genotype, self.mutation_rate, self.rng, self.n_offspring
+                    )
+                else:
+                    mutations = [
+                        mutate(parent.genotype, self.mutation_rate, self.rng)
+                        for _ in range(self.n_offspring)
+                    ]
+                genotypes = [mutation.genotype for mutation in mutations]
+                if self.evaluate_population is not None:
+                    fitnesses = list(self.evaluate_population(genotypes))
+                else:
+                    fitnesses = [self.evaluate(genotype) for genotype in genotypes]
+                scored = zip(mutations, fitnesses)
+            else:
+                # Sequential step: mutation draws and evaluations interleave
+                # (the pre-population behaviour, kept bit-compatible).
+                def scored_sequential():
+                    for _ in range(self.n_offspring):
+                        mutation = mutate(parent.genotype, self.mutation_rate, self.rng)
+                        yield mutation, self.evaluate(mutation.genotype)
+
+                scored = scored_sequential()
+            for mutation, fitness in scored:
                 child = Individual(
                     genotype=mutation.genotype,
                     generation=generation,
                     reconfigured_pes=mutation.n_reconfigurations,
                 )
-                child.fitness = self.evaluate(child.genotype)
+                child.fitness = float(fitness)
                 result.n_evaluations += 1
                 generation_reconfigurations += mutation.n_reconfigurations
                 if best_offspring is None or child.fitness < best_offspring.fitness:

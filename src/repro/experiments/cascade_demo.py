@@ -71,6 +71,7 @@ def three_stage_cascade_demo(
     mutation_rate: int = 3,
     seed: int = 2013,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> CascadeDemoResult:
     """Evolve and evaluate the three-stage cascade of Fig. 18."""
     pair = make_training_pair(
@@ -84,6 +85,7 @@ def three_stage_cascade_demo(
             n_offspring=n_offspring,
             mutation_rate=mutation_rate,
             seed=seed,
+            population_batching=population_batching,
             options={
                 "fitness_mode": "separate",
                 "schedule": "sequential",
@@ -128,6 +130,7 @@ def _run(args) -> RunArtifact:
         n_generations=args.generations,
         seed=args.seed,
         backend=args.backend,
+        population_batching=args.population_batching,
     )
     rows = [{"output": "noisy input", "aggregated_MAE": result.noisy_fitness}]
     rows += [

@@ -75,7 +75,8 @@ def _stage_fitnesses(platform: EvolvableHardwarePlatform, training, reference,
 
 
 def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
-                        mutation_rate, backend="reference"):
+                        mutation_rate, backend="reference",
+                        population_batching=True):
     """Evolve the stage-1 circuit shared by every arrangement of one run.
 
     The same circuit is used for the "same filter in every stage"
@@ -93,6 +94,7 @@ def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
             n_offspring=n_offspring,
             mutation_rate=mutation_rate,
             seed=run_seed,
+            population_batching=population_batching,
             options={"n_arrays": 1},
         ),
     )
@@ -119,6 +121,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
     n_offspring = int(params["n_offspring"])
     mutation_rate = int(params["mutation_rate"])
     backend = str(params.get("backend", "reference"))
+    population_batching = bool(params.get("population_batching", True))
     pair = make_training_pair(
         "salt_pepper_denoise",
         size=int(params["image_side"]),
@@ -126,7 +129,8 @@ def run_cascade_arrangement(run) -> RunArtifact:
         noise_level=float(params["noise_level"]),
     )
     base_session, base_filter = _evolve_base_filter(
-        pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate, backend
+        pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate, backend,
+        population_batching,
     )
 
     if arrangement == "same_filter":
@@ -145,6 +149,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
                 n_offspring=n_offspring,
                 mutation_rate=mutation_rate,
                 seed=run_seed,
+                population_batching=population_batching,
                 options={
                     "fitness_mode": "separate",
                     "schedule": schedule,
@@ -173,6 +178,7 @@ def build_cascade_quality_campaign(
     mutation_rate: int = 3,
     seed: int = 2013,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> CampaignSpec:
     """The Figs. 16-17 comparison as a (repetition x arrangement) campaign."""
     return CampaignSpec(
@@ -190,6 +196,7 @@ def build_cascade_quality_campaign(
             "n_offspring": int(n_offspring),
             "mutation_rate": int(mutation_rate),
             "backend": str(backend),
+            "population_batching": bool(population_batching),
         },
         seed=seed,
     )
@@ -207,6 +214,7 @@ def cascade_quality_comparison(
     executor: str = "serial",
     max_workers: Optional[int] = None,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> List[CascadePoint]:
     """Run the three cascade arrangements and return per-stage fitness points.
 
@@ -224,6 +232,7 @@ def cascade_quality_comparison(
         mutation_rate=mutation_rate,
         seed=seed,
         backend=backend,
+        population_batching=population_batching,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     per_arrangement: Dict[str, List[List[float]]] = {
@@ -271,6 +280,7 @@ def _run(args) -> RunArtifact:
         executor=args.executor,
         max_workers=args.workers,
         backend=args.backend,
+        population_batching=args.population_batching,
     )
     rows = [
         {"arrangement": p.arrangement, "stage": p.stage,

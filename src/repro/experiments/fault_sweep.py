@@ -170,6 +170,7 @@ def systematic_fault_analysis(
     executor: str = "serial",
     max_workers: Optional[int] = None,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> List[FaultSweepSummary]:
     """Evolve a working circuit, then fault-sweep every PE of every array.
 
@@ -190,6 +191,7 @@ def systematic_fault_analysis(
             n_offspring=n_offspring,
             mutation_rate=mutation_rate,
             seed=seed,
+            population_batching=population_batching,
         ),
     )
     session.evolve(pair)
@@ -225,6 +227,7 @@ def _run(args) -> RunArtifact:
         executor=args.executor,
         max_workers=args.workers,
         backend=args.backend,
+        population_batching=args.population_batching,
     )
     rows = [
         {"array": s.array_index, "benign": s.n_benign, "critical": s.n_critical,

@@ -61,6 +61,7 @@ def imitation_seed_comparison(
     mutation_rate: int = 3,
     seed: int = 2013,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> List[ImitationPoint]:
     """Compare inherited-vs-random seeding of the imitation recovery."""
     points: List[ImitationPoint] = []
@@ -78,6 +79,7 @@ def imitation_seed_comparison(
                     n_offspring=n_offspring,
                     mutation_rate=mutation_rate,
                     seed=run_seed,
+                    population_batching=population_batching,
                 ),
             )
             initial_result = session.evolve(pair).raw
@@ -108,6 +110,7 @@ def imitation_seed_comparison(
                     n_offspring=n_offspring,
                     mutation_rate=mutation_rate,
                     seed=run_seed + 1,
+                    population_batching=population_batching,
                 ),
             )
             result = recovery_session.evolve(
@@ -144,6 +147,7 @@ def _run(args) -> RunArtifact:
         n_runs=args.runs,
         seed=args.seed,
         backend=args.backend,
+        population_batching=args.population_batching,
     )
     rows = [
         {"seeding": p.seeding, "run": p.run, "fault_pe": str(p.fault_position),

@@ -60,6 +60,7 @@ def new_ea_comparison(
     noise_level: float = 0.1,
     seed: int = 2013,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> List[NewEaPoint]:
     """Run the classic-vs-new-EA comparison and return one point per cell."""
     points: List[NewEaPoint] = []
@@ -84,6 +85,7 @@ def new_ea_comparison(
                         n_offspring=n_offspring,
                         mutation_rate=k,
                         seed=run_seed,
+                        population_batching=population_batching,
                         options={} if strategy == "classic" else {"low_mutation_rate": 1},
                     ),
                 )
@@ -119,6 +121,7 @@ def _run(args) -> RunArtifact:
         n_runs=args.runs,
         seed=args.seed,
         backend=args.backend,
+        population_batching=args.population_batching,
     )
     rows = [
         {"strategy": p.strategy, "k": p.mutation_rate,

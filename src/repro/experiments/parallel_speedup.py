@@ -139,6 +139,7 @@ def build_measured_speedup_campaign(
     noise_level: float = 0.1,
     seed: int = 2013,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> CampaignSpec:
     """The Fig. 12/13 measured sweep as a declarative campaign.
 
@@ -156,6 +157,7 @@ def build_measured_speedup_campaign(
             n_generations=n_generations,
             n_offspring=n_offspring,
             seed=seed,
+            population_batching=population_batching,
         ),
         task=TaskSpec(
             task="salt_pepper_denoise",
@@ -183,6 +185,7 @@ def measured_speedup_sweep(
     executor: str = "serial",
     max_workers: Optional[int] = None,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> List[SpeedupPoint]:
     """Small-scale measured sweep: real evolution runs, platform time from the scheduler.
 
@@ -204,6 +207,7 @@ def measured_speedup_sweep(
         noise_level=noise_level,
         seed=seed,
         backend=backend,
+        population_batching=population_batching,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     points: List[SpeedupPoint] = []
@@ -250,6 +254,7 @@ def _run(args) -> RunArtifact:
             executor=args.executor,
             max_workers=args.workers,
             backend=args.backend,
+            population_batching=args.population_batching,
         )
         rows = [
             {"image": p.image_side, "k": p.mutation_rate, "arrays": p.n_arrays,

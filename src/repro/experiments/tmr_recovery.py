@@ -84,6 +84,7 @@ def tmr_fault_recovery_trace(
     voter_threshold: float = 0.0,
     seed: int = 2013,
     backend: str = "reference",
+    population_batching: bool = True,
 ) -> TmrRecoveryResult:
     """Run the complete Fig. 20 scenario and return its trace.
 
@@ -105,6 +106,7 @@ def tmr_fault_recovery_trace(
             n_offspring=n_offspring,
             mutation_rate=mutation_rate,
             seed=seed,
+            population_batching=population_batching,
         ),
     )
 
@@ -216,6 +218,7 @@ def _run(args) -> RunArtifact:
         recovery_generations=args.generations,
         seed=args.seed,
         backend=args.backend,
+        population_batching=args.population_batching,
     )
     rows = [
         {"generation": p.generation, "phase": p.phase,

@@ -25,6 +25,7 @@ fault model.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -35,6 +36,15 @@ from repro.array.systolic_array import ArrayGeometry
 from repro.fpga.bitstream import DUMMY_FAULT_GENE, BitstreamLibrary, PartialBitstream
 
 __all__ = ["RegionAddress", "RegionState", "FpgaFabric"]
+
+#: Stream tag mixed into the fabric's SEU-targeting seed so the derived
+#: stream is distinct from every other consumer of the same base seed.
+#: ``FpgaFabric(seed=s)`` corrupts bits from
+#: ``SeedSequence([_SEU_STREAM_TAG, s])`` (``s = 0`` when no seed is
+#: given), making SEU campaigns replayable by recording ``s`` alone —
+#: part of the documented RNG determinism contract
+#: (``docs/architecture.md``).
+_SEU_STREAM_TAG = 0x5EB1F1A5
 
 
 @dataclass(frozen=True, order=True)
@@ -89,6 +99,13 @@ class FpgaFabric:
     library:
         Partial-bitstream library used to fill regions (a default library is
         created when omitted).
+    seed:
+        Base seed of the fabric's own SEU-targeting stream, used by
+        :meth:`corrupt_region` when the caller supplies neither a bit
+        index nor a generator.  Defaults to a documented constant
+        (seed 0 under :data:`_SEU_STREAM_TAG`) so even the implicit
+        path is replayable; pass the platform/bitstream seed to tie the
+        stream to the experiment spec.
     """
 
     def __init__(
@@ -96,11 +113,17 @@ class FpgaFabric:
         n_arrays: int = 3,
         geometry: ArrayGeometry = ArrayGeometry(),
         library: Optional[BitstreamLibrary] = None,
+        seed: Optional[int] = None,
     ) -> None:
         if n_arrays < 1:
             raise ValueError(f"n_arrays must be >= 1, got {n_arrays}")
         self.n_arrays = n_arrays
         self.geometry = geometry
+        self._seed_was_defaulted = seed is None
+        self.seed = 0 if seed is None else int(seed)
+        self._seu_rng = np.random.default_rng(
+            np.random.SeedSequence([_SEU_STREAM_TAG, self.seed])
+        )
         self.library = library if library is not None else BitstreamLibrary(
             pe_clb_columns=geometry.pe_clb_columns
         )
@@ -186,12 +209,35 @@ class FpgaFabric:
     # ------------------------------------------------------------------ #
     def corrupt_region(self, address: RegionAddress, bit_index: Optional[int] = None,
                        rng: Optional[np.random.Generator] = None) -> int:
-        """Flip one configuration bit in a region (an SEU).  Returns the bit index."""
+        """Flip one configuration bit in a region (an SEU).  Returns the bit index.
+
+        The flipped bit is ``bit_index`` when given, otherwise a draw from
+        ``rng``; with neither, the draw comes from the fabric's own seeded
+        SEU stream (derived from the constructor ``seed``) instead of the
+        old unseeded fallback, so SEU campaigns replay bit-for-bit from the
+        recorded seed.
+        """
         state = self.region(address)
         assert state.words is not None
         n_bits = state.words.size * 32
         if bit_index is None:
-            rng = rng if rng is not None else np.random.default_rng()
+            if rng is None:
+                if self._seed_was_defaulted:
+                    # Surface the behaviour change from the old unseeded
+                    # fallback: fully implicit draws are now deterministic
+                    # (documented default seed 0), so independently created
+                    # seedless fabrics share one stream.
+                    warnings.warn(
+                        "FpgaFabric.corrupt_region() without an rng on a fabric "
+                        "constructed without a seed draws from the documented "
+                        "default stream (seed 0) instead of an unseeded "
+                        "generator; pass FpgaFabric(seed=...) or an explicit "
+                        "rng so the stream identity is part of the experiment "
+                        "spec",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                rng = self._seu_rng
             bit_index = int(rng.integers(0, n_bits))
         if not 0 <= bit_index < n_bits:
             raise ValueError(f"bit index {bit_index} out of range [0, {n_bits})")

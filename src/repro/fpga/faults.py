@@ -60,8 +60,15 @@ class FaultInjector:
         injection (which, as in the paper, is performed *through* the
         engine rather than by poking the model directly).
     rng:
-        Seed or generator for random target selection.
+        Seed or generator for random target selection.  When omitted, the
+        injector derives a deterministic stream from the fabric's seed
+        (tagged so it never aliases the fabric's own SEU stream) instead
+        of an unseeded generator — random fault targeting is part of an
+        experiment's spec and must replay from recorded seeds alone.
     """
+
+    #: Stream tag for the injector's derived target-selection stream.
+    _TARGET_STREAM_TAG = 0x7A26E7
 
     def __init__(
         self,
@@ -71,7 +78,14 @@ class FaultInjector:
     ) -> None:
         self.fabric = fabric
         self.engine = engine
-        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        elif rng is not None:
+            self.rng = np.random.default_rng(rng)
+        else:
+            self.rng = np.random.default_rng(
+                np.random.SeedSequence([self._TARGET_STREAM_TAG, fabric.seed])
+            )
         self.injected: List[FaultRecord] = []
 
     # ------------------------------------------------------------------ #

@@ -14,7 +14,7 @@ import math
 
 import numpy as np
 
-__all__ = ["sae", "mae", "mse", "psnr"]
+__all__ = ["sae", "sae_batch", "mae", "mse", "psnr"]
 
 
 def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple:
@@ -32,6 +32,29 @@ def sae(output: np.ndarray, reference: np.ndarray) -> float:
     output, reference = _check_pair(output, reference)
     diff = np.abs(output.astype(np.int64) - reference.astype(np.int64))
     return float(diff.sum())
+
+
+def sae_batch(outputs: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Aggregated absolute error of a ``(B, H, W)`` batch vs one reference.
+
+    The vectorised form of :func:`sae` used by the batched and population
+    evaluation paths: every entry equals ``sae(outputs[b], reference)``
+    bit for bit.  For uint8 inputs (the hardware pixel format) the
+    differences fit int16 exactly and accumulate in int64; other dtypes
+    take :func:`sae`'s own int64 arithmetic, so wide or float values are
+    truncated identically to the scalar path instead of wrapping.
+    """
+    outputs = np.asarray(outputs)
+    reference = np.asarray(reference)
+    if outputs.ndim != 3 or outputs.shape[1:] != reference.shape:
+        raise ValueError(
+            f"outputs shape {outputs.shape} does not match reference {reference.shape}"
+        )
+    if outputs.dtype == np.uint8 and reference.dtype == np.uint8:
+        diffs = np.abs(outputs.astype(np.int16) - reference.astype(np.int16))
+    else:
+        diffs = np.abs(outputs.astype(np.int64) - reference.astype(np.int64))
+    return diffs.sum(axis=(1, 2), dtype=np.int64)
 
 
 def mae(output: np.ndarray, reference: np.ndarray) -> float:

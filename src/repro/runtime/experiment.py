@@ -84,7 +84,11 @@ def build_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         name=args.name,
         runner=args.runner,
         platform=PlatformConfig(seed=args.seed, backend=args.backend),
-        evolution=EvolutionConfig(n_generations=args.generations, seed=args.seed),
+        evolution=EvolutionConfig(
+            n_generations=args.generations,
+            seed=args.seed,
+            population_batching=args.population_batching,
+        ),
         task=TaskSpec(image_side=args.image_side, seed=args.seed),
         grid=grid,
         paired=paired,
@@ -135,6 +139,14 @@ def _configure(parser: argparse.ArgumentParser) -> None:
         choices=sorted(BACKENDS.names()),
         help="array evaluation backend of the base platform config "
              "(bit-exact; sweepable as a 'platform.backend' axis too)",
+    )
+    parser.add_argument(
+        "--population-batching",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="population-batched generation step of the base evolution "
+             "config (bit-exact; sweepable as an "
+             "'evolution.population_batching' axis too)",
     )
 
 

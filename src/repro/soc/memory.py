@@ -53,6 +53,9 @@ class ExternalMemory:
             MemoryRegion.DDR: {},
             MemoryRegion.FLASH: {},
         }
+        # Per-object garbage streams of the implicit corrupt() path (see
+        # _CORRUPT_STREAM_TAG): created on first use, advancing across calls.
+        self._corrupt_rngs: Dict[tuple, np.random.Generator] = {}
 
     # ------------------------------------------------------------------ #
     def capacity(self, region: MemoryRegion) -> int:
@@ -95,13 +98,41 @@ class ExternalMemory:
         """Remove an object (models freeing the reference images to save space)."""
         self._store[region].pop(key, None)
 
+    #: Stream tag of the derived garbage stream used when :meth:`corrupt`
+    #: is called without a generator; combined with the key bytes so the
+    #: implicit path is deterministic per stored object.
+    _CORRUPT_STREAM_TAG = 0x0C0227
+
     def corrupt(self, region: MemoryRegion, key: str,
                 rng: Optional[np.random.Generator] = None) -> None:
-        """Overwrite a stored object with garbage (a fault in the image memory)."""
+        """Overwrite a stored object with garbage (a fault in the image memory).
+
+        Without an explicit ``rng`` the garbage comes from a per-key stream
+        derived deterministically from the object key (not from an unseeded
+        generator), so memory-corruption experiments replay from their
+        recorded seeds alone.  The stream advances across calls: repeated
+        corruptions of the same object model independent fault events, not
+        replays of the first one.
+        """
         obj = self._store[region].get(key)
         if obj is None:
             raise KeyError(f"no object {key!r} in {region.value} memory")
-        rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            stream_key = (region, key)
+            rng = self._corrupt_rngs.get(stream_key)
+            if rng is None:
+                # Region and key both enter the entropy, so same-named
+                # objects in different regions get independent streams.
+                rng = self._corrupt_rngs[stream_key] = np.random.default_rng(
+                    np.random.SeedSequence(
+                        [
+                            self._CORRUPT_STREAM_TAG,
+                            *region.value.encode("utf-8"),
+                            0,
+                            *key.encode("utf-8"),
+                        ]
+                    )
+                )
         garbage = rng.integers(0, 256, size=obj.payload.shape, dtype=np.uint8)
         self._store[region][key] = _StoredObject(
             payload=garbage.astype(obj.payload.dtype, copy=False), nbytes=obj.nbytes

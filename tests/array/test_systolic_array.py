@@ -110,8 +110,8 @@ class TestFaults:
         assert array.n_faults == 0
 
     def test_clear_all(self, array):
-        array.inject_fault((0, 0))
-        array.inject_fault((3, 3))
+        array.inject_fault((0, 0), seed=1)
+        array.inject_fault((3, 3), seed=2)
         array.clear_all_faults()
         assert array.faulty_positions == ()
 

@@ -10,7 +10,7 @@ from repro.fpga.reconfiguration_engine import ReconfigurationEngine
 
 @pytest.fixture
 def engine():
-    return ReconfigurationEngine(FpgaFabric(n_arrays=3))
+    return ReconfigurationEngine(FpgaFabric(n_arrays=3, seed=7))
 
 
 class TestTiming:

@@ -11,7 +11,7 @@ from repro.fpga.fabric import FpgaFabric, RegionAddress
 
 @pytest.fixture
 def fabric():
-    return FpgaFabric(n_arrays=3)
+    return FpgaFabric(n_arrays=3, seed=7)
 
 
 class TestAddressing:

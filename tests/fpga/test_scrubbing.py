@@ -9,7 +9,7 @@ from repro.fpga.scrubbing import Scrubber
 
 @pytest.fixture
 def setup():
-    fabric = FpgaFabric(n_arrays=3)
+    fabric = FpgaFabric(n_arrays=3, seed=7)
     engine = ReconfigurationEngine(fabric)
     return fabric, engine, Scrubber(fabric, engine)
 
