@@ -60,6 +60,7 @@ class EvolutionStrategy:
             accept_equal=config.accept_equal,
             batched=config.batched,
             population_batching=config.population_batching,
+            scenario=config.scenario,
         )
 
     def build(self, platform, config: EvolutionConfig) -> EvolutionDriver:

@@ -20,7 +20,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Dict, Mapping, Optional, Type, TypeVar
+from typing import Any, Dict, Mapping, Optional, Type, TypeVar, Union
 
 __all__ = [
     "PlatformConfig",
@@ -182,6 +182,21 @@ class EvolutionConfig(_ConfigBase):
         ``batched``.  JSON round-trips like every other field, so it can
         be swept or pinned as the ``evolution.population_batching``
         campaign axis.
+    scenario:
+        Optional fault-scenario timeline the run evolves under: the name
+        of a registered scenario (``"seu-storm"``, ``"single-seu"``, ...;
+        see :data:`repro.scenarios.SCENARIOS`) or an inline
+        :class:`~repro.scenarios.spec.FaultScenario` dict.  The timeline
+        compiles to a deterministic per-generation event schedule from
+        the platform's fabric seed, and its events (SEU arrivals, bursts,
+        permanent damage, periodic scrubs) fire mid-evolution at the
+        start of each generation — byte-identically across backends and
+        executors.  Names are validated against the registry and inline
+        dicts against the scenario spec at config-build time; the field
+        JSON round-trips, so it can be swept or pinned as the
+        ``evolution.scenario`` campaign axis (or field-wise through the
+        ``scenario.*`` axes, see
+        :class:`~repro.runtime.campaign.CampaignSpec`).
     options:
         Strategy-specific options (e.g. ``{"n_arrays": 1}`` for parallel
         evolution, ``{"fitness_mode": "merged", "schedule": "interleaved"}``
@@ -212,6 +227,7 @@ class EvolutionConfig(_ConfigBase):
     accept_equal: bool = True
     batched: bool = True
     population_batching: bool = True
+    scenario: Union[str, Mapping[str, Any], None] = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -225,6 +241,14 @@ class EvolutionConfig(_ConfigBase):
             raise ValueError(f"mutation_rate must be >= 1, got {self.mutation_rate}")
         if not isinstance(self.options, Mapping):
             raise TypeError("options must be a mapping of strategy-specific settings")
+        if self.scenario is not None:
+            # Fail at config-build time: names must exist in the scenario
+            # registry, inline dicts must be valid FaultScenario specs.
+            from repro.scenarios import normalise_scenario_field
+
+            object.__setattr__(
+                self, "scenario", normalise_scenario_field(self.scenario)
+            )
         # Defensive copy behind a read-only view: a frozen config must not be
         # mutable through a shared or retained options dict.
         object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
@@ -303,6 +327,15 @@ class SelfHealingConfig(_ConfigBase):
     reference_image_key:
         Cascaded only: flash key of the stored reference image; when
         present, recovery re-evolves against it instead of imitating.
+    scenario:
+        Optional fault-scenario timeline the monitoring loop runs
+        against (a registered name or an inline
+        :class:`~repro.scenarios.spec.FaultScenario` dict) — the fault
+        environment of the §V.A/§V.B scrub-classify-evolve lifecycle.
+        Consumed by scenario-driven workloads such as the
+        ``scenario-sweep`` experiment's lifecycle runner, which applies
+        the timeline between healing cycles; validated and JSON
+        round-tripped exactly like ``EvolutionConfig.scenario``.
     n_offspring, mutation_rate, seed:
         EA parameters of the recovery evolution.
     """
@@ -313,6 +346,7 @@ class SelfHealingConfig(_ConfigBase):
     imitation_target_fitness: Optional[float] = 100.0
     paste_threshold: float = 100.0
     reference_image_key: Optional[str] = None
+    scenario: Union[str, Mapping[str, Any], None] = None
     n_offspring: int = 9
     mutation_rate: int = 3
     seed: Optional[int] = None
@@ -324,6 +358,12 @@ class SelfHealingConfig(_ConfigBase):
             raise ValueError("imitation_generations must be >= 1")
         if self.n_offspring < 1 or self.mutation_rate < 1:
             raise ValueError("n_offspring and mutation_rate must be >= 1")
+        if self.scenario is not None:
+            from repro.scenarios import normalise_scenario_field
+
+            object.__setattr__(
+                self, "scenario", normalise_scenario_field(self.scenario)
+            )
 
     def build(self, platform, calibration_image, calibration_reference):
         """Instantiate the configured strategy bound to ``platform``.

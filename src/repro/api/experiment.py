@@ -23,6 +23,7 @@ __all__ = [
     "register_experiment",
     "add_common_options",
     "add_executor_options",
+    "scenario_from_args",
     "print_table",
 ]
 
@@ -90,6 +91,21 @@ def add_common_options(
              "changes wall-clock time only; --no-population-batching "
              "restores the per-candidate loop)",
     )
+
+
+def scenario_from_args(args: argparse.Namespace):
+    """Resolve the CLI-level ``--scenario`` value of an experiment run.
+
+    The flag is added centrally by :func:`repro.cli.build_parser` (every
+    subcommand accepts it); experiments whose workload evolves call this
+    helper and thread the result into their
+    :class:`~repro.api.config.EvolutionConfig`.  Returns ``None``, a
+    registered scenario name, or an inline scenario dict loaded from a
+    ``FaultScenario`` JSON file.
+    """
+    from repro.scenarios import scenario_from_cli_arg
+
+    return scenario_from_cli_arg(getattr(args, "scenario", None))
 
 
 def add_executor_options(parser: argparse.ArgumentParser) -> None:

@@ -225,6 +225,21 @@ class EvolutionSession:
                 "n_generations": result.n_generations,
                 "n_evaluations": result.n_evaluations,
                 "n_reconfigurations": result.n_reconfigurations,
+                **(
+                    {
+                        "scenario": {
+                            "spec": (
+                                config.scenario
+                                if isinstance(config.scenario, str)
+                                else dict(config.scenario)
+                            ),
+                            "n_events": len(result.scenario_events),
+                            "events": list(result.scenario_events),
+                        }
+                    }
+                    if config.scenario is not None
+                    else {}
+                ),
             },
             timing={
                 "platform_time_s": result.platform_time_s,

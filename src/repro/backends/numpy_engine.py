@@ -272,6 +272,23 @@ class NumpyBackend(EvaluationBackend):
             self._stores.popitem(last=False)
         return store
 
+    def _release_over_budget(self, planes: np.ndarray) -> None:
+        """Evict a plane store that outgrew the byte budget during a call.
+
+        The budget check at the top of :meth:`_evaluate` only fires when
+        the *same* planes are evaluated again; without this end-of-call
+        eviction, a single store whose memoised planes already exceed
+        ``max_cache_bytes`` (one big image is enough under a tiny budget)
+        would stay pinned in ``_stores`` — holding more than the whole
+        budget, for as long as its LRU slot survives — even though it can
+        never be kept within budget.  Dropping it is free for
+        correctness: every entry is recomputed from the planes on demand.
+        """
+        key = id(planes)
+        store = self._stores.get(key)
+        if store is not None and store.nbytes > self.max_cache_bytes:
+            del self._stores[key]
+
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
@@ -279,12 +296,14 @@ class NumpyBackend(EvaluationBackend):
         self, array: "SystolicArray", planes: np.ndarray, genotype: "Genotype"
     ) -> np.ndarray:
         out, owned = self._evaluate(array, planes, [genotype], want_batch=False)
+        self._release_over_budget(planes)
         return out if owned else out.copy()
 
     def process_planes_batch(
         self, array: "SystolicArray", planes: np.ndarray, genotypes: Sequence["Genotype"]
     ) -> np.ndarray:
         out, _ = self._evaluate(array, planes, list(genotypes), want_batch=True)
+        self._release_over_budget(planes)
         return out
 
     def evaluate_population(
@@ -321,6 +340,7 @@ class NumpyBackend(EvaluationBackend):
         fits, _ = self._evaluate(
             array, planes, list(genotypes), want_batch=False, reduce_ref=reference
         )
+        self._release_over_budget(planes)
         return fits
 
     def _evaluate(

@@ -25,7 +25,11 @@ Every subcommand accepts ``--seed`` and budget options, plus ``--json``
 to emit the run's :class:`~repro.api.artifact.RunArtifact` as
 machine-readable JSON — to stdout with a bare ``--json``, or to a file
 with ``--json PATH`` (the human-readable tables are still printed in the
-file case).
+file case) — and ``--scenario`` to run the experiment's evolutions under
+a fault-scenario timeline (a built-in name from
+:data:`repro.scenarios.SCENARIOS` or a ``FaultScenario`` JSON file;
+experiments without an evolution phase, like ``resources``, accept and
+ignore it).
 """
 
 from __future__ import annotations
@@ -63,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="emit the run artifact as JSON (to stdout with no value, "
                  "or to FILE)",
+        )
+        p.add_argument(
+            "--scenario",
+            default=None,
+            metavar="NAME|FILE",
+            help="fault-scenario timeline for the experiment's evolutions: "
+                 "a built-in scenario name (single-seu, seu-storm, "
+                 "creeping-permanent, scrub-race, mixed-burst, quiet) or a "
+                 "FaultScenario JSON file; ignored by experiments without "
+                 "an evolution phase",
         )
         p.set_defaults(spec=spec)
     return parser

@@ -81,6 +81,9 @@ class PlatformEvolutionResult:
     n_generations: int = 0
     n_evaluations: int = 0
     n_reconfigurations: int = 0
+    #: Applied fault-scenario events (one serialisable record each), in
+    #: application order; empty when the run had no scenario attached.
+    scenario_events: List[Dict] = field(default_factory=list)
 
     def overall_best_fitness(self) -> float:
         """Best fitness across all participating arrays."""
@@ -306,6 +309,32 @@ class EvolutionDriver:
         arrays).  Takes precedence over ``batched``.  Results are
         byte-identical to the per-candidate path — same RNG streams, same
         fault draws — as enforced by ``tests/core/test_population_parity.py``.
+    scenario:
+        Optional fault-scenario timeline: a
+        :class:`~repro.scenarios.spec.FaultScenario`, a registered
+        scenario name (``"seu-storm"``, ...) or its dict form.  When set,
+        the scenario is compiled into a deterministic per-generation
+        event schedule from the platform's fabric seed (see
+        :func:`repro.scenarios.compile_schedule`), and its events —
+        Poisson SEU arrivals, bursts, permanent-damage onsets, periodic
+        scrubs — fire at the *start* of each generation, mid-evolution,
+        before that generation's offspring are drawn.  Mid-run injection
+        is byte-identical across evaluation backends and executors for a
+        fixed seed (``tests/scenarios/`` enforces this); every applied
+        event is recorded on
+        :attr:`PlatformEvolutionResult.scenario_events`.
+
+        Like the paper's hardware, the EA only knows fitnesses it has
+        *measured*: when an event changes the fault environment, the
+        incumbent parent's stored fitness is not retroactively
+        re-evaluated — offspring of the next generation are measured
+        under the new environment and compete against the parent's
+        last-measured value (so ``target_fitness`` early stops and the
+        reported ``best_fitness`` refer to the environment each value
+        was measured in).  Detecting that a previously good circuit has
+        degraded is deliberately not the EA's job; that is the §V.A
+        calibration/monitoring loop, reproduced by the
+        ``scenario-sweep`` experiment's lifecycle runner.
     """
 
     def __init__(
@@ -318,6 +347,7 @@ class EvolutionDriver:
         accept_equal: bool = True,
         batched: bool = False,
         population_batching: bool = False,
+        scenario=None,
     ) -> None:
         if n_offspring < 1:
             raise ValueError("n_offspring must be >= 1")
@@ -329,6 +359,11 @@ class EvolutionDriver:
         self.accept_equal = accept_equal
         self.batched = bool(batched)
         self.population_batching = bool(population_batching)
+        if scenario is not None:
+            from repro.scenarios import resolve_scenario
+
+            scenario = resolve_scenario(scenario)
+        self.scenario = scenario
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self.timing_model = timing_model if timing_model is not None else platform.timing_model()
 
@@ -337,6 +372,35 @@ class EvolutionDriver:
         return GenerationScheduler(
             timing_model=self.timing_model, n_arrays=n_arrays, n_pixels=n_pixels
         )
+
+    def _begin_scenario(self, horizon: int):
+        """Compile the attached scenario (if any) into a bound runner.
+
+        ``horizon`` is the total number of generation steps the run may
+        take; it depends only on the run's configuration (never on early
+        stops), so the compiled schedule — and therefore every event —
+        is a pure function of the configs and the platform seed.
+        """
+        if self.scenario is None:
+            return None
+        from repro.scenarios import ScenarioRunner, compile_schedule
+
+        geometry = self.platform.geometry
+        schedule = compile_schedule(
+            self.scenario,
+            n_generations=horizon,
+            n_arrays=self.platform.n_arrays,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            seed=self.platform.fabric.seed,
+        )
+        return ScenarioRunner(self.platform, schedule)
+
+    @staticmethod
+    def _advance_scenario(runner, result: PlatformEvolutionResult) -> None:
+        """Fire the next generation's scheduled events, if a scenario runs."""
+        if runner is not None:
+            result.scenario_events.extend(runner.advance())
 
     def _initial_parent(self, seed_genotype: Optional[Genotype]) -> Genotype:
         if seed_genotype is not None:
@@ -425,6 +489,9 @@ class IndependentEvolution(EvolutionDriver):
             raise ValueError("tasks must name at least one array")
         seed_genotypes = seed_genotypes or {}
         result = PlatformEvolutionResult()
+        # One platform-global timeline: arrays evolve sequentially, so the
+        # scenario advances one step per generation across the whole run.
+        scenario_runner = self._begin_scenario(n_generations * len(tasks))
 
         for array_index, (training, reference) in sorted(tasks.items()):
             context = ArrayEvalContext(self.platform, array_index, training)
@@ -437,6 +504,7 @@ class IndependentEvolution(EvolutionDriver):
             history: List[float] = []
 
             for _ in range(n_generations):
+                self._advance_scenario(scenario_runner, result)
                 mutations = self._offspring_mutations(parent)
                 offspring_counts = self._place_offspring(context, mutations)
                 fitnesses = self._evaluate_offspring(
@@ -585,6 +653,7 @@ class ParallelEvolution(EvolutionDriver):
             n_arrays=self.n_arrays, n_pixels=int(training_image.size)
         )
         result = PlatformEvolutionResult()
+        scenario_runner = self._begin_scenario(n_generations)
 
         parent = self._initial_parent(seed_genotype)
         parent_fitness = contexts[0].fitness(parent, reference_image)
@@ -592,6 +661,7 @@ class ParallelEvolution(EvolutionDriver):
         history: List[float] = []
 
         for _ in range(n_generations):
+            self._advance_scenario(scenario_runner, result)
             plan = self._generation_offspring(parent, contexts)
             offspring_counts = self._place_plan(contexts, plan)
             fitnesses = self._evaluate_plan(contexts, plan, reference_image)
@@ -739,6 +809,9 @@ class CascadedEvolution(EvolutionDriver):
         ]
         scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(training_image.size))
         result = PlatformEvolutionResult()
+        # The cascade's timeline spans every stage-generation: one scenario
+        # step per evolve_stage_one_generation call, whatever the schedule.
+        scenario_runner = self._begin_scenario(n_stages * n_generations)
 
         parents: List[Genotype] = []
         parent_fitness: List[float] = []
@@ -754,6 +827,7 @@ class CascadedEvolution(EvolutionDriver):
         histories: List[List[float]] = [[] for _ in range(n_stages)]
 
         def evolve_stage_one_generation(stage: int) -> None:
+            self._advance_scenario(scenario_runner, result)
             stage_input = self._stage_input(contexts, parents, stage, training_image)
             if not math.isfinite(parent_fitness[stage]):
                 parent_fitness[stage] = self._stage_fitness(
@@ -905,6 +979,7 @@ class ImitationEvolution(EvolutionDriver):
         context = ArrayEvalContext(self.platform, apprentice_index, input_image)
         scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(input_image.size))
         result = PlatformEvolutionResult()
+        scenario_runner = self._begin_scenario(n_generations)
 
         if seed_genotype is not None:
             parent = seed_genotype.copy()
@@ -917,6 +992,7 @@ class ImitationEvolution(EvolutionDriver):
         history: List[float] = []
 
         for _ in range(n_generations):
+            self._advance_scenario(scenario_runner, result)
             mutations = self._offspring_mutations(parent)
             offspring_counts = self._place_offspring(context, mutations)
             fitnesses = self._evaluate_offspring(

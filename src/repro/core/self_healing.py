@@ -190,8 +190,11 @@ class CascadedSelfHealing:
                           f"{baseline[faulty_index]:.0f}")
 
         # Step (f): scrub the damaged array (rewrite the last configuration).
-        self.platform.scrub_array(faulty_index)
-        report.log("scrub", faulty_index)
+        scrub = self.platform.scrub_array(faulty_index)
+        report.log("scrub", faulty_index,
+                   detail=f"repaired {scrub.n_repaired} region(s), "
+                          f"fully_repaired={scrub.fully_repaired}, "
+                          f"clean={scrub.clean}")
 
         # Steps (g)/(h): re-evaluate; equality with the baseline means the
         # fault was transient.
@@ -374,8 +377,11 @@ class TmrSelfHealing:
                    detail=f"values={tuple(round(v, 1) for v in vote.values)}")
 
         # Step (d): scrub the damaged array.
-        self.platform.scrub_array(faulty_index)
-        report.log("scrub", faulty_index)
+        scrub = self.platform.scrub_array(faulty_index)
+        report.log("scrub", faulty_index,
+                   detail=f"repaired {scrub.n_repaired} region(s), "
+                          f"fully_repaired={scrub.fully_repaired}, "
+                          f"clean={scrub.clean}")
 
         # Steps (e)/(f): re-evaluate with the pattern image; agreement with
         # the healthy arrays means the fault was transient.

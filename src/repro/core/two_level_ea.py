@@ -42,7 +42,11 @@ class TwoLevelMutationEvolution(ParallelEvolution):
     All constructor parameters are inherited from
     :class:`~repro.core.evolution.ParallelEvolution`; ``mutation_rate`` is
     the *first-batch* rate ``k``, and the low rate used for the remaining
-    batches is ``low_mutation_rate`` (paper: 1).
+    batches is ``low_mutation_rate`` (paper: 1).  That includes the
+    ``scenario`` fault-timeline hook: the inherited generation loop fires
+    the compiled scenario events at the start of every generation, so the
+    two-level EA participates in mid-evolution fault campaigns exactly
+    like the classic parallel EA (``tests/scenarios/`` covers it).
     """
 
     def __init__(self, *args, low_mutation_rate: int = 1, **kwargs) -> None:

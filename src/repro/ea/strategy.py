@@ -109,6 +109,17 @@ class OnePlusLambdaES:
         draws of a generation then happen *before* its evaluations; this is
         only observable if ``evaluate`` itself consumes the same generator,
         which no shipped evaluator does.
+    generation_hook:
+        Optional hook ``generation_hook(generation)`` fired at the *start*
+        of each generation, before its offspring are drawn or evaluated —
+        the single-array extension point mirroring where the platform
+        drivers fire their compiled scenario events (the shipped scenario
+        path itself lives in :mod:`repro.core.evolution`; this hook is
+        for consumers driving a bare ES who want the same timing, e.g.
+        to inject faults or scrub between generations).  Unlike
+        ``callback`` (which observes the selected parent *after* the
+        generation), this hook may mutate the environment the evaluator
+        measures.
     """
 
     def __init__(
@@ -123,6 +134,7 @@ class OnePlusLambdaES:
             Callable[[Sequence[Genotype]], Sequence[float]]
         ] = None,
         population_batching: bool = False,
+        generation_hook: Optional[Callable[[int], None]] = None,
     ) -> None:
         if n_offspring < 1:
             raise ValueError(f"n_offspring must be >= 1, got {n_offspring}")
@@ -135,6 +147,7 @@ class OnePlusLambdaES:
         self.accept_equal = accept_equal
         self.evaluate_population = evaluate_population
         self.population_batching = bool(population_batching)
+        self.generation_hook = generation_hook
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
     # ------------------------------------------------------------------ #
@@ -181,6 +194,8 @@ class OnePlusLambdaES:
 
         population = self.population_batching or self.evaluate_population is not None
         for generation in range(1, n_generations + 1):
+            if self.generation_hook is not None:
+                self.generation_hook(generation)
             best_offspring: Optional[Individual] = None
             generation_reconfigurations = 0
             if population:

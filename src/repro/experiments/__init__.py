@@ -19,8 +19,14 @@ from repro.experiments.cascade_demo import CascadeDemoResult, three_stage_cascad
 from repro.experiments.imitation_recovery import ImitationPoint, imitation_seed_comparison
 from repro.experiments.tmr_recovery import TmrTracePoint, tmr_fault_recovery_trace
 from repro.experiments.fault_sweep import FaultSweepSummary, systematic_fault_analysis
+from repro.experiments.scenario_sweep import (
+    build_scenario_sweep_campaign,
+    scenario_lifecycle_sweep,
+)
 
 __all__ = [
+    "build_scenario_sweep_campaign",
+    "scenario_lifecycle_sweep",
     "FaultSweepSummary",
     "systematic_fault_analysis",
     "resource_utilisation_rows",

@@ -31,6 +31,7 @@ from repro.api.experiment import (
     add_common_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.api.session import EvolutionSession
 from repro.imaging.filters import median_filter
@@ -72,6 +73,7 @@ def three_stage_cascade_demo(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> CascadeDemoResult:
     """Evolve and evaluate the three-stage cascade of Fig. 18."""
     pair = make_training_pair(
@@ -86,6 +88,7 @@ def three_stage_cascade_demo(
             mutation_rate=mutation_rate,
             seed=seed,
             population_batching=population_batching,
+            scenario=scenario,
             options={
                 "fitness_mode": "separate",
                 "schedule": "sequential",
@@ -131,6 +134,7 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        scenario=scenario_from_args(args),
     )
     rows = [{"output": "noisy input", "aggregated_MAE": result.noisy_fitness}]
     rows += [

@@ -33,6 +33,7 @@ from repro.api.experiment import (
     add_executor_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
@@ -76,7 +77,7 @@ def _stage_fitnesses(platform: EvolvableHardwarePlatform, training, reference,
 
 def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
                         mutation_rate, backend="reference",
-                        population_batching=True):
+                        population_batching=True, scenario=None):
     """Evolve the stage-1 circuit shared by every arrangement of one run.
 
     The same circuit is used for the "same filter in every stage"
@@ -95,6 +96,7 @@ def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
             mutation_rate=mutation_rate,
             seed=run_seed,
             population_batching=population_batching,
+            scenario=scenario,
             options={"n_arrays": 1},
         ),
     )
@@ -122,6 +124,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
     mutation_rate = int(params["mutation_rate"])
     backend = str(params.get("backend", "reference"))
     population_batching = bool(params.get("population_batching", True))
+    scenario = params.get("scenario")
     pair = make_training_pair(
         "salt_pepper_denoise",
         size=int(params["image_side"]),
@@ -130,7 +133,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
     )
     base_session, base_filter = _evolve_base_filter(
         pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate, backend,
-        population_batching,
+        population_batching, scenario,
     )
 
     if arrangement == "same_filter":
@@ -150,6 +153,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
                 mutation_rate=mutation_rate,
                 seed=run_seed,
                 population_batching=population_batching,
+                scenario=scenario,
                 options={
                     "fitness_mode": "separate",
                     "schedule": schedule,
@@ -179,6 +183,7 @@ def build_cascade_quality_campaign(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> CampaignSpec:
     """The Figs. 16-17 comparison as a (repetition x arrangement) campaign."""
     return CampaignSpec(
@@ -197,6 +202,9 @@ def build_cascade_quality_campaign(
             "mutation_rate": int(mutation_rate),
             "backend": str(backend),
             "population_batching": bool(population_batching),
+            # A scenario name or inline dict rides the JSON-shipped params
+            # so process-executor workers replay the same fault timeline.
+            "scenario": scenario,
         },
         seed=seed,
     )
@@ -215,6 +223,7 @@ def cascade_quality_comparison(
     max_workers: Optional[int] = None,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> List[CascadePoint]:
     """Run the three cascade arrangements and return per-stage fitness points.
 
@@ -233,6 +242,7 @@ def cascade_quality_comparison(
         seed=seed,
         backend=backend,
         population_batching=population_batching,
+        scenario=scenario,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     per_arrangement: Dict[str, List[List[float]]] = {
@@ -281,6 +291,7 @@ def _run(args) -> RunArtifact:
         max_workers=args.workers,
         backend=args.backend,
         population_batching=args.population_batching,
+        scenario=scenario_from_args(args),
     )
     rows = [
         {"arrangement": p.arrangement, "stage": p.stage,

@@ -27,6 +27,7 @@ from repro.api.experiment import (
     add_executor_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.api.session import EvolutionSession
 from repro.array.genotype import Genotype, GenotypeSpec
@@ -171,6 +172,7 @@ def systematic_fault_analysis(
     max_workers: Optional[int] = None,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> List[FaultSweepSummary]:
     """Evolve a working circuit, then fault-sweep every PE of every array.
 
@@ -192,6 +194,7 @@ def systematic_fault_analysis(
             mutation_rate=mutation_rate,
             seed=seed,
             population_batching=population_batching,
+            scenario=scenario,
         ),
     )
     session.evolve(pair)
@@ -228,6 +231,7 @@ def _run(args) -> RunArtifact:
         max_workers=args.workers,
         backend=args.backend,
         population_batching=args.population_batching,
+        scenario=scenario_from_args(args),
     )
     rows = [
         {"array": s.array_index, "benign": s.n_benign, "critical": s.n_critical,

@@ -30,6 +30,7 @@ from repro.api.experiment import (
     add_common_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
@@ -62,6 +63,7 @@ def imitation_seed_comparison(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> List[ImitationPoint]:
     """Compare inherited-vs-random seeding of the imitation recovery."""
     points: List[ImitationPoint] = []
@@ -80,6 +82,7 @@ def imitation_seed_comparison(
                     mutation_rate=mutation_rate,
                     seed=run_seed,
                     population_batching=population_batching,
+                    scenario=scenario,
                 ),
             )
             initial_result = session.evolve(pair).raw
@@ -148,6 +151,7 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        scenario=scenario_from_args(args),
     )
     rows = [
         {"seeding": p.seeding, "run": p.run, "fault_pe": str(p.fault_position),

@@ -30,6 +30,7 @@ from repro.api.experiment import (
     add_common_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.api.session import EvolutionSession
 from repro.imaging.images import make_training_pair
@@ -61,6 +62,7 @@ def new_ea_comparison(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> List[NewEaPoint]:
     """Run the classic-vs-new-EA comparison and return one point per cell."""
     points: List[NewEaPoint] = []
@@ -86,6 +88,7 @@ def new_ea_comparison(
                         mutation_rate=k,
                         seed=run_seed,
                         population_batching=population_batching,
+                        scenario=scenario,
                         options={} if strategy == "classic" else {"low_mutation_rate": 1},
                     ),
                 )
@@ -122,6 +125,7 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        scenario=scenario_from_args(args),
     )
     rows = [
         {"strategy": p.strategy, "k": p.mutation_rate,

@@ -38,6 +38,7 @@ from repro.api.experiment import (
     add_executor_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.array.genotype import GenotypeSpec
 from repro.runtime.campaign import CampaignSpec
@@ -140,6 +141,7 @@ def build_measured_speedup_campaign(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> CampaignSpec:
     """The Fig. 12/13 measured sweep as a declarative campaign.
 
@@ -158,6 +160,7 @@ def build_measured_speedup_campaign(
             n_offspring=n_offspring,
             seed=seed,
             population_batching=population_batching,
+            scenario=scenario,
         ),
         task=TaskSpec(
             task="salt_pepper_denoise",
@@ -186,6 +189,7 @@ def measured_speedup_sweep(
     max_workers: Optional[int] = None,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> List[SpeedupPoint]:
     """Small-scale measured sweep: real evolution runs, platform time from the scheduler.
 
@@ -208,6 +212,7 @@ def measured_speedup_sweep(
         seed=seed,
         backend=backend,
         population_batching=population_batching,
+        scenario=scenario,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
     points: List[SpeedupPoint] = []
@@ -255,6 +260,7 @@ def _run(args) -> RunArtifact:
             max_workers=args.workers,
             backend=args.backend,
             population_batching=args.population_batching,
+            scenario=scenario_from_args(args),
         )
         rows = [
             {"image": p.image_side, "k": p.mutation_rate, "arrays": p.n_arrays,

@@ -31,6 +31,7 @@ from repro.api.experiment import (
     add_common_options,
     print_table,
     register_experiment,
+    scenario_from_args,
 )
 from repro.api.session import EvolutionSession
 from repro.core.self_healing import FaultClass
@@ -85,6 +86,7 @@ def tmr_fault_recovery_trace(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    scenario=None,
 ) -> TmrRecoveryResult:
     """Run the complete Fig. 20 scenario and return its trace.
 
@@ -107,6 +109,7 @@ def tmr_fault_recovery_trace(
             mutation_rate=mutation_rate,
             seed=seed,
             population_batching=population_batching,
+            scenario=scenario,
         ),
     )
 
@@ -219,6 +222,7 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        scenario=scenario_from_args(args),
     )
     rows = [
         {"generation": p.generation, "phase": p.phase,

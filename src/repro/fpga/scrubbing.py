@@ -49,8 +49,32 @@ class ScrubReport:
 
     @property
     def clean(self) -> bool:
-        """True when no corruption was found and nothing remains damaged."""
-        return not self.corrupted and not self.still_damaged
+        """True when nothing remains wrong after the pass.
+
+        A scrub that found SEU corruption and rewrote every corrupted
+        region *is* a clean pass — the §V.A decision step treats the
+        fault as a repaired transient.  (Before v1.4 this returned
+        ``False`` whenever corruption had been found, even though the
+        rewrite had already removed it, misclassifying successful
+        scrubs; use :attr:`found_corruption` for the old "was anything
+        wrong at all" question.)
+        """
+        return not self.still_damaged
+
+    @property
+    def found_corruption(self) -> bool:
+        """True when the pass found (and rewrote) corrupted configuration."""
+        return bool(self.corrupted)
+
+    @property
+    def fully_repaired(self) -> bool:
+        """True when corruption was found and the rewrite removed all of it.
+
+        This is the §V.A steps f-h predicate: the detected fault was a
+        transient SEU — scrubbing repaired it and no permanent damage
+        remains — so no evolutionary recovery is needed.
+        """
+        return bool(self.corrupted) and not self.still_damaged
 
 
 class Scrubber:

@@ -12,9 +12,16 @@ results independent of how they are scheduled.
 
 Axis keys are dotted: ``"evolution.mutation_rate"``,
 ``"platform.n_arrays"``, ``"task.noise_level"``, ``"healing.tolerance"``
-address fields of the corresponding config; any other key (optionally
-prefixed ``"params."``) becomes a per-run parameter passed through to
-the runner.
+and ``"scenario.seu_rate"`` address fields of the corresponding config;
+any other key (optionally prefixed ``"params."``) becomes a per-run
+parameter passed through to the runner.
+
+``scenario.*`` axes sweep fields of the campaign's base
+:class:`~repro.scenarios.spec.FaultScenario`; the resolved scenario of
+each run is injected into that run's evolution config, so runners see
+it exactly where a hand-written ``EvolutionConfig.scenario`` would be.
+(To sweep whole scenarios by name, use an ``"evolution.scenario"`` axis
+with registered scenario names instead.)
 """
 
 from __future__ import annotations
@@ -33,15 +40,18 @@ from repro.api.config import (
     SelfHealingConfig,
     TaskSpec,
 )
+from repro.scenarios import FaultScenario
 
 __all__ = ["CampaignSpec", "RunSpec", "derive_seed"]
 
-#: Axis prefixes addressing the four Session-API configs.
+#: Axis prefixes addressing the Session-API configs (plus the scenario
+#: spec, whose resolved value rides inside each run's evolution config).
 _CONFIG_SECTIONS = {
     "platform": PlatformConfig,
     "evolution": EvolutionConfig,
     "task": TaskSpec,
     "healing": SelfHealingConfig,
+    "scenario": FaultScenario,
 }
 
 
@@ -168,6 +178,12 @@ class CampaignSpec:
         drives one :class:`~repro.api.session.EvolutionSession` per run.
     platform, evolution, task, healing:
         Base configs every run starts from; axis values override fields.
+    scenario:
+        Optional base :class:`~repro.scenarios.spec.FaultScenario` every
+        run evolves under.  ``scenario.*`` axes override its fields; the
+        resolved scenario is injected into each run's evolution config
+        (taking precedence over ``evolution.scenario``), so the fault
+        timeline is sweepable like any other axis family.
     grid:
         ``{axis_key: [value, ...]}`` swept as a full cartesian product,
         in insertion order (first axis outermost).
@@ -190,6 +206,7 @@ class CampaignSpec:
     evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
     task: TaskSpec = field(default_factory=TaskSpec)
     healing: Optional[SelfHealingConfig] = None
+    scenario: Optional[FaultScenario] = None
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     paired: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     params: Mapping[str, Any] = field(default_factory=dict)
@@ -294,6 +311,20 @@ class CampaignSpec:
                     "campaign sweeps a 'healing.*' axis but has no base healing config"
                 )
             healing = healing.replace(**sections["healing"])
+        scenario = self.scenario
+        if sections["scenario"]:
+            if scenario is None:
+                raise ValueError(
+                    "campaign sweeps a 'scenario.*' axis but has no base scenario config"
+                )
+            scenario = scenario.replace(**sections["scenario"])
+        if scenario is not None and "scenario" not in sections["evolution"]:
+            # The resolved timeline rides inside the run's evolution config,
+            # which is where drivers (and the process-executor JSON round
+            # trip) already look for it.  A swept evolution.scenario axis
+            # wins for its grid point — the base scenario must not clobber
+            # an override the expansion just applied.
+            evolution = evolution.replace(scenario=scenario.to_dict())
 
         # Deterministic seeding: any config seed left unset is derived from
         # the campaign seed and the run index, so replicates and grid points
@@ -334,6 +365,7 @@ class CampaignSpec:
             "evolution": self.evolution.to_dict(),
             "task": self.task.to_dict(),
             "healing": None if self.healing is None else self.healing.to_dict(),
+            "scenario": None if self.scenario is None else self.scenario.to_dict(),
             "grid": {key: list(values) for key, values in self.grid.items()},
             "paired": {key: list(values) for key, values in self.paired.items()},
             "params": dict(self.params),
@@ -350,6 +382,7 @@ class CampaignSpec:
                 f"CampaignSpec does not accept field(s): {', '.join(sorted(unknown))}"
             )
         healing = data.get("healing")
+        scenario = data.get("scenario")
         return cls(
             name=data["name"],
             runner=data.get("runner", "evolve"),
@@ -357,6 +390,7 @@ class CampaignSpec:
             evolution=EvolutionConfig.from_dict(data.get("evolution") or {}),
             task=TaskSpec.from_dict(data.get("task") or {}),
             healing=None if healing is None else SelfHealingConfig.from_dict(healing),
+            scenario=None if scenario is None else FaultScenario.from_dict(scenario),
             grid=dict(data.get("grid") or {}),
             paired=dict(data.get("paired") or {}),
             params=dict(data.get("params") or {}),

@@ -80,6 +80,12 @@ def build_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             "a campaign needs at least one sweep axis (--grid/--pair), "
             "--repeats > 1, or a --spec file"
         )
+    # --scenario pins the campaign's *base* fault timeline: it seeds the
+    # scenario.* axes and is injected into every run's evolution config
+    # (an evolution.scenario axis still overrides it per grid point).
+    from repro.scenarios import resolve_scenario, scenario_from_cli_arg
+
+    scenario = resolve_scenario(scenario_from_cli_arg(getattr(args, "scenario", None)))
     return CampaignSpec(
         name=args.name,
         runner=args.runner,
@@ -89,6 +95,7 @@ def build_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             seed=args.seed,
             population_batching=args.population_batching,
         ),
+        scenario=scenario,
         task=TaskSpec(image_side=args.image_side, seed=args.seed),
         grid=grid,
         paired=paired,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
@@ -86,17 +87,41 @@ class CampaignStore:
 
     # ------------------------------------------------------------------ #
     def index(self) -> List[Dict[str, Any]]:
-        """The run index, deduplicated by ``run_id`` (last write wins)."""
+        """The run index, deduplicated by ``run_id`` (last write wins).
+
+        Deduplication is what keeps retried runs honest: a failed run
+        that is re-executed on resume appends a *second* JSONL line for
+        the same ``run_id``, and counting both would over-report
+        ``n_failed``/completed in :meth:`summary` (the raw file is
+        append-only by design, so duplicates are expected there).
+
+        Malformed lines are dropped with a warning instead of raising:
+        the engine appends one line per finished run, so a campaign
+        killed mid-write leaves a truncated line behind, and refusing to
+        parse the file would make the store — whose whole purpose is
+        crash resume — unresumable.  The interrupted run is simply not
+        recorded, so the next resume re-executes it.
+        """
         if not self.index_path.exists():
             return []
         by_run_id: Dict[str, Dict[str, Any]] = {}
-        with self.index_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+        lines = self.index_path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
                 entry = json.loads(line)
-                by_run_id[entry["run_id"]] = entry
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"dropping corrupt line {lineno + 1} of campaign index "
+                    f"{self.index_path} (interrupted write?); the affected "
+                    "run will be re-executed on resume",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            by_run_id[entry["run_id"]] = entry
         return sorted(by_run_id.values(), key=lambda entry: entry["index"])
 
     def completed_run_ids(self) -> Set[str]:
@@ -136,7 +161,20 @@ class CampaignStore:
                 entry["overall_best_fitness"] = results["overall_best_fitness"]
         if error is not None:
             entry["error"] = error
+        # A crash mid-append leaves the index without a trailing newline;
+        # terminate the orphan fragment first so this entry starts on its
+        # own line (the fragment is then dropped by index()'s parser)
+        # instead of being concatenated into one corrupt record.
+        needs_newline = False
+        if self.index_path.exists():
+            with self.index_path.open("rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    needs_newline = handle.read(1) != b"\n"
         with self.index_path.open("a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
     def load_artifact(self, run_id: str) -> RunArtifact:

@@ -1,0 +1,53 @@
+"""Fault-scenario timelines: declarative specs, compiled schedules, runners.
+
+This package turns the repository's fault handling from "inject once,
+then evolve" into the paper's actual mission timeline (§V.A/§V.B):
+faults *keep arriving* — at Poisson rates, in bursts, as creeping
+permanent damage — while periodic scrubbing races them and evolution
+runs in between.  Three layers:
+
+* :class:`FaultScenario` — a frozen, JSON-round-tripping description of
+  a timeline, with five built-in régimes in :data:`SCENARIOS`
+  (``single-seu``, ``seu-storm``, ``creeping-permanent``, ``scrub-race``,
+  ``mixed-burst``, plus the ``quiet`` baseline);
+* :func:`compile_schedule` — deterministic compilation to a
+  per-generation :class:`EventSchedule` from a tagged seed stream
+  (vectorised draws, fixed draw order);
+* :class:`ScenarioRunner` — applies a schedule to a platform one
+  generation at a time; every evolution driver advances it at the top
+  of its generation loop when ``EvolutionConfig.scenario`` is set.
+
+>>> from repro.scenarios import SCENARIOS, compile_schedule
+>>> schedule = compile_schedule(SCENARIOS.get("seu-storm"), 12, n_arrays=3, seed=1)
+>>> schedule.counts()["seu"] >= 6
+True
+>>> schedule.signature() == compile_schedule(
+...     SCENARIOS.get("seu-storm"), 12, n_arrays=3, seed=1).signature()
+True
+"""
+
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.schedule import EventSchedule, ScenarioEvent, compile_schedule
+from repro.scenarios.spec import (
+    BUILTIN_SCENARIOS,
+    SCENARIOS,
+    FaultScenario,
+    normalise_scenario_field,
+    register_scenario,
+    resolve_scenario,
+    scenario_from_cli_arg,
+)
+
+__all__ = [
+    "FaultScenario",
+    "SCENARIOS",
+    "BUILTIN_SCENARIOS",
+    "register_scenario",
+    "resolve_scenario",
+    "normalise_scenario_field",
+    "scenario_from_cli_arg",
+    "ScenarioEvent",
+    "EventSchedule",
+    "compile_schedule",
+    "ScenarioRunner",
+]

@@ -1,0 +1,139 @@
+"""Applying compiled event schedules to a live platform, mid-evolution.
+
+A :class:`ScenarioRunner` binds an :class:`~repro.scenarios.schedule.EventSchedule`
+to an :class:`~repro.core.platform.EvolvableHardwarePlatform` and advances
+it one generation at a time: every evolution driver calls
+:meth:`ScenarioRunner.advance` at the start of each generation, so the
+scheduled faults land *between* generations — exactly where the paper's
+mission timeline puts them — and are live during that generation's
+candidate evaluations on every backend.
+
+Event application is deterministic end to end:
+
+* SEU bit flips for one generation are drawn in a single vectorised call
+  from the schedule's tagged bit stream and applied through
+  :meth:`~repro.fpga.fabric.FpgaFabric.corrupt_region` with explicit bit
+  indices (no generator is passed into the fabric, so the fabric's own
+  SEU stream is never consumed);
+* permanent damage goes through
+  :meth:`~repro.fpga.fabric.FpgaFabric.damage_region`;
+* scrub events run :meth:`~repro.core.platform.EvolvableHardwarePlatform.scrub_all`
+  and record the pass via :class:`~repro.fpga.scrubbing.ScrubReport`
+  (including the repaired-vs-still-damaged split the §V.A decision step
+  needs — see ``ScrubReport.fully_repaired``);
+* after any event, the functional array models are re-synchronised from
+  the fabric, which restarts each faulty position's garbage stream from
+  its derived seed — the same sequence on every backend and executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.fpga.fabric import RegionAddress
+from repro.scenarios.schedule import EventSchedule
+
+__all__ = ["ScenarioRunner"]
+
+
+class ScenarioRunner:
+    """Advance a compiled fault schedule against one platform.
+
+    Parameters
+    ----------
+    platform:
+        The platform whose fabric the events mutate.
+    schedule:
+        A compiled :class:`~repro.scenarios.schedule.EventSchedule`; its
+        geometry must match the platform's.
+    """
+
+    def __init__(self, platform: EvolvableHardwarePlatform, schedule: EventSchedule) -> None:
+        geometry = platform.geometry
+        if (schedule.n_arrays, schedule.rows, schedule.cols) != (
+            platform.n_arrays,
+            geometry.rows,
+            geometry.cols,
+        ):
+            raise ValueError(
+                f"schedule geometry {schedule.n_arrays}x{schedule.rows}x"
+                f"{schedule.cols} does not match the platform's "
+                f"{platform.n_arrays}x{geometry.rows}x{geometry.cols}"
+            )
+        self.platform = platform
+        self.schedule = schedule
+        self._generation = 0
+        #: Serialisable log of every applied event, in application order.
+        self.log: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """The next generation :meth:`advance` will apply."""
+        return self._generation
+
+    def advance(self) -> List[Dict[str, Any]]:
+        """Apply the next generation's events; returns their log entries.
+
+        Generations beyond the schedule horizon apply nothing, so early
+        stops and reused runners are safe.  The returned dicts are plain
+        JSON-serialisable records (they also accumulate on :attr:`log`).
+        """
+        generation = self._generation
+        self._generation += 1
+        events = self.schedule.for_generation(generation)
+        if not events:
+            return []
+
+        seu_events = [event for event in events if event.kind == "seu"]
+        bit_indices: List[int] = []
+        if seu_events:
+            # One vectorised draw per generation from the tagged bit
+            # stream; region bitstreams share one size per fabric.
+            sample = self.platform.fabric.region(
+                RegionAddress(
+                    seu_events[0].array_index, seu_events[0].row, seu_events[0].col
+                )
+            )
+            n_bits = int(sample.words.size) * 32
+            draws = self.schedule.bit_index_rng(generation).integers(
+                0, n_bits, size=len(seu_events)
+            )
+            bit_indices = [int(value) for value in draws]
+
+        applied: List[Dict[str, Any]] = []
+        seu_cursor = 0
+        touched = False
+        for event in events:
+            record = event.to_dict()
+            if event.kind == "scrub":
+                report = self.platform.scrub_all()
+                record.update(
+                    n_repaired=report.n_repaired,
+                    n_still_damaged=len(report.still_damaged),
+                    fully_repaired=report.fully_repaired,
+                    clean=report.clean,
+                )
+            elif event.kind == "seu":
+                address = RegionAddress(event.array_index, event.row, event.col)
+                bit_index = bit_indices[seu_cursor]
+                seu_cursor += 1
+                self.platform.fabric.corrupt_region(address, bit_index=bit_index)
+                record["bit_index"] = bit_index
+                touched = True
+            elif event.kind == "lpd":
+                address = RegionAddress(event.array_index, event.row, event.col)
+                self.platform.fabric.damage_region(address)
+                touched = True
+            else:  # pragma: no cover - schedule only emits the three kinds
+                raise RuntimeError(f"unknown scenario event kind {event.kind!r}")
+            applied.append(record)
+
+        if touched:
+            # Mirror the new fabric fault state into every functional
+            # array model (scrub_all already did for scrub-only rounds).
+            for acb in self.platform.acbs:
+                acb.sync_faults()
+        self.log.extend(applied)
+        return applied

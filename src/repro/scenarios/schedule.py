@@ -1,0 +1,229 @@
+"""Compiling fault scenarios into deterministic per-generation event schedules.
+
+:func:`compile_schedule` is the only place scenario randomness is drawn,
+and every draw is vectorised and tagged:
+
+* the schedule stream is ``SeedSequence([_SCENARIO_STREAM_TAG, seed])``
+  where ``seed`` is the scenario's own seed or, by default, the
+  platform's fabric seed — so recording the session seed alone replays
+  the whole timeline (the same contract as the fabric's SEU stream and
+  the per-position fault streams, see ``docs/architecture.md``);
+* Poisson arrival counts are drawn in one vectorised call per fault
+  kind over the whole generation horizon, and target regions in one
+  vectorised call per kind over the whole event population — compiling
+  a thousand-generation storm costs four generator calls, not thousands;
+* SEU *bit indices* are not part of the schedule: the runner derives
+  them per generation under :data:`_SEU_BIT_STREAM_TAG` (also
+  vectorised), so the schedule stays independent of the fabric's
+  bitstream geometry.
+
+The draw order is fixed and documented (SEU counts, LPD counts, SEU
+targets, LPD targets); two compilations with equal inputs produce
+byte-identical schedules on every platform, which is what the
+``tests/scenarios/`` parity suite enforces across backends and
+executors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.scenarios.spec import FaultScenario
+
+__all__ = ["ScenarioEvent", "EventSchedule", "compile_schedule"]
+
+#: Stream tag of the schedule-compilation stream (arrival counts and
+#: target regions).  Mixed with the schedule seed via ``SeedSequence`` so
+#: it can never alias the fabric SEU stream or a per-position fault
+#: stream derived from the same base seed.
+_SCENARIO_STREAM_TAG = 0x5C3D01E
+
+#: Stream tag of the runner's per-generation SEU bit-index draws.
+_SEU_BIT_STREAM_TAG = 0x5EBB175
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scheduled fault-timeline event.
+
+    ``kind`` is ``"seu"`` (transient configuration upset), ``"lpd"``
+    (permanent damage) or ``"scrub"`` (whole-fabric scrub pass).  Scrub
+    events carry no target: the cadence scrubs everything.
+    """
+
+    generation: int
+    kind: str
+    array_index: Optional[int] = None
+    row: Optional[int] = None
+    col: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"generation": self.generation, "kind": self.kind}
+        if self.kind != "scrub":
+            data.update(array_index=self.array_index, row=self.row, col=self.col)
+        return data
+
+
+@dataclass(frozen=True)
+class EventSchedule:
+    """A compiled scenario: the ordered event list plus its provenance."""
+
+    scenario: FaultScenario
+    seed: int
+    n_generations: int
+    n_arrays: int
+    rows: int
+    cols: int
+    events: Tuple[ScenarioEvent, ...] = ()
+
+    @cached_property
+    def _by_generation(self) -> Dict[int, Tuple[ScenarioEvent, ...]]:
+        grouped: Dict[int, List[ScenarioEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.generation, []).append(event)
+        return {generation: tuple(events) for generation, events in grouped.items()}
+
+    def for_generation(self, generation: int) -> Tuple[ScenarioEvent, ...]:
+        """Events firing at the start of ``generation`` (beyond horizon: none)."""
+        return self._by_generation.get(generation, ())
+
+    def counts(self) -> Dict[str, int]:
+        """Number of scheduled events per kind."""
+        totals = {"seu": 0, "lpd": 0, "scrub": 0}
+        for event in self.events:
+            totals[event.kind] += 1
+        return totals
+
+    def signature(self) -> str:
+        """Content hash of the schedule — equal schedules, equal signatures.
+
+        The determinism tests compare signatures across processes,
+        executors and backends: the whole point of compiling up front is
+        that this value depends on (scenario, seed, horizon, geometry)
+        and nothing else.
+        """
+        payload = {
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "n_generations": self.n_generations,
+            "n_arrays": self.n_arrays,
+            "rows": self.rows,
+            "cols": self.cols,
+            "events": [event.to_dict() for event in self.events],
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def bit_index_rng(self, generation: int) -> np.random.Generator:
+        """The tagged stream a runner draws this generation's SEU bit flips from."""
+        return np.random.default_rng(
+            np.random.SeedSequence([_SEU_BIT_STREAM_TAG, self.seed, generation])
+        )
+
+
+def _arrival_counts(
+    rng: np.random.Generator,
+    rate: float,
+    bursts: Tuple[Tuple[int, int], ...],
+    n_generations: int,
+) -> np.ndarray:
+    """Per-generation arrival counts: one vectorised Poisson draw plus bursts.
+
+    The Poisson draw happens only when the rate is non-zero, so adding a
+    burst to a scenario never shifts the stream of a rate-driven one.
+    """
+    counts = np.zeros(n_generations, dtype=np.int64)
+    if rate > 0 and n_generations > 0:
+        counts += rng.poisson(rate, size=n_generations)
+    for generation, count in bursts:
+        if generation < n_generations:
+            counts[generation] += count
+    return counts
+
+
+def compile_schedule(
+    scenario: FaultScenario,
+    n_generations: int,
+    n_arrays: int,
+    rows: int = 4,
+    cols: int = 4,
+    seed: Optional[int] = None,
+) -> EventSchedule:
+    """Compile ``scenario`` into its deterministic event schedule.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative timeline.
+    n_generations:
+        Generation horizon of the run the schedule will drive (events are
+        scheduled for generations ``0 .. n_generations - 1``).
+    n_arrays, rows, cols:
+        Fabric geometry the targets are drawn over.
+    seed:
+        Base seed of the schedule stream; overridden by
+        ``scenario.seed`` when that is set, and defaulting to ``0``
+        (the fabric's own documented default) when both are ``None``.
+    """
+    if n_generations < 0:
+        raise ValueError("n_generations must be non-negative")
+    if n_arrays < 1 or rows < 1 or cols < 1:
+        raise ValueError("schedule geometry must be at least one 1x1 array")
+    base_seed = scenario.seed if scenario.seed is not None else (0 if seed is None else int(seed))
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_SCENARIO_STREAM_TAG, int(base_seed)])
+    )
+
+    # Fixed draw order: SEU counts, LPD counts, SEU targets, LPD targets.
+    seu_counts = _arrival_counts(rng, scenario.seu_rate, scenario.seu_bursts, n_generations)
+    lpd_counts = _arrival_counts(rng, scenario.lpd_rate, scenario.lpd_onsets, n_generations)
+    n_regions = n_arrays * rows * cols
+    per_array = rows * cols
+
+    def draw_targets(total: int) -> np.ndarray:
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        return rng.integers(0, n_regions, size=total)
+
+    seu_targets = draw_targets(int(seu_counts.sum()))
+    lpd_targets = draw_targets(int(lpd_counts.sum()))
+
+    def target_event(generation: int, kind: str, flat_index: int) -> ScenarioEvent:
+        array_index, within = divmod(int(flat_index), per_array)
+        row, col = divmod(within, cols)
+        return ScenarioEvent(
+            generation=generation, kind=kind, array_index=array_index, row=row, col=col
+        )
+
+    events: List[ScenarioEvent] = []
+    seu_cursor = 0
+    lpd_cursor = 0
+    for generation in range(n_generations):
+        # Scrub first: the cadence repairs what accumulated in earlier
+        # generations before this generation's arrivals land, so fresh
+        # upsets are live during the generation's evaluations — the
+        # §V.A race the scrub-race scenario exists to exercise.
+        if scenario.scrub_period and generation and generation % scenario.scrub_period == 0:
+            events.append(ScenarioEvent(generation=generation, kind="scrub"))
+        for _ in range(int(seu_counts[generation])):
+            events.append(target_event(generation, "seu", seu_targets[seu_cursor]))
+            seu_cursor += 1
+        for _ in range(int(lpd_counts[generation])):
+            events.append(target_event(generation, "lpd", lpd_targets[lpd_cursor]))
+            lpd_cursor += 1
+
+    return EventSchedule(
+        scenario=scenario,
+        seed=int(base_seed),
+        n_generations=int(n_generations),
+        n_arrays=int(n_arrays),
+        rows=int(rows),
+        cols=int(cols),
+        events=tuple(events),
+    )

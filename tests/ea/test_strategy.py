@@ -95,3 +95,40 @@ class TestOnePlusLambda:
         seed = Genotype.identity(spec)
         result = es.run(n_generations=5, seed_genotype=seed)
         assert result.best.genotype == seed
+
+
+class TestGenerationHook:
+    """The scenario-style pre-generation hook of the single-array ES."""
+
+    def test_hook_fires_before_each_generation_and_can_mutate_the_env(self, spec):
+        environment = {"penalty": 0.0}
+        hook_calls = []
+
+        def hook(generation):
+            hook_calls.append(generation)
+            # A fault-timeline-style environment change: evaluations of
+            # this generation must already see the new penalty.
+            environment["penalty"] = float(generation * 1000)
+
+        seen_penalties = []
+
+        def evaluate(genotype):
+            seen_penalties.append(environment["penalty"])
+            return environment["penalty"]
+
+        es = OnePlusLambdaES(evaluate, spec=spec, n_offspring=3, mutation_rate=1,
+                             rng=0, generation_hook=hook)
+        es.run(n_generations=4)
+        assert hook_calls == [1, 2, 3, 4]
+        # The initial parent evaluation happens before any hook; every
+        # generation's offspring see that generation's environment.
+        assert seen_penalties[0] == 0.0
+        assert seen_penalties[1:] == [1000.0] * 3 + [2000.0] * 3 + [3000.0] * 3 + [4000.0] * 3
+
+    def test_hook_composes_with_population_batching(self, spec):
+        calls = []
+        es = OnePlusLambdaES(_counting_fitness(spec), spec=spec, n_offspring=3,
+                             mutation_rate=1, rng=0, population_batching=True,
+                             generation_hook=calls.append)
+        es.run(n_generations=3)
+        assert calls == [1, 2, 3]

@@ -19,6 +19,8 @@ class TestScrubbing:
         fabric, engine, scrubber = setup
         report = scrubber.scrub()
         assert report.clean
+        assert not report.found_corruption
+        assert not report.fully_repaired  # nothing was there to repair
         assert len(report.checked) == fabric.n_regions
         assert report.n_repaired == 0
 
@@ -31,6 +33,12 @@ class TestScrubbing:
         assert report.n_repaired == 1
         assert fabric.verify_region(address)
         assert not fabric.region(address).seu_corrupted
+        # Regression: a pass that found corruption and repaired all of it
+        # is a *successful* scrub — clean used to come back False here,
+        # misclassifying the §V.A decision step.
+        assert report.clean
+        assert report.fully_repaired
+        assert report.found_corruption
 
     def test_lpd_not_repaired(self, setup):
         fabric, engine, scrubber = setup
@@ -39,6 +47,7 @@ class TestScrubbing:
         report = scrubber.scrub_array(1)
         assert address in report.still_damaged
         assert not report.clean
+        assert not report.fully_repaired
         assert fabric.region(address).permanently_damaged
 
     def test_seu_and_lpd_together(self, setup):
@@ -49,6 +58,10 @@ class TestScrubbing:
         report = scrubber.scrub_region(address)
         assert address in report.corrupted
         assert address in report.still_damaged
+        # Corruption was rewritten but the silicon stays damaged: neither
+        # clean nor fully repaired.
+        assert not report.clean
+        assert not report.fully_repaired
 
     def test_scrub_consumes_engine_time(self, setup):
         fabric, engine, scrubber = setup

@@ -95,6 +95,57 @@ class TestResume:
         # Last index write wins: the run is now recorded as completed.
         assert store.completed_run_ids() == {run.run_id for run in runs}
 
+    def test_retry_failed_rerun_does_not_double_count(self, tiny_campaign, tmp_path):
+        """Regression: a retried run appends a second JSONL index entry;
+        the deduplicated index (and therefore summary counts) must keep
+        only the latest entry per run id, not count both."""
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        store.initialise(tiny_campaign)
+        # Run 0 fails twice (retry-failed rerun), run 1 fails then completes.
+        store.record(runs[0], "failed", error="boom")
+        store.record(runs[0], "failed", error="boom again")
+        store.record(runs[1], "failed", error="flaky")
+        store.record(
+            runs[1],
+            "completed",
+            artifact={"results": {"overall_best_fitness": 12.0}},
+        )
+        # Four raw lines on disk, two logical runs in every aggregate view.
+        assert len(store.index_path.read_text().strip().splitlines()) == 4
+        rows = store.index()
+        assert [row["run_id"] for row in rows] == [runs[0].run_id, runs[1].run_id]
+        assert [row["status"] for row in rows] == ["failed", "completed"]
+        assert rows[0]["error"] == "boom again"  # latest entry wins
+        summary = store.summary()
+        assert summary["n_runs"] == 2
+        assert summary["n_failed"] == 1
+        assert summary["n_completed"] == 1
+        assert store.completed_run_ids() == {runs[1].run_id}
+
+    def test_truncated_final_line_does_not_break_resume(self, tiny_campaign, tmp_path):
+        """A campaign killed mid-append leaves a truncated last line; the
+        store must still resume (dropping only the interrupted record)."""
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        store.initialise(tiny_campaign)
+        store.record(
+            runs[0],
+            "completed",
+            artifact={"results": {"overall_best_fitness": 3.0}},
+        )
+        with store.index_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "run-trunc')  # no closing quote/newline
+        with pytest.warns(RuntimeWarning, match="corrupt line"):
+            rows = store.index()
+        assert [row["run_id"] for row in rows] == [runs[0].run_id]
+        # Appending after the crash terminates the fragment first, so the
+        # new record lands on its own line and parses.
+        store.record(runs[1], "failed", error="later")
+        with pytest.warns(RuntimeWarning):
+            rows = store.index()
+        assert [row["status"] for row in rows] == ["completed", "failed"]
+
     def test_store_rejects_a_different_spec(self, tiny_campaign, tmp_path):
         store = CampaignStore(tmp_path / "store")
         store.initialise(tiny_campaign)

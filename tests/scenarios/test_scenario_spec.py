@@ -1,0 +1,137 @@
+"""FaultScenario spec: validation, round trips, registry, config threading."""
+
+import pytest
+
+from repro.api.config import EvolutionConfig, SelfHealingConfig
+from repro.api.registry import UnknownStrategyError
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    SCENARIOS,
+    FaultScenario,
+    normalise_scenario_field,
+    resolve_scenario,
+    scenario_from_cli_arg,
+)
+
+
+class TestFaultScenario:
+    def test_round_trips_through_json(self):
+        scenario = FaultScenario(
+            name="custom", seu_rate=0.5, lpd_rate=0.1,
+            seu_bursts=((3, 2), (1, 1)), lpd_onsets=((5, 1),), scrub_period=4,
+        )
+        assert FaultScenario.from_json(scenario.to_json()) == scenario
+        assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_event_lists_are_canonicalised(self):
+        # Lists (the JSON form) normalise to generation-sorted int tuples.
+        scenario = FaultScenario(name="x", seu_bursts=[[4, 2], [1, 3]])
+        assert scenario.seu_bursts == ((1, 3), (4, 2))
+
+    def test_dict_form_uses_lists(self):
+        scenario = FaultScenario(name="x", seu_bursts=((1, 2),))
+        assert scenario.to_dict()["seu_bursts"] == [[1, 2]]
+
+    @pytest.mark.parametrize("bad", [
+        {"seu_rate": -0.1},
+        {"lpd_rate": -1},
+        {"scrub_period": -2},
+        {"seu_bursts": ((-1, 1),)},
+        {"lpd_onsets": ((0, 0),)},
+        {"seu_bursts": (3,)},
+        {"name": ""},
+    ])
+    def test_invalid_fields_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            FaultScenario(**bad)
+
+    def test_replace(self):
+        storm = SCENARIOS.get("seu-storm")
+        calm = storm.replace(seu_rate=0.0)
+        assert calm.seu_rate == 0.0 and calm.seu_bursts == storm.seu_bursts
+
+    def test_quiet_detection(self):
+        assert SCENARIOS.get("quiet").is_quiet
+        assert not SCENARIOS.get("seu-storm").is_quiet
+
+
+class TestRegistry:
+    def test_builtin_family_is_registered(self):
+        assert len(BUILTIN_SCENARIOS) >= 5
+        for name in BUILTIN_SCENARIOS:
+            scenario = SCENARIOS.get(name)
+            assert isinstance(scenario, FaultScenario)
+            assert scenario.name == name
+            assert not scenario.is_quiet
+
+    def test_unknown_name_is_actionable(self):
+        with pytest.raises(UnknownStrategyError, match="seu-storm"):
+            SCENARIOS.get("no-such-scenario")
+
+
+class TestResolution:
+    def test_resolve_accepts_all_forms(self):
+        storm = SCENARIOS.get("seu-storm")
+        assert resolve_scenario(None) is None
+        assert resolve_scenario(storm) is storm
+        assert resolve_scenario("seu-storm") == storm
+        assert resolve_scenario(storm.to_dict()) == storm
+        with pytest.raises(TypeError):
+            resolve_scenario(42)
+
+    def test_normalise_keeps_names_and_freezes_dicts(self):
+        assert normalise_scenario_field("single-seu") == "single-seu"
+        frozen = normalise_scenario_field(FaultScenario(name="x", seu_rate=1.0))
+        assert frozen["seu_rate"] == 1.0
+        with pytest.raises(TypeError):
+            frozen["seu_rate"] = 2.0
+
+    def test_cli_arg_name_and_file(self, tmp_path):
+        assert scenario_from_cli_arg(None) is None
+        assert scenario_from_cli_arg("scrub-race") == "scrub-race"
+        path = tmp_path / "custom.json"
+        path.write_text(FaultScenario(name="inline", seu_rate=0.2).to_json())
+        loaded = scenario_from_cli_arg(str(path))
+        assert loaded["name"] == "inline"
+        with pytest.raises(UnknownStrategyError):
+            scenario_from_cli_arg("typo-scenario")
+
+    def test_cli_arg_registered_names_beat_stray_files(self, tmp_path, monkeypatch):
+        """Regression: a file called ``quiet`` in the working directory
+        must not shadow the registered built-in scenario."""
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "quiet").write_text("not json at all")
+        assert scenario_from_cli_arg("quiet") == "quiet"
+
+    def test_cli_arg_missing_json_file_is_actionable(self):
+        with pytest.raises(ValueError, match="neither a registered scenario"):
+            scenario_from_cli_arg("no-such-file.json")
+
+    def test_cli_arg_directory_path_is_actionable(self, tmp_path):
+        with pytest.raises(ValueError, match="neither a registered scenario"):
+            scenario_from_cli_arg(str(tmp_path))
+
+
+class TestConfigThreading:
+    def test_evolution_config_validates_names(self):
+        config = EvolutionConfig(scenario="seu-storm")
+        assert config.scenario == "seu-storm"
+        with pytest.raises(UnknownStrategyError):
+            EvolutionConfig(scenario="not-a-scenario")
+
+    def test_evolution_config_inline_scenario_round_trips(self):
+        inline = FaultScenario(name="x", seu_rate=0.3, seu_bursts=((2, 1),))
+        config = EvolutionConfig(scenario=inline.to_dict())
+        rebuilt = EvolutionConfig.from_json(config.to_json())
+        assert rebuilt == config
+        assert resolve_scenario(rebuilt.scenario) == inline
+
+    def test_evolution_config_rejects_invalid_inline(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(scenario={"name": "x", "seu_rate": -1})
+
+    def test_self_healing_config_threads_scenario(self):
+        config = SelfHealingConfig(scenario="mixed-burst")
+        assert SelfHealingConfig.from_json(config.to_json()) == config
+        with pytest.raises(UnknownStrategyError):
+            SelfHealingConfig(scenario="typo")

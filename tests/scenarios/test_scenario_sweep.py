@@ -1,0 +1,84 @@
+"""The scenario-sweep experiment: §V.A lifecycle runs, stores, resume."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario_sweep import (
+    build_scenario_sweep_campaign,
+    scenario_lifecycle_sweep,
+)
+from repro.runtime.engine import run_campaign
+from repro.runtime.store import CampaignStore
+from repro.scenarios import FaultScenario
+
+#: Small budgets: the lifecycle runs real §V.A cycles per mission step.
+FAST = dict(
+    image_side=16, n_generations=6, mission_steps=4, healing_generations=5, seed=1
+)
+
+
+@pytest.fixture(scope="module")
+def storm_campaign_result():
+    spec = build_scenario_sweep_campaign(scenarios=["seu-storm"], **FAST)
+    return spec, run_campaign(spec, executor="serial")
+
+
+class TestLifecycleRunner:
+    def test_runs_end_to_end_and_reports_the_lifecycle(self, storm_campaign_result):
+        spec, campaign = storm_campaign_result
+        assert campaign.n_failed == 0
+        artifact = campaign.artifact_for(campaign.runs[0])
+        results = artifact.results
+        assert results["scenario"] == "seu-storm"
+        assert len(results["rows"]) == FAST["mission_steps"]
+        applied = sum(row["n_events"] for row in results["rows"])
+        scheduled = results["n_seus"] + results["n_lpds"] + results["n_scrubs"]
+        assert applied == scheduled
+        for row in results["rows"]:
+            assert row["fault_class"] in {"none", "transient", "permanent"}
+        assert set(results["baseline_fitness"]) == {"0", "1", "2"}
+        assert set(results["final_fitness"]) == {"0", "1", "2"}
+        # The whole artifact is JSON-serialisable (process executor ships it).
+        json.dumps(artifact.to_dict())
+
+    def test_lifecycle_is_deterministic(self, storm_campaign_result):
+        spec, first = storm_campaign_result
+        again = run_campaign(spec, executor="serial")
+        a = first.artifact_for(first.runs[0]).to_dict()
+        b = again.artifact_for(again.runs[0]).to_dict()
+        assert a == b
+
+    def test_runner_requires_a_scenario(self):
+        # Strip the scenario axis: a lifecycle run without any scenario in
+        # its configs is a spec error the runner reports per run.
+        stripped = build_scenario_sweep_campaign(scenarios=["quiet"], **FAST).to_dict()
+        stripped["grid"] = {}
+        stripped["evolution"]["scenario"] = None
+        from repro.runtime.campaign import CampaignSpec
+
+        campaign = run_campaign(CampaignSpec.from_dict(stripped), executor="serial")
+        assert campaign.n_failed == 1
+        error = list(campaign.failures.values())[0]
+        assert "needs a fault scenario" in error
+
+
+class TestSweep:
+    def test_sweep_rows_and_store(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        rows = scenario_lifecycle_sweep(
+            scenarios=["single-seu", FaultScenario(name="inline", lpd_rate=0.4).to_dict()],
+            store=store,
+            **FAST,
+        )
+        assert [row["scenario"] for row in rows] == ["single-seu", "inline"]
+        for row in rows:
+            assert row["transient"] + row["permanent"] <= FAST["mission_steps"]
+        assert store.summary()["n_completed"] == 2
+        # Resume: a rerun against the same store executes nothing new.
+        spec = build_scenario_sweep_campaign(
+            scenarios=["single-seu", FaultScenario(name="inline", lpd_rate=0.4).to_dict()],
+            **FAST,
+        )
+        again = run_campaign(spec, executor="serial", store=store)
+        assert len(again.resumed_run_ids) == 2

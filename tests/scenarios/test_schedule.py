@@ -1,0 +1,150 @@
+"""Event-schedule compilation: determinism, cadence, and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.platform import EvolvableHardwarePlatform
+from repro.scenarios import (
+    SCENARIOS,
+    FaultScenario,
+    ScenarioRunner,
+    compile_schedule,
+)
+
+
+class TestCompilation:
+    def test_same_inputs_compile_to_identical_schedules(self):
+        storm = SCENARIOS.get("seu-storm")
+        a = compile_schedule(storm, 20, n_arrays=3, seed=11)
+        b = compile_schedule(storm, 20, n_arrays=3, seed=11)
+        assert a.events == b.events
+        assert a.signature() == b.signature()
+
+    def test_seed_and_scenario_change_the_schedule(self):
+        storm = SCENARIOS.get("seu-storm")
+        base = compile_schedule(storm, 20, n_arrays=3, seed=11)
+        assert base.signature() != compile_schedule(storm, 20, n_arrays=3, seed=12).signature()
+        assert base.signature() != compile_schedule(
+            SCENARIOS.get("scrub-race"), 20, n_arrays=3, seed=11
+        ).signature()
+
+    def test_scenario_seed_overrides_platform_seed(self):
+        pinned = FaultScenario(name="pinned", seu_rate=1.0, seed=5)
+        a = compile_schedule(pinned, 10, n_arrays=2, seed=1)
+        b = compile_schedule(pinned, 10, n_arrays=2, seed=2)
+        assert a.events == b.events
+
+    def test_bursts_land_at_their_generation(self):
+        scenario = FaultScenario(name="b", seu_bursts=((3, 4),))
+        schedule = compile_schedule(scenario, 10, n_arrays=3, seed=0)
+        assert len(schedule.for_generation(3)) == 4
+        assert all(event.kind == "seu" for event in schedule.for_generation(3))
+        assert schedule.counts() == {"seu": 4, "lpd": 0, "scrub": 0}
+
+    def test_bursts_beyond_the_horizon_are_dropped(self):
+        scenario = FaultScenario(name="late", seu_bursts=((50, 3),))
+        schedule = compile_schedule(scenario, 10, n_arrays=3, seed=0)
+        assert schedule.counts()["seu"] == 0
+
+    def test_scrub_cadence(self):
+        scenario = FaultScenario(name="s", scrub_period=4)
+        schedule = compile_schedule(scenario, 13, n_arrays=3, seed=0)
+        scrub_generations = [e.generation for e in schedule.events if e.kind == "scrub"]
+        assert scrub_generations == [4, 8, 12]  # never at generation 0
+
+    def test_scrub_fires_before_same_generation_arrivals(self):
+        scenario = FaultScenario(name="r", seu_bursts=((4, 2),), scrub_period=4)
+        schedule = compile_schedule(scenario, 6, n_arrays=3, seed=0)
+        kinds = [event.kind for event in schedule.for_generation(4)]
+        assert kinds == ["scrub", "seu", "seu"]
+
+    def test_targets_stay_inside_the_geometry(self):
+        scenario = FaultScenario(name="t", seu_rate=2.0, lpd_rate=0.5)
+        schedule = compile_schedule(scenario, 30, n_arrays=2, rows=3, cols=5, seed=7)
+        for event in schedule.events:
+            if event.kind == "scrub":
+                continue
+            assert 0 <= event.array_index < 2
+            assert 0 <= event.row < 3
+            assert 0 <= event.col < 5
+
+    def test_bit_index_stream_is_deterministic_per_generation(self):
+        schedule = compile_schedule(SCENARIOS.get("seu-storm"), 8, n_arrays=3, seed=3)
+        a = schedule.bit_index_rng(4).integers(0, 1 << 20, size=6)
+        b = schedule.bit_index_rng(4).integers(0, 1 << 20, size=6)
+        c = schedule.bit_index_rng(5).integers(0, 1 << 20, size=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            compile_schedule(SCENARIOS.get("quiet"), 5, n_arrays=0)
+        with pytest.raises(ValueError):
+            compile_schedule(SCENARIOS.get("quiet"), -1, n_arrays=1)
+
+
+class TestScenarioRunner:
+    def test_geometry_mismatch_rejected(self):
+        platform = EvolvableHardwarePlatform(n_arrays=2, seed=1)
+        schedule = compile_schedule(SCENARIOS.get("quiet"), 5, n_arrays=3, seed=1)
+        with pytest.raises(ValueError, match="geometry"):
+            ScenarioRunner(platform, schedule)
+
+    def test_events_mutate_the_fabric_and_are_logged(self):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=1)
+        scenario = FaultScenario(name="m", seu_bursts=((0, 2),), lpd_onsets=((1, 1),))
+        schedule = compile_schedule(
+            scenario, 4, n_arrays=3, rows=4, cols=4, seed=platform.fabric.seed
+        )
+        runner = ScenarioRunner(platform, schedule)
+
+        applied = runner.advance()
+        assert [record["kind"] for record in applied] == ["seu", "seu"]
+        assert all("bit_index" in record for record in applied)
+        corrupted = [
+            state for state in (platform.fabric.region(a) for a in platform.fabric.all_addresses())
+            if state.seu_corrupted
+        ]
+        assert 1 <= len(corrupted) <= 2  # two SEUs may share a region
+
+        applied = runner.advance()
+        assert [record["kind"] for record in applied] == ["lpd"]
+        damaged = [
+            a for a in platform.fabric.all_addresses()
+            if platform.fabric.region(a).permanently_damaged
+        ]
+        assert len(damaged) == 1
+        # The functional array models mirror the fabric state.
+        array_index = damaged[0].array_index
+        assert platform.acb(array_index).array.n_faults >= 1
+
+        assert runner.advance() == []  # nothing scheduled at generation 2
+        assert runner.generation == 3
+        assert len(runner.log) == 3
+
+    def test_scrub_event_repairs_seus_and_reports(self):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=1)
+        scenario = FaultScenario(name="sr", seu_bursts=((0, 3),), scrub_period=2)
+        schedule = compile_schedule(
+            scenario, 4, n_arrays=3, seed=platform.fabric.seed
+        )
+        runner = ScenarioRunner(platform, schedule)
+        runner.advance()  # generation 0: three SEUs land
+        runner.advance()  # generation 1: nothing
+        applied = runner.advance()  # generation 2: the scrub fires
+        assert applied and applied[0]["kind"] == "scrub"
+        assert applied[0]["n_repaired"] >= 1
+        assert applied[0]["fully_repaired"] is True  # no permanent damage
+        assert applied[0]["clean"] is True
+        assert all(
+            not platform.fabric.region(address).seu_corrupted
+            for address in platform.fabric.all_addresses()
+        )
+
+    def test_advance_beyond_horizon_is_safe(self):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=1)
+        schedule = compile_schedule(SCENARIOS.get("single-seu"), 3, n_arrays=3, seed=1)
+        runner = ScenarioRunner(platform, schedule)
+        for _ in range(10):
+            runner.advance()
+        assert runner.generation == 10

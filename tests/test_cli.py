@@ -29,6 +29,10 @@ FAST_ARGS = {
         "--grid", "evolution.mutation_rate=[1]",
         "--generations", "4", "--image-side", "16", "--seed", "1",
     ],
+    "scenario-sweep": [
+        "--scenario", "single-seu", "--generations", "6", "--image-side", "16",
+        "--seed", "1", "--mission-steps", "3", "--healing-generations", "5",
+    ],
 }
 
 
@@ -43,6 +47,7 @@ class TestParser:
         assert set(registered_commands()) == {
             "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
             "imitation", "tmr-recovery", "fault-sweep", "campaign",
+            "scenario-sweep",
         }
 
     def test_missing_command_errors(self):
@@ -121,6 +126,7 @@ class TestJsonFlag:
         for command, subparser in sub_actions[0].choices.items():
             options = {opt for a in subparser._actions for opt in a.option_strings}
             assert "--json" in options, f"{command} is missing --json"
+            assert "--scenario" in options, f"{command} is missing --scenario"
 
     def test_json_to_stdout_replaces_tables(self, capsys):
         assert main(["resources", "--arrays", "3", "--json"]) == 0
