@@ -42,6 +42,7 @@ from repro.api.registry import (
     register,
 )
 from repro.api.session import EvolutionSession
+from repro.api.signature import canonical_json, content_signature, run_signature
 
 # Populate the registries with the paper's built-in strategies.
 from repro.api import builtins as _builtins  # noqa: F401  (import for side effects)
@@ -58,6 +59,7 @@ _RUNTIME_EXPORTS = frozenset(
         "CampaignRunError",
         "run_campaign",
         "derive_seed",
+        "DedupeCache",
         "EXECUTORS",
         "RUNNERS",
         "register_runner",
@@ -90,6 +92,9 @@ __all__ = [
     "TASKS",
     "EXPERIMENTS",
     "EvolutionSession",
+    "canonical_json",
+    "content_signature",
+    "run_signature",
     # Lazily re-exported from repro.runtime:
     "CampaignSpec",
     "RunSpec",
@@ -98,6 +103,7 @@ __all__ = [
     "CampaignRunError",
     "run_campaign",
     "derive_seed",
+    "DedupeCache",
     "EXECUTORS",
     "RUNNERS",
     "register_runner",

@@ -70,6 +70,23 @@ class _ConfigBase:
         """A copy of this config with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
+    def signature(self) -> str:
+        """Content-addressed SHA-256 signature of this config.
+
+        Two configs with equal fields share a signature regardless of how
+        they were constructed — the building block of the service layer's
+        run-dedupe key (see :mod:`repro.api.signature`).
+
+        >>> from repro.api import PlatformConfig
+        >>> PlatformConfig(seed=1).signature() == PlatformConfig(seed=1).signature()
+        True
+        >>> PlatformConfig(seed=1).signature() != PlatformConfig(seed=2).signature()
+        True
+        """
+        from repro.api.signature import content_signature
+
+        return content_signature(self.to_dict())
+
 
 @dataclass(frozen=True)
 class PlatformConfig(_ConfigBase):

@@ -14,6 +14,8 @@ figures can be regenerated without writing Python::
     repro-ehw tmr-recovery                 # Fig. 20
     repro-ehw fault-sweep                  # systematic fault analysis (extension)
     repro-ehw campaign --grid ...          # declarative parameter-sweep campaigns
+    repro-ehw serve --root out/service     # campaign server (queue + dedupe cache)
+    repro-ehw worker --server URL          # work-queue worker against a server
 
 Subcommands are not hard-wired here: every experiment registers an
 :class:`~repro.api.experiment.ExperimentSpec` in the ``experiment``
@@ -47,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     # registers every ExperimentSpec.
     import repro.experiments  # noqa: F401
     import repro.runtime.experiment  # noqa: F401
+    import repro.service.experiment  # noqa: F401
     from repro.api.registry import EXPERIMENTS
 
     parser = argparse.ArgumentParser(

@@ -14,9 +14,11 @@ This package is the layer that actually runs them concurrently:
   :class:`~repro.api.session.EvolutionSession`); experiments register
   their own runners the same way.
 * **Executors** (:mod:`repro.runtime.executors`) — pluggable ``serial``,
-  ``thread`` and ``process`` execution backends.  Every backend runs the
-  same JSON-round-tripped payloads, so the executor choice can never
-  change a campaign's results — only its wall-clock time.
+  ``thread``, ``process`` and ``distributed`` execution backends (the
+  last drives the :mod:`repro.service` work-queue fabric in-process).
+  Every backend runs the same JSON-round-tripped payloads, so the
+  executor choice can never change a campaign's results — only its
+  wall-clock time.
 * **Store** (:mod:`repro.runtime.store`) — a resumable on-disk
   :class:`CampaignStore` (JSONL run index plus one
   :class:`~repro.api.artifact.RunArtifact` file per run); rerunning a
@@ -32,12 +34,13 @@ from repro.runtime.campaign import CampaignSpec, RunSpec, derive_seed
 from repro.runtime.engine import CampaignResult, CampaignRunError, run_campaign
 from repro.runtime.executors import (
     EXECUTORS,
+    DistributedExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
 )
 from repro.runtime.runners import RUNNERS, register_runner
-from repro.runtime.store import CampaignStore
+from repro.runtime.store import CampaignStore, DedupeCache
 
 __all__ = [
     "CampaignSpec",
@@ -50,7 +53,9 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
     "RUNNERS",
     "register_runner",
     "CampaignStore",
+    "DedupeCache",
 ]

@@ -163,6 +163,27 @@ class RunSpec:
     def from_json(cls, text: str) -> "RunSpec":
         return cls.from_dict(json.loads(text))
 
+    def signature(self) -> str:
+        """Content-addressed dedupe key of this run.
+
+        Derived from the *resolved* configs, runner, params and derived
+        seed only — campaign name, run id, index and the override labels
+        are excluded, so the same work submitted under two different
+        campaign specs shares one signature (see
+        :func:`repro.api.signature.run_signature`).
+        """
+        from repro.api.signature import run_signature
+
+        return run_signature(
+            runner=self.runner,
+            seed=self.seed,
+            platform=self.platform,
+            evolution=self.evolution,
+            task=self.task,
+            healing=self.healing,
+            params=self.params,
+        )
+
 
 @dataclass(frozen=True)
 class CampaignSpec:

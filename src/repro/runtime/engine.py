@@ -25,7 +25,7 @@ from repro.api.artifact import RunArtifact
 from repro.runtime.campaign import CampaignSpec, RunSpec
 from repro.runtime.executors import EXECUTORS, CampaignExecutor
 from repro.runtime.runners import RUNNERS, ensure_runners_loaded
-from repro.runtime.store import CampaignStore
+from repro.runtime.store import CampaignStore, DedupeCache
 
 __all__ = [
     "CampaignRunError",
@@ -91,6 +91,7 @@ class CampaignResult:
     artifacts: Dict[str, RunArtifact] = field(default_factory=dict)
     failures: Dict[str, str] = field(default_factory=dict)
     resumed_run_ids: List[str] = field(default_factory=list)
+    cached_run_ids: List[str] = field(default_factory=list)
     store_root: Optional[str] = None
     wall_time_s: float = 0.0
 
@@ -101,6 +102,11 @@ class CampaignResult:
     @property
     def n_failed(self) -> int:
         return len(self.failures)
+
+    @property
+    def n_cached(self) -> int:
+        """Runs served from the dedupe cache instead of being re-evolved."""
+        return len(self.cached_run_ids)
 
     def artifact_for(self, run: RunSpec) -> RunArtifact:
         """The artifact of ``run``; a failed run raises :class:`CampaignRunError`
@@ -123,7 +129,13 @@ class CampaignResult:
         return [self.artifacts.get(run.run_id) for run in self.runs]
 
     def rows(self) -> List[Dict[str, Any]]:
-        """One summary row per run, in campaign order."""
+        """One summary row per run, in campaign order.
+
+        Cache-hit runs report ``status: "cached"`` (rather than blending
+        into ``completed``) so dedupe behaviour is observable in
+        ``--json`` output and the service endpoints.
+        """
+        cached = set(self.cached_run_ids)
         rows: List[Dict[str, Any]] = []
         for run in self.runs:
             row: Dict[str, Any] = {
@@ -134,7 +146,7 @@ class CampaignResult:
             }
             artifact = self.artifacts.get(run.run_id)
             if artifact is not None:
-                row["status"] = "completed"
+                row["status"] = "cached" if run.run_id in cached else "completed"
                 best = artifact.results.get("overall_best_fitness")
                 if best is not None:
                     row["overall_best_fitness"] = best
@@ -154,6 +166,7 @@ class CampaignResult:
                 "n_completed": self.n_completed,
                 "n_failed": self.n_failed,
                 "n_resumed": len(self.resumed_run_ids),
+                "n_cached": self.n_cached,
                 "executor": self.executor,
                 "rows": self.rows(),
             },
@@ -169,6 +182,7 @@ def run_campaign(
     max_workers: Optional[int] = None,
     store: Union[CampaignStore, str, None] = None,
     resume: bool = True,
+    cache: Union[DedupeCache, str, None] = None,
     progress: Optional[Callable[[RunSpec, str], None]] = None,
 ) -> CampaignResult:
     """Execute a campaign and return its collected results.
@@ -178,8 +192,9 @@ def run_campaign(
     spec:
         The campaign to run.
     executor:
-        Name of a registered executor (``serial``/``thread``/``process``)
-        or an executor instance.
+        Name of a registered executor
+        (``serial``/``thread``/``process``/``distributed``) or an
+        executor instance.
     max_workers:
         Worker cap for the concurrent executors (default: the machine's
         available CPUs, clamped to the number of pending runs).
@@ -188,9 +203,16 @@ def run_campaign(
         results into.  With ``resume=True`` (the default), runs already
         recorded as completed are loaded from the store instead of being
         re-executed.
+    cache:
+        Optional :class:`DedupeCache` (or directory path).  Pending runs
+        whose content signature is already published are served from the
+        cache (``status: "cached"``) instead of being executed, and every
+        freshly completed run is published back — so identical runs are
+        deduped *across* campaigns and stores, not just on resume.
     progress:
         Optional callback invoked as ``progress(run, status)`` after each
-        run finishes (status: ``completed``/``failed``/``resumed``).
+        run finishes (status:
+        ``completed``/``failed``/``resumed``/``cached``).
     """
     ensure_runners_loaded()
     if isinstance(executor, str):
@@ -201,6 +223,8 @@ def run_campaign(
 
     if store is not None and not isinstance(store, CampaignStore):
         store = CampaignStore(store)
+    if cache is not None and not isinstance(cache, DedupeCache):
+        cache = DedupeCache(cache)
 
     runs = spec.expand()
     result = CampaignResult(
@@ -215,16 +239,40 @@ def run_campaign(
     if store is not None:
         store.initialise(spec)
         if resume:
+            index_status = {entry["run_id"]: entry["status"] for entry in store.index()}
             completed = store.completed_run_ids()
             pending = []
             for run in runs:
                 if run.run_id in completed:
                     result.artifacts[run.run_id] = store.load_artifact(run.run_id)
-                    result.resumed_run_ids.append(run.run_id)
+                    # A run the store recorded as a dedupe hit stays
+                    # visibly "cached" on resume instead of silently
+                    # upgrading to "resumed".
+                    if index_status.get(run.run_id) == "cached":
+                        result.cached_run_ids.append(run.run_id)
+                        status = "cached"
+                    else:
+                        result.resumed_run_ids.append(run.run_id)
+                        status = "resumed"
                     if progress is not None:
-                        progress(run, "resumed")
+                        progress(run, status)
                 else:
                     pending.append(run)
+
+    if cache is not None and pending:
+        still_pending = []
+        for run in pending:
+            hit = cache.lookup(run.signature())
+            if hit is not None:
+                result.artifacts[run.run_id] = RunArtifact.from_dict(hit)
+                result.cached_run_ids.append(run.run_id)
+                if store is not None:
+                    store.record(run, "cached", artifact=hit)
+                if progress is not None:
+                    progress(run, "cached")
+            else:
+                still_pending.append(run)
+        pending = still_pending
 
     payloads = [run.to_json() for run in pending]
     for position, outcome_payload in executor_obj.execute(payloads, max_workers):
@@ -235,6 +283,10 @@ def run_campaign(
             result.artifacts[run.run_id] = RunArtifact.from_dict(artifact_dict)
             if store is not None:
                 store.record(run, "completed", artifact=artifact_dict)
+            if cache is not None:
+                cache.publish(
+                    run.signature(), artifact_dict, campaign=spec.name, run_id=run.run_id
+                )
         else:
             result.failures[run.run_id] = outcome.get("error", "unknown error")
             if store is not None:

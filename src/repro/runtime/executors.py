@@ -27,6 +27,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
 ]
 
 #: Registry of campaign executors, keyed by name.
@@ -116,6 +117,132 @@ class ThreadExecutor(CampaignExecutor):
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     yield futures[future], future.result()
+
+
+@register_executor("distributed")
+class DistributedExecutor(CampaignExecutor):
+    """Run payloads through the work-queue service fabric, zero deployment.
+
+    The full distributed stack in one call: an ephemeral in-memory
+    :class:`~repro.service.server.CampaignService` behind a loopback
+    :class:`~repro.service.server.CampaignServer`, plus local worker
+    processes running the standard ``repro-ehw worker`` loop
+    (:func:`~repro.service.worker.worker_main`) against it over HTTP.
+    Payloads flow submit → lease → ``execute_run_payload`` → complete,
+    exactly as they would across machines, so ``--executor distributed``
+    exercises (and is held to) the same determinism contract as the
+    in-process backends.
+
+    Robustness: workers fork *before* the server thread starts (their
+    first requests queue in the accept backlog), crashed workers are
+    handled by lease expiry, and if every worker is gone while runs
+    remain the executor drains the queue in-process rather than hanging.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        lease_seconds: float = 10.0,
+        max_attempts: int = 3,
+        poll_interval: float = 0.05,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.poll_interval = float(poll_interval)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    @staticmethod
+    def _drain_inline(service, campaign_id: str) -> None:
+        """No workers left: finish the queue in this process.
+
+        Leases still held by dead workers expire on their deadline; the
+        fallback then executes them through the same lease/complete
+        protocol, so the campaign always terminates with every run in a
+        terminal state.
+        """
+        import json
+        import time as _time
+
+        from repro.runtime.engine import execute_run_payload
+
+        while not service.queue.is_drained(campaign_id):
+            service.queue.poll_expired()
+            grant = service.lease("inline-fallback")
+            if grant is None:
+                _time.sleep(0.02)
+                continue
+            outcome = json.loads(execute_run_payload(grant.payload))
+            service.complete("inline-fallback", grant.lease_id, outcome)
+
+    def execute(
+        self, payloads: Sequence[str], max_workers: Optional[int] = None
+    ) -> Iterator[Tuple[int, str]]:
+        import json
+        import time as _time
+
+        # Imported lazily: the service layer sits on top of the runtime,
+        # so the runtime must not import it at module load.
+        from repro.service.server import CampaignServer, CampaignService
+        from repro.service.worker import worker_main
+
+        if not payloads:
+            return
+        service = CampaignService(
+            root=None,
+            lease_seconds=self.lease_seconds,
+            max_attempts=self.max_attempts,
+        )
+        campaign_id = service.submit_payloads("distributed", list(payloads))
+        server = CampaignServer(service)  # binds the loopback socket now
+        workers = self.resolve_workers(len(payloads), max_workers)
+        context = multiprocessing.get_context(self.start_method)
+        processes = [
+            context.Process(
+                target=worker_main,
+                args=(server.url,),
+                kwargs={
+                    "worker_id": f"local-{index}",
+                    "poll_interval": self.poll_interval,
+                    "max_idle_polls": 10,
+                    "max_errors": 3,
+                },
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        emitted = set()
+
+        def fresh() -> Iterator[Tuple[int, str]]:
+            for run_id, outcome in service.queue.outcomes(campaign_id).items():
+                if run_id not in emitted:
+                    emitted.add(run_id)
+                    yield int(run_id[1:]), json.dumps(outcome)
+
+        try:
+            for process in processes:
+                process.start()
+            server.start()
+            while not service.queue.is_drained(campaign_id):
+                if not any(process.is_alive() for process in processes):
+                    self._drain_inline(service, campaign_id)
+                    break
+                service.queue.poll_expired()
+                yield from fresh()
+                _time.sleep(0.02)
+            yield from fresh()
+        finally:
+            server.stop()
+            for process in processes:
+                process.join(timeout=2.0)
+            for process in processes:
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                    process.join(timeout=2.0)
 
 
 @register_executor("process")

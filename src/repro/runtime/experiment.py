@@ -129,6 +129,15 @@ def _configure(parser: argparse.ArgumentParser) -> None:
                         help="resumable campaign store directory")
     parser.add_argument("--no-resume", action="store_true",
                         help="re-execute runs already completed in the store")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed dedupe cache directory: runs "
+                             "whose (resolved config, derived seed) signature "
+                             "is already published are served from the cache "
+                             "instead of re-evolved")
+    parser.add_argument("--server", metavar="URL", default=None,
+                        help="submit the campaign to a running `repro-ehw "
+                             "serve` instance instead of executing locally "
+                             "(streams per-run progress until done)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="replicates per grid point")
     parser.add_argument("--campaign-seed", type=int, default=None,
@@ -157,8 +166,63 @@ def _configure(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _run_remote(args: argparse.Namespace, spec: CampaignSpec) -> RunArtifact:
+    """Submit the spec to a ``repro-ehw serve`` instance and stream progress."""
+    import time
+
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import RUN_CACHED, RUN_COMPLETED, RUN_FAILED
+
+    if args.store:
+        raise SystemExit(
+            "--store cannot be combined with --server: the server manages "
+            "its own per-campaign stores under its --root"
+        )
+    client = ServiceClient(args.server)
+    started = time.perf_counter()
+    receipt = client.submit(spec.to_dict())
+    campaign_id = receipt["campaign_id"]
+    print(
+        f"[campaign {spec.name}] submitted to {args.server} as {campaign_id} "
+        f"({receipt['n_cached']} cached, {receipt['n_enqueued']} enqueued)",
+        file=sys.stderr,
+    )
+    for event in client.iter_events(campaign_id, wait=5.0):
+        print(
+            f"[campaign {spec.name}] {event['run_id']}: {event['status']}",
+            file=sys.stderr,
+        )
+    summary = client.summary(campaign_id)
+    n_failed = sum(1 for row in summary["rows"] if row["status"] == RUN_FAILED)
+    return RunArtifact(
+        kind="campaign",
+        config={"campaign": spec.to_dict()},
+        results={
+            "n_runs": summary["n_runs"],
+            "n_completed": sum(
+                1 for row in summary["rows"] if row["status"] == RUN_COMPLETED
+            ),
+            "n_failed": n_failed,
+            "n_resumed": 0,
+            "n_cached": sum(
+                1 for row in summary["rows"] if row["status"] == RUN_CACHED
+            ),
+            "executor": f"server:{args.server}",
+            "rows": summary["rows"],
+        },
+        timing={"wall_time_s": time.perf_counter() - started},
+        provenance={
+            "store": summary.get("store"),
+            "server": args.server,
+            "campaign_id": campaign_id,
+        },
+    )
+
+
 def _run(args: argparse.Namespace) -> RunArtifact:
     spec = build_spec_from_args(args)
+    if args.server:
+        return _run_remote(args, spec)
 
     def progress(run, status):
         # Progress goes to stderr so `--json` stdout stays machine-readable.
@@ -173,6 +237,7 @@ def _run(args: argparse.Namespace) -> RunArtifact:
         max_workers=args.workers,
         store=args.store,
         resume=not args.no_resume,
+        cache=args.cache,
         progress=progress,
     )
     return result.artifact()
@@ -184,7 +249,7 @@ def _render(artifact: RunArtifact) -> None:
         {
             "run_id": row["run_id"],
             "status": row["status"],
-            "overrides": json.dumps(row["overrides"], sort_keys=True),
+            "overrides": json.dumps(row.get("overrides", {}), sort_keys=True),
             "best_fitness": row.get("overall_best_fitness"),
         }
         for row in results["rows"]
@@ -193,7 +258,8 @@ def _render(artifact: RunArtifact) -> None:
         f"Campaign {artifact.config['campaign']['name']} "
         f"({results['executor']} executor, "
         f"{results['n_completed']}/{results['n_runs']} completed, "
-        f"{results['n_resumed']} resumed, {results['n_failed']} failed)",
+        f"{results['n_resumed']} resumed, {results.get('n_cached', 0)} cached, "
+        f"{results['n_failed']} failed)",
         rows,
         ["run_id", "status", "overrides", "best_fitness"],
     )
@@ -203,7 +269,8 @@ def _render(artifact: RunArtifact) -> None:
 
 register_experiment(ExperimentSpec(
     name="campaign",
-    help="run a declarative parameter-sweep campaign (serial/thread/process)",
+    help="run a declarative parameter-sweep campaign "
+         "(serial/thread/process/distributed, or submit to a server)",
     configure=_configure,
     run=_run,
     render=_render,

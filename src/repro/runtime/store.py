@@ -4,6 +4,7 @@ A :class:`CampaignStore` is one directory per campaign::
 
     <root>/
       campaign.json        # the CampaignSpec + its content digest
+      index.lock           # advisory lock serialising index appends
       runs.jsonl           # append-only run index, one JSON object per line
       runs/<run_id>.json   # one RunArtifact file per completed run
 
@@ -13,24 +14,99 @@ grid points) resumes by skipping every run already marked completed.
 The per-run artifact files are exactly what
 :meth:`~repro.api.artifact.RunArtifact.save` writes, so any downstream
 tool that understands run artifacts understands a campaign store.
+
+Two properties make the store safe to share between concurrent writers
+(multiple local workers, or service workers reporting through one
+server):
+
+* artifact files are written atomically (temp file + ``os.replace``), so
+  a killed worker can never leave a half-written artifact behind that a
+  later resume would trust;
+* index appends are serialised with an advisory ``fcntl`` file lock
+  (where available), so two processes appending at once cannot
+  interleave partial lines — the newline-healing in :meth:`record` and
+  the corrupt-line tolerance in :meth:`index` remain as crash recovery,
+  not as a substitute for mutual exclusion.
+
+Index entries carry each run's content :meth:`~repro.runtime.campaign.RunSpec.signature`,
+which is what the service layer's :class:`DedupeCache` keys on: a run
+whose signature is already present (in this store or in the shared
+cache) is recorded with ``status: "cached"`` and served from the stored
+artifact instead of being re-evolved.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import threading
 import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
+
+try:  # pragma: no cover - import guard exercised implicitly per platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.api.artifact import RunArtifact
 from repro.runtime.campaign import CampaignSpec, RunSpec
 
-__all__ = ["CampaignStore"]
+__all__ = ["CampaignStore", "DedupeCache"]
 
 SPEC_FILE = "campaign.json"
 INDEX_FILE = "runs.jsonl"
+LOCK_FILE = "index.lock"
 RUNS_DIR = "runs"
+
+#: Index statuses that carry a loadable artifact (and are skipped on resume).
+ARTIFACT_STATUSES = ("completed", "cached")
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader can only ever observe the old content or the complete new
+    content — never a truncated file — even if the writer is killed
+    mid-write.  The temp file lives in the destination directory so the
+    replace stays on one filesystem.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def _file_lock(lock_path: Path):
+    """Advisory exclusive lock scoped to the ``with`` block.
+
+    Uses ``fcntl.flock`` where available (POSIX); elsewhere the lock
+    degrades to a no-op and the append-side newline healing remains the
+    only interleaving defence.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    with open(lock_path, "a+b") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 class CampaignStore:
@@ -47,6 +123,10 @@ class CampaignStore:
     @property
     def index_path(self) -> Path:
         return self.root / INDEX_FILE
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / LOCK_FILE
 
     @property
     def runs_dir(self) -> Path:
@@ -78,7 +158,7 @@ class CampaignStore:
             return
         payload = {"digest": digest, "spec": spec.to_dict()}
         text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        self.spec_path.write_text(text, encoding="utf-8")
+        _atomic_write_text(self.spec_path, text)
 
     def load_spec(self) -> CampaignSpec:
         """The spec this store was initialised for."""
@@ -125,9 +205,28 @@ class CampaignStore:
         return sorted(by_run_id.values(), key=lambda entry: entry["index"])
 
     def completed_run_ids(self) -> Set[str]:
-        """Run ids recorded as completed (the ones a rerun skips)."""
+        """Run ids recorded with a loadable artifact (the ones a rerun skips).
+
+        Covers both computed (``completed``) and dedupe-served
+        (``cached``) runs — each has its own artifact file either way.
+        """
         return {
-            entry["run_id"] for entry in self.index() if entry["status"] == "completed"
+            entry["run_id"]
+            for entry in self.index()
+            if entry["status"] in ARTIFACT_STATUSES
+        }
+
+    def signature_index(self) -> Dict[str, Dict[str, Any]]:
+        """Map of content signature -> index entry for artifact-bearing runs.
+
+        The within-store half of the dedupe contract: a new run whose
+        signature appears here can be served from the recorded artifact
+        instead of being re-executed.
+        """
+        return {
+            entry["signature"]: entry
+            for entry in self.index()
+            if entry["status"] in ARTIFACT_STATUSES and entry.get("signature")
         }
 
     # ------------------------------------------------------------------ #
@@ -137,14 +236,22 @@ class CampaignStore:
         status: str,
         artifact: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
+        source_run_id: Optional[str] = None,
     ) -> None:
-        """Persist one run outcome: its artifact file plus an index line."""
-        if status == "completed":
+        """Persist one run outcome: its artifact file plus an index line.
+
+        ``status`` is ``completed`` (a freshly computed artifact),
+        ``cached`` (an artifact served from the dedupe cache — recorded
+        with its own artifact file so the store stays self-contained, and
+        optionally the ``source_run_id`` it was copied from) or
+        ``failed`` (with ``error``).
+        """
+        if status in ARTIFACT_STATUSES:
             if artifact is None:
-                raise ValueError("a completed run must provide its artifact")
+                raise ValueError(f"a {status} run must provide its artifact")
             path = self.artifact_path(run.run_id)
-            path.write_text(
-                json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            _atomic_write_text(
+                path, json.dumps(artifact, indent=2, sort_keys=True) + "\n"
             )
         entry: Dict[str, Any] = {
             "run_id": run.run_id,
@@ -152,30 +259,45 @@ class CampaignStore:
             "status": status,
             "runner": run.runner,
             "seed": run.seed,
+            "signature": run.signature(),
             "overrides": dict(run.overrides),
         }
-        if status == "completed":
+        if status in ARTIFACT_STATUSES:
             entry["artifact"] = f"{RUNS_DIR}/{run.run_id}.json"
             results = (artifact or {}).get("results", {})
             if "overall_best_fitness" in results:
                 entry["overall_best_fitness"] = results["overall_best_fitness"]
+        if source_run_id is not None:
+            entry["source_run_id"] = source_run_id
         if error is not None:
             entry["error"] = error
-        # A crash mid-append leaves the index without a trailing newline;
-        # terminate the orphan fragment first so this entry starts on its
-        # own line (the fragment is then dropped by index()'s parser)
-        # instead of being concatenated into one corrupt record.
-        needs_newline = False
-        if self.index_path.exists():
-            with self.index_path.open("rb") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell() > 0:
-                    handle.seek(-1, os.SEEK_END)
-                    needs_newline = handle.read(1) != b"\n"
-        with self.index_path.open("a", encoding="utf-8") as handle:
-            if needs_newline:
-                handle.write("\n")
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._append_index_line(json.dumps(entry, sort_keys=True))
+
+    def _append_index_line(self, line: str) -> None:
+        """Append one index line under the store's advisory lock.
+
+        The lock serialises concurrent appenders (multiple workers
+        sharing one store); the newline healing below remains as crash
+        recovery — a writer killed mid-append leaves the index without a
+        trailing newline, and the *next* append must not concatenate onto
+        the orphan fragment (the fragment itself is then dropped by
+        :meth:`index`'s parser).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with _file_lock(self.lock_path):
+            needs_newline = False
+            if self.index_path.exists():
+                with self.index_path.open("rb") as handle:
+                    handle.seek(0, os.SEEK_END)
+                    if handle.tell() > 0:
+                        handle.seek(-1, os.SEEK_END)
+                        needs_newline = handle.read(1) != b"\n"
+            with self.index_path.open("a", encoding="utf-8") as handle:
+                if needs_newline:
+                    handle.write("\n")
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def load_artifact(self, run_id: str) -> RunArtifact:
         """Load one completed run's artifact back from disk."""
@@ -183,17 +305,25 @@ class CampaignStore:
 
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, Any]:
-        """Aggregate view of the store: counts plus one row per run."""
+        """Aggregate view of the store: counts plus one row per run.
+
+        Dedupe-served runs are reported distinctly (``n_cached``, rows
+        with ``status: "cached"``) so cache behaviour is observable, but
+        they carry real artifacts and count towards the fitness
+        aggregates like any computed run.
+        """
         rows = self.index()
         completed = [entry for entry in rows if entry["status"] == "completed"]
+        cached = [entry for entry in rows if entry["status"] == "cached"]
         fitnesses = [
             entry["overall_best_fitness"]
-            for entry in completed
+            for entry in completed + cached
             if isinstance(entry.get("overall_best_fitness"), (int, float))
         ]
         summary: Dict[str, Any] = {
             "n_runs": len(rows),
             "n_completed": len(completed),
+            "n_cached": len(cached),
             "n_failed": sum(1 for entry in rows if entry["status"] == "failed"),
             "rows": rows,
         }
@@ -201,3 +331,136 @@ class CampaignStore:
             summary["best_fitness"] = min(fitnesses)
             summary["mean_fitness"] = sum(fitnesses) / len(fitnesses)
         return summary
+
+
+class DedupeCache:
+    """Content-addressed artifact cache shared *across* campaign stores.
+
+    The cache maps run signatures (see
+    :meth:`~repro.runtime.campaign.RunSpec.signature`) to stored
+    :class:`~repro.api.artifact.RunArtifact` payloads::
+
+        <root>/
+          signatures.jsonl         # append-only {signature, artifact, ...} index
+          artifacts/<sig>.json     # one artifact file per unique signature
+
+    A :class:`CampaignStore` dedupes within one campaign directory; the
+    cache sits *in front of* stores and dedupes across submissions — the
+    ``repro-ehw serve`` front-end consults it before enqueueing any run,
+    and ``run_campaign(cache=...)`` does the same locally.  Publishing is
+    idempotent and first-write-wins: determinism guarantees any two
+    publishers of one signature hold byte-identical artifacts.
+
+    Thread-safe within a process; cross-process appends are serialised
+    with the same advisory ``fcntl`` lock the store index uses.
+    """
+
+    INDEX_FILE = "signatures.jsonl"
+    LOCK_FILE = "signatures.lock"
+    ARTIFACTS_DIR = "artifacts"
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._loaded_size = -1
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_FILE
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / self.LOCK_FILE
+
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.root / self.ARTIFACTS_DIR
+
+    def artifact_path(self, signature: str) -> Path:
+        return self.artifacts_dir / f"{signature}.json"
+
+    # ------------------------------------------------------------------ #
+    def _refresh_locked(self) -> None:
+        """Re-read the index if another process has grown it."""
+        if not self.index_path.exists():
+            return
+        size = self.index_path.stat().st_size
+        if size == self._loaded_size:
+            return
+        entries: Dict[str, Dict[str, Any]] = {}
+        for line in self.index_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A publisher killed mid-append; the artifact write happened
+                # first (and atomically), so dropping the fragment only means
+                # one signature goes unnoticed until republished.
+                continue
+            entries[entry["signature"]] = entry
+        self._entries = entries
+        self._loaded_size = size
+
+    def signatures(self) -> Set[str]:
+        """All signatures currently published."""
+        with self._lock:
+            self._refresh_locked()
+            return set(self._entries)
+
+    def __len__(self) -> int:
+        return len(self.signatures())
+
+    def __contains__(self, signature: object) -> bool:
+        return signature in self.signatures()
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, signature: str) -> Optional[Dict[str, Any]]:
+        """The stored artifact dict for ``signature``, or ``None``."""
+        with self._lock:
+            self._refresh_locked()
+            if signature not in self._entries:
+                return None
+        path = self.artifact_path(signature)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def publish(
+        self,
+        signature: str,
+        artifact: Dict[str, Any],
+        **meta: Any,
+    ) -> bool:
+        """Publish ``artifact`` under ``signature`` (first write wins).
+
+        Returns ``True`` if the signature was newly added, ``False`` if
+        it was already present (the existing artifact is kept — by the
+        determinism contract the two are byte-identical anyway).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.artifacts_dir.mkdir(exist_ok=True)
+        with self._lock:
+            with _file_lock(self.lock_path):
+                self._refresh_locked()
+                if signature in self._entries:
+                    return False
+                _atomic_write_text(
+                    self.artifact_path(signature),
+                    json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+                )
+                entry: Dict[str, Any] = {
+                    "signature": signature,
+                    "artifact": f"{self.ARTIFACTS_DIR}/{signature}.json",
+                    **meta,
+                }
+                with self.index_path.open("a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._entries[signature] = entry
+                self._loaded_size = self.index_path.stat().st_size
+        return True

@@ -1,0 +1,63 @@
+"""Distributed campaign fabric: work-queue workers behind ``repro-ehw serve``.
+
+The paper's scalability story is many processing arrays evolving in
+parallel; this package is the distribution layer that takes campaigns
+beyond one process:
+
+* **Protocol** (:mod:`repro.service.protocol`) — the small JSON
+  vocabulary (paths, run states, lease grants) shared by server, worker
+  and client.
+* **Queue** (:mod:`repro.service.queue`) — lease/heartbeat/complete
+  bookkeeping with lease-expiry requeue, so a crashed worker's runs are
+  re-leased to survivors (and poison payloads fail after
+  ``max_attempts`` instead of wedging the campaign).
+* **Server** (:mod:`repro.service.server`) — :class:`CampaignService`
+  (submissions, stores, the dedupe cache) wrapped by
+  :class:`CampaignServer`, a stdlib ``http.server`` front-end: the
+  ``repro-ehw serve`` subcommand.
+* **Client** (:mod:`repro.service.client`) — urllib helper for
+  submitters and workers.
+* **Worker** (:mod:`repro.service.worker`) — the ``repro-ehw worker``
+  loop; execution delegates to the same
+  :func:`~repro.runtime.engine.execute_run_payload` contract the local
+  executors use, so results are byte-identical no matter where a run
+  lands.
+
+The ``distributed`` campaign executor (:mod:`repro.runtime.executors`)
+composes these pieces in-process: an ephemeral server plus forked local
+workers, selectable as ``--executor distributed`` with zero deployment.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError, ServiceUnavailable
+from repro.service.protocol import (
+    RUN_CACHED,
+    RUN_COMPLETED,
+    RUN_FAILED,
+    RUN_LEASED,
+    RUN_PENDING,
+    TERMINAL_STATUSES,
+    LeaseGrant,
+)
+from repro.service.queue import WorkItem, WorkQueue
+from repro.service.server import CampaignServer, CampaignService, ServiceError
+from repro.service.worker import ServiceWorker, worker_main
+
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceUnavailable",
+    "LeaseGrant",
+    "RUN_PENDING",
+    "RUN_LEASED",
+    "RUN_COMPLETED",
+    "RUN_FAILED",
+    "RUN_CACHED",
+    "TERMINAL_STATUSES",
+    "WorkItem",
+    "WorkQueue",
+    "CampaignServer",
+    "CampaignService",
+    "ServiceError",
+    "ServiceWorker",
+    "worker_main",
+]

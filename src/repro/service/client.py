@@ -1,0 +1,154 @@
+"""A tiny urllib client for the campaign service protocol.
+
+Used by the ``repro-ehw worker`` loop, by ``repro-ehw campaign
+--server`` submissions, and by the service tests.  Pure stdlib
+(:mod:`urllib.request`) — the service layer adds no dependencies on
+either side of the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.service.protocol import (
+    CAMPAIGNS_PATH,
+    COMPLETE_PATH,
+    HEALTH_PATH,
+    HEARTBEAT_PATH,
+    LEASE_PATH,
+    SHUTDOWN_PATH,
+    LeaseGrant,
+    dump_message,
+)
+
+__all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailable"]
+
+
+class ServiceClientError(RuntimeError):
+    """The server answered with an error status (4xx/5xx)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceUnavailable(ServiceClientError):
+    """The server could not be reached at all (refused, reset, gone)."""
+
+
+class ServiceClient:
+    """JSON request helper bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Optional[Dict[str, Any]]:
+        request = Request(
+            self.base_url + path,
+            data=None if body is None else dump_message(body),
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urlopen(request, timeout=timeout or self.timeout) as response:
+                if response.status == 204:
+                    return None
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise ServiceClientError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from exc
+        except (URLError, ConnectionError, OSError) as exc:
+            raise ServiceUnavailable(
+                f"cannot reach campaign server at {self.base_url}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Submitter side
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", HEALTH_PATH)
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a campaign spec dict; returns the submission receipt."""
+        return self._request("POST", CAMPAIGNS_PATH, body=dict(spec))
+
+    def campaigns(self) -> Dict[str, Any]:
+        return self._request("GET", CAMPAIGNS_PATH)
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"{CAMPAIGNS_PATH}/{campaign_id}")
+
+    def summary(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"{CAMPAIGNS_PATH}/{campaign_id}/summary")
+
+    def events(
+        self, campaign_id: str, after: int = 0, wait: float = 0.0
+    ) -> Dict[str, Any]:
+        return self._request(
+            "GET",
+            f"{CAMPAIGNS_PATH}/{campaign_id}/events?after={after}&wait={wait}",
+            timeout=self.timeout + wait,
+        )
+
+    def iter_events(
+        self, campaign_id: str, wait: float = 5.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield every event of a campaign until it is done (long-polling)."""
+        after = 0
+        while True:
+            page = self.events(campaign_id, after=after, wait=wait)
+            for event in page["events"]:
+                yield event
+            after = page["next_seq"]
+            if page["done"] and not page["events"]:
+                return
+
+    def artifact(self, campaign_id: str, run_id: str) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"{CAMPAIGNS_PATH}/{campaign_id}/artifacts/{run_id}"
+        )
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", SHUTDOWN_PATH, body={})
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> Optional[LeaseGrant]:
+        """Lease one run; ``None`` when the queue has nothing pending."""
+        data = self._request("POST", LEASE_PATH, body={"worker_id": worker_id})
+        return LeaseGrant.from_dict(data)
+
+    def heartbeat(self, worker_id: str, lease_id: str) -> bool:
+        data = self._request(
+            "POST", HEARTBEAT_PATH, body={"worker_id": worker_id, "lease_id": lease_id}
+        )
+        return bool(data and data.get("ok"))
+
+    def complete(
+        self, worker_id: str, lease_id: str, outcome: Dict[str, Any]
+    ) -> bool:
+        data = self._request(
+            "POST",
+            COMPLETE_PATH,
+            body={"worker_id": worker_id, "lease_id": lease_id, "outcome": outcome},
+        )
+        return bool(data and data.get("ok"))

@@ -1,0 +1,197 @@
+"""The ``repro-ehw serve`` and ``repro-ehw worker`` subcommands.
+
+``serve`` runs the campaign server front-end: it accepts
+:class:`~repro.runtime.campaign.CampaignSpec` submissions over HTTP,
+queues their runs for workers, serves dedupe-cache hits without
+re-evolving, and persists results per spec digest under ``--root``.
+``worker`` runs the matching lease/execute/complete loop against a
+server.  A minimal deployment is therefore::
+
+    repro-ehw serve --root out/service --port 8913 &
+    repro-ehw worker --server http://127.0.0.1:8913 &
+    repro-ehw worker --server http://127.0.0.1:8913 &
+    repro-ehw campaign --grid 'evolution.mutation_rate=[1,3]' \\
+        --server http://127.0.0.1:8913 --json result.json
+
+Both subcommands register through the experiment registry like every
+other ``repro-ehw`` command, so ``--json`` artifact output (service
+overview for ``serve``, loop statistics for ``worker``) works unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api.artifact import RunArtifact
+from repro.api.experiment import ExperimentSpec, print_table, register_experiment
+
+__all__ = ["serve_main", "worker_cli_main"]
+
+
+# --------------------------------------------------------------------------- #
+# serve
+# --------------------------------------------------------------------------- #
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: loopback only)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0: pick an ephemeral port)")
+    parser.add_argument("--root", metavar="DIR", default=None,
+                        help="service data directory (campaign stores + dedupe "
+                             "cache); default: in-memory, nothing persisted")
+    parser.add_argument("--lease-seconds", type=float, default=30.0,
+                        help="work-queue lease duration; a worker silent this "
+                             "long forfeits its run to the survivors")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="lease attempts before an always-expiring run is "
+                             "failed instead of requeued")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="serve for this many seconds then exit (default: "
+                             "serve until POST /api/v1/shutdown)")
+    parser.add_argument("--ready-file", metavar="FILE", default=None,
+                        help="write the server URL here once listening "
+                             "(lets scripts wait for an ephemeral port)")
+
+
+def serve_main(args: argparse.Namespace) -> RunArtifact:
+    """Run the campaign server until shutdown (or ``--duration``)."""
+    from repro.service.server import CampaignServer, CampaignService
+
+    service = CampaignService(
+        root=args.root,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+    )
+    server = CampaignServer(service, host=args.host, port=args.port)
+    print(f"[serve] listening on {server.url}", file=sys.stderr)
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(server.url + "\n")
+    started = time.perf_counter()
+    if args.duration is not None:
+        server.start()
+        try:
+            time.sleep(args.duration)
+        finally:
+            server.stop()
+    else:
+        try:
+            server.serve_until_shutdown()
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            server.httpd.server_close()
+    overview = service.overview()
+    return RunArtifact(
+        kind="serve",
+        config={
+            "host": args.host,
+            "port": server.port,
+            "url": server.url,
+            "root": args.root,
+            "lease_seconds": args.lease_seconds,
+            "max_attempts": args.max_attempts,
+            "duration": args.duration,
+        },
+        results=overview,
+        timing={"serve_time_s": time.perf_counter() - started},
+    )
+
+
+def _render_serve(artifact: RunArtifact) -> None:
+    results = artifact.results
+    rows = [
+        {
+            "campaign_id": campaign["campaign_id"],
+            "name": campaign["name"],
+            "n_runs": campaign["n_runs"],
+            "completed": campaign["counts"]["completed"],
+            "cached": campaign["counts"]["cached"],
+            "failed": campaign["counts"]["failed"],
+            "done": campaign["done"],
+        }
+        for campaign in results["campaigns"]
+    ]
+    print_table(
+        f"Campaign server {artifact.config['url']} "
+        f"({results['n_campaigns']} campaign(s), "
+        f"{results['cache_size']} cache entries)",
+        rows,
+        ["campaign_id", "name", "n_runs", "completed", "cached", "failed", "done"],
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="serve",
+    help="run the campaign server: HTTP submissions, work queue, dedupe cache",
+    configure=_configure_serve,
+    run=serve_main,
+    render=_render_serve,
+))
+
+
+# --------------------------------------------------------------------------- #
+# worker
+# --------------------------------------------------------------------------- #
+def _configure_worker(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--server", required=True, metavar="URL",
+                        help="campaign server base URL "
+                             "(e.g. http://127.0.0.1:8913)")
+    parser.add_argument("--worker-id", default=None,
+                        help="worker identity reported to the server "
+                             "(default: <hostname>-<random>)")
+    parser.add_argument("--poll-interval", type=float, default=0.2,
+                        help="sleep between lease attempts when idle")
+    parser.add_argument("--max-idle-polls", type=int, default=None,
+                        help="exit after this many consecutive empty lease "
+                             "responses (default: poll forever)")
+    parser.add_argument("--max-errors", type=int, default=5,
+                        help="exit after this many consecutive connection "
+                             "failures")
+
+
+def worker_cli_main(args: argparse.Namespace) -> RunArtifact:
+    """Run one worker loop until the server drains (or disappears)."""
+    from repro.service.worker import ServiceWorker
+
+    worker = ServiceWorker(
+        args.server,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_idle_polls=args.max_idle_polls,
+        max_errors=args.max_errors,
+    )
+    print(f"[worker {worker.worker_id}] polling {args.server}", file=sys.stderr)
+    started = time.perf_counter()
+    stats = worker.run_forever()
+    return RunArtifact(
+        kind="worker",
+        config={
+            "server": args.server,
+            "worker_id": worker.worker_id,
+            "poll_interval": args.poll_interval,
+            "max_idle_polls": args.max_idle_polls,
+            "max_errors": args.max_errors,
+        },
+        results=dict(stats),
+        timing={"worker_time_s": time.perf_counter() - started},
+    )
+
+
+def _render_worker(artifact: RunArtifact) -> None:
+    results = artifact.results
+    print_table(
+        f"Worker {artifact.config['worker_id']} @ {artifact.config['server']}",
+        [results],
+        [key for key in ("leased", "completed", "failed", "stale", "errors")
+         if key in results],
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="worker",
+    help="run a work-queue worker against a campaign server",
+    configure=_configure_worker,
+    run=worker_cli_main,
+    render=_render_worker,
+))

@@ -1,0 +1,114 @@
+"""Wire protocol of the campaign service: paths, statuses, lease grants.
+
+Everything that crosses the HTTP boundary is JSON built from the
+constants and helpers here, so the server, the worker and the client
+agree on one vocabulary (and tests can assert against names instead of
+string literals).
+
+The protocol is deliberately small:
+
+* **Campaign submission** — ``POST /api/v1/campaigns`` with a
+  :class:`~repro.runtime.campaign.CampaignSpec` dict; the response names
+  the campaign id plus how many runs were enqueued vs served from the
+  dedupe cache.
+* **Work-queue triplet** — ``lease`` / ``heartbeat`` / ``complete``
+  under ``/api/v1/queue/``.  A lease grants one serialised
+  :class:`~repro.runtime.campaign.RunSpec` payload to one worker for
+  ``lease_seconds``; heartbeats extend the lease; completing returns the
+  standard ``execute_run_payload`` outcome.  An expired lease is
+  requeued, so a crashed worker's runs are re-leased to survivors.
+* **Observation** — campaign status, long-poll event streaming and a
+  summary endpoint mirror what :class:`~repro.runtime.engine.CampaignResult`
+  reports locally (including ``status: "cached"`` rows).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "API_PREFIX",
+    "CAMPAIGNS_PATH",
+    "LEASE_PATH",
+    "HEARTBEAT_PATH",
+    "COMPLETE_PATH",
+    "HEALTH_PATH",
+    "SHUTDOWN_PATH",
+    "RUN_PENDING",
+    "RUN_LEASED",
+    "RUN_COMPLETED",
+    "RUN_FAILED",
+    "RUN_CACHED",
+    "TERMINAL_STATUSES",
+    "LeaseGrant",
+    "dump_message",
+    "load_message",
+]
+
+API_PREFIX = "/api/v1"
+CAMPAIGNS_PATH = f"{API_PREFIX}/campaigns"
+LEASE_PATH = f"{API_PREFIX}/queue/lease"
+HEARTBEAT_PATH = f"{API_PREFIX}/queue/heartbeat"
+COMPLETE_PATH = f"{API_PREFIX}/queue/complete"
+HEALTH_PATH = f"{API_PREFIX}/healthz"
+SHUTDOWN_PATH = f"{API_PREFIX}/shutdown"
+
+#: Run lifecycle states as reported by status/summary/event payloads.
+RUN_PENDING = "pending"
+RUN_LEASED = "leased"
+RUN_COMPLETED = "completed"
+RUN_FAILED = "failed"
+RUN_CACHED = "cached"
+
+#: States a run never leaves; a campaign is done when every run is terminal.
+TERMINAL_STATUSES = frozenset({RUN_COMPLETED, RUN_FAILED, RUN_CACHED})
+
+
+class LeaseGrant(dict):
+    """One leased run, as returned by the lease endpoint.
+
+    A thin dict subclass (it *is* the JSON payload) with typed accessors
+    for the fields the worker loop needs.
+    """
+
+    @property
+    def lease_id(self) -> str:
+        return self["lease_id"]
+
+    @property
+    def run_id(self) -> str:
+        return self["run_id"]
+
+    @property
+    def campaign_id(self) -> str:
+        return self["campaign_id"]
+
+    @property
+    def payload(self) -> str:
+        """The serialised :class:`~repro.runtime.campaign.RunSpec`."""
+        return self["payload"]
+
+    @property
+    def lease_seconds(self) -> float:
+        return float(self["lease_seconds"])
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> Optional["LeaseGrant"]:
+        return None if data is None else cls(data)
+
+
+def dump_message(payload: Mapping[str, Any]) -> bytes:
+    """Encode one protocol message as UTF-8 JSON bytes."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def load_message(data: bytes) -> Dict[str, Any]:
+    """Decode one protocol message; raises ``ValueError`` on bad input."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed JSON message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"protocol messages must be JSON objects, got {type(payload)!r}")
+    return payload

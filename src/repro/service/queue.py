@@ -1,0 +1,286 @@
+"""The work queue behind the campaign service: lease, heartbeat, complete.
+
+A :class:`WorkQueue` hands serialised
+:class:`~repro.runtime.campaign.RunSpec` payloads to workers under
+*leases*: a leased run belongs to one worker for ``lease_seconds``, and
+a worker that goes silent (crash, network partition, kill -9) simply
+lets its lease expire — the run returns to the pending queue and the
+next ``lease`` call hands it to a survivor.  Workers extend their leases
+with heartbeats while executing, so slow runs are not confused with dead
+workers.
+
+The queue never executes anything and never touches disk; it is pure
+bookkeeping over run states.  Persistence (the
+:class:`~repro.runtime.store.CampaignStore`) and dedupe (the
+:class:`~repro.runtime.store.DedupeCache`) happen in the
+:class:`~repro.service.server.CampaignService` callback fired when a run
+reaches a terminal state.
+
+Determinism note: leases carry the payload verbatim, completion carries
+the worker outcome verbatim.  *Which* worker runs a payload (and how
+many times, after expiries) can never change the result — every attempt
+feeds the identical JSON through the identical
+``execute_run_payload`` worker contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.service.protocol import (
+    RUN_COMPLETED,
+    RUN_FAILED,
+    RUN_LEASED,
+    RUN_PENDING,
+    TERMINAL_STATUSES,
+    LeaseGrant,
+)
+
+__all__ = ["WorkItem", "WorkQueue"]
+
+ItemKey = Tuple[str, str]  # (campaign_id, run_id)
+
+
+@dataclass
+class WorkItem:
+    """One unit of queued work and its lease bookkeeping."""
+
+    campaign_id: str
+    run_id: str
+    payload: str
+    signature: Optional[str] = None
+    state: str = RUN_PENDING
+    worker_id: Optional[str] = None
+    lease_id: Optional[str] = None
+    deadline: float = 0.0
+    attempts: int = 0
+    outcome: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def key(self) -> ItemKey:
+        return (self.campaign_id, self.run_id)
+
+
+class WorkQueue:
+    """Thread-safe lease/heartbeat/complete queue with expiry requeue.
+
+    Parameters
+    ----------
+    lease_seconds:
+        How long a lease lasts without a heartbeat.  Chosen per
+        deployment: long enough that a healthy worker's heartbeat cadence
+        (a third of this) always lands in time, short enough that a dead
+        worker's runs are re-leased promptly.
+    max_attempts:
+        A run whose lease expires keeps being re-leased until it has been
+        attempted this many times; after that it is failed with a
+        descriptive error instead of looping forever (a poison payload
+        that kills every worker must not wedge the campaign).
+    on_terminal:
+        Callback ``(item, outcome_dict)`` fired exactly once per item
+        when it reaches a terminal state — on worker completion *or* on
+        expiry exhaustion.  Always invoked outside the queue lock.
+    clock:
+        Injectable monotonic clock (tests use a fake to step time).
+    """
+
+    def __init__(
+        self,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        on_terminal: Optional[Callable[[WorkItem, Dict[str, Any]], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.on_terminal = on_terminal
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._items: Dict[ItemKey, WorkItem] = {}
+        self._pending: Deque[ItemKey] = deque()
+        self._by_lease: Dict[str, ItemKey] = {}
+
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        campaign_id: str,
+        run_id: str,
+        payload: str,
+        signature: Optional[str] = None,
+    ) -> WorkItem:
+        """Enqueue one run payload (FIFO within the queue)."""
+        item = WorkItem(
+            campaign_id=campaign_id,
+            run_id=run_id,
+            payload=payload,
+            signature=signature,
+        )
+        with self._lock:
+            if item.key in self._items:
+                raise ValueError(
+                    f"run {run_id!r} of campaign {campaign_id!r} is already queued"
+                )
+            self._items[item.key] = item
+            self._pending.append(item.key)
+        return item
+
+    # ------------------------------------------------------------------ #
+    def _expire_locked(self, now: float) -> List[Tuple[WorkItem, Dict[str, Any]]]:
+        """Requeue (or exhaust) every expired lease; returns terminal events."""
+        exhausted: List[Tuple[WorkItem, Dict[str, Any]]] = []
+        for item in list(self._items.values()):
+            if item.state != RUN_LEASED or item.deadline > now:
+                continue
+            if item.lease_id is not None:
+                self._by_lease.pop(item.lease_id, None)
+            item.lease_id = None
+            item.worker_id = None
+            if item.attempts >= self.max_attempts:
+                outcome = {
+                    "status": "failed",
+                    "error": (
+                        f"lease expired {item.attempts} time(s) without a "
+                        f"result (max_attempts={self.max_attempts}); the run "
+                        "was abandoned — are the workers crashing on this "
+                        "payload?"
+                    ),
+                }
+                item.state = RUN_FAILED
+                item.outcome = outcome
+                exhausted.append((item, outcome))
+            else:
+                item.state = RUN_PENDING
+                self._pending.append(item.key)
+        return exhausted
+
+    def _fire_terminal(self, events: List[Tuple[WorkItem, Dict[str, Any]]]) -> None:
+        if self.on_terminal is not None:
+            for item, outcome in events:
+                self.on_terminal(item, outcome)
+
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> Optional[LeaseGrant]:
+        """Lease the oldest pending run to ``worker_id`` (or ``None``)."""
+        now = self.clock()
+        with self._lock:
+            exhausted = self._expire_locked(now)
+            key: Optional[ItemKey] = None
+            while self._pending:
+                candidate = self._pending.popleft()
+                item = self._items.get(candidate)
+                # Skip keys whose item moved on (completed while queued twice
+                # after an expiry race).
+                if item is not None and item.state == RUN_PENDING:
+                    key = candidate
+                    break
+            if key is None:
+                grant = None
+            else:
+                item = self._items[key]
+                item.state = RUN_LEASED
+                item.worker_id = worker_id
+                item.lease_id = uuid.uuid4().hex
+                item.deadline = now + self.lease_seconds
+                item.attempts += 1
+                self._by_lease[item.lease_id] = key
+                grant = LeaseGrant(
+                    campaign_id=item.campaign_id,
+                    run_id=item.run_id,
+                    payload=item.payload,
+                    lease_id=item.lease_id,
+                    lease_seconds=self.lease_seconds,
+                    attempt=item.attempts,
+                )
+        self._fire_terminal(exhausted)
+        return grant
+
+    def heartbeat(self, worker_id: str, lease_id: str) -> bool:
+        """Extend a live lease; ``False`` means the lease is gone (stale)."""
+        now = self.clock()
+        with self._lock:
+            key = self._by_lease.get(lease_id)
+            item = self._items.get(key) if key is not None else None
+            if item is None or item.state != RUN_LEASED or item.lease_id != lease_id:
+                return False
+            item.deadline = now + self.lease_seconds
+            return True
+
+    def complete(
+        self, worker_id: str, lease_id: str, outcome: Dict[str, Any]
+    ) -> bool:
+        """Record a worker outcome for a held lease.
+
+        Returns ``False`` for a stale lease (expired and re-leased, or
+        already completed elsewhere) — the late worker's result is
+        discarded, which is safe because determinism makes any two
+        results for one payload identical.
+        """
+        if outcome.get("status") not in ("completed", "failed"):
+            raise ValueError(
+                f"outcome status must be 'completed' or 'failed', got "
+                f"{outcome.get('status')!r}"
+            )
+        with self._lock:
+            key = self._by_lease.get(lease_id)
+            item = self._items.get(key) if key is not None else None
+            if item is None or item.state != RUN_LEASED or item.lease_id != lease_id:
+                return False
+            self._by_lease.pop(lease_id, None)
+            item.lease_id = None
+            item.state = (
+                RUN_COMPLETED if outcome["status"] == "completed" else RUN_FAILED
+            )
+            item.outcome = outcome
+            events = [(item, outcome)]
+        self._fire_terminal(events)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def poll_expired(self) -> None:
+        """Process lease expiries now (normally piggybacked on ``lease``).
+
+        Useful for drain paths where no worker is polling anymore but
+        exhausted runs still need their terminal callback.
+        """
+        with self._lock:
+            exhausted = self._expire_locked(self.clock())
+        self._fire_terminal(exhausted)
+
+    def stats(self, campaign_id: Optional[str] = None) -> Dict[str, int]:
+        """State counts, optionally restricted to one campaign."""
+        counts = {RUN_PENDING: 0, RUN_LEASED: 0, RUN_COMPLETED: 0, RUN_FAILED: 0}
+        with self._lock:
+            for item in self._items.values():
+                if campaign_id is not None and item.campaign_id != campaign_id:
+                    continue
+                counts[item.state] += 1
+        return counts
+
+    def is_drained(self, campaign_id: Optional[str] = None) -> bool:
+        """True when every (matching) item is terminal."""
+        stats = self.stats(campaign_id)
+        return stats[RUN_PENDING] == 0 and stats[RUN_LEASED] == 0
+
+    def item(self, campaign_id: str, run_id: str) -> Optional[WorkItem]:
+        with self._lock:
+            return self._items.get((campaign_id, run_id))
+
+    def outcomes(self, campaign_id: str) -> Dict[str, Dict[str, Any]]:
+        """Terminal outcomes of one campaign, keyed by run id."""
+        with self._lock:
+            return {
+                item.run_id: item.outcome
+                for item in self._items.values()
+                if item.campaign_id == campaign_id
+                and item.state in TERMINAL_STATUSES
+                and item.outcome is not None
+            }

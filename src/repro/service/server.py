@@ -1,0 +1,718 @@
+"""The campaign service: ``repro-ehw serve`` behind a stdlib HTTP server.
+
+Two classes split the work:
+
+* :class:`CampaignService` — all of the state and none of the HTTP.  It
+  accepts :class:`~repro.runtime.campaign.CampaignSpec` submissions,
+  expands them, consults the dedupe cache, feeds the work queue, and
+  persists worker outcomes into one
+  :class:`~repro.runtime.store.CampaignStore` per spec digest.  The
+  distributed executor drives a service instance directly (``root=None``
+  — no persistence, in-memory dedupe) with no HTTP in the loop.
+* :class:`CampaignServer` — a :class:`http.server.ThreadingHTTPServer`
+  exposing the service over the JSON protocol of
+  :mod:`repro.service.protocol`.  Pure stdlib: no new dependencies.
+
+The dedupe cache sits **in front of** the stores: every submitted run's
+content signature is looked up before it is enqueued, and every
+completed run is published back — so an identical run (within a
+campaign, or across submissions with different campaign names) is served
+from the stored :class:`~repro.api.artifact.RunArtifact` with
+``status: "cached"`` instead of being re-evolved.
+
+Determinism: the server only moves verbatim JSON payloads between the
+submitter, the queue, the workers and the store.  A campaign executed
+through ``serve`` + N workers therefore produces byte-identical
+artifacts to ``--executor serial`` — the same PR 2 invariant the local
+executors are held to, enforced by ``tests/service/`` and the
+``distributed-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.runtime.campaign import CampaignSpec, RunSpec
+from repro.runtime.store import CampaignStore, DedupeCache
+from repro.service.protocol import (
+    CAMPAIGNS_PATH,
+    COMPLETE_PATH,
+    HEALTH_PATH,
+    HEARTBEAT_PATH,
+    LEASE_PATH,
+    RUN_CACHED,
+    RUN_COMPLETED,
+    RUN_FAILED,
+    RUN_LEASED,
+    RUN_PENDING,
+    SHUTDOWN_PATH,
+    TERMINAL_STATUSES,
+    LeaseGrant,
+    dump_message,
+    load_message,
+)
+from repro.service.queue import WorkItem, WorkQueue
+
+__all__ = ["CampaignService", "CampaignServer", "ServiceError"]
+
+
+class ServiceError(ValueError):
+    """A client error the HTTP layer maps to a 4xx response."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _MemoryDedupe:
+    """Dict-backed stand-in for :class:`DedupeCache` when ``root=None``."""
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    def lookup(self, signature: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._artifacts.get(signature)
+
+    def publish(self, signature: str, artifact: Dict[str, Any], **meta: Any) -> bool:
+        with self._lock:
+            if signature in self._artifacts:
+                return False
+            self._artifacts[signature] = artifact
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._artifacts)
+
+
+@dataclass
+class _CampaignRecord:
+    """Book-keeping for one submission (spec- or payload-mode)."""
+
+    campaign_id: str
+    name: str
+    digest: Optional[str] = None
+    spec: Optional[CampaignSpec] = None
+    store: Optional[CampaignStore] = None
+    runs: Dict[str, RunSpec] = field(default_factory=dict)
+    run_order: List[str] = field(default_factory=list)
+    statuses: Dict[str, str] = field(default_factory=dict)
+    best_fitness: Dict[str, Any] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+    outcomes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    keep_outcomes: bool = False
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.run_order)
+
+    @property
+    def done(self) -> bool:
+        return all(
+            self.statuses[run_id] in TERMINAL_STATUSES for run_id in self.run_order
+        )
+
+    def counts(self) -> Dict[str, int]:
+        counts = {
+            RUN_PENDING: 0,
+            RUN_LEASED: 0,
+            RUN_COMPLETED: 0,
+            RUN_FAILED: 0,
+            RUN_CACHED: 0,
+        }
+        for run_id in self.run_order:
+            counts[self.statuses[run_id]] += 1
+        return counts
+
+
+class CampaignService:
+    """Campaign submissions, the work queue and the dedupe cache, glued.
+
+    Parameters
+    ----------
+    root:
+        Service data directory: one ``CampaignStore`` per submitted spec
+        digest under ``<root>/campaigns/``, the shared ``DedupeCache``
+        under ``<root>/cache/``.  ``None`` runs fully in memory (used by
+        the ``distributed`` executor and ephemeral ``serve`` sessions) —
+        dedupe then lasts for the service's lifetime only.
+    lease_seconds, max_attempts:
+        Work-queue lease policy (see :class:`~repro.service.queue.WorkQueue`).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+    ) -> None:
+        self.root = None if root is None else Path(root)
+        self.cache: Union[DedupeCache, _MemoryDedupe]
+        if self.root is None:
+            self.cache = _MemoryDedupe()
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.cache = DedupeCache(self.root / "cache")
+        self.queue = WorkQueue(
+            lease_seconds=lease_seconds,
+            max_attempts=max_attempts,
+            on_terminal=self._on_terminal,
+        )
+        self._lock = threading.Lock()
+        self._events = threading.Condition(self._lock)
+        self._campaigns: Dict[str, _CampaignRecord] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _new_campaign_id(self, suffix: str) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"c{self._seq:04d}-{suffix}"
+
+    def _store_for(self, spec: CampaignSpec, digest: str) -> Optional[CampaignStore]:
+        if self.root is None:
+            return None
+        store = CampaignStore(self.root / "campaigns" / digest[:16])
+        store.initialise(spec)
+        return store
+
+    def submit(self, spec_data: Union[CampaignSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """Accept one campaign submission; returns the submission receipt.
+
+        Every expanded run is first resolved against the dedupe cache
+        (and the spec's own store, which covers a cache directory that
+        was wiped): hits are recorded as ``cached`` immediately, misses
+        are enqueued for the workers.  The receipt reports the split.
+        """
+        try:
+            spec = (
+                spec_data
+                if isinstance(spec_data, CampaignSpec)
+                else CampaignSpec.from_dict(dict(spec_data))
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ServiceError(f"invalid campaign spec: {exc}") from exc
+        digest = spec.digest()
+        campaign_id = self._new_campaign_id(digest[:8])
+        store = self._store_for(spec, digest)
+        runs = spec.expand()
+        record = _CampaignRecord(
+            campaign_id=campaign_id,
+            name=spec.name,
+            digest=digest,
+            spec=spec,
+            store=store,
+            keep_outcomes=store is None,
+        )
+        completed_ids = store.completed_run_ids() if store is not None else set()
+        to_enqueue: List[RunSpec] = []
+        n_cached = 0
+        with self._lock:
+            self._campaigns[campaign_id] = record
+            for run in runs:
+                record.runs[run.run_id] = run
+                record.run_order.append(run.run_id)
+                signature = run.signature()
+                artifact = self.cache.lookup(signature)
+                if artifact is None and run.run_id in completed_ids:
+                    artifact = store.load_artifact(run.run_id).to_dict()
+                    # Re-seed the cache so the *next* submission hits it
+                    # even under a different campaign name.
+                    self.cache.publish(signature, artifact, run_id=run.run_id)
+                if artifact is not None:
+                    n_cached += 1
+                    self._mark_locked(
+                        record,
+                        run,
+                        RUN_CACHED,
+                        artifact=artifact,
+                        persist=run.run_id not in completed_ids,
+                    )
+                else:
+                    record.statuses[run.run_id] = RUN_PENDING
+                    to_enqueue.append(run)
+            self._events.notify_all()
+        for run in to_enqueue:
+            self.queue.add(campaign_id, run.run_id, run.to_json(), run.signature())
+        return {
+            "campaign_id": campaign_id,
+            "name": spec.name,
+            "digest": digest,
+            "n_runs": len(runs),
+            "n_cached": n_cached,
+            "n_enqueued": len(to_enqueue),
+            "store": None if store is None else str(store.root),
+        }
+
+    def submit_payloads(self, name: str, payloads: List[str]) -> str:
+        """Enqueue raw run payloads (the ``distributed`` executor's path).
+
+        No spec, no store, no dedupe — the engine calling this already
+        handled resume and caching; the service only fans the payloads
+        out to workers.  Run ids are positional (``p00000`` ...), so the
+        caller maps events back to payload positions trivially.
+        """
+        campaign_id = self._new_campaign_id(name)
+        record = _CampaignRecord(
+            campaign_id=campaign_id, name=name, keep_outcomes=True
+        )
+        with self._lock:
+            self._campaigns[campaign_id] = record
+            for position in range(len(payloads)):
+                run_id = f"p{position:05d}"
+                record.run_order.append(run_id)
+                record.statuses[run_id] = RUN_PENDING
+        for position, payload in enumerate(payloads):
+            self.queue.add(campaign_id, f"p{position:05d}", payload)
+        return campaign_id
+
+    # ------------------------------------------------------------------ #
+    # Worker protocol
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> Optional[LeaseGrant]:
+        grant = self.queue.lease(worker_id)
+        if grant is not None:
+            with self._lock:
+                record = self._campaigns.get(grant["campaign_id"])
+                if record is not None:
+                    record.statuses[grant["run_id"]] = RUN_LEASED
+                    self._event_locked(
+                        record,
+                        grant["run_id"],
+                        RUN_LEASED,
+                        worker_id=worker_id,
+                        attempt=grant["attempt"],
+                    )
+        return grant
+
+    def heartbeat(self, worker_id: str, lease_id: str) -> bool:
+        return self.queue.heartbeat(worker_id, lease_id)
+
+    def complete(
+        self, worker_id: str, lease_id: str, outcome: Dict[str, Any]
+    ) -> bool:
+        return self.queue.complete(worker_id, lease_id, outcome)
+
+    def _on_terminal(self, item: WorkItem, outcome: Dict[str, Any]) -> None:
+        """Queue callback: persist, publish and announce one finished run."""
+        with self._lock:
+            record = self._campaigns.get(item.campaign_id)
+            if record is None:
+                return
+            run = record.runs.get(item.run_id)
+            status = (
+                RUN_COMPLETED if outcome.get("status") == "completed" else RUN_FAILED
+            )
+            artifact = outcome.get("artifact") if status == RUN_COMPLETED else None
+            if status == RUN_COMPLETED and run is not None and artifact is not None:
+                self.cache.publish(
+                    item.signature or run.signature(),
+                    artifact,
+                    campaign=record.name,
+                    run_id=run.run_id,
+                )
+            self._mark_locked(
+                record,
+                run,
+                status,
+                run_id=item.run_id,
+                artifact=artifact,
+                error=outcome.get("error"),
+                outcome=outcome,
+            )
+            self._events.notify_all()
+
+    def _mark_locked(
+        self,
+        record: _CampaignRecord,
+        run: Optional[RunSpec],
+        status: str,
+        run_id: Optional[str] = None,
+        artifact: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        outcome: Optional[Dict[str, Any]] = None,
+        persist: bool = True,
+    ) -> None:
+        run_id = run_id if run_id is not None else run.run_id
+        record.statuses[run_id] = status
+        best = None
+        if artifact is not None:
+            best = (artifact.get("results") or {}).get("overall_best_fitness")
+            if best is not None:
+                record.best_fitness[run_id] = best
+        if error is not None:
+            record.errors[run_id] = error
+        if record.keep_outcomes:
+            record.outcomes[run_id] = (
+                outcome
+                if outcome is not None
+                else {"status": "completed", "artifact": artifact}
+            )
+        if persist and record.store is not None and run is not None:
+            if status == RUN_FAILED:
+                record.store.record(run, "failed", error=error or "unknown error")
+            else:
+                record.store.record(
+                    run, "cached" if status == RUN_CACHED else "completed",
+                    artifact=artifact,
+                )
+        self._event_locked(
+            record, run_id, status, best_fitness=best, error=error
+        )
+
+    def _event_locked(
+        self, record: _CampaignRecord, run_id: str, status: str, **extra: Any
+    ) -> None:
+        event = {
+            "seq": len(record.events),
+            "run_id": run_id,
+            "status": status,
+        }
+        event.update({key: value for key, value in extra.items() if value is not None})
+        record.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def _record(self, campaign_id: str) -> _CampaignRecord:
+        record = self._campaigns.get(campaign_id)
+        if record is None:
+            raise ServiceError(f"unknown campaign {campaign_id!r}", status=404)
+        return record
+
+    def campaign_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._campaigns)
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        with self._lock:
+            record = self._record(campaign_id)
+            counts = record.counts()
+            return {
+                "campaign_id": record.campaign_id,
+                "name": record.name,
+                "digest": record.digest,
+                "n_runs": record.n_runs,
+                "counts": counts,
+                "done": record.done,
+                "store": None if record.store is None else str(record.store.root),
+            }
+
+    def summary(self, campaign_id: str) -> Dict[str, Any]:
+        """Per-run rows + counts, mirroring ``CampaignResult.rows()``."""
+        with self._lock:
+            record = self._record(campaign_id)
+            rows = []
+            for run_id in record.run_order:
+                run = record.runs.get(run_id)
+                row: Dict[str, Any] = {
+                    "run_id": run_id,
+                    "status": record.statuses[run_id],
+                }
+                if run is not None:
+                    row["index"] = run.index
+                    row["seed"] = run.seed
+                    row["overrides"] = dict(run.overrides)
+                if run_id in record.best_fitness:
+                    row["overall_best_fitness"] = record.best_fitness[run_id]
+                if run_id in record.errors:
+                    row["error"] = record.errors[run_id]
+                rows.append(row)
+            counts = record.counts()
+            return {
+                "campaign_id": record.campaign_id,
+                "name": record.name,
+                "digest": record.digest,
+                "n_runs": record.n_runs,
+                "n_completed": counts[RUN_COMPLETED],
+                "n_cached": counts[RUN_CACHED],
+                "n_failed": counts[RUN_FAILED],
+                "done": record.done,
+                "rows": rows,
+                "store": None if record.store is None else str(record.store.root),
+            }
+
+    def events(
+        self, campaign_id: str, after: int = 0, wait: float = 0.0
+    ) -> Dict[str, Any]:
+        """Events with ``seq >= after``; long-polls up to ``wait`` seconds.
+
+        The streaming contract of the serve front-end: a client calls
+        this in a loop, advancing ``after`` to the returned ``next_seq``,
+        until ``done`` — each response carries the per-run progress that
+        happened since the last call.
+        """
+        deadline = None if wait <= 0 else (self._now() + wait)
+        with self._events:
+            record = self._record(campaign_id)
+            while True:
+                fresh = record.events[after:]
+                if fresh or record.done or deadline is None:
+                    return {
+                        "events": list(fresh),
+                        "next_seq": after + len(fresh),
+                        "done": record.done,
+                    }
+                remaining = deadline - self._now()
+                if remaining <= 0:
+                    return {"events": [], "next_seq": after, "done": record.done}
+                self._events.wait(remaining)
+
+    @staticmethod
+    def _now() -> float:
+        import time
+
+        return time.monotonic()
+
+    def artifact(self, campaign_id: str, run_id: str) -> Dict[str, Any]:
+        with self._lock:
+            record = self._record(campaign_id)
+            if run_id not in record.statuses:
+                raise ServiceError(
+                    f"campaign {campaign_id!r} has no run {run_id!r}", status=404
+                )
+            if record.statuses[run_id] not in (RUN_COMPLETED, RUN_CACHED):
+                raise ServiceError(
+                    f"run {run_id!r} has no artifact (status "
+                    f"{record.statuses[run_id]!r})",
+                    status=404,
+                )
+            if record.store is not None:
+                return record.store.load_artifact(run_id).to_dict()
+            outcome = record.outcomes.get(run_id) or {}
+            artifact = outcome.get("artifact")
+            if artifact is None:
+                raise ServiceError(f"artifact of {run_id!r} is gone", status=404)
+            return artifact
+
+    def overview(self) -> Dict[str, Any]:
+        """Service-level snapshot (the health endpoint and serve artifact)."""
+        with self._lock:
+            campaigns = [
+                {
+                    "campaign_id": record.campaign_id,
+                    "name": record.name,
+                    "n_runs": record.n_runs,
+                    "counts": record.counts(),
+                    "done": record.done,
+                }
+                for record in self._campaigns.values()
+            ]
+        return {
+            "n_campaigns": len(campaigns),
+            "campaigns": campaigns,
+            "queue": self.queue.stats(),
+            "cache_size": len(self.cache),
+            "root": None if self.root is None else str(self.root),
+        }
+
+    def wait_done(self, campaign_id: str, timeout: Optional[float] = None) -> bool:
+        """Block until a campaign is done (True) or ``timeout`` elapses."""
+        deadline = None if timeout is None else self._now() + timeout
+        with self._events:
+            record = self._record(campaign_id)
+            while not record.done:
+                remaining = None if deadline is None else deadline - self._now()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._events.wait(remaining if remaining is not None else 1.0)
+            return True
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: CampaignService) -> None:
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _ServiceHTTPServer
+
+    # Quiet by default: per-request stderr lines would swamp campaign
+    # progress output; flip on for debugging.
+    verbose = False
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.verbose:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    def _respond(self, payload: Dict[str, Any], status: int = 200) -> None:
+        body = dump_message(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_empty(self, status: int = 204) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        return load_message(self.rfile.read(length)) if length else {}
+
+    def _handle(self, method: str) -> None:
+        service = self.server.service
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/")
+        query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        try:
+            result = self._route(service, method, path, query)
+        except ServiceError as exc:
+            self._respond({"error": str(exc)}, status=exc.status)
+            return
+        except ValueError as exc:
+            self._respond({"error": str(exc)}, status=400)
+            return
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._respond({"error": f"internal error: {exc}"}, status=500)
+            return
+        if result is None:
+            self._respond_empty()
+        else:
+            payload, status = result
+            self._respond(payload, status)
+
+    def _route(
+        self,
+        service: CampaignService,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+    ):
+        if method == "GET" and path == HEALTH_PATH:
+            return {"status": "ok", **service.overview()}, 200
+        if method == "GET" and path == CAMPAIGNS_PATH:
+            return {
+                "campaigns": [service.status(cid) for cid in service.campaign_ids()]
+            }, 200
+        if path.startswith(CAMPAIGNS_PATH + "/"):
+            rest = path[len(CAMPAIGNS_PATH) + 1 :].split("/")
+            if method == "GET" and len(rest) == 1:
+                return service.status(rest[0]), 200
+            if method == "GET" and len(rest) == 2 and rest[1] == "summary":
+                return service.summary(rest[0]), 200
+            if method == "GET" and len(rest) == 2 and rest[1] == "events":
+                return service.events(
+                    rest[0],
+                    after=int(query.get("after", 0)),
+                    wait=float(query.get("wait", 0.0)),
+                ), 200
+            if method == "GET" and len(rest) == 3 and rest[1] == "artifacts":
+                return service.artifact(rest[0], rest[2]), 200
+            raise ServiceError(f"no such endpoint: {method} {path}", status=404)
+        if method == "POST" and path == CAMPAIGNS_PATH:
+            return service.submit(self._read_body()), 201
+        if method == "POST" and path == LEASE_PATH:
+            body = self._read_body()
+            grant = service.lease(body.get("worker_id") or "anonymous")
+            return None if grant is None else (dict(grant), 200)
+        if method == "POST" and path == HEARTBEAT_PATH:
+            body = self._read_body()
+            ok = service.heartbeat(
+                body.get("worker_id") or "anonymous", body["lease_id"]
+            )
+            return {"ok": ok}, 200
+        if method == "POST" and path == COMPLETE_PATH:
+            body = self._read_body()
+            ok = service.complete(
+                body.get("worker_id") or "anonymous",
+                body["lease_id"],
+                body["outcome"],
+            )
+            return {"ok": ok}, 200
+        if method == "POST" and path == SHUTDOWN_PATH:
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+            return {"ok": True}, 200
+        raise ServiceError(f"no such endpoint: {method} {path}", status=404)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle("POST")
+
+
+class CampaignServer:
+    """Lifecycle wrapper: bind, serve on a background thread, stop.
+
+    The listening socket is bound at construction time (so ``url`` is
+    final and workers may connect immediately — requests queue in the
+    accept backlog until :meth:`start`), which also lets the distributed
+    executor fork its local workers *before* any server thread exists.
+    """
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.httpd = _ServiceHTTPServer((host, port), service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CampaignServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-ehw-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self.httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.httpd.server_close()
+
+    def serve_until_shutdown(self) -> None:
+        """Blocking serve loop (the CLI path); returns after ``/shutdown``."""
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.httpd.server_close()
+
+    def __enter__(self) -> "CampaignServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,186 @@
+"""The work-queue worker: lease, execute, heartbeat, complete, repeat.
+
+A :class:`ServiceWorker` is a plain loop over the
+:class:`~repro.service.client.ServiceClient` worker triplet.  Execution
+itself is delegated to the existing
+:func:`~repro.runtime.engine.execute_run_payload` worker contract — the
+exact function the in-process ``thread``/``process`` executors call — so
+a run computed by a remote worker is byte-identical to one computed
+locally.
+
+While a payload executes, a background heartbeat thread extends the
+lease (cadence: a third of the lease duration).  If the worker dies
+instead, the heartbeats stop, the lease expires, and the server
+re-leases the run to a survivor; if the worker merely finishes *late*
+(after an expiry), its ``complete`` is rejected as stale and the result
+discarded — harmless, because determinism makes any two results for one
+payload identical.
+
+``worker_main`` is the module-level entry point: the ``repro-ehw
+worker`` subcommand calls it, and the ``distributed`` executor forks
+local worker processes straight onto it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.protocol import LeaseGrant
+
+__all__ = ["ServiceWorker", "worker_main"]
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{uuid.uuid4().hex[:8]}"
+
+
+class _Heartbeat(threading.Thread):
+    """Extends one lease periodically until stopped."""
+
+    def __init__(
+        self, client: ServiceClient, worker_id: str, grant: LeaseGrant
+    ) -> None:
+        super().__init__(name=f"heartbeat-{grant.run_id}", daemon=True)
+        self.client = client
+        self.worker_id = worker_id
+        self.grant = grant
+        # A third of the lease keeps two chances to land before expiry.
+        self.interval = max(0.05, grant.lease_seconds / 3.0)
+        # Not `_stop`: threading.Thread uses that name internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                if not self.client.heartbeat(self.worker_id, self.grant.lease_id):
+                    return  # lease is gone; completing will be rejected anyway
+            except ServiceUnavailable:
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+class ServiceWorker:
+    """One worker process's lease/execute/complete loop.
+
+    Parameters
+    ----------
+    server:
+        Base URL of the campaign server, or a ready
+        :class:`~repro.service.client.ServiceClient`.
+    worker_id:
+        Stable identity reported with every lease/heartbeat/complete
+        (default: ``<hostname>-<random>``).
+    poll_interval:
+        Sleep between lease attempts when the queue is empty.
+    max_idle_polls:
+        Stop after this many *consecutive* empty lease responses
+        (``None``: poll forever — the service-deployment mode).
+    max_errors:
+        Stop after this many consecutive connection failures — the
+        server is gone, not busy.
+    """
+
+    def __init__(
+        self,
+        server: Any,
+        worker_id: Optional[str] = None,
+        poll_interval: float = 0.2,
+        max_idle_polls: Optional[int] = None,
+        max_errors: int = 5,
+        execute=None,
+    ) -> None:
+        self.client = (
+            server if isinstance(server, ServiceClient) else ServiceClient(str(server))
+        )
+        self.worker_id = worker_id or _default_worker_id()
+        self.poll_interval = float(poll_interval)
+        self.max_idle_polls = max_idle_polls
+        self.max_errors = int(max_errors)
+        if execute is None:
+            from repro.runtime.engine import execute_run_payload
+
+            execute = execute_run_payload
+        self.execute = execute
+        self.stats: Dict[str, int] = {
+            "leased": 0,
+            "completed": 0,
+            "failed": 0,
+            "stale": 0,
+        }
+
+    def run_one(self, grant: LeaseGrant) -> bool:
+        """Execute one leased payload and report it; True if accepted."""
+        import json
+
+        self.stats["leased"] += 1
+        heartbeat = _Heartbeat(self.client, self.worker_id, grant)
+        heartbeat.start()
+        try:
+            outcome_payload = self.execute(grant.payload)
+        finally:
+            heartbeat.stop()
+        outcome = json.loads(outcome_payload)
+        accepted = self.client.complete(self.worker_id, grant.lease_id, outcome)
+        if not accepted:
+            self.stats["stale"] += 1
+        elif outcome.get("status") == "completed":
+            self.stats["completed"] += 1
+        else:
+            self.stats["failed"] += 1
+        return accepted
+
+    def run_forever(self) -> Dict[str, int]:
+        """The worker loop; returns the stats dict when it stops."""
+        idle = 0
+        errors = 0
+        while True:
+            try:
+                grant = self.client.lease(self.worker_id)
+            except ServiceUnavailable:
+                errors += 1
+                if errors >= self.max_errors:
+                    self.stats["errors"] = errors
+                    return self.stats
+                time.sleep(self.poll_interval)
+                continue
+            errors = 0
+            if grant is None:
+                idle += 1
+                if self.max_idle_polls is not None and idle >= self.max_idle_polls:
+                    return self.stats
+                time.sleep(self.poll_interval)
+                continue
+            idle = 0
+            try:
+                self.run_one(grant)
+            except ServiceUnavailable:
+                errors += 1
+                if errors >= self.max_errors:
+                    self.stats["errors"] = errors
+                    return self.stats
+
+
+def worker_main(
+    server_url: str,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.2,
+    max_idle_polls: Optional[int] = None,
+    max_errors: int = 5,
+) -> Dict[str, int]:
+    """Module-level worker entry point (CLI + forked executor workers)."""
+    worker = ServiceWorker(
+        server_url,
+        worker_id=worker_id,
+        poll_interval=poll_interval,
+        max_idle_polls=max_idle_polls,
+        max_errors=max_errors,
+    )
+    return worker.run_forever()

@@ -174,3 +174,91 @@ class TestSummary:
         assert len(lines) == 4
         for line in lines:
             json.loads(line)
+
+
+class TestAtomicWrites:
+    def test_record_leaves_no_temp_files(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_campaign, executor="serial", store=store)
+        assert list(store.root.rglob("*.tmp")) == []
+        # Artifact files are complete JSON documents with a trailing newline.
+        for path in store.runs_dir.iterdir():
+            text = path.read_text()
+            assert text.endswith("\n")
+            json.loads(text)
+
+    def test_atomic_write_replaces_whole_files(self, tmp_path):
+        from repro.runtime.store import _atomic_write_text
+
+        target = tmp_path / "out.json"
+        _atomic_write_text(target, '{"ok": 1}\n')
+        _atomic_write_text(target, '{"ok": 2}\n')
+        assert json.loads(target.read_text()) == {"ok": 2}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failed_write_cleans_up_its_temp_file(self, tmp_path, monkeypatch):
+        from repro.runtime import store as store_module
+
+        def explode(src, dst):
+            raise RuntimeError("replace failed")
+
+        monkeypatch.setattr(store_module.os, "replace", explode)
+        with pytest.raises(RuntimeError, match="replace failed"):
+            store_module._atomic_write_text(tmp_path / "out.json", "data")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCachedStatus:
+    def test_cached_record_requires_an_artifact(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        store.initialise(tiny_campaign)
+        with pytest.raises(ValueError, match="artifact"):
+            store.record(runs[0], "cached")
+
+    def test_cached_runs_count_as_resumable_and_distinct(
+        self, tiny_campaign, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        store.initialise(tiny_campaign)
+        store.record(
+            runs[0],
+            "completed",
+            artifact={"results": {"overall_best_fitness": 2.0}},
+        )
+        store.record(
+            runs[1],
+            "cached",
+            artifact={"results": {"overall_best_fitness": 3.0}},
+            source_run_id="run-elsewhere",
+        )
+        assert store.completed_run_ids() == {runs[0].run_id, runs[1].run_id}
+        summary = store.summary()
+        assert summary["n_completed"] == 1
+        assert summary["n_cached"] == 1
+        # Cached runs join the fitness aggregates like computed ones.
+        assert summary["best_fitness"] == 2.0
+        assert summary["mean_fitness"] == 2.5
+        cached_row = store.index()[1]
+        assert cached_row["status"] == "cached"
+        assert cached_row["source_run_id"] == "run-elsewhere"
+
+
+class TestSignatureIndex:
+    def test_every_entry_carries_the_run_signature(self, tiny_campaign, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        result = run_campaign(tiny_campaign, executor="serial", store=store)
+        by_signature = store.signature_index()
+        assert len(by_signature) == 4
+        for run in result.runs:
+            assert by_signature[run.signature()]["run_id"] == run.run_id
+
+    def test_failed_runs_are_not_in_the_signature_index(
+        self, tiny_campaign, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        runs = tiny_campaign.expand()
+        store.initialise(tiny_campaign)
+        store.record(runs[0], "failed", error="boom")
+        assert store.signature_index() == {}

@@ -1,0 +1,114 @@
+"""Multiprocess hammer: concurrent writers sharing one campaign store.
+
+N processes append records for the same runs into one JSONL index at
+once.  Whatever the interleaving, the index must stay parseable line by
+line, no append may be lost or torn, and the deduplicated logical view
+must count each run exactly once.
+"""
+
+import json
+import multiprocessing
+
+from repro.api.config import EvolutionConfig, PlatformConfig, TaskSpec
+from repro.runtime.campaign import CampaignSpec
+from repro.runtime.store import CampaignStore
+
+N_PROCESSES = 4
+N_REPEATS = 5
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="hammer",
+        platform=PlatformConfig(seed=1),
+        evolution=EvolutionConfig(n_generations=2, seed=2),
+        task=TaskSpec(image_side=16, seed=3),
+        grid={"evolution.mutation_rate": [1, 3]},
+        repeats=3,
+        seed=5,
+    )
+
+
+def _hammer(store_root: str, spec_json: str, worker: int) -> None:
+    """One writer process: record every run of the campaign N_REPEATS times."""
+    spec = CampaignSpec.from_json(spec_json)
+    store = CampaignStore(store_root)
+    for repeat in range(N_REPEATS):
+        for run in spec.expand():
+            store.record(
+                run,
+                "completed",
+                artifact={
+                    "results": {
+                        "overall_best_fitness": float(run.index),
+                        "writer": worker,
+                        "repeat": repeat,
+                    }
+                },
+            )
+
+
+class TestConcurrentWriters:
+    def test_hammered_index_stays_consistent(self, tmp_path):
+        spec = _spec()
+        runs = spec.expand()
+        store = CampaignStore(tmp_path / "store")
+        store.initialise(spec)
+        context = multiprocessing.get_context()
+        processes = [
+            context.Process(
+                target=_hammer, args=(str(store.root), spec.to_json(), worker)
+            )
+            for worker in range(N_PROCESSES)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+
+        # Every append landed intact: the raw line count is exact and
+        # every line parses — no torn or interleaved writes.
+        lines = store.index_path.read_text().strip().splitlines()
+        assert len(lines) == N_PROCESSES * N_REPEATS * len(runs)
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["status"] == "completed"
+
+        # The logical view counts each run exactly once (no double-counting).
+        rows = store.index()
+        assert len(rows) == len(runs)
+        assert [row["run_id"] for row in rows] == [run.run_id for run in runs]
+        summary = store.summary()
+        assert summary["n_runs"] == len(runs)
+        assert summary["n_completed"] == len(runs)
+        assert summary["n_failed"] == 0
+        assert store.completed_run_ids() == {run.run_id for run in runs}
+
+    def test_hammered_artifacts_are_whole_files(self, tmp_path):
+        """Atomic artifact writes: every file is complete valid JSON and no
+        temp files are left behind, no matter how many writers raced."""
+        spec = _spec()
+        store = CampaignStore(tmp_path / "store")
+        store.initialise(spec)
+        context = multiprocessing.get_context()
+        processes = [
+            context.Process(
+                target=_hammer, args=(str(store.root), spec.to_json(), worker)
+            )
+            for worker in range(N_PROCESSES)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        artifact_files = sorted(store.runs_dir.iterdir())
+        assert [path.name for path in artifact_files] == sorted(
+            f"{run.run_id}.json" for run in spec.expand()
+        )
+        for path in artifact_files:
+            payload = json.loads(path.read_text())
+            assert "overall_best_fitness" in payload["results"]
+        leftovers = [path for path in store.root.rglob("*.tmp")]
+        assert leftovers == []

@@ -1,0 +1,43 @@
+"""Shared fixtures for the campaign-service tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.config import EvolutionConfig, PlatformConfig, TaskSpec
+from repro.runtime.campaign import CampaignSpec
+
+
+@pytest.fixture
+def small_campaign() -> CampaignSpec:
+    """A fast two-run evolve campaign with fully pinned seeds."""
+    return CampaignSpec(
+        name="svc",
+        platform=PlatformConfig(n_arrays=3, seed=1),
+        evolution=EvolutionConfig(n_generations=3, seed=2),
+        task=TaskSpec(image_side=16, seed=3),
+        grid={"evolution.mutation_rate": [1, 3]},
+        seed=7,
+    )
+
+
+def _fake_execute(payload: str) -> str:
+    """Instant stand-in for ``execute_run_payload``: no evolution, still
+    deterministic in the payload (tests that don't need real artifacts)."""
+    run = json.loads(payload)
+    return json.dumps(
+        {
+            "status": "completed",
+            "artifact": {
+                "kind": "fake",
+                "results": {"overall_best_fitness": float(run["index"]) + 0.5},
+            },
+        }
+    )
+
+
+@pytest.fixture
+def fake_execute():
+    return _fake_execute

@@ -1,0 +1,152 @@
+"""The serve/worker subcommands and ``campaign --server`` / ``--cache``."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service.client import ServiceClient
+from repro.service.server import CampaignServer, CampaignService
+from repro.service.worker import ServiceWorker
+
+
+class TestServeCommand:
+    def test_serve_duration_writes_ready_file_and_artifact(self, tmp_path, capsys):
+        ready = tmp_path / "ready"
+        out = tmp_path / "serve.json"
+        assert main([
+            "serve", "--duration", "0.1", "--ready-file", str(ready),
+            "--json", str(out),
+        ]) == 0
+        url = ready.read_text().strip()
+        assert url.startswith("http://127.0.0.1:")
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "serve"
+        assert payload["results"]["n_campaigns"] == 0
+        assert payload["config"]["url"] == url
+
+    def test_serve_answers_requests_while_up(self, tmp_path):
+        ready = tmp_path / "ready"
+        done = threading.Event()
+
+        def run_serve():
+            main(["serve", "--duration", "1.0", "--ready-file", str(ready)])
+            done.set()
+
+        thread = threading.Thread(target=run_serve)
+        thread.start()
+        try:
+            deadline = threading.Event()
+            for _ in range(100):
+                if ready.exists() and ready.read_text().strip():
+                    break
+                deadline.wait(0.05)
+            client = ServiceClient(ready.read_text().strip())
+            assert client.health()["status"] == "ok"
+        finally:
+            thread.join(timeout=15)
+        assert done.is_set()
+
+
+class TestWorkerCommand:
+    def test_worker_reports_stats_when_server_is_gone(self, tmp_path, capsys):
+        out = tmp_path / "worker.json"
+        assert main([
+            "worker", "--server", "http://127.0.0.1:9", "--max-errors", "1",
+            "--poll-interval", "0.01", "--json", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "worker"
+        assert payload["results"]["errors"] == 1
+        assert payload["config"]["server"] == "http://127.0.0.1:9"
+
+    def test_worker_requires_a_server(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+
+class TestCampaignServerFlag:
+    def test_campaign_submits_to_a_server_and_reports_rows(
+        self, tmp_path, capsys, fake_execute
+    ):
+        service = CampaignService(root=tmp_path / "service", lease_seconds=5.0)
+        with CampaignServer(service) as server:
+            worker = ServiceWorker(
+                server.url,
+                worker_id="cli",
+                poll_interval=0.01,
+                max_idle_polls=200,
+                execute=fake_execute,
+            )
+            thread = threading.Thread(target=worker.run_forever)
+            thread.start()
+            out = tmp_path / "campaign.json"
+            try:
+                assert main([
+                    "campaign",
+                    "--grid", "evolution.mutation_rate=[1,3]",
+                    "--generations", "3", "--image-side", "16", "--seed", "1",
+                    "--server", server.url,
+                    "--json", str(out),
+                ]) == 0
+            finally:
+                thread.join(timeout=20)
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "campaign"
+        results = payload["results"]
+        assert results["n_runs"] == 2
+        assert results["n_completed"] == 2
+        assert results["executor"] == f"server:{server.url}"
+        assert payload["provenance"]["server"] == server.url
+        assert payload["provenance"]["campaign_id"].startswith("c0001-")
+        assert [row["status"] for row in results["rows"]] == ["completed"] * 2
+
+        # Resubmitting the identical campaign: served 100% from cache.
+        with CampaignServer(service) as server2:
+            out2 = tmp_path / "campaign2.json"
+            assert main([
+                "campaign",
+                "--grid", "evolution.mutation_rate=[1,3]",
+                "--generations", "3", "--image-side", "16", "--seed", "1",
+                "--server", server2.url,
+                "--json", str(out2),
+            ]) == 0
+        rerun = json.loads(out2.read_text())
+        assert rerun["results"]["n_cached"] == 2
+        assert [row["status"] for row in rerun["results"]["rows"]] == ["cached"] * 2
+
+    def test_campaign_server_rejects_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="--store"):
+            main([
+                "campaign",
+                "--grid", "evolution.mutation_rate=[1]",
+                "--server", "http://127.0.0.1:9",
+                "--store", str(tmp_path / "store"),
+            ])
+
+
+class TestCampaignCacheFlag:
+    def test_cache_flag_dedupes_across_invocations(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [
+            "campaign",
+            "--grid", "evolution.mutation_rate=[1,3]",
+            "--generations", "3", "--image-side", "16", "--seed", "1",
+            "--cache", str(cache),
+        ]
+        out1 = tmp_path / "one.json"
+        assert main([*args, "--json", str(out1)]) == 0
+        first = json.loads(out1.read_text())
+        assert first["results"]["n_cached"] == 0
+
+        out2 = tmp_path / "two.json"
+        assert main([*args, "--json", str(out2)]) == 0
+        second = json.loads(out2.read_text())
+        assert second["results"]["n_cached"] == 2
+        assert [row["status"] for row in second["results"]["rows"]] == ["cached"] * 2
+        # The cached rerun returns the identical per-run results.
+        strip = lambda rows: [
+            {k: row[k] for k in ("run_id", "overall_best_fitness")} for row in rows
+        ]
+        assert strip(first["results"]["rows"]) == strip(second["results"]["rows"])

@@ -1,0 +1,141 @@
+"""The distributed stack end to end: executor parity, crashed workers."""
+
+import json
+import multiprocessing
+import time
+
+from repro.runtime.engine import run_campaign
+from repro.runtime.executors import DistributedExecutor
+from repro.runtime.store import CampaignStore
+from repro.service.server import CampaignServer, CampaignService
+from repro.service.worker import worker_main
+
+
+class TestDistributedExecutor:
+    def test_byte_identical_to_serial(self, small_campaign):
+        """The PR gate: server + workers must change nothing but wall time."""
+        serial = run_campaign(small_campaign, executor="serial")
+        distributed = run_campaign(
+            small_campaign, executor="distributed", max_workers=2
+        )
+        assert distributed.executor == "distributed"
+        assert distributed.n_failed == 0
+        for run in serial.runs:
+            left = json.dumps(
+                serial.artifacts[run.run_id].to_dict(), sort_keys=True
+            )
+            right = json.dumps(
+                distributed.artifacts[run.run_id].to_dict(), sort_keys=True
+            )
+            assert left == right
+
+    def test_store_contents_match_serial_byte_for_byte(
+        self, small_campaign, tmp_path
+    ):
+        run_campaign(small_campaign, executor="serial", store=tmp_path / "serial")
+        run_campaign(
+            small_campaign, executor="distributed", store=tmp_path / "dist"
+        )
+        serial_store = CampaignStore(tmp_path / "serial")
+        dist_store = CampaignStore(tmp_path / "dist")
+        for run in small_campaign.expand():
+            left = serial_store.artifact_path(run.run_id).read_bytes()
+            right = dist_store.artifact_path(run.run_id).read_bytes()
+            assert left == right
+
+    def test_empty_campaign_is_a_no_op(self):
+        executor = DistributedExecutor()
+        assert list(executor.execute([])) == []
+
+    def test_inline_drain_finishes_without_any_workers(self, small_campaign):
+        """If every worker dies, the executor completes the queue itself."""
+        executor = DistributedExecutor(lease_seconds=0.5, max_attempts=3)
+        payloads = [run.to_json() for run in small_campaign.expand()]
+        service = CampaignService(root=None, lease_seconds=0.5)
+        campaign_id = service.submit_payloads("orphaned", payloads)
+        # Simulate a worker that leased a run and was then killed.
+        grant = service.lease("doomed")
+        assert grant is not None
+        time.sleep(0.6)  # let the lease expire
+        executor._drain_inline(service, campaign_id)
+        outcomes = service.queue.outcomes(campaign_id)
+        assert len(outcomes) == len(payloads)
+        assert all(o["status"] == "completed" for o in outcomes.values())
+
+
+class TestWorkerCrashMidCampaign:
+    def test_campaign_survives_a_killed_worker(self, small_campaign, tmp_path):
+        """Acceptance scenario: SIGKILL a worker holding a lease; the run is
+        re-leased after expiry and the campaign still finishes with results
+        identical to serial execution."""
+        serial = run_campaign(small_campaign, executor="serial")
+
+        service = CampaignService(
+            root=tmp_path / "service", lease_seconds=1.0, max_attempts=5
+        )
+        receipt = service.submit(small_campaign.to_dict())
+        cid = receipt["campaign_id"]
+        server = CampaignServer(service)
+        context = multiprocessing.get_context("fork")
+        doomed = context.Process(
+            target=worker_main,
+            args=(server.url,),
+            kwargs={
+                "worker_id": "doomed",
+                "poll_interval": 0.02,
+                "max_idle_polls": 500,
+            },
+            daemon=True,
+        )
+        try:
+            doomed.start()
+            server.start()
+            # Kill the worker the moment it holds its first lease.
+            deadline = time.monotonic() + 30
+            after = 0
+            leased = None
+            while leased is None and time.monotonic() < deadline:
+                page = service.events(cid, after=after, wait=0.5)
+                after = page["next_seq"]
+                for event in page["events"]:
+                    if event["status"] == "leased":
+                        leased = event["run_id"]
+                        break
+            assert leased is not None, "worker never leased a run"
+            doomed.kill()
+            doomed.join(timeout=10)
+
+            survivor = context.Process(
+                target=worker_main,
+                args=(server.url,),
+                kwargs={
+                    "worker_id": "survivor",
+                    "poll_interval": 0.02,
+                    "max_idle_polls": 500,
+                },
+                daemon=True,
+            )
+            survivor.start()
+            try:
+                assert service.wait_done(cid, timeout=90)
+            finally:
+                survivor.terminate()
+                survivor.join(timeout=10)
+        finally:
+            server.stop()
+
+        summary = service.summary(cid)
+        assert [row["status"] for row in summary["rows"]] == ["completed"] * 2
+        # Byte parity with serial, despite the mid-campaign crash.
+        store = CampaignStore(receipt["store"])
+        for run in serial.runs:
+            stored = store.artifact_path(run.run_id).read_text()
+            expected = (
+                json.dumps(
+                    serial.artifacts[run.run_id].to_dict(),
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            assert stored == expected

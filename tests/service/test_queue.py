@@ -1,0 +1,171 @@
+"""WorkQueue semantics: leases, heartbeats, expiry requeue, exhaustion."""
+
+import pytest
+
+from repro.service.protocol import (
+    RUN_COMPLETED,
+    RUN_FAILED,
+    RUN_LEASED,
+    RUN_PENDING,
+)
+from repro.service.queue import WorkQueue
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_queue(clock, **kwargs):
+    terminal = []
+    queue = WorkQueue(
+        lease_seconds=kwargs.pop("lease_seconds", 10.0),
+        on_terminal=lambda item, outcome: terminal.append((item.run_id, outcome)),
+        clock=clock,
+        **kwargs,
+    )
+    return queue, terminal
+
+
+class TestLease:
+    def test_leases_are_fifo(self, clock):
+        queue, _ = make_queue(clock)
+        queue.add("c1", "r1", "payload-1")
+        queue.add("c1", "r2", "payload-2")
+        first = queue.lease("w1")
+        second = queue.lease("w2")
+        assert (first.run_id, first.payload) == ("r1", "payload-1")
+        assert (second.run_id, second.payload) == ("r2", "payload-2")
+        assert queue.lease("w3") is None
+
+    def test_grant_names_the_lease_terms(self, clock):
+        queue, _ = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        grant = queue.lease("w1")
+        assert grant.campaign_id == "c1"
+        assert grant.lease_seconds == 10.0
+        assert grant["attempt"] == 1
+        assert queue.stats() == {
+            RUN_PENDING: 0, RUN_LEASED: 1, RUN_COMPLETED: 0, RUN_FAILED: 0,
+        }
+
+    def test_duplicate_add_is_rejected(self, clock):
+        queue, _ = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        with pytest.raises(ValueError, match="already queued"):
+            queue.add("c1", "r1", "p")
+        queue.add("c2", "r1", "p")  # same run id, different campaign: fine
+
+
+class TestCompletion:
+    def test_complete_fires_the_terminal_callback(self, clock):
+        queue, terminal = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        grant = queue.lease("w1")
+        outcome = {"status": "completed", "artifact": {"results": {}}}
+        assert queue.complete("w1", grant.lease_id, outcome) is True
+        assert terminal == [("r1", outcome)]
+        assert queue.is_drained("c1")
+        assert queue.outcomes("c1") == {"r1": outcome}
+
+    def test_unknown_or_stale_lease_is_rejected(self, clock):
+        queue, terminal = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        grant = queue.lease("w1")
+        assert queue.complete("w1", "bogus", {"status": "completed"}) is False
+        assert queue.complete("w1", grant.lease_id, {"status": "completed"}) is True
+        # Completing the same lease twice: the second is stale.
+        assert queue.complete("w1", grant.lease_id, {"status": "completed"}) is False
+        assert len(terminal) == 1
+
+    def test_invalid_outcome_status_raises(self, clock):
+        queue, _ = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        grant = queue.lease("w1")
+        with pytest.raises(ValueError, match="outcome status"):
+            queue.complete("w1", grant.lease_id, {"status": "wat"})
+
+
+class TestExpiry:
+    def test_expired_lease_is_requeued_to_a_survivor(self, clock):
+        queue, terminal = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        dead = queue.lease("w-dead")
+        assert queue.lease("w-live") is None  # nothing else pending
+        clock.advance(10.1)
+        regrant = queue.lease("w-live")
+        assert regrant is not None
+        assert regrant.run_id == "r1"
+        assert regrant["attempt"] == 2
+        assert regrant.lease_id != dead.lease_id
+        # The dead worker's late completion is now stale.
+        assert queue.complete("w-dead", dead.lease_id, {"status": "completed"}) is False
+        assert queue.complete(
+            "w-live", regrant.lease_id, {"status": "completed"}
+        ) is True
+        assert len(terminal) == 1
+
+    def test_heartbeat_extends_the_lease(self, clock):
+        queue, _ = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        grant = queue.lease("w1")
+        clock.advance(8.0)
+        assert queue.heartbeat("w1", grant.lease_id) is True
+        clock.advance(8.0)  # 16s since lease, 8s since heartbeat: still live
+        assert queue.lease("w2") is None
+        assert queue.heartbeat("w1", grant.lease_id) is True
+        assert queue.complete("w1", grant.lease_id, {"status": "completed"}) is True
+
+    def test_heartbeat_on_an_expired_lease_fails(self, clock):
+        queue, _ = make_queue(clock)
+        queue.add("c1", "r1", "p")
+        grant = queue.lease("w1")
+        clock.advance(10.1)
+        queue.poll_expired()
+        assert queue.heartbeat("w1", grant.lease_id) is False
+
+    def test_exhausted_run_fails_with_a_descriptive_error(self, clock):
+        queue, terminal = make_queue(clock, max_attempts=2)
+        queue.add("c1", "r1", "p")
+        for _ in range(2):
+            assert queue.lease("w") is not None
+            clock.advance(10.1)
+        queue.poll_expired()
+        assert queue.lease("w") is None  # not requeued a third time
+        assert len(terminal) == 1
+        run_id, outcome = terminal[0]
+        assert run_id == "r1"
+        assert outcome["status"] == "failed"
+        assert "lease expired" in outcome["error"]
+        assert "max_attempts=2" in outcome["error"]
+        assert queue.is_drained("c1")
+
+    def test_exhaustion_fires_even_without_a_new_lease_call(self, clock):
+        """Drain paths with no live workers rely on poll_expired."""
+        queue, terminal = make_queue(clock, max_attempts=1)
+        queue.add("c1", "r1", "p")
+        queue.lease("w")
+        clock.advance(10.1)
+        assert not queue.is_drained("c1")
+        queue.poll_expired()
+        assert queue.is_drained("c1")
+        assert terminal[0][1]["status"] == "failed"
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_parameters(self, clock):
+        with pytest.raises(ValueError, match="lease_seconds"):
+            WorkQueue(lease_seconds=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            WorkQueue(max_attempts=0)

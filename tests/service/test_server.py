@@ -1,0 +1,236 @@
+"""CampaignService + the HTTP front-end: submissions, events, dedupe."""
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import CampaignServer, CampaignService, ServiceError
+from repro.service.worker import ServiceWorker
+
+def drain_with_fake_worker(url_or_client, execute, worker_id="t0"):
+    """Run one in-thread worker with the instant fake executor until idle."""
+    worker = ServiceWorker(
+        url_or_client,
+        worker_id=worker_id,
+        poll_interval=0.01,
+        max_idle_polls=5,
+        execute=execute,
+    )
+    thread = threading.Thread(target=worker.run_forever)
+    thread.start()
+    return worker, thread
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = CampaignService(root=tmp_path / "service", lease_seconds=5.0)
+    with CampaignServer(service) as server:
+        yield service, server, ServiceClient(server.url)
+
+
+class TestSubmission:
+    def test_submit_expands_and_enqueues(self, served, small_campaign):
+        service, _, client = served
+        receipt = client.submit(small_campaign.to_dict())
+        assert receipt["n_runs"] == 2
+        assert receipt["n_enqueued"] == 2
+        assert receipt["n_cached"] == 0
+        assert receipt["digest"] == small_campaign.digest()
+        status = client.status(receipt["campaign_id"])
+        assert status["counts"]["pending"] == 2
+        assert status["done"] is False
+
+    def test_invalid_spec_is_a_client_error(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError, match="invalid campaign spec") as info:
+            client.submit({"definitely": "not a spec"})
+        assert info.value.status == 400
+
+    def test_unknown_campaign_is_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as info:
+            client.status("c9999-missing")
+        assert info.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as info:
+            client._request("GET", "/api/v1/nope")
+        assert info.value.status == 404
+
+    def test_health_reports_the_overview(self, served, small_campaign):
+        _, _, client = served
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["n_campaigns"] == 0
+        client.submit(small_campaign.to_dict())
+        assert client.health()["n_campaigns"] == 1
+
+
+class TestExecutionThroughWorkers:
+    def test_campaign_runs_to_completion(self, served, small_campaign, fake_execute):
+        service, _, client = served
+        receipt = client.submit(small_campaign.to_dict())
+        cid = receipt["campaign_id"]
+        _, thread = drain_with_fake_worker(client, fake_execute)
+        events = list(client.iter_events(cid, wait=2.0))
+        thread.join(timeout=10)
+        summary = client.summary(cid)
+        assert summary["done"] is True
+        assert summary["n_completed"] == 2
+        assert summary["n_failed"] == 0
+        assert [row["status"] for row in summary["rows"]] == ["completed"] * 2
+        # Events stream leases and completions in order per run.
+        statuses = [(e["run_id"], e["status"]) for e in events]
+        for row in summary["rows"]:
+            assert (row["run_id"], "leased") in statuses
+            assert (row["run_id"], "completed") in statuses
+        # Rows carry the summary fields the CLI renders.
+        for row in summary["rows"]:
+            assert row["overall_best_fitness"] == pytest.approx(row["index"] + 0.5)
+
+    def test_results_are_persisted_into_the_store(
+        self, served, small_campaign, tmp_path, fake_execute
+    ):
+        from repro.runtime.store import CampaignStore
+
+        service, _, client = served
+        receipt = client.submit(small_campaign.to_dict())
+        _, thread = drain_with_fake_worker(client, fake_execute)
+        list(client.iter_events(receipt["campaign_id"], wait=2.0))
+        thread.join(timeout=10)
+        store = CampaignStore(receipt["store"])
+        assert store.load_spec() == small_campaign
+        assert len(store.completed_run_ids()) == 2
+        summary = store.summary()
+        assert summary["n_completed"] == 2
+
+    def test_artifact_endpoint_serves_the_stored_artifact(
+        self, served, small_campaign, fake_execute
+    ):
+        _, _, client = served
+        receipt = client.submit(small_campaign.to_dict())
+        cid = receipt["campaign_id"]
+        _, thread = drain_with_fake_worker(client, fake_execute)
+        list(client.iter_events(cid, wait=2.0))
+        thread.join(timeout=10)
+        run_id = client.summary(cid)["rows"][0]["run_id"]
+        artifact = client.artifact(cid, run_id)
+        assert artifact["results"]["overall_best_fitness"] == pytest.approx(0.5)
+        with pytest.raises(ServiceClientError) as info:
+            client.artifact(cid, "run-not-there")
+        assert info.value.status == 404
+
+
+class TestDedupe:
+    def test_resubmission_is_served_entirely_from_cache(
+        self, served, small_campaign, fake_execute
+    ):
+        service, _, client = served
+        first = client.submit(small_campaign.to_dict())
+        _, thread = drain_with_fake_worker(client, fake_execute)
+        list(client.iter_events(first["campaign_id"], wait=2.0))
+        thread.join(timeout=10)
+
+        second = client.submit(small_campaign.to_dict())
+        assert second["n_cached"] == 2
+        assert second["n_enqueued"] == 0
+        summary = client.summary(second["campaign_id"])
+        assert summary["done"] is True
+        assert [row["status"] for row in summary["rows"]] == ["cached"] * 2
+        # No new work ever reached the queue.
+        assert service.queue.stats(second["campaign_id"]) == {
+            "pending": 0, "leased": 0, "completed": 0, "failed": 0,
+        }
+
+    def test_renamed_campaign_still_dedupes(self, served, small_campaign, fake_execute):
+        _, _, client = served
+        first = client.submit(small_campaign.to_dict())
+        _, thread = drain_with_fake_worker(client, fake_execute)
+        list(client.iter_events(first["campaign_id"], wait=2.0))
+        thread.join(timeout=10)
+        renamed = small_campaign.__class__.from_dict(
+            {**small_campaign.to_dict(), "name": "svc-renamed"}
+        )
+        receipt = client.submit(renamed.to_dict())
+        assert receipt["n_cached"] == 2
+        assert receipt["n_enqueued"] == 0
+
+    def test_restarted_service_dedupes_from_its_persistent_cache(
+        self, tmp_path, small_campaign, fake_execute
+    ):
+        root = tmp_path / "service"
+        service = CampaignService(root=root, lease_seconds=5.0)
+        with CampaignServer(service) as server:
+            client = ServiceClient(server.url)
+            receipt = client.submit(small_campaign.to_dict())
+            _, thread = drain_with_fake_worker(client, fake_execute)
+            list(client.iter_events(receipt["campaign_id"], wait=2.0))
+            thread.join(timeout=10)
+
+        # A fresh service process over the same root: still zero re-runs.
+        restarted = CampaignService(root=root, lease_seconds=5.0)
+        with CampaignServer(restarted) as server:
+            client = ServiceClient(server.url)
+            receipt = client.submit(small_campaign.to_dict())
+            assert receipt["n_cached"] == 2
+            assert receipt["n_enqueued"] == 0
+
+    def test_store_backfills_a_wiped_cache(self, tmp_path, small_campaign, fake_execute):
+        """The spec's own store also satisfies dedupe: wiping the cache
+        directory does not force recomputation of stored runs."""
+        import shutil
+
+        root = tmp_path / "service"
+        service = CampaignService(root=root, lease_seconds=5.0)
+        with CampaignServer(service) as server:
+            client = ServiceClient(server.url)
+            receipt = client.submit(small_campaign.to_dict())
+            _, thread = drain_with_fake_worker(client, fake_execute)
+            list(client.iter_events(receipt["campaign_id"], wait=2.0))
+            thread.join(timeout=10)
+        shutil.rmtree(root / "cache")
+
+        restarted = CampaignService(root=root, lease_seconds=5.0)
+        with CampaignServer(restarted) as server:
+            client = ServiceClient(server.url)
+            receipt = client.submit(small_campaign.to_dict())
+            assert receipt["n_cached"] == 2
+            assert receipt["n_enqueued"] == 0
+
+
+class TestInMemoryMode:
+    def test_root_none_keeps_everything_in_memory(self, small_campaign):
+        service = CampaignService(root=None)
+        receipt = service.submit(small_campaign.to_dict())
+        assert receipt["store"] is None
+        grant = service.lease("w0")
+        outcome = {
+            "status": "completed",
+            "artifact": {"kind": "fake", "results": {"overall_best_fitness": 1.0}},
+        }
+        assert service.complete("w0", grant.lease_id, outcome)
+        assert service.artifact(receipt["campaign_id"], grant.run_id) == outcome[
+            "artifact"
+        ]
+
+    def test_service_error_for_artifact_of_pending_run(self, small_campaign):
+        service = CampaignService(root=None)
+        receipt = service.submit(small_campaign.to_dict())
+        run_id = service.summary(receipt["campaign_id"])["rows"][0]["run_id"]
+        with pytest.raises(ServiceError, match="no artifact"):
+            service.artifact(receipt["campaign_id"], run_id)
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_blocking_server(self, tmp_path):
+        service = CampaignService(root=None)
+        server = CampaignServer(service)
+        client = ServiceClient(server.url)
+        thread = threading.Thread(target=server.serve_until_shutdown)
+        thread.start()
+        assert client.health()["status"] == "ok"
+        assert client.shutdown()["ok"] is True
+        thread.join(timeout=5)
+        assert not thread.is_alive()

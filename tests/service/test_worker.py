@@ -1,0 +1,129 @@
+"""ServiceWorker loop: heartbeats under slow runs, stale results, exits."""
+
+import json
+import threading
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.server import CampaignServer, CampaignService
+from repro.service.worker import ServiceWorker, worker_main
+
+
+def slow_execute(delay: float):
+    def execute(payload: str) -> str:
+        run = json.loads(payload)
+        time.sleep(delay)
+        return json.dumps(
+            {
+                "status": "completed",
+                "artifact": {
+                    "kind": "fake",
+                    "results": {"overall_best_fitness": float(run["index"])},
+                },
+            }
+        )
+
+    return execute
+
+
+class TestHeartbeats:
+    def test_slow_run_outlives_its_lease_via_heartbeats(self, small_campaign):
+        """A run three times longer than the lease completes on worker A —
+        the heartbeat thread keeps extending — and is never re-leased."""
+        service = CampaignService(root=None, lease_seconds=0.4)
+        with CampaignServer(service) as server:
+            receipt = service.submit(small_campaign.to_dict())
+            worker = ServiceWorker(
+                server.url,
+                worker_id="slow",
+                poll_interval=0.02,
+                max_idle_polls=5,
+                execute=slow_execute(1.2),
+            )
+            stats = worker.run_forever()
+            assert stats["completed"] == 2
+            assert stats["stale"] == 0
+            summary = service.summary(receipt["campaign_id"])
+            assert [row["status"] for row in summary["rows"]] == ["completed"] * 2
+            # Single attempt each: the leases never expired.
+            for row in summary["rows"]:
+                item = service.queue.item(receipt["campaign_id"], row["run_id"])
+                assert item.attempts == 1
+
+    def test_without_heartbeats_the_late_result_is_stale(self, small_campaign):
+        """Sever the heartbeat channel: the lease expires mid-run, another
+        worker recomputes, and the slow worker's late complete is discarded."""
+
+        class DeafClient(ServiceClient):
+            def heartbeat(self, worker_id, lease_id):
+                return True  # swallowed: the server never hears it
+
+        service = CampaignService(root=None, lease_seconds=0.3, max_attempts=5)
+        with CampaignServer(service) as server:
+            receipt = service.submit(small_campaign.to_dict())
+            cid = receipt["campaign_id"]
+            slow = ServiceWorker(
+                DeafClient(server.url),
+                worker_id="deaf",
+                poll_interval=0.02,
+                max_idle_polls=60,
+                execute=slow_execute(0.8),
+            )
+            slow_thread = threading.Thread(target=slow.run_forever)
+            slow_thread.start()
+            time.sleep(0.45)  # the first lease has expired by now
+            fast = ServiceWorker(
+                server.url,
+                worker_id="fast",
+                poll_interval=0.02,
+                max_idle_polls=60,
+                execute=slow_execute(0.0),
+            )
+            fast_thread = threading.Thread(target=fast.run_forever)
+            fast_thread.start()
+            assert service.wait_done(cid, timeout=20)
+            slow_thread.join(timeout=20)
+            fast_thread.join(timeout=20)
+            assert slow.stats["stale"] >= 1
+            summary = service.summary(cid)
+            assert [row["status"] for row in summary["rows"]] == ["completed"] * 2
+
+
+class TestLoopExits:
+    def test_exits_after_max_idle_polls(self):
+        service = CampaignService(root=None)
+        with CampaignServer(service) as server:
+            stats = worker_main(
+                server.url, worker_id="idle", poll_interval=0.01, max_idle_polls=3
+            )
+            assert stats == {"leased": 0, "completed": 0, "failed": 0, "stale": 0}
+
+    def test_exits_when_the_server_is_gone(self):
+        stats = worker_main(
+            "http://127.0.0.1:9",  # discard port: connection refused
+            worker_id="lost",
+            poll_interval=0.01,
+            max_errors=2,
+        )
+        assert stats["errors"] == 2
+        assert stats["completed"] == 0
+
+    def test_failed_outcomes_are_counted(self, small_campaign):
+        def failing(payload: str) -> str:
+            return json.dumps({"status": "failed", "error": "synthetic"})
+
+        service = CampaignService(root=None, max_attempts=1)
+        with CampaignServer(service) as server:
+            receipt = service.submit(small_campaign.to_dict())
+            worker = ServiceWorker(
+                server.url,
+                worker_id="sad",
+                poll_interval=0.01,
+                max_idle_polls=3,
+                execute=failing,
+            )
+            stats = worker.run_forever()
+            assert stats["failed"] == 2
+            summary = service.summary(receipt["campaign_id"])
+            assert [row["status"] for row in summary["rows"]] == ["failed"] * 2
+            assert [row["error"] for row in summary["rows"]] == ["synthetic"] * 2

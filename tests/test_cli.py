@@ -33,6 +33,12 @@ FAST_ARGS = {
         "--scenario", "single-seu", "--generations", "6", "--image-side", "16",
         "--seed", "1", "--mission-steps", "3", "--healing-generations", "5",
     ],
+    # serve: bind an ephemeral loopback port, serve briefly, exit clean.
+    "serve": ["--duration", "0.05"],
+    # worker: point at a dead port; --max-errors 1 makes the loop exit on
+    # the first connection failure with an honest stats artifact.
+    "worker": ["--server", "http://127.0.0.1:9", "--max-errors", "1",
+               "--poll-interval", "0.01"],
 }
 
 
@@ -47,7 +53,7 @@ class TestParser:
         assert set(registered_commands()) == {
             "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
             "imitation", "tmr-recovery", "fault-sweep", "campaign",
-            "scenario-sweep",
+            "scenario-sweep", "serve", "worker",
         }
 
     def test_missing_command_errors(self):
