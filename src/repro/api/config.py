@@ -123,7 +123,7 @@ class PlatformConfig(_ConfigBase):
     Traceback (most recent call last):
         ...
     repro.backends.base.UnknownBackendError: unknown evaluation backend \
-'no-such-engine'; available: numpy, reference
+'no-such-engine'; available: compiled, numpy, reference
     """
 
     n_arrays: int = 3

@@ -162,7 +162,9 @@ class Genotype:
             rng = np.random.default_rng(rng)
         return cls(
             spec=spec,
-            function_genes=rng.integers(0, N_FUNCTIONS, size=(spec.rows, spec.cols), dtype=np.uint8),
+            function_genes=rng.integers(
+                0, N_FUNCTIONS, size=(spec.rows, spec.cols), dtype=np.uint8
+            ),
             west_mux=rng.integers(0, N_WINDOW_PIXELS, size=spec.rows, dtype=np.uint8),
             north_mux=rng.integers(0, N_WINDOW_PIXELS, size=spec.cols, dtype=np.uint8),
             output_select=int(rng.integers(0, spec.rows)),
@@ -182,7 +184,9 @@ class Genotype:
         centre = N_WINDOW_PIXELS // 2
         return cls(
             spec=spec,
-            function_genes=np.full((spec.rows, spec.cols), int(PEFunction.IDENTITY_W), dtype=np.uint8),
+            function_genes=np.full(
+                (spec.rows, spec.cols), int(PEFunction.IDENTITY_W), dtype=np.uint8
+            ),
             west_mux=np.full(spec.rows, centre, dtype=np.uint8),
             north_mux=np.full(spec.cols, centre, dtype=np.uint8),
             output_select=0,

@@ -1,0 +1,109 @@
+"""Packed contiguous plane storage for kernel-compiled evaluation.
+
+The reference and numpy backends keep every image plane (array inputs,
+memoised subcircuit outputs, candidate outputs) as an independently
+allocated ``(H, W)`` array.  That is convenient, but it scatters the
+population's working set across the heap: a population pass touches B
+candidate outputs plus their shared subprograms through B distinct
+allocations and pointer hops.
+
+:class:`PlaneArena` instead lays every plane of one training-plane set
+out as rows of a single contiguous ``(capacity, H*W)`` uint8 tensor —
+the "bit-packed plane representation" of the ROADMAP's compiled-backend
+item.  Planes are identified by dense integer row ids, appended
+write-once, and read back as flat views; a whole population's outputs
+are then one fancy-indexed :func:`numpy.take` over the arena (a single
+pass over packed memory, zero per-candidate allocation).
+
+>>> import numpy as np
+>>> arena = PlaneArena(plane_elems=4, capacity=2)
+>>> first = arena.append(np.array([1, 2, 3, 4], dtype=np.uint8))
+>>> row = arena.alloc()
+>>> arena.row(row)[:] = 7
+>>> arena.n_rows
+2
+>>> arena.gather([row, first, row]).tolist()
+[[7, 7, 7, 7], [1, 2, 3, 4], [7, 7, 7, 7]]
+
+Growth notes: the arena doubles its backing buffer when full.  Views
+handed out before a growth keep reading the *old* buffer — that is safe
+here because arena rows are write-once (they never change after they are
+filled), but callers that hold views across :meth:`alloc` calls should
+re-fetch them via :meth:`row` before writing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["PlaneArena"]
+
+
+class PlaneArena:
+    """Append-only packed store of equally sized uint8 planes.
+
+    Parameters
+    ----------
+    plane_elems:
+        Number of pixels per plane (``H * W``; planes are stored flat).
+    capacity:
+        Initial row capacity; the arena grows by doubling when exceeded.
+    """
+
+    __slots__ = ("plane_elems", "_buf", "n_rows")
+
+    def __init__(self, plane_elems: int, capacity: int = 64) -> None:
+        if plane_elems < 1 or capacity < 1:
+            raise ValueError("plane_elems and capacity must be positive")
+        self.plane_elems = int(plane_elems)
+        self._buf = np.empty((int(capacity), self.plane_elems), dtype=np.uint8)
+        self.n_rows = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the rows in use (the backing buffer may be larger)."""
+        return self.n_rows * self.plane_elems
+
+    @property
+    def capacity(self) -> int:
+        """Row capacity of the current backing buffer."""
+        return self._buf.shape[0]
+
+    def alloc(self) -> int:
+        """Reserve the next row; returns its id (fill it via :meth:`row`)."""
+        if self.n_rows == self._buf.shape[0]:
+            grown = np.empty((self._buf.shape[0] * 2, self.plane_elems), dtype=np.uint8)
+            grown[: self.n_rows] = self._buf[: self.n_rows]
+            self._buf = grown
+        row = self.n_rows
+        self.n_rows = row + 1
+        return row
+
+    def append(self, plane: np.ndarray) -> int:
+        """Copy a flat uint8 plane into the arena; returns its row id."""
+        row = self.alloc()
+        self._buf[row] = plane
+        return row
+
+    def row(self, row: int) -> np.ndarray:
+        """Flat ``(plane_elems,)`` view of one stored plane."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"arena row {row} out of range [0, {self.n_rows})")
+        return self._buf[row]
+
+    def gather(self, rows: Union[Sequence[int], np.ndarray]) -> np.ndarray:
+        """Stack the selected planes into one fresh ``(len(rows), plane_elems)``
+        array — a single :func:`numpy.take` pass over the packed buffer."""
+        index = np.asarray(rows, dtype=np.intp)
+        return self._buf[: self.n_rows].take(index, axis=0)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlaneArena(plane_elems={self.plane_elems}, "
+            f"rows={self.n_rows}/{self.capacity})"
+        )

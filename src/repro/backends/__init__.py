@@ -26,7 +26,12 @@ Built-in engines:
   sweep, the behavioural ground truth;
 * ``numpy`` (:mod:`repro.backends.numpy_engine`) — vectorised lowering
   with memoised subcircuits and dead-PE elimination; bit-exact against
-  ``reference`` and >=5x faster on the evolution workload.
+  ``reference`` and >=5x faster on the evolution workload;
+* ``compiled`` (:mod:`repro.backends.compiled`) — genotypes lowered to
+  fused 256x256 lookup-table kernels over packed contiguous plane
+  storage, with process-global content-addressed compilation caches;
+  bit-exact against ``reference`` and >=5x faster than ``numpy`` on the
+  repeated-workload evolution benchmark.
 
 See ``docs/architecture.md`` (backend section) and
 ``docs/performance.md`` for when and how to switch.
@@ -40,6 +45,7 @@ from repro.backends.base import (
     register_backend,
     resolve_backend,
 )
+from repro.backends.compiled import CompiledBackend
 from repro.backends.numpy_engine import NumpyBackend
 from repro.backends.reference import ReferenceBackend
 
@@ -51,6 +57,8 @@ if "reference" not in BACKENDS:
     BACKENDS.register("reference", ReferenceBackend)
 if "numpy" not in BACKENDS:
     BACKENDS.register("numpy", NumpyBackend)
+if "compiled" not in BACKENDS:
+    BACKENDS.register("compiled", CompiledBackend)
 
 __all__ = [
     "BACKENDS",
@@ -61,4 +69,5 @@ __all__ = [
     "resolve_backend",
     "ReferenceBackend",
     "NumpyBackend",
+    "CompiledBackend",
 ]

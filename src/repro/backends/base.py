@@ -10,9 +10,9 @@ API one):
 
 >>> from repro.backends import BACKENDS
 >>> sorted(BACKENDS.names())
-['numpy', 'reference']
+['compiled', 'numpy', 'reference']
 
-Two engines ship built in:
+Three engines ship built in:
 
 ``reference``
     The readable per-PE sweep (one whole-plane NumPy op per PE), the
@@ -21,6 +21,10 @@ Two engines ship built in:
     A vectorised engine that lowers each genotype to a plane-level
     pipeline with hash-consed common-subexpression caching and
     dead-PE elimination (see :mod:`repro.backends.numpy_engine`).
+``compiled``
+    A kernel-compiling engine: programs lower to fused 256x256
+    lookup-table gathers over packed contiguous plane storage, cached
+    process-globally by content (see :mod:`repro.backends.compiled`).
 
 Swapping backends can change wall-clock time only, never results —
 the parity suite in ``tests/backends/`` enforces bit-exactness over
@@ -227,7 +231,7 @@ def register_backend(name: str, obj: Any = None, *, replace: bool = False):
 def resolve_backend(spec: Union[str, EvaluationBackend, type, None]) -> EvaluationBackend:
     """Resolve a backend selector into a ready instance.
 
-    Accepts a registered name (``"reference"``/``"numpy"``), an
+    Accepts a registered name (``"reference"``/``"numpy"``/``"compiled"``), an
     :class:`EvaluationBackend` instance (returned as-is), a backend class
     (instantiated), or ``None`` (the ``reference`` default).
 

@@ -1,0 +1,654 @@
+"""The ``compiled`` evaluation backend: LUT-kernel programs on packed planes.
+
+Where the ``numpy`` engine *interprets* each genotype's hash-consed
+data-flow program node by node (one NumPy ufunc per node), this engine
+*compiles* it: every PE function is an element-wise ``uint8 x uint8 ->
+uint8`` map, hence exactly a 256x256 lookup table, and table composition
+is again a table (:mod:`repro.backends.lut`).  Lowering therefore folds
+whole subprograms — operand chains of west-unary PEs around one binary
+PE — into a single fused table, and each materialised node becomes one
+``np.take`` gather: a flat postfix plan with no per-node Python
+arithmetic and no intermediate allocation.
+
+**Packed plane storage.**  Node planes live in a
+:class:`repro.array.planes.PlaneArena`: one contiguous ``(N, H*W)``
+uint8 tensor shared by the whole population.  Gathers write straight
+into freshly reserved arena rows, and a fault-free population batch is
+assembled as a single fancy-indexed pass over the packed tensor — zero
+per-candidate allocation.
+
+**Process-global compilation caches.**  This is the architectural
+difference from the ``numpy`` engine, whose memoisation is deliberately
+per-backend-instance: compiled artifacts are *content-addressed and
+process-global*.  Fused tables depend only on gene values, and a plane
+store depends only on the training-plane bytes — so stores are keyed by
+content and shared across every ``SystolicArray``, platform and backend
+instance in the process (a platform's ``n_arrays`` arrays, the arrays of
+consecutive campaign runs on the same task, and repeated constructions
+of the same experiment all reuse one compiled program cache).  Like a
+JIT, the engine pays one compilation pass per distinct workload and
+serves every later evaluation from the compiled artifact; caching can
+never change results because every artifact is a pure function of the
+content that keys it.  A module lock serialises evaluation, keeping the
+shared caches safe under the thread executor.
+
+**Bit-exactness.**  Tables are built from the reference implementations
+over the full input grid, the fitness reduce uses the same int16/int64
+arithmetic as :func:`repro.imaging.metrics.sae`, and the fault contract
+is the reference one: every faulty position draws one ``(H, W)`` block
+per candidate, in candidate order, up front; fault-tainted nodes are
+per-call scratch (negative ids) and never enter the persistent caches.
+``tests/backends/`` enforces parity over every PE function, fault
+pattern, scenario timeline and batching mode.
+
+>>> import numpy as np
+>>> from repro.array import Genotype, SystolicArray
+>>> from repro.backends.compiled import CompiledBackend
+>>> array = SystolicArray(backend=CompiledBackend())
+>>> image = np.arange(64, dtype=np.uint8).reshape(8, 8)
+>>> out = array.process(image, Genotype.identity())
+>>> bool((out == image).all())
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.array.pe_library import FUNCTION_ARITY, N_FUNCTIONS, PEFunction
+from repro.array.planes import PlaneArena
+from repro.backends import lut
+from repro.backends.base import EvaluationBackend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.array.genotype import Genotype
+    from repro.array.systolic_array import SystolicArray
+
+__all__ = ["CompiledBackend"]
+
+_ARITY2 = tuple(FUNCTION_ARITY[PEFunction(gene)] == 2 for gene in range(N_FUNCTIONS))
+_WEST_UNARY = tuple(gene in lut.WEST_UNARY_GENES for gene in range(N_FUNCTIONS))
+_CONST_MAX = int(PEFunction.CONST_MAX)
+_IDENTITY_W = int(PEFunction.IDENTITY_W)
+_IDENTITY_N = int(PEFunction.IDENTITY_N)
+
+#: Same commutative set as the numpy engine: OP(a, b) == OP(b, a)
+#: element-wise, so swapped operands share one compiled node.
+_COMMUTATIVE = tuple(
+    gene
+    in (
+        int(PEFunction.OR),
+        int(PEFunction.AND),
+        int(PEFunction.XOR),
+        int(PEFunction.ADD_SAT),
+        int(PEFunction.SUB_ABS),
+        int(PEFunction.AVERAGE),
+        int(PEFunction.MAX),
+        int(PEFunction.MIN),
+    )
+    for gene in range(N_FUNCTIONS)
+)
+
+#: Signature packing (shared convention with the numpy engine): an
+#: arity-2 signature packs as ((west << 21) | north) << 4 | gene, with
+#: _NO_NORTH as the arity-1 sentinel, so node ids must stay below 2**21.
+_NO_NORTH = (1 << 21) - 1
+_MAX_NODES = 1 << 20
+
+#: Process-global registry of compiled plane stores, content-addressed:
+#: the key is the training planes' (shape, bytes), so any array whose
+#: planes hold the same pixels — across instances, platforms and runs —
+#: resolves to the same compiled program cache.
+_STORES: "OrderedDict[Tuple[Tuple[int, ...], bytes], _CompiledStore]" = OrderedDict()
+_MAX_STORES = 8
+
+#: Identity fast path for the content-addressed lookup: evolution hammers
+#: the same planes *object* every call, so the hint maps ``id(planes)`` to
+#: the store compiled from its snapshot.  A hit verifies content with one
+#: bytes compare (catching in-place mutation) instead of re-hashing the
+#: multi-KB content key; holding the planes object itself keeps its id
+#: from being recycled while the entry lives.
+_STORE_HINT: "OrderedDict[int, Tuple[np.ndarray, bytes, _CompiledStore]]" = OrderedDict()
+
+#: One lock for the global caches: evaluation mutates the shared store,
+#: and campaign thread executors evaluate concurrently.
+_LOCK = threading.Lock()
+
+
+class _CompiledStore:
+    """Compiled-program cache for one training-plane content.
+
+    Node ids index parallel arrays: ``rows[id]`` is the node's arena row
+    (``None`` until the plane is demanded), ``base_of[id]``/``chain_of[id]``
+    give its symbolic form — a *raw* node (its own plane: input, const or
+    fused-pair output; empty chain) or a *chain* node (a raw base plane
+    with a pending west-unary suffix, materialised lazily and absorbed
+    for free into any consuming fused pair).  ``specs[id]`` holds the
+    ``(gene, west, north)`` recipe of a pair node not yet executed.
+    """
+
+    __slots__ = (
+        "shape",
+        "plane_elems",
+        "arena",
+        "rows",
+        "base_of",
+        "chain_of",
+        "specs",
+        "intern",
+        "cand_intern",
+        "batch_intern",
+        "input_ids",
+        "const_id",
+        "pairbuf",
+        "nbytes",
+        "fit_ref",
+        "fit_ref16",
+        "fit_memo",
+    )
+
+    def __init__(self, planes: np.ndarray) -> None:
+        n_inputs, h, w = planes.shape
+        self.shape = (h, w)
+        self.plane_elems = h * w
+        self.arena = PlaneArena(self.plane_elems, capacity=max(n_inputs * 2, 64))
+        self.rows: List[Optional[int]] = []
+        self.base_of: List[int] = []
+        self.chain_of: List[Tuple[int, ...]] = []
+        self.specs: Dict[int, Tuple[int, int, int]] = {}
+        self.intern: Dict[int, int] = {}
+        self.cand_intern: Dict[Tuple, int] = {}
+        # Whole-batch memo: one key per (fault-free) population batch,
+        # mapping the concatenated gene bytes to the compiled output node
+        # ids — a warm generation resolves to its packed output rows in a
+        # single dict hit, with no per-candidate bookkeeping at all.
+        self.batch_intern: Dict[bytes, List[int]] = {}
+        # The window planes are packed into the arena up front: inputs,
+        # memoised nodes and candidate outputs all live in one contiguous
+        # uint8 tensor.
+        self.input_ids: List[int] = []
+        for k in range(n_inputs):
+            self.input_ids.append(self._new_raw(self.arena.append(planes[k].reshape(-1))))
+        self.const_id = -1  # allocated lazily (most circuits never use CONST_MAX)
+        # Scratch for pair-LUT indices ((west << 8) | north), reused by
+        # every gather — per-node execution allocates nothing.
+        self.pairbuf = np.empty(self.plane_elems, dtype=np.uint16)
+        self.nbytes = 0
+        self.fit_ref: Optional[bytes] = None
+        self.fit_ref16: Optional[np.ndarray] = None
+        self.fit_memo: Dict[int, int] = {}
+
+    def _new_raw(self, row: Optional[int]) -> int:
+        vid = len(self.rows)
+        self.rows.append(row)
+        self.base_of.append(vid)
+        self.chain_of.append(())
+        return vid
+
+    def new_pair(self, gene: int, wid: int, nid: int) -> int:
+        vid = self._new_raw(None)
+        self.specs[vid] = (gene, wid, nid)
+        return vid
+
+    def new_chain(self, base: int, chain: Tuple[int, ...]) -> int:
+        vid = len(self.rows)
+        self.rows.append(None)
+        self.base_of.append(base)
+        self.chain_of.append(chain)
+        return vid
+
+
+class CompiledBackend(EvaluationBackend):
+    """LUT-compiled evaluation engine over packed contiguous plane storage.
+
+    Parameters
+    ----------
+    max_cache_bytes:
+        Budget for one store's materialised node planes; a store that
+        outgrows it is dropped and recompiled on demand (correctness is
+        unaffected — every artifact is recomputed from the planes).
+
+    Unlike the ``numpy`` engine, whose caches are per-instance, the
+    compiled artifacts (plane stores, fused tables) are process-global
+    and content-addressed — creating a fresh ``CompiledBackend`` does
+    *not* cold-start compilation for content the process has already
+    compiled.  :meth:`clear_cache` drops the global caches.
+    """
+
+    name = "compiled"
+
+    def __init__(self, max_cache_bytes: int = 32 * 1024 * 1024) -> None:
+        if max_cache_bytes < 1:
+            raise ValueError("cache budget must be positive")
+        self.max_cache_bytes = int(max_cache_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> None:
+        """Drop the process-global compiled stores and lookup tables."""
+        with _LOCK:
+            _STORES.clear()
+            _STORE_HINT.clear()
+            lut.clear_luts()
+
+    def _store_for(self, planes: np.ndarray) -> _CompiledStore:
+        hint = _STORE_HINT.get(id(planes))
+        if hint is not None:
+            held, snapshot, store = hint
+            if (
+                held is planes
+                and store.nbytes <= self.max_cache_bytes
+                and len(store.rows) <= _MAX_NODES
+                and planes.tobytes() == snapshot
+            ):
+                return store
+        key = (planes.shape, planes.tobytes())
+        store = _STORES.get(key)
+        if store is not None:
+            _STORES.move_to_end(key)
+            if store.nbytes > self.max_cache_bytes or len(store.rows) > _MAX_NODES:
+                del _STORES[key]  # over budget: recompile from scratch
+                store = None
+        if store is None:
+            store = _CompiledStore(planes)
+            _STORES[key] = store
+            while len(_STORES) > _MAX_STORES:
+                _STORES.popitem(last=False)
+        _STORE_HINT[id(planes)] = (planes, key[1], store)
+        _STORE_HINT.move_to_end(id(planes))
+        while len(_STORE_HINT) > _MAX_STORES:
+            _STORE_HINT.popitem(last=False)
+        return store
+
+    def _release_over_budget(self, planes: np.ndarray, store: _CompiledStore) -> None:
+        """Evict a store that outgrew the byte budget during this call.
+
+        Mirrors the numpy engine's end-of-call eviction: without it, a
+        store whose materialised planes already exceed ``max_cache_bytes``
+        would stay pinned in the global LRU even though it can never be
+        kept within budget.  Dropping it is free for correctness — every
+        artifact is recompiled from the planes on demand.
+        """
+        if store.nbytes <= self.max_cache_bytes:
+            return
+        for key, value in list(_STORES.items()):
+            if value is store:
+                del _STORES[key]
+                break
+        hint = _STORE_HINT.get(id(planes))
+        if hint is not None and hint[2] is store:
+            del _STORE_HINT[id(planes)]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation entry points
+    # ------------------------------------------------------------------ #
+    def process_planes(
+        self, array: "SystolicArray", planes: np.ndarray, genotype: "Genotype"
+    ) -> np.ndarray:
+        with _LOCK:
+            store = self._store_for(planes)
+            out, owned = self._evaluate(array, planes, [genotype], store, want_batch=False)
+            self._release_over_budget(planes, store)
+        return out if owned else out.copy()
+
+    def process_planes_batch(
+        self, array: "SystolicArray", planes: np.ndarray, genotypes: Sequence["Genotype"]
+    ) -> np.ndarray:
+        with _LOCK:
+            store = self._store_for(planes)
+            out, _ = self._evaluate(array, planes, list(genotypes), store, want_batch=True)
+            self._release_over_budget(planes, store)
+        return out
+
+    def evaluate_population(
+        self,
+        array: "SystolicArray",
+        planes: np.ndarray,
+        genotypes: Sequence["Genotype"],
+        reference: np.ndarray,
+    ) -> np.ndarray:
+        """Fused population fitness over the packed plane tensor.
+
+        Same contract as the numpy engine's fused path: per-node SAE
+        values are memoised per (store, reference), misses are reduced in
+        one vectorised int16/int64 pass gathered from the packed arena,
+        and a wider-than-uint8 reference falls back to the base-class
+        batch + ``sae_batch`` path (bit-equal to ``sae``'s arithmetic).
+        """
+        reference = np.asarray(reference)
+        if reference.dtype != np.uint8:
+            return super().evaluate_population(array, planes, genotypes, reference)
+        with _LOCK:
+            store = self._store_for(planes)
+            fits, _ = self._evaluate(
+                array, planes, list(genotypes), store, want_batch=False, reduce_ref=reference
+            )
+            self._release_over_budget(planes, store)
+        return fits
+
+    # ------------------------------------------------------------------ #
+    # The compiler/executor
+    # ------------------------------------------------------------------ #
+    def _evaluate(
+        self,
+        array: "SystolicArray",
+        planes: np.ndarray,
+        genotypes: Sequence["Genotype"],
+        store: _CompiledStore,
+        want_batch: bool,
+        reduce_ref: Optional[np.ndarray] = None,
+    ):
+        cols = array.geometry.cols
+        n = len(genotypes)
+        h, w = planes.shape[1:]
+
+        # Fault draws happen up front, per position in row-major order and
+        # per candidate in candidate order — one (H, W) block per position
+        # per candidate, exactly the reference sweep's stream consumption.
+        faulty = array.faulty_positions
+        fault_planes: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        for position in faulty:
+            rng = array.fault_rng(position)
+            fault_planes[position] = [
+                rng.integers(0, 256, size=(h, w), dtype=np.uint8).reshape(-1)
+                for _ in range(n)
+            ]
+
+        n_pes = array.geometry.rows * cols
+        if len(store.rows) + n * n_pes >= _NO_NORTH:
+            raise ValueError(
+                f"batch of {n} candidates could exhaust the compiled backend's "
+                f"signature space ({_NO_NORTH - len(store.rows)} node ids "
+                "left); split the batch into smaller chunks"
+            )
+        arena = store.arena
+        rows = store.rows
+        base_of = store.base_of
+        chain_of = store.chain_of
+        specs = store.specs
+        intern = store.intern
+        intern_get = intern.get
+        input_ids = store.input_ids
+        pairbuf = store.pairbuf
+        plane_elems = store.plane_elems
+        arity2 = _ARITY2
+        west_unary = _WEST_UNARY
+        commutative = _COMMUTATIVE
+
+        # Per-call overlay for fault-tainted nodes: their planes embed this
+        # call's random draws, so they never enter the persistent store.
+        call_values: Dict[int, Optional[np.ndarray]] = {}
+        call_specs: Dict[int, Tuple[int, int, int]] = {}
+        call_base: Dict[int, int] = {}
+        call_chain: Dict[int, Tuple[int, ...]] = {}
+        next_call_id = -1
+
+        def force(vid: int) -> np.ndarray:
+            """Materialise node ``vid`` as a flat plane (demand-driven).
+
+            The candidate walk only records symbolic nodes; execution
+            happens here as one fused-LUT gather per materialised node,
+            written straight into a packed arena row.
+            """
+            if vid >= 0:
+                row = rows[vid]
+                if row is not None:
+                    return arena.row(row)
+                spec = specs.get(vid)
+                if spec is None:
+                    # Chain node: base plane through the composed unary table.
+                    plane = force(base_of[vid])
+                    table = lut.chain_lut(chain_of[vid])
+                    row = arena.alloc()
+                    dest = arena.row(row)
+                    np.take(table, plane, out=dest)
+                    rows[vid] = row
+                    store.nbytes += plane_elems
+                    return dest
+                gene, wid, nid = spec
+                west_base = base_of[wid] if wid >= 0 else call_base[wid]
+                north_base = base_of[nid] if nid >= 0 else call_base[nid]
+                west_chain = chain_of[wid] if wid >= 0 else call_chain[wid]
+                north_chain = chain_of[nid] if nid >= 0 else call_chain[nid]
+                pw = force(west_base)
+                pn = force(north_base)
+                fused = lut.fused_pair_lut(gene, west_chain, north_chain)
+                pairbuf[:] = pw
+                np.left_shift(pairbuf, 8, out=pairbuf)
+                np.bitwise_or(pairbuf, pn, out=pairbuf)
+                row = arena.alloc()
+                dest = arena.row(row)
+                np.take(fused, pairbuf, out=dest)
+                rows[vid] = row
+                store.nbytes += plane_elems
+                del specs[vid]
+                return dest
+            value = call_values[vid]
+            if value is not None:
+                return value
+            spec = call_specs.get(vid)
+            if spec is None:
+                plane = force(call_base[vid])
+                value = np.take(lut.chain_lut(call_chain[vid]), plane)
+            else:
+                gene, wid, nid = spec
+                west_base = base_of[wid] if wid >= 0 else call_base[wid]
+                north_base = base_of[nid] if nid >= 0 else call_base[nid]
+                west_chain = chain_of[wid] if wid >= 0 else call_chain[wid]
+                north_chain = chain_of[nid] if nid >= 0 else call_chain[nid]
+                pw = force(west_base)
+                pn = force(north_base)
+                fused = lut.fused_pair_lut(gene, west_chain, north_chain)
+                pairbuf[:] = pw
+                np.left_shift(pairbuf, 8, out=pairbuf)
+                np.bitwise_or(pairbuf, pn, out=pairbuf)
+                value = np.take(fused, pairbuf)
+            call_values[vid] = value
+            return value
+
+        reduce_mode = reduce_ref is not None
+        fits: Optional[np.ndarray] = None
+        fit_memo: Dict[int, int] = {}
+        fit_pending: List[Tuple[Optional[int], np.ndarray]] = []
+        fit_rows: List[Tuple[int, int]] = []
+        fit_pending_rows: Dict[int, int] = {}
+
+        def pend_fitness(b: int, vid: int) -> None:
+            if vid >= 0:
+                fit = fit_memo.get(vid)
+                if fit is not None:
+                    fits[b] = fit
+                    return
+                row = fit_pending_rows.get(vid)
+                if row is None:
+                    row = len(fit_pending)
+                    fit_pending.append((vid, force(vid)))
+                    fit_pending_rows[vid] = row
+            else:
+                # Fault-tainted output: embeds this call's draws, reduced
+                # directly and never memoised.
+                row = len(fit_pending)
+                fit_pending.append((None, force(vid)))
+            fit_rows.append((b, row))
+
+        if reduce_mode:
+            reference = np.asarray(reduce_ref)
+            ref_bytes = reference.tobytes()
+            if store.fit_ref != ref_bytes:
+                store.fit_ref = ref_bytes
+                store.fit_ref16 = reference.astype(np.int16).reshape(-1)
+                store.fit_memo = {}
+            fit_memo = store.fit_memo
+            fits = np.empty(n, dtype=np.float64)
+
+        fault_free = not fault_planes
+        cand_intern = store.cand_intern
+        cand_intern_get = cand_intern.get
+        batch_key: Optional[bytes] = None
+        out_vids: Optional[List[int]] = None
+        if fault_free:
+            # Whole-batch memo: a warm workload re-evaluates the same
+            # candidate batches, so the concatenated gene bytes of the
+            # whole batch resolve straight to the compiled output nodes —
+            # one dict hit per generation, no per-candidate bookkeeping.
+            # The key is a single flat bytes string prefixed with the array
+            # geometry: stores are shared across arrays, and without the
+            # prefix two rows x cols splits of the same PE count could
+            # concatenate to identical gene bytes for different circuits.
+            geom_rows = array.geometry.rows
+            if geom_rows <= 256:
+                tail = bytes([g.output_select for g in genotypes])
+            else:  # exotic geometry: fixed-width output encoding
+                tail = b"".join(g.output_select.to_bytes(4, "little") for g in genotypes)
+            parts = [
+                part
+                for g in genotypes
+                for part in (
+                    g.function_genes.tobytes(),
+                    g.west_mux.tobytes(),
+                    g.north_mux.tobytes(),
+                )
+            ]
+            parts.append(tail)
+            batch_key = (
+                geom_rows.to_bytes(4, "little") + cols.to_bytes(4, "little") + b"".join(parts)
+            )
+            out_vids = store.batch_intern.get(batch_key)
+        if out_vids is None:
+            out_vids = []
+            for b, genotype in enumerate(genotypes):
+                fg_b = genotype.function_genes.tobytes()
+                w_b = genotype.west_mux.tobytes()
+                n_b = genotype.north_mux.tobytes()
+                out_row = genotype.output_select
+                walk = True
+                if fault_free:
+                    # Whole-candidate memo: a recurring genotype (frequent under
+                    # low mutation rates, and on every warm re-evaluation of the
+                    # same workload) skips lowering entirely.
+                    cand_key = (fg_b, w_b, n_b, out_row)
+                    vid = cand_intern_get(cand_key)
+                    if vid is not None:
+                        walk = False
+                if walk:
+                    north_ids = [input_ids[n_b[c]] for c in range(cols)]
+                    # Dead-PE elimination: rows below the selected output row
+                    # cannot reach the output PE, so the sweep stops at out_row.
+                    for r in range(out_row + 1):
+                        vid = input_ids[w_b[r]]
+                        base = r * cols
+                        for c in range(cols):
+                            if not fault_free and (r, c) in fault_planes:
+                                next_call_id -= 1
+                                call_values[next_call_id] = fault_planes[(r, c)][b]
+                                call_base[next_call_id] = next_call_id
+                                call_chain[next_call_id] = ()
+                                vid = next_call_id
+                                north_ids[c] = vid
+                                continue
+                            gene = fg_b[base + c]
+                            if arity2[gene]:
+                                nid = north_ids[c]
+                                if vid >= 0 and nid >= 0:
+                                    if nid < vid and commutative[gene]:
+                                        sig = ((nid << 21) | vid) << 4 | gene
+                                    else:
+                                        sig = ((vid << 21) | nid) << 4 | gene
+                                    cached = intern_get(sig)
+                                    if cached is None:
+                                        cached = store.new_pair(gene, vid, nid)
+                                        intern[sig] = cached
+                                    vid = cached
+                                else:
+                                    next_call_id -= 1
+                                    call_values[next_call_id] = None
+                                    call_specs[next_call_id] = (gene, vid, nid)
+                                    call_base[next_call_id] = next_call_id
+                                    call_chain[next_call_id] = ()
+                                    vid = next_call_id
+                            elif west_unary[gene]:
+                                # West-unary PEs cost nothing here: they extend
+                                # the operand's symbolic chain, to be folded into
+                                # the consuming pair's fused table (or one
+                                # 256-entry gather if the chain reaches the
+                                # output).
+                                if vid >= 0:
+                                    sig = ((vid << 21) | _NO_NORTH) << 4 | gene
+                                    cached = intern_get(sig)
+                                    if cached is None:
+                                        cached = store.new_chain(
+                                            base_of[vid], chain_of[vid] + (gene,)
+                                        )
+                                        intern[sig] = cached
+                                    vid = cached
+                                else:
+                                    next_call_id -= 1
+                                    call_values[next_call_id] = None
+                                    call_base[next_call_id] = call_base[vid]
+                                    call_chain[next_call_id] = call_chain[vid] + (gene,)
+                                    vid = next_call_id
+                            elif gene == _IDENTITY_W:
+                                pass  # output aliases the west input: vid unchanged
+                            elif gene == _IDENTITY_N:
+                                vid = north_ids[c]
+                                continue  # north_ids[c] already holds vid
+                            else:  # _CONST_MAX
+                                if store.const_id < 0:
+                                    row = arena.alloc()
+                                    arena.row(row)[:] = 255
+                                    store.const_id = store._new_raw(row)
+                                vid = store.const_id
+                            north_ids[c] = vid
+                        # vid now holds east[r]; after the final row this is the
+                        # selected output node (r == out_row, c == cols - 1).
+                    if fault_free:
+                        cand_intern[cand_key] = vid
+                out_vids.append(vid)
+            if fault_free:
+                store.batch_intern[batch_key] = out_vids
+
+        if reduce_mode:
+            for b, vid in enumerate(out_vids):
+                pend_fitness(b, vid)
+            if fit_pending:
+                # One vectorised reduce over the distinct missed nodes,
+                # gathered from the packed arena: uint8 differences fit
+                # int16 exactly and accumulate in int64 — the same
+                # arithmetic as sae()/sae_batch, bit for bit.
+                diffs = np.empty((len(fit_pending), plane_elems), dtype=np.int16)
+                for row_index, (_, plane) in enumerate(fit_pending):
+                    diffs[row_index] = plane
+                diffs -= store.fit_ref16
+                np.abs(diffs, out=diffs)
+                totals = diffs.sum(axis=1, dtype=np.int64).tolist()
+                for (vid, _), total in zip(fit_pending, totals):
+                    if vid is not None:
+                        fit_memo[vid] = total
+                for b, row in fit_rows:
+                    fits[b] = totals[row]
+            return fits, True
+        if want_batch:
+            if all(vid >= 0 for vid in out_vids):
+                # Fault-free batch: materialise each distinct output once,
+                # then assemble the (B, H, W) stack as one gather over the
+                # packed arena — a single pass, zero per-candidate
+                # allocation.
+                for vid in out_vids:
+                    if rows[vid] is None:
+                        force(vid)
+                row_ids = [rows[vid] for vid in out_vids]
+                return arena.gather(row_ids).reshape(n, h, w), True
+            out = np.empty((n, h, w), dtype=np.uint8)
+            for b, vid in enumerate(out_vids):
+                out[b] = force(vid).reshape(h, w)
+            return out, True
+        # Single candidate: store nodes are packed arena views shared
+        # across calls, so the caller gets a copy; fault-tainted planes are
+        # per-call scratch with no surviving references and are handed over.
+        single_value = force(out_vids[0])
+        return single_value.reshape(h, w), out_vids[0] < 0

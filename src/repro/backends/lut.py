@@ -1,0 +1,192 @@
+"""Precomputed lookup tables for the ``compiled`` evaluation backend.
+
+Every PE function is an element-wise map ``uint8 x uint8 -> uint8``, so
+it is *exactly* representable as a 256x256 lookup table — and, crucially,
+table composition is again a table: a PE whose west operand is first run
+through a chain of west-unary PEs (``INVERT_W``, ``SHIFT_R1_W``, ...)
+computes ``op(chain(w), n)``, which folds into a single fused 256x256
+table ``fused[w, n] = op_table[chain_table[w], n]``.  The compiled
+backend uses this to collapse whole subprograms into one gather per
+materialised node.
+
+Tables are built once, on demand, directly from the reference
+implementations in :mod:`repro.array.pe_library` (evaluated over the
+full 256x256 input grid), so they are bit-exact against the ``reference``
+backend *by construction* — ``tests/backends/test_lut_parity.py``
+re-verifies this exhaustively, including every composed pair.
+
+All tables are cached process-globally: they depend only on program
+structure (gene values), never on image content, array instance or fault
+state, so one build serves every store, array and thread for the life of
+the process.  :func:`clear_luts` drops them (used by
+``CompiledBackend.clear_cache``).
+
+>>> import numpy as np
+>>> from repro.array.pe_library import PEFunction, apply_function
+>>> table = pair_lut(int(PEFunction.ADD_SAT))
+>>> int(table[(200 << 8) | 100])  # index is (west << 8) | north
+255
+>>> inv = chain_lut((int(PEFunction.INVERT_W),))
+>>> int(inv[10])
+245
+>>> fused = fused_pair_lut(
+...     int(PEFunction.MAX), (int(PEFunction.INVERT_W),), ()
+... )
+>>> int(fused[(10 << 8) | 3])  # max(invert(10), 3) == max(245, 3)
+245
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.array.pe_library import FUNCTION_ARITY, N_FUNCTIONS, PEFunction, apply_function
+
+__all__ = [
+    "WEST_UNARY_GENES",
+    "pair_lut",
+    "unary_lut",
+    "chain_lut",
+    "fused_pair_lut",
+    "clear_luts",
+]
+
+#: Genes that read only their west input *through an actual computation*
+#: (arity-1 functions minus the structural pass-throughs): these are the
+#: genes the compiled backend folds into operand chains instead of
+#: materialising planes for.
+WEST_UNARY_GENES = frozenset(
+    int(gene)
+    for gene in PEFunction
+    if FUNCTION_ARITY[gene] == 1
+    and gene not in (PEFunction.IDENTITY_W, PEFunction.IDENTITY_N)
+)
+
+#: Cap on the fused-table cache: each entry is 64 KiB, so 512 entries
+#: bound the cache at 32 MiB.  Distinct (gene, west chain, north chain)
+#: combinations are structural and recur heavily across an evolution run,
+#: so the cap is far above what real workloads produce.
+_MAX_FUSED = 512
+
+_pair_luts: Dict[int, np.ndarray] = {}
+_unary_luts: Dict[int, np.ndarray] = {}
+_chain_luts: Dict[Tuple[int, ...], np.ndarray] = {}
+_fused_luts: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+
+def _check_gene(gene: int) -> int:
+    gene = int(gene)
+    if not 0 <= gene < N_FUNCTIONS:
+        raise ValueError(f"function gene must be in [0, {N_FUNCTIONS - 1}], got {gene}")
+    return gene
+
+
+def pair_lut(gene: int) -> np.ndarray:
+    """The flat ``(65536,)`` uint8 table of one PE function.
+
+    Index convention: ``table[(west << 8) | north]`` equals the reference
+    ``apply_function(gene, west, north)`` for every uint8 input pair.
+    The returned array is shared and must not be mutated.
+    """
+    gene = _check_gene(gene)
+    table = _pair_luts.get(gene)
+    if table is None:
+        grid = np.arange(256, dtype=np.uint8)
+        west = np.repeat(grid, 256)
+        north = np.tile(grid, 256)
+        table = np.ascontiguousarray(apply_function(gene, west, north))
+        table.setflags(write=False)
+        _pair_luts[gene] = table
+    return table
+
+
+def unary_lut(gene: int) -> np.ndarray:
+    """The ``(256,)`` uint8 table of a west-unary PE function.
+
+    Only defined for :data:`WEST_UNARY_GENES` (functions that compute
+    from the west input alone); the structural pass-throughs and binary
+    functions have no single-input table.
+    """
+    gene = _check_gene(gene)
+    table = _unary_luts.get(gene)
+    if table is None:
+        if gene not in WEST_UNARY_GENES:
+            raise ValueError(
+                f"gene {gene} ({PEFunction(gene).name}) is not a west-unary function"
+            )
+        grid = np.arange(256, dtype=np.uint8)
+        table = np.ascontiguousarray(apply_function(gene, grid, grid))
+        table.setflags(write=False)
+        _unary_luts[gene] = table
+    return table
+
+
+def chain_lut(chain: Tuple[int, ...]) -> np.ndarray:
+    """One ``(256,)`` table composing a chain of west-unary genes in order.
+
+    ``chain_lut((g1, g2))[x]`` equals ``g2(g1(x))`` — the chain is applied
+    left to right, matching the west-to-east data flow that produced it.
+    """
+    chain = tuple(int(gene) for gene in chain)
+    if not chain:
+        raise ValueError("chain must contain at least one gene")
+    table = _chain_luts.get(chain)
+    if table is None:
+        table = unary_lut(chain[0])
+        for gene in chain[1:]:
+            table = unary_lut(gene)[table]
+        table = np.ascontiguousarray(table)
+        table.setflags(write=False)
+        _chain_luts[chain] = table
+    return table
+
+
+def fused_pair_lut(
+    gene: int,
+    west_chain: Tuple[int, ...] = (),
+    north_chain: Tuple[int, ...] = (),
+    post_chain: Tuple[int, ...] = (),
+) -> np.ndarray:
+    """A fused ``(65536,)`` table: operand chains + one binary op + suffix.
+
+    ``fused[(w << 8) | n]`` equals
+    ``post_chain(op(west_chain(w), north_chain(n)))`` — a whole subprogram
+    of unary PEs around one binary PE collapses into a single gather.
+    Cached process-globally by the structural key (the table depends only
+    on gene values, never on image content).
+    """
+    gene = _check_gene(gene)
+    west_chain = tuple(int(g) for g in west_chain)
+    north_chain = tuple(int(g) for g in north_chain)
+    post_chain = tuple(int(g) for g in post_chain)
+    if not (west_chain or north_chain or post_chain):
+        return pair_lut(gene)
+    key = (gene, west_chain, north_chain, post_chain)
+    table = _fused_luts.get(key)
+    if table is None:
+        square = pair_lut(gene).reshape(256, 256)
+        if west_chain:
+            square = square[chain_lut(west_chain), :]
+        if north_chain:
+            square = square[:, chain_lut(north_chain)]
+        table = np.ascontiguousarray(square).reshape(65536)
+        if post_chain:
+            table = chain_lut(post_chain)[table]
+        table.setflags(write=False)
+        _fused_luts[key] = table
+        while len(_fused_luts) > _MAX_FUSED:
+            _fused_luts.popitem(last=False)
+    else:
+        _fused_luts.move_to_end(key)
+    return table
+
+
+def clear_luts() -> None:
+    """Drop every cached table (they rebuild on demand, bit-identically)."""
+    _pair_luts.clear()
+    _unary_luts.clear()
+    _chain_luts.clear()
+    _fused_luts.clear()

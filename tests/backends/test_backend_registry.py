@@ -7,6 +7,7 @@ from repro.api.config import PlatformConfig
 from repro.array.systolic_array import SystolicArray
 from repro.backends import (
     BACKENDS,
+    CompiledBackend,
     EvaluationBackend,
     NumpyBackend,
     ReferenceBackend,
@@ -21,7 +22,8 @@ class TestRegistry:
     def test_builtins_registered(self):
         assert "reference" in BACKENDS
         assert "numpy" in BACKENDS
-        assert set(BACKENDS.names()) >= {"reference", "numpy"}
+        assert "compiled" in BACKENDS
+        assert set(BACKENDS.names()) >= {"reference", "numpy", "compiled"}
 
     def test_unknown_name_lists_alternatives(self):
         with pytest.raises(UnknownBackendError, match="reference"):
@@ -69,6 +71,7 @@ class TestResolve:
     def test_by_name(self):
         assert isinstance(resolve_backend("numpy"), NumpyBackend)
         assert isinstance(resolve_backend("reference"), ReferenceBackend)
+        assert isinstance(resolve_backend("compiled"), CompiledBackend)
 
     def test_instance_passthrough(self):
         backend = NumpyBackend()

@@ -1,0 +1,235 @@
+"""Exhaustive parity of the ``compiled`` backend's lookup-table algebra.
+
+The compiled engine's entire correctness argument rests on two claims:
+
+1. every PE function is *exactly* a 256x256 uint8 lookup table, and
+2. composing tables (west/north operand chains folded into a fused
+   table, chains of unary functions collapsed to one 256-entry table)
+   equals composing the reference functions.
+
+Both claims are decidable by exhaustion over the uint8 value domain, so
+this suite checks them exhaustively: every PE function over all 65536
+input pairs, every ordered PE-function pair through the composition the
+engine actually executes, every unary chain of length two, and every
+operand/suffix fold position of the fused-table builder.  A final set of
+backend-level tests walks a fault block through every PE position
+(fault-masked variants) and a hypothesis property pins compiled fitness
+to the reference reduction on random genotypes with and without active
+faults.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.genotype import Genotype, GenotypeSpec
+from repro.array.pe_library import FUNCTION_ARITY, N_FUNCTIONS, PEFunction, apply_function
+from repro.array.systolic_array import SystolicArray
+from repro.array.window import extract_windows
+from repro.backends import lut
+from repro.imaging.metrics import sae
+
+SPEC = GenotypeSpec()
+
+#: All 65536 uint8 input pairs, flattened: WEST[i], NORTH[i] sweep the
+#: full value domain in the ``(west << 8) | north`` index order the
+#: compiled backend's gather uses.
+WEST = np.repeat(np.arange(256, dtype=np.uint8), 256)
+NORTH = np.tile(np.arange(256, dtype=np.uint8), 256)
+ALL_GENES = tuple(range(N_FUNCTIONS))
+UNARY = tuple(sorted(lut.WEST_UNARY_GENES))
+
+
+class TestSingleTables:
+    @pytest.mark.parametrize("gene", ALL_GENES, ids=lambda g: PEFunction(g).name)
+    def test_pair_lut_matches_reference_on_all_65536_pairs(self, gene):
+        table = lut.pair_lut(gene)
+        expected = apply_function(gene, WEST, NORTH)
+        assert table.shape == (65536,)
+        assert np.array_equal(table, expected)
+
+    @pytest.mark.parametrize("gene", UNARY, ids=lambda g: PEFunction(g).name)
+    def test_unary_lut_matches_reference_on_all_256_values(self, gene):
+        grid = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(lut.unary_lut(gene), apply_function(gene, grid, grid))
+
+    def test_west_unary_set_is_exactly_the_nonstructural_arity1_genes(self):
+        expected = {
+            int(g)
+            for g in PEFunction
+            if FUNCTION_ARITY[g] == 1
+            and g not in (PEFunction.IDENTITY_W, PEFunction.IDENTITY_N)
+        }
+        assert lut.WEST_UNARY_GENES == expected
+
+    def test_unary_lut_rejects_binary_and_structural_genes(self):
+        for gene in ALL_GENES:
+            if gene in lut.WEST_UNARY_GENES:
+                continue
+            with pytest.raises(ValueError):
+                lut.unary_lut(gene)
+
+
+class TestPairCompositions:
+    """Every ordered PE-function pair, composed the way the engine runs it.
+
+    The compiled executor evaluates a two-PE dataflow ``g2(g1(w, n), m)``
+    either by materialising ``g1``'s plane and gathering through ``g2``'s
+    pair table, or — when ``g1`` is unary — by folding it into ``g2``'s
+    fused table.  Exhausting the full 2^24 input cube is wasteful; these
+    tests sweep the complete 256x256 (w, n) grid for two independent
+    full-range choices of the second operand ``m``, which exercises every
+    table row and column of both functions in composition.
+    """
+
+    @pytest.mark.parametrize("g1", ALL_GENES, ids=lambda g: PEFunction(g).name)
+    def test_every_second_stage_function_over_first_stage_output(self, g1):
+        mid = apply_function(g1, WEST, NORTH)
+        for g2 in ALL_GENES:
+            for second in (NORTH, NORTH[::-1]):
+                via_tables = lut.pair_lut(g2)[(mid.astype(np.uint16) << 8) | second]
+                expected = apply_function(g2, mid, second)
+                assert np.array_equal(via_tables, expected), (
+                    f"{PEFunction(g1).name} -> {PEFunction(g2).name}"
+                )
+
+    @pytest.mark.parametrize("u", UNARY, ids=lambda g: PEFunction(g).name)
+    def test_west_chain_fold_is_exact_for_every_consumer(self, u):
+        for gene in ALL_GENES:
+            fused = lut.fused_pair_lut(gene, (u,), ())
+            expected = apply_function(gene, apply_function(u, WEST, WEST), NORTH)
+            assert np.array_equal(fused, expected)
+
+    @pytest.mark.parametrize("u", UNARY, ids=lambda g: PEFunction(g).name)
+    def test_north_chain_fold_is_exact_for_every_consumer(self, u):
+        for gene in ALL_GENES:
+            fused = lut.fused_pair_lut(gene, (), (u,))
+            expected = apply_function(gene, WEST, apply_function(u, NORTH, NORTH))
+            assert np.array_equal(fused, expected)
+
+    @pytest.mark.parametrize("u", UNARY, ids=lambda g: PEFunction(g).name)
+    def test_post_chain_fold_is_exact_for_every_producer(self, u):
+        for gene in ALL_GENES:
+            fused = lut.fused_pair_lut(gene, (), (), (u,))
+            mid = apply_function(gene, WEST, NORTH)
+            assert np.array_equal(fused, apply_function(u, mid, mid))
+
+    def test_every_unary_chain_of_length_two(self):
+        grid = np.arange(256, dtype=np.uint8)
+        for u1 in UNARY:
+            for u2 in UNARY:
+                chained = lut.chain_lut((u1, u2))
+                step = apply_function(u1, grid, grid)
+                expected = apply_function(u2, step, step)
+                assert np.array_equal(chained, expected), (
+                    f"{PEFunction(u1).name} then {PEFunction(u2).name}"
+                )
+
+    def test_three_stage_fold_all_positions_at_once(self):
+        """West, north and post chains folded into one fused table."""
+        for gene in (int(PEFunction.ADD_SAT), int(PEFunction.XOR)):
+            for u in UNARY:
+                fused = lut.fused_pair_lut(gene, (u,), (u,), (u,))
+                west_in = apply_function(u, WEST, WEST)
+                north_in = apply_function(u, NORTH, NORTH)
+                mid = apply_function(gene, west_in, north_in)
+                assert np.array_equal(fused, apply_function(u, mid, mid))
+
+
+def _mixed_genotype():
+    """A fixed genotype touching binary, unary and structural functions."""
+    functions = np.array(
+        [
+            [PEFunction.ADD_SAT, PEFunction.INVERT_W, PEFunction.MAX, PEFunction.XOR],
+            [PEFunction.SHIFT_R1_W, PEFunction.AVERAGE, PEFunction.IDENTITY_N, PEFunction.MIN],
+            [PEFunction.SUB_ABS, PEFunction.THRESHOLD, PEFunction.OR, PEFunction.SWAP_NIBBLES_W],
+            [PEFunction.AND, PEFunction.IDENTITY_W, PEFunction.CONST_MAX, PEFunction.ADD_SAT],
+        ],
+        dtype=np.uint8,
+    )
+    return Genotype(
+        spec=SPEC,
+        function_genes=functions,
+        west_mux=np.array([4, 1, 7, 3], dtype=np.uint8),
+        north_mux=np.array([2, 4, 6, 0], dtype=np.uint8),
+        output_select=3,
+    )
+
+
+class TestFaultMaskedVariants:
+    """A fault block walked through every PE position of the array.
+
+    A faulty PE replaces its output with that position's random block, so
+    downstream fused tables consume raw fault bytes.  Every position gets
+    its turn masking the fixed mixed genotype; the compiled result (plane
+    and fitness) must match the reference sweep byte for byte.
+    """
+
+    @pytest.mark.parametrize("row", range(SPEC.rows))
+    @pytest.mark.parametrize("col", range(SPEC.cols))
+    def test_single_fault_at_every_position(self, row, col):
+        image = np.random.default_rng(7).integers(0, 256, size=(24, 24), dtype=np.uint8)
+        target = np.random.default_rng(8).integers(0, 256, size=(24, 24), dtype=np.uint8)
+        planes = extract_windows(image)
+        genotype = _mixed_genotype()
+        outputs = {}
+        fits = {}
+        for backend in ("reference", "compiled"):
+            array = SystolicArray(backend=backend)
+            array.inject_fault((row, col), seed=101 + row * SPEC.cols + col)
+            outputs[backend] = array.process_planes(planes, genotype)
+            fits[backend] = array.evaluate_population(planes, [genotype], target)
+        assert np.array_equal(outputs["reference"], outputs["compiled"])
+        assert fits["reference"].tolist() == fits["compiled"].tolist()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    population=st.integers(1, 7),
+    n_faults=st.integers(0, 4),
+    warm_repeat=st.booleans(),
+)
+def test_compiled_fitness_equals_reference_on_random_genotypes(
+    seed, population, n_faults, warm_repeat
+):
+    """Property: compiled fitness == reference fitness, faults or not.
+
+    ``n_faults == 0`` exercises the fault-free fused path (including the
+    whole-batch memo when ``warm_repeat`` re-evaluates the same batch);
+    ``n_faults > 0`` exercises the per-call fault overlay and the
+    fault-RNG stream contract, since unequal stream consumption would
+    desynchronise the second evaluation's draws.
+    """
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(14, 14), dtype=np.uint8)
+    target = rng.integers(0, 256, size=(14, 14), dtype=np.uint8)
+    planes = extract_windows(image)
+    genotypes = [Genotype.random(SPEC, rng) for _ in range(population)]
+    positions = {
+        (int(rng.integers(0, SPEC.rows)), int(rng.integers(0, SPEC.cols)))
+        for _ in range(n_faults)
+    }
+
+    arrays = {}
+    for backend in ("reference", "compiled"):
+        array = SystolicArray(backend=backend)
+        for index, position in enumerate(sorted(positions)):
+            array.inject_fault(position, seed=seed + index)
+        arrays[backend] = array
+
+    repeats = 2 if warm_repeat else 1
+    for _ in range(repeats):
+        expected = arrays["reference"].evaluate_population(planes, genotypes, target)
+        produced = arrays["compiled"].evaluate_population(planes, genotypes, target)
+        assert expected.tolist() == produced.tolist()
+    if not positions:
+        # Fault-free runs are repeatable, so the fitness values must be
+        # the reference SAE reduction exactly.  (With faults the next
+        # evaluation draws fresh blocks, so there is nothing stream-stable
+        # to compare the fused reduction against candidate by candidate.)
+        assert expected.tolist() == [
+            sae(arrays["reference"].process_planes(planes, genotype), target)
+            for genotype in genotypes
+        ]

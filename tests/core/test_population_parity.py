@@ -36,7 +36,7 @@ from repro.ea.strategy import OnePlusLambdaES
 from repro.imaging.images import make_training_pair
 from repro.imaging.metrics import sae
 
-BACKENDS = ("reference", "numpy")
+BACKENDS = ("reference", "numpy", "compiled")
 FAULTS = ("healthy", "faulty")
 
 
@@ -126,7 +126,8 @@ class TestEvaluatePopulation:
             array = SystolicArray(backend=backend)
             array.inject_fault((3, 1), seed=13)
             results[backend] = array.evaluate_population(planes, genotypes, reference)
-        assert results["reference"].tolist() == results["numpy"].tolist()
+        for backend in BACKENDS[1:]:
+            assert results["reference"].tolist() == results[backend].tolist()
 
     def test_validates_inputs(self):
         array = SystolicArray()

@@ -3,9 +3,9 @@
 The acceptance gate of the scenario engine: one seed + one scenario spec
 must produce identical event schedules, identical fitness trajectories,
 identical winning genotypes and identical fault-stream consumption —
-whether evaluation runs on the ``reference`` or ``numpy`` backend,
-population-batched or per-candidate, and whichever campaign executor
-schedules the run.
+whether evaluation runs on the ``reference``, ``numpy`` or ``compiled``
+backend, population-batched or per-candidate, and whichever campaign
+executor schedules the run.
 """
 
 import numpy as np
@@ -68,9 +68,15 @@ class TestBackendParity:
     def test_parallel_evolution_is_byte_identical(self, scenario, population_batching):
         ref_session, ref = run_session("parallel", scenario, "reference", population_batching)
         np_session, num = run_session("parallel", scenario, "numpy", population_batching)
+        cc_session, comp = run_session("parallel", scenario, "compiled", population_batching)
         assert comparable(ref) == comparable(num)
+        assert comparable(ref) == comparable(comp)
         assert ref.results["scenario"]["n_events"] > 0
-        assert stream_probe(ref_session) == stream_probe(np_session)
+        # Probe each session exactly once: probing draws from (and thereby
+        # advances) the live fault streams.
+        ref_probe = stream_probe(ref_session)
+        assert ref_probe == stream_probe(np_session)
+        assert ref_probe == stream_probe(cc_session)
 
     def test_population_batching_matches_per_candidate(self):
         _, batched = run_session("parallel", "mixed-burst", "numpy", True)
@@ -85,7 +91,9 @@ class TestBackendParity:
     def test_other_drivers_are_byte_identical(self, strategy, options):
         _, ref = run_session(strategy, "seu-storm", "reference", True, options)
         _, num = run_session(strategy, "seu-storm", "numpy", True, options)
+        _, comp = run_session(strategy, "seu-storm", "compiled", True, options)
         assert comparable(ref) == comparable(num)
+        assert comparable(ref) == comparable(comp)
 
     def test_scenario_actually_perturbs_the_run(self):
         """Sanity check that the timeline is not a no-op: a quiet run and a
@@ -110,14 +118,14 @@ class TestExecutorParity:
             scenario=FaultScenario(name="sweepable", seu_rate=0.4, scrub_period=3),
             grid={
                 "scenario.seu_rate": [0.4, 1.0],
-                "platform.backend": ["reference", "numpy"],
+                "platform.backend": ["reference", "numpy", "compiled"],
             },
             seed=SEED,
         )
 
     def test_scenario_axis_expands_into_evolution_configs(self):
         runs = self.build_spec().expand()
-        assert len(runs) == 4
+        assert len(runs) == 6
         rates = {run.evolution.scenario["seu_rate"] for run in runs}
         assert rates == {0.4, 1.0}
         # The spec round-trips through JSON with its scenario intact.
@@ -179,5 +187,6 @@ class TestExecutorParity:
             by_key.setdefault(key, []).append(serial.artifact_for(run))
         for key, artifacts in by_key.items():
             results = [a.results for a in artifacts]
-            assert results[0]["fitness_history"] == results[1]["fitness_history"]
-            assert results[0]["scenario"]["events"] == results[1]["scenario"]["events"]
+            for other in results[1:]:
+                assert results[0]["fitness_history"] == other["fitness_history"]
+                assert results[0]["scenario"]["events"] == other["scenario"]["events"]

@@ -18,6 +18,16 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "performance.md",
     REPO_ROOT / "docs" / "paper_map.md",
 ]
+#: Everything link-checked: the doc suite plus the authored top-level
+#: markdown (the retrieved-corpus files PAPERS.md/SNIPPETS.md embed
+#: PDF-extraction artifacts and are deliberately excluded, matching the
+#: CI docs job's invocation).
+LINK_CHECKED_FILES = DOC_FILES + [
+    REPO_ROOT / "ISSUE.md",
+    REPO_ROOT / "ROADMAP.md",
+    REPO_ROOT / "CHANGES.md",
+    REPO_ROOT / "PAPER.md",
+]
 
 
 def _checker():
@@ -37,7 +47,7 @@ def test_doc_file_exists_and_is_nonempty(path):
 
 def test_local_links_resolve():
     checker = _checker()
-    broken = checker.find_broken_links(DOC_FILES)
+    broken = checker.find_broken_links([p for p in LINK_CHECKED_FILES if p.is_file()])
     assert broken == [], "broken documentation links: " + ", ".join(
         f"{path.name} -> {target}" for path, target in broken
     )
@@ -51,6 +61,35 @@ def test_checker_detects_breakage(tmp_path):
     assert [(path.name, target) for path, target in broken] == [
         ("bad.md", "does_not_exist.md")
     ]
+
+
+def test_checker_validates_heading_anchors(tmp_path):
+    """Dangling anchors fail — in-page and cross-file alike."""
+    checker = _checker()
+    other = tmp_path / "other.md"
+    other.write_text("# Real Section\n\n## With `code` and punctuation!\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# Top\n\n"
+        "ok: [a](#top) [b](other.md#real-section)"
+        " [c](other.md#with-code-and-punctuation)\n"
+        "bad: [d](#nope) [e](other.md#missing-section)\n"
+    )
+    broken = checker.find_broken_links([doc])
+    assert [(path.name, target) for path, target in broken] == [
+        ("doc.md", "#nope"),
+        ("doc.md", "other.md#missing-section"),
+    ]
+
+
+def test_checker_slugifies_duplicate_headings_like_github(tmp_path):
+    checker = _checker()
+    doc = tmp_path / "dup.md"
+    doc.write_text(
+        "# Setup\n\n# Setup\n\n[first](#setup) [second](#setup-1) [third](#setup-2)\n"
+    )
+    broken = checker.find_broken_links([doc])
+    assert [(path.name, target) for path, target in broken] == [("dup.md", "#setup-2")]
 
 
 def test_docs_mention_every_backend_and_gate():

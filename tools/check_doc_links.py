@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Link-check Markdown documentation.
+"""Link-check Markdown documentation, including heading anchors.
 
 Scans the given Markdown files for inline links/images
 (``[text](target)`` / ``![alt](target)``) and reference definitions
-(``[label]: target``) and verifies that every *local* target resolves to
-an existing file or directory, relative to the file containing the link.
+(``[label]: target``) and verifies that
+
+* every *local* target resolves to an existing file or directory,
+  relative to the file containing the link, and
+* every anchor — in-page (``#section``) or cross-file
+  (``other.md#section``) — matches a heading of the target document,
+  using GitHub's heading-slug rules (lowercased, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicates).
+
 ``http(s)``/``mailto`` targets are skipped (CI must not depend on
-network), as are pure in-page anchors (``#section``); an anchor suffix
-on a local target is stripped before the existence check.
+network).
 
 Usage::
 
     python tools/check_doc_links.py README.md DESIGN.md docs/*.md
 
-Exits 1 and lists every broken link when any local target is missing.
+Exits 1 and lists every broken link when any local target or anchor is
+dangling.
 """
 
 from __future__ import annotations
@@ -21,41 +28,93 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-__all__ = ["find_broken_links", "iter_local_targets", "main"]
+__all__ = ["find_broken_links", "heading_slugs", "iter_local_targets", "main"]
 
 #: Inline links/images: [text](target) — target captured without title.
 _INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
 #: Reference-style definitions: [label]: target
 _REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+#: ATX headings: # Title ... (closing hashes tolerated).
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
 #: Schemes that are never checked locally.
 _EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+#: Suffixes treated as Markdown documents for anchor validation.
+_MARKDOWN_SUFFIXES = (".md", ".markdown")
+
+
+def _strip_fences(markdown: str) -> str:
+    return re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+
+
+def heading_slugs(markdown: str) -> Set[str]:
+    """GitHub-style anchor slugs of every heading in ``markdown``.
+
+    Mirrors GitHub's rendering: inline code/link markup reduces to its
+    text, the heading is lowercased, everything but word characters,
+    hyphens and spaces is dropped, spaces become hyphens, and duplicate
+    slugs get ``-1``, ``-2``, ... suffixes in order of appearance.
+    """
+    slugs: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for match in _HEADING.finditer(_strip_fences(markdown)):
+        text = match.group(1)
+        text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+        text = text.replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", text.strip().lower()).replace(" ", "-")
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
 
 
 def iter_local_targets(markdown: str) -> Iterable[str]:
-    """Yield every link target in ``markdown`` that points at a local path."""
-    fenced = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    """Yield every link target in ``markdown`` that needs a local check.
+
+    That is every target except external URLs — plain paths, paths with
+    anchor suffixes, and pure in-page anchors (``#section``) alike.
+    """
+    fenced = _strip_fences(markdown)
     targets = [match.group(1) for match in _INLINE_LINK.finditer(fenced)]
     targets += [match.group(1) for match in _REF_DEF.finditer(fenced)]
     for target in targets:
-        if target.startswith(_EXTERNAL) or target.startswith("#"):
+        if target.startswith(_EXTERNAL):
             continue
         yield target
 
 
 def find_broken_links(paths: Iterable[Path]) -> List[Tuple[Path, str]]:
-    """Return ``(file, target)`` for every local link that does not resolve."""
+    """Return ``(file, target)`` for every local link that does not resolve.
+
+    A target is broken when its path component does not exist, or when
+    its anchor component does not match any heading slug of the target
+    document (pure in-page anchors check the linking file itself).
+    """
     broken: List[Tuple[Path, str]] = []
+    slug_cache: Dict[Path, Set[str]] = {}
+
+    def slugs_of(path: Path) -> Set[str]:
+        resolved = path.resolve()
+        if resolved not in slug_cache:
+            slug_cache[resolved] = heading_slugs(resolved.read_text(encoding="utf-8"))
+        return slug_cache[resolved]
+
     for path in paths:
         text = path.read_text(encoding="utf-8")
         for target in iter_local_targets(text):
-            local = target.split("#", 1)[0]
+            local, _, anchor = target.partition("#")
             if not local:
+                if anchor and anchor not in slugs_of(path):
+                    broken.append((path, target))
                 continue
             resolved = (path.parent / local).resolve()
             if not resolved.exists():
                 broken.append((path, target))
+                continue
+            if anchor and resolved.suffix.lower() in _MARKDOWN_SUFFIXES:
+                if anchor not in slugs_of(resolved):
+                    broken.append((path, target))
     return broken
 
 
@@ -75,7 +134,7 @@ def main(argv: List[str]) -> int:
     if broken:
         print(f"{len(broken)} broken link(s)", file=sys.stderr)
         return 1
-    print(f"checked {len(paths)} file(s): all local links resolve")
+    print(f"checked {len(paths)} file(s): all local links and anchors resolve")
     return 0
 
 
