@@ -1,0 +1,104 @@
+"""Benchmark: red-team search cold vs warm (store resume / dedupe cache).
+
+The adversarial search leans on the campaign runtime for its inner loop,
+so a re-run of the same search must be dominated by store resumes or
+dedupe-cache hits rather than re-evaluated missions.  This benchmark runs
+one small search cold, re-runs it against the same root (every campaign
+resumes) and against a fresh root with the shared cache (every run is a
+cache hit), and asserts
+
+* byte-identical archive documents across all three runs;
+* a >= 2x wall-clock speedup for the warm re-runs.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.runtime.executors import available_cpus
+from repro.scenarios.search import RedTeamConfig, ScenarioBounds, red_team_search
+
+SEED = 2013
+MEASURE_REPEATS = 3
+
+pytestmark = pytest.mark.skipif(
+    available_cpus() < 3,
+    reason="red-team search benchmark needs >= 3 usable cores",
+)
+
+
+def _measure(run, repeats=MEASURE_REPEATS):
+    """Best-of-N wall-clock time of ``run()`` (returns (seconds, result))."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_red_team_search_warm_rerun_speedup(run_once, tmp_path):
+    config = RedTeamConfig(
+        seed=SEED,
+        n_generations=3,
+        n_offspring=4,
+        bounds=ScenarioBounds(horizon=5, event_budget=8.0),
+        image_side=16,
+        evolution_generations=5,
+        healing_generations=4,
+    )
+    root = str(tmp_path / "root")
+    workers = min(available_cpus(), config.n_offspring)
+
+    cold_s, cold = _measure(
+        lambda: red_team_search(
+            config, executor="process", max_workers=workers, root=root
+        ),
+        repeats=1,
+    )
+    resumed_s, resumed = _measure(
+        lambda: red_team_search(
+            config, executor="process", max_workers=workers, root=root
+        )
+    )
+    cached_s, cached = _measure(
+        lambda: red_team_search(
+            config,
+            executor="process",
+            max_workers=workers,
+            root=str(tmp_path / "fresh"),
+            cache=str(tmp_path / "root" / "cache"),
+        )
+    )
+
+    assert cold.archive_json() == resumed.archive_json() == cached.archive_json()
+    assert resumed.summary()["status_counts"] == {"resumed": resumed.n_evaluations}
+    assert cached.summary()["status_counts"] == {"cached": cached.n_evaluations}
+
+    resume_speedup = cold_s / resumed_s
+    cache_speedup = cold_s / cached_s
+    print_table(
+        f"Red-team search ({cold.n_evaluations} evaluations, "
+        f"{cold.n_campaigns} campaigns, {workers} workers)",
+        [
+            {"run": "cold", "wall_s": cold_s, "speedup": 1.0},
+            {"run": "resumed (same root)", "wall_s": resumed_s, "speedup": resume_speedup},
+            {"run": "cached (fresh root)", "wall_s": cached_s, "speedup": cache_speedup},
+        ],
+        columns=["run", "wall_s", "speedup"],
+    )
+
+    # The point of running the search as campaigns: warm re-runs must at
+    # least halve the wall-clock time.
+    assert resume_speedup >= 2.0, f"store-resume speedup {resume_speedup:.2f}x < 2x"
+    assert cache_speedup >= 2.0, f"dedupe-cache speedup {cache_speedup:.2f}x < 2x"
+
+    # run_once records one timed pass for the benchmark report.
+    run_once(
+        lambda: red_team_search(
+            config, executor="process", max_workers=workers, root=root
+        )
+    )

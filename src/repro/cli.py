@@ -13,6 +13,7 @@ figures can be regenerated without writing Python::
     repro-ehw imitation                    # Fig. 19
     repro-ehw tmr-recovery                 # Fig. 20
     repro-ehw fault-sweep                  # systematic fault analysis (extension)
+    repro-ehw red-team --archive out/rt    # adversarial worst-case timeline search
     repro-ehw campaign --grid ...          # declarative parameter-sweep campaigns
     repro-ehw serve --root out/service     # campaign server (queue + dedupe cache)
     repro-ehw worker --server URL          # work-queue worker against a server
@@ -77,9 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="NAME|FILE",
             help="fault-scenario timeline for the experiment's evolutions: "
                  "a built-in scenario name (single-seu, seu-storm, "
-                 "creeping-permanent, scrub-race, mixed-burst, quiet) or a "
-                 "FaultScenario JSON file; ignored by experiments without "
-                 "an evolution phase",
+                 "creeping-permanent, scrub-race, mixed-burst, quiet, or a "
+                 "frozen redteam-* worst case) or a FaultScenario JSON "
+                 "file; ignored by experiments without an evolution phase",
         )
         p.set_defaults(spec=spec)
     return parser

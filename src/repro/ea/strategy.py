@@ -120,6 +120,19 @@ class OnePlusLambdaES:
         ``callback`` (which observes the selected parent *after* the
         generation), this hook may mutate the environment the evaluator
         measures.
+    mutation_operator:
+        Optional variation operator ``operator(parent_genotype,
+        mutation_rate, rng)`` returning a
+        :class:`~repro.ea.mutation.MutationResult`-compatible object
+        (``.genotype`` and ``.n_reconfigurations``).  Defaults to the
+        array-genotype :func:`~repro.ea.mutation.mutate`, which keeps
+        every existing caller bit-identical.  Supplying an operator turns
+        the strategy into a generic (1+λ) search over arbitrary genotype
+        types (e.g. the adversarial :class:`~repro.scenarios.FaultScenario`
+        search in :mod:`repro.scenarios.search`); such callers must pass a
+        ``seed_genotype`` (there is no generic random initialiser) and the
+        ``population_batching`` fast path falls back to applying the
+        operator per offspring in the sequential draw order.
     """
 
     def __init__(
@@ -135,6 +148,7 @@ class OnePlusLambdaES:
         ] = None,
         population_batching: bool = False,
         generation_hook: Optional[Callable[[int], None]] = None,
+        mutation_operator: Optional[Callable] = None,
     ) -> None:
         if n_offspring < 1:
             raise ValueError(f"n_offspring must be >= 1, got {n_offspring}")
@@ -148,10 +162,21 @@ class OnePlusLambdaES:
         self.evaluate_population = evaluate_population
         self.population_batching = bool(population_batching)
         self.generation_hook = generation_hook
+        self.mutation_operator = mutation_operator
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
     # ------------------------------------------------------------------ #
+    def _mutate_one(self, parent_genotype):
+        """One offspring draw through the configured variation operator."""
+        operator = self.mutation_operator if self.mutation_operator is not None else mutate
+        return operator(parent_genotype, self.mutation_rate, self.rng)
+
     def _initial_parent(self, seed_genotype: Optional[Genotype]) -> Individual:
+        if seed_genotype is None and self.mutation_operator is not None:
+            raise ValueError(
+                "a custom mutation_operator requires an explicit seed_genotype "
+                "(no generic random initialiser exists)"
+            )
         genotype = seed_genotype.copy() if seed_genotype is not None else Genotype.random(
             self.spec, self.rng
         )
@@ -202,13 +227,13 @@ class OnePlusLambdaES:
                 # Population-batched generation step: collect the whole
                 # offspring population, score it in one call.  Selection
                 # below keeps the sequential rule either way.
-                if self.population_batching:
+                if self.population_batching and self.mutation_operator is None:
                     mutations = mutate_population(
                         parent.genotype, self.mutation_rate, self.rng, self.n_offspring
                     )
                 else:
                     mutations = [
-                        mutate(parent.genotype, self.mutation_rate, self.rng)
+                        self._mutate_one(parent.genotype)
                         for _ in range(self.n_offspring)
                     ]
                 genotypes = [mutation.genotype for mutation in mutations]
@@ -222,7 +247,7 @@ class OnePlusLambdaES:
                 # (the pre-population behaviour, kept bit-compatible).
                 def scored_sequential():
                     for _ in range(self.n_offspring):
-                        mutation = mutate(parent.genotype, self.mutation_rate, self.rng)
+                        mutation = self._mutate_one(parent.genotype)
                         yield mutation, self.evaluate(mutation.genotype)
 
                 scored = scored_sequential()

@@ -23,10 +23,12 @@ from repro.experiments.scenario_sweep import (
     build_scenario_sweep_campaign,
     scenario_lifecycle_sweep,
 )
+from repro.experiments.red_team import run_red_team
 
 __all__ = [
     "build_scenario_sweep_campaign",
     "scenario_lifecycle_sweep",
+    "run_red_team",
     "FaultSweepSummary",
     "systematic_fault_analysis",
     "resource_utilisation_rows",

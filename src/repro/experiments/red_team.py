@@ -1,0 +1,172 @@
+"""Red-team experiment: adversarial search for worst-case fault timelines.
+
+The ``repro-ehw red-team`` subcommand drives
+:func:`repro.scenarios.search.red_team_search`: an outer (1+λ) evolution
+over :class:`~repro.scenarios.FaultScenario` genotypes whose fitness is
+the mission degradation (or time-to-repair) a *fixed* §V.A healing
+policy suffers under the candidate timeline.  Every search generation is
+one campaign, so the run fans out over the standard executors and
+persists/dedupes through the campaign store and cache::
+
+    repro-ehw red-team --generations 8 --offspring 4 --archive out/redteam
+    repro-ehw red-team --executor process --workers 4 --json
+    repro-ehw red-team --objective time-to-repair --event-budget 9
+
+The archive written to ``<archive>/archive.json`` is canonical: the same
+seed produces byte-identical bytes on every executor and backend.
+Promote an entry into a permanent regression workload with
+``tools/freeze_scenario.py``.
+"""
+
+from __future__ import annotations
+
+from repro.api.artifact import RunArtifact
+from repro.api.experiment import (
+    ExperimentSpec,
+    add_executor_options,
+    print_table,
+    register_experiment,
+)
+from repro.scenarios.search import (
+    OBJECTIVES,
+    RedTeamConfig,
+    ScenarioBounds,
+    red_team_search,
+)
+
+__all__ = ["run_red_team"]
+
+
+def run_red_team(
+    config: RedTeamConfig,
+    executor: str = "serial",
+    max_workers=None,
+    root=None,
+    cache=None,
+) -> RunArtifact:
+    """Run the search and wrap the outcome as a :class:`RunArtifact`."""
+    result = red_team_search(
+        config, executor=executor, max_workers=max_workers, root=root, cache=cache
+    )
+    payload = result.archive_payload()
+    return RunArtifact(
+        kind="red-team",
+        config={"red_team": config.to_dict(), "executor": executor},
+        results={
+            "archive": payload["archive"],
+            "trajectory": payload["trajectory"],
+            "best": payload["best"],
+            "archive_signature": payload["signature"],
+            **result.summary(),
+        },
+        provenance={"archive_root": root},
+        raw=result,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CLI registration
+# --------------------------------------------------------------------------- #
+def _configure(parser) -> None:
+    from repro.backends import BACKENDS
+
+    parser.add_argument("--seed", type=int, default=2013, help="search seed")
+    parser.add_argument("--generations", type=int, default=8,
+                        help="outer search generations (λ candidates each)")
+    parser.add_argument("--offspring", type=int, default=4,
+                        help="λ — candidate timelines per search generation")
+    parser.add_argument("--objective", default="degradation",
+                        choices=sorted(OBJECTIVES),
+                        help="fitness the search maximises against the fixed "
+                             "healing policy")
+    parser.add_argument("--crossover-rate", type=float, default=0.25,
+                        help="probability of crossing the parent with an "
+                             "archive member before mutating")
+    parser.add_argument("--mission-steps", type=int, default=10,
+                        help="mission horizon every candidate is judged over")
+    parser.add_argument("--event-budget", type=float, default=12.0,
+                        help="expected-fault-event ceiling per candidate "
+                             "(the matched-budget rule)")
+    parser.add_argument("--image-side", type=int, default=16,
+                        help="test image side of the fixed mission task")
+    parser.add_argument("--evolution-generations", type=int, default=6,
+                        help="clean-circuit evolution budget of each mission")
+    parser.add_argument("--healing-generations", type=int, default=5,
+                        help="generation budget of each §V.A recovery evolution")
+    parser.add_argument("--backend", default="reference",
+                        choices=sorted(BACKENDS.names()),
+                        help="array evaluation backend (bit-exact; changes "
+                             "wall-clock time only)")
+    parser.add_argument("--archive", metavar="DIR", default=None,
+                        help="persistence root: per-generation campaign stores, "
+                             "the dedupe cache and the canonical archive.json; "
+                             "re-running the same search there resumes every "
+                             "campaign")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="dedupe cache directory shared across searches "
+                             "(default: <archive>/cache)")
+    add_executor_options(parser)
+
+
+def _run(args) -> RunArtifact:
+    config = RedTeamConfig(
+        seed=args.seed,
+        n_generations=args.generations,
+        n_offspring=args.offspring,
+        objective=args.objective,
+        crossover_rate=args.crossover_rate,
+        bounds=ScenarioBounds(
+            horizon=args.mission_steps, event_budget=args.event_budget
+        ),
+        image_side=args.image_side,
+        evolution_generations=args.evolution_generations,
+        healing_generations=args.healing_generations,
+        backend=args.backend,
+    )
+    return run_red_team(
+        config,
+        executor=args.executor,
+        max_workers=args.workers,
+        root=args.archive,
+        cache=args.cache,
+    )
+
+
+def _render(artifact: RunArtifact) -> None:
+    rows = [
+        {
+            "rank": rank,
+            "degradation": entry["metrics"]["degradation"],
+            "steps_degraded": entry["metrics"]["steps_degraded"],
+            "n_events": entry["metrics"]["n_events"],
+            "seu_rate": entry["scenario"]["seu_rate"],
+            "lpd_rate": entry["scenario"]["lpd_rate"],
+            "scrub": entry["scenario"]["scrub_period"],
+            "bursts": len(entry["scenario"]["seu_bursts"]),
+            "onsets": len(entry["scenario"]["lpd_onsets"]),
+            "signature": entry["scenario_signature"][:12],
+        }
+        for rank, entry in enumerate(artifact.results["archive"])
+    ]
+    print_table(
+        "Red team: dominated-by-none worst-case timelines",
+        rows,
+        ["rank", "degradation", "steps_degraded", "n_events", "seu_rate",
+         "lpd_rate", "scrub", "bursts", "onsets", "signature"],
+    )
+    summary = artifact.results
+    print(
+        f"\n{summary['n_evaluations']} evaluations over "
+        f"{summary['n_campaigns']} campaigns "
+        f"({summary['status_counts']}); archive signature "
+        f"{summary['archive_signature'][:16]}…"
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="red-team",
+    help="adversarial search for worst-case fault timelines (extension)",
+    configure=_configure,
+    run=_run,
+    render=_render,
+))

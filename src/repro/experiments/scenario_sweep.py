@@ -50,7 +50,7 @@ from repro.runtime.campaign import CampaignSpec
 from repro.runtime.engine import run_campaign
 from repro.runtime.runners import register_runner
 from repro.scenarios import (
-    BUILTIN_SCENARIOS,
+    HAND_WRITTEN_SCENARIOS,
     ScenarioRunner,
     compile_schedule,
     resolve_scenario,
@@ -165,7 +165,7 @@ def run_scenario_lifecycle(run) -> RunArtifact:
 
 
 def build_scenario_sweep_campaign(
-    scenarios=BUILTIN_SCENARIOS,
+    scenarios=HAND_WRITTEN_SCENARIOS,
     image_side: int = 24,
     n_generations: int = 40,
     mission_steps: int = 12,
@@ -223,7 +223,7 @@ def build_scenario_sweep_campaign(
 
 
 def scenario_lifecycle_sweep(
-    scenarios=BUILTIN_SCENARIOS,
+    scenarios=HAND_WRITTEN_SCENARIOS,
     image_side: int = 24,
     n_generations: int = 40,
     mission_steps: int = 12,
@@ -283,7 +283,7 @@ def _configure(parser) -> None:
 
 def _run(args) -> RunArtifact:
     scenario = scenario_from_args(args)
-    scenarios = [scenario] if scenario is not None else list(BUILTIN_SCENARIOS)
+    scenarios = [scenario] if scenario is not None else list(HAND_WRITTEN_SCENARIOS)
     rows = scenario_lifecycle_sweep(
         scenarios=scenarios,
         image_side=args.image_side,

@@ -108,6 +108,29 @@ class CampaignResult:
         """Runs served from the dedupe cache instead of being re-evolved."""
         return len(self.cached_run_ids)
 
+    @property
+    def n_resumed(self) -> int:
+        """Runs loaded back from the attached store instead of re-executed."""
+        return len(self.resumed_run_ids)
+
+    def status_for(self, run: RunSpec) -> str:
+        """How ``run``'s artifact was obtained.
+
+        ``"completed"`` (freshly executed), ``"resumed"`` (loaded from the
+        store), ``"cached"`` (served from the dedupe cache) or
+        ``"failed"``.  Unlike :meth:`rows` — whose ``status`` column keeps
+        its historical completed/cached/failed vocabulary — this
+        distinguishes resumed runs, which the red-team search's
+        resubmission accounting relies on.
+        """
+        if run.run_id in self.failures:
+            return "failed"
+        if run.run_id in set(self.cached_run_ids):
+            return "cached"
+        if run.run_id in set(self.resumed_run_ids):
+            return "resumed"
+        return "completed"
+
     def artifact_for(self, run: RunSpec) -> RunArtifact:
         """The artifact of ``run``; a failed run raises :class:`CampaignRunError`
         carrying the worker's traceback."""
@@ -165,7 +188,7 @@ class CampaignResult:
                 "n_runs": len(self.runs),
                 "n_completed": self.n_completed,
                 "n_failed": self.n_failed,
-                "n_resumed": len(self.resumed_run_ids),
+                "n_resumed": self.n_resumed,
                 "n_cached": self.n_cached,
                 "executor": self.executor,
                 "rows": self.rows(),

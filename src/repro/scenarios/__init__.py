@@ -7,15 +7,22 @@ permanent damage — while periodic scrubbing races them and evolution
 runs in between.  Three layers:
 
 * :class:`FaultScenario` — a frozen, JSON-round-tripping description of
-  a timeline, with five built-in régimes in :data:`SCENARIOS`
+  a timeline, with the hand-written régimes in :data:`SCENARIOS`
   (``single-seu``, ``seu-storm``, ``creeping-permanent``, ``scrub-race``,
-  ``mixed-burst``, plus the ``quiet`` baseline);
+  ``mixed-burst``, plus the ``quiet`` baseline) and the frozen red-team
+  worst cases of :mod:`repro.scenarios.frozen`;
 * :func:`compile_schedule` — deterministic compilation to a
   per-generation :class:`EventSchedule` from a tagged seed stream
   (vectorised draws, fixed draw order);
 * :class:`ScenarioRunner` — applies a schedule to a platform one
   generation at a time; every evolution driver advances it at the top
   of its generation loop when ``EvolutionConfig.scenario`` is set.
+
+A fourth layer searches the scenario space itself:
+:mod:`repro.scenarios.search` evolves worst-case timelines against a
+fixed healing policy (the ``red-team`` experiment) and
+``tools/freeze_scenario.py`` promotes discoveries into permanent
+regression workloads.
 
 >>> from repro.scenarios import SCENARIOS, compile_schedule
 >>> schedule = compile_schedule(SCENARIOS.get("seu-storm"), 12, n_arrays=3, seed=1)
@@ -26,10 +33,13 @@ True
 True
 """
 
+from typing import Tuple
+
+from repro.scenarios.frozen import FROZEN_PROVENANCE, FROZEN_SCENARIOS
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.schedule import EventSchedule, ScenarioEvent, compile_schedule
 from repro.scenarios.spec import (
-    BUILTIN_SCENARIOS,
+    HAND_WRITTEN_SCENARIOS,
     SCENARIOS,
     FaultScenario,
     normalise_scenario_field,
@@ -38,10 +48,17 @@ from repro.scenarios.spec import (
     scenario_from_cli_arg,
 )
 
+#: Every scenario shipped with the library: the hand-written §V régimes
+#: plus the frozen red-team worst cases.
+BUILTIN_SCENARIOS: Tuple[str, ...] = HAND_WRITTEN_SCENARIOS + FROZEN_SCENARIOS
+
 __all__ = [
     "FaultScenario",
     "SCENARIOS",
     "BUILTIN_SCENARIOS",
+    "HAND_WRITTEN_SCENARIOS",
+    "FROZEN_SCENARIOS",
+    "FROZEN_PROVENANCE",
     "register_scenario",
     "resolve_scenario",
     "normalise_scenario_field",

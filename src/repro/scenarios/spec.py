@@ -44,7 +44,7 @@ __all__ = [
     "resolve_scenario",
     "normalise_scenario_field",
     "scenario_from_cli_arg",
-    "BUILTIN_SCENARIOS",
+    "HAND_WRITTEN_SCENARIOS",
 ]
 
 
@@ -141,6 +141,16 @@ class FaultScenario(_ConfigBase):
         data["lpd_onsets"] = [list(pair) for pair in self.lpd_onsets]
         return data
 
+    def copy(self) -> "FaultScenario":
+        """Return ``self`` — scenarios are frozen, so no copy is needed.
+
+        Exists so a scenario can serve as an
+        :class:`~repro.ea.chromosome.Individual` genotype in the
+        adversarial search (:mod:`repro.scenarios.search`), where the
+        (1+λ) strategy copies genotypes when recording parents.
+        """
+        return self
+
 
 #: Registry of built-in (and plugin) fault scenarios, keyed by name.
 SCENARIOS = Registry("fault scenario")
@@ -152,9 +162,11 @@ def register_scenario(name: str, scenario: Optional[FaultScenario] = None, *,
     return SCENARIOS.register(name, scenario, replace=replace)
 
 
-#: The built-in scenario family shipped with the library (and swept by the
-#: ``scenario-sweep`` experiment).  Each reproduces one §V.A/§V.B régime.
-BUILTIN_SCENARIOS: Tuple[str, ...] = (
+#: The hand-written scenario family (and the ``scenario-sweep`` default
+#: sweep set).  Each reproduces one §V.A/§V.B régime.  The full built-in
+#: set — :data:`repro.scenarios.BUILTIN_SCENARIOS` — additionally contains
+#: the frozen red-team worst cases of :mod:`repro.scenarios.frozen`.
+HAND_WRITTEN_SCENARIOS: Tuple[str, ...] = (
     "single-seu",
     "seu-storm",
     "creeping-permanent",

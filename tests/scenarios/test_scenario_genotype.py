@@ -1,0 +1,158 @@
+"""Property-based tests for the scenario genotype and its operators (hypothesis).
+
+The adversarial search (:mod:`repro.scenarios.search`) treats
+:class:`~repro.scenarios.FaultScenario` as a genotype.  These properties pin
+the invariants the search relies on:
+
+* every variation operator (clamp, mutation, crossover) is
+  validity-preserving — the child always lies inside the
+  :class:`~repro.scenarios.search.ScenarioBounds` envelope;
+* scenarios survive a JSON round-trip bit-for-bit;
+* ``compile_schedule`` is a pure function of (scenario, geometry, seed);
+* content signatures change exactly when content changes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import FaultScenario, compile_schedule
+from repro.scenarios.search import (
+    ScenarioBounds,
+    clamp_scenario,
+    crossover_scenarios,
+    expected_fault_events,
+    initial_scenario,
+    mutate_scenario,
+    scenario_within_bounds,
+)
+
+TOL = 1e-9
+
+
+def scenario_bounds():
+    return st.builds(
+        ScenarioBounds,
+        horizon=st.integers(min_value=1, max_value=12),
+        max_seu_rate=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        max_lpd_rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        max_bursts=st.integers(min_value=0, max_value=4),
+        max_onsets=st.integers(min_value=0, max_value=3),
+        max_burst_count=st.integers(min_value=1, max_value=6),
+        max_onset_count=st.integers(min_value=1, max_value=3),
+        max_scrub_period=st.integers(min_value=0, max_value=10),
+        event_budget=st.floats(min_value=0.5, max_value=16.0, allow_nan=False),
+    )
+
+
+def _event_lists(horizon, max_entries, max_count):
+    entries = st.tuples(
+        st.integers(min_value=0, max_value=max(horizon - 1, 0)),
+        st.integers(min_value=1, max_value=max_count),
+    )
+    return st.lists(entries, max_size=max_entries).map(
+        lambda pairs: tuple(sorted({g: c for g, c in pairs}.items()))
+    )
+
+
+@st.composite
+def bounded_scenarios(draw, bounds=None):
+    """A scenario guaranteed valid under its bounds (via clamp_scenario)."""
+    if bounds is None:
+        bounds = draw(scenario_bounds())
+    raw = FaultScenario(
+        name="prop-candidate",
+        seu_rate=draw(st.floats(min_value=0.0, max_value=bounds.max_seu_rate * 2 + 0.1,
+                                allow_nan=False)),
+        lpd_rate=draw(st.floats(min_value=0.0, max_value=bounds.max_lpd_rate * 2 + 0.1,
+                                allow_nan=False)),
+        seu_bursts=draw(_event_lists(bounds.horizon + 2, bounds.max_bursts + 2,
+                                     bounds.max_burst_count + 2)),
+        lpd_onsets=draw(_event_lists(bounds.horizon + 2, bounds.max_onsets + 2,
+                                     bounds.max_onset_count + 2)),
+        scrub_period=draw(st.integers(min_value=0, max_value=bounds.max_scrub_period)),
+    )
+    return clamp_scenario(raw, bounds), bounds
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=bounded_scenarios())
+def test_clamp_produces_valid_and_is_idempotent(data):
+    scenario, bounds = data
+    assert scenario_within_bounds(scenario, bounds)
+    assert expected_fault_events(scenario, bounds.horizon) <= bounds.event_budget + TOL
+    assert clamp_scenario(scenario, bounds) == scenario
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=bounded_scenarios(), seed=st.integers(min_value=0, max_value=2**31 - 1),
+       moves=st.integers(min_value=1, max_value=5))
+def test_mutation_preserves_validity(data, seed, moves):
+    scenario, bounds = data
+    rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+    for _ in range(moves):
+        scenario = mutate_scenario(scenario, bounds, rng)
+        assert scenario_within_bounds(scenario, bounds)
+
+
+@settings(max_examples=80, deadline=None)
+@given(bounds=scenario_bounds(), data=st.data(),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_crossover_preserves_validity_and_identity(bounds, data, seed):
+    first, _ = data.draw(bounded_scenarios(bounds=bounds))
+    second, _ = data.draw(bounded_scenarios(bounds=bounds))
+    rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+    child = crossover_scenarios(first, second, bounds, rng)
+    assert scenario_within_bounds(child, bounds)
+    # The child keeps first's identity fields.
+    assert child.name == first.name
+    assert child.seed == first.seed
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=bounded_scenarios())
+def test_json_round_trip_preserves_scenario_and_signature(data):
+    scenario, _ = data
+    rebuilt = FaultScenario.from_json(scenario.to_json())
+    assert rebuilt == scenario
+    assert rebuilt.signature() == scenario.signature()
+    assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=bounded_scenarios(), seed=st.integers(min_value=0, max_value=2**31 - 1),
+       n_generations=st.integers(min_value=0, max_value=12),
+       n_arrays=st.integers(min_value=1, max_value=4))
+def test_compile_schedule_is_deterministic(data, seed, n_generations, n_arrays):
+    scenario, _ = data
+    a = compile_schedule(scenario, n_generations, n_arrays=n_arrays, seed=seed)
+    b = compile_schedule(scenario, n_generations, n_arrays=n_arrays, seed=seed)
+    assert a.events == b.events
+    assert a.signature() == b.signature()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=bounded_scenarios())
+def test_signature_changes_iff_content_changes(data):
+    scenario, _ = data
+    # Same content (an identical reconstruction) => same signature.
+    assert FaultScenario.from_dict(scenario.to_dict()).signature() == scenario.signature()
+    # Any content change => different signature.
+    changed = [
+        scenario.replace(name=scenario.name + "-renamed"),
+        scenario.replace(seu_rate=scenario.seu_rate + 0.125),
+        scenario.replace(lpd_rate=scenario.lpd_rate + 0.125),
+        scenario.replace(scrub_period=scenario.scrub_period + 1),
+        scenario.replace(seu_bursts=scenario.seu_bursts + ((97, 1),)),
+        scenario.replace(lpd_onsets=scenario.lpd_onsets + ((98, 1),)),
+        scenario.replace(seed=(scenario.seed or 0) + 1),
+    ]
+    signatures = [variant.signature() for variant in changed]
+    assert all(sig != scenario.signature() for sig in signatures)
+    assert len(set(signatures)) == len(signatures)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bounds=scenario_bounds())
+def test_initial_scenario_is_valid(bounds):
+    assert scenario_within_bounds(initial_scenario(bounds), bounds)

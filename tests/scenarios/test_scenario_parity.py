@@ -17,6 +17,8 @@ from repro.api.session import EvolutionSession
 from repro.runtime.campaign import CampaignSpec
 from repro.runtime.engine import run_campaign
 from repro.scenarios import SCENARIOS, FaultScenario
+from repro.scenarios.frozen import FROZEN_SCENARIOS
+from repro.scenarios.search import RedTeamConfig, ScenarioBounds, red_team_search
 
 SEED = 2013
 TASK = TaskSpec(task="salt_pepper_denoise", image_side=20, noise_level=0.1, seed=SEED)
@@ -63,7 +65,9 @@ def stream_probe(session) -> dict:
 
 
 class TestBackendParity:
-    @pytest.mark.parametrize("scenario", ["seu-storm", "mixed-burst", "scrub-race"])
+    @pytest.mark.parametrize(
+        "scenario", ["seu-storm", "mixed-burst", "scrub-race", *FROZEN_SCENARIOS]
+    )
     @pytest.mark.parametrize("population_batching", [True, False])
     def test_parallel_evolution_is_byte_identical(self, scenario, population_batching):
         ref_session, ref = run_session("parallel", scenario, "reference", population_batching)
@@ -168,6 +172,34 @@ class TestExecutorParity:
                 grid={"scenario.does_not_exist": [1]},
             )
 
+    @pytest.mark.parametrize("scenario", FROZEN_SCENARIOS)
+    def test_frozen_scenarios_join_the_campaign_gate(self, scenario):
+        """The frozen red-team workloads run under the same executor-parity
+        contract as the hand-written régimes."""
+        spec = CampaignSpec(
+            name=f"frozen-parity-{scenario}",
+            platform=PlatformConfig(n_arrays=3, seed=SEED),
+            evolution=EvolutionConfig(strategy="parallel", n_generations=6, seed=SEED),
+            task=TASK,
+            scenario=SCENARIOS.get(scenario),
+            grid={"platform.backend": ["reference", "numpy", "compiled"]},
+            seed=SEED,
+        )
+        serial = run_campaign(spec, executor="serial")
+        threaded = run_campaign(spec, executor="thread", max_workers=2)
+        assert serial.n_failed == 0 and threaded.n_failed == 0
+        artifacts = []
+        for run in spec.expand():
+            a = serial.artifact_for(run)
+            assert a.to_dict() == threaded.artifact_for(run).to_dict()
+            artifacts.append(a)
+        # Backend-invariant mid-evolution injection, frozen workloads included.
+        results = [a.results for a in artifacts]
+        for other in results[1:]:
+            assert results[0]["fitness_history"] == other["fitness_history"]
+            assert results[0]["scenario"]["events"] == other["scenario"]["events"]
+        assert results[0]["scenario"]["n_events"] > 0
+
     @pytest.mark.parametrize("executor", ["thread", "process"])
     def test_executors_match_serial(self, executor):
         spec = self.build_spec()
@@ -190,3 +222,59 @@ class TestExecutorParity:
             for other in results[1:]:
                 assert results[0]["fitness_history"] == other["fitness_history"]
                 assert results[0]["scenario"]["events"] == other["scenario"]["events"]
+
+
+class TestRedTeamSearchParity:
+    """Same seed => byte-identical adversarial-search archive everywhere."""
+
+    def tiny_config(self, **overrides):
+        settings = dict(
+            seed=SEED,
+            n_generations=2,
+            n_offspring=2,
+            bounds=ScenarioBounds(horizon=4, event_budget=6.0),
+            image_side=16,
+            evolution_generations=4,
+            healing_generations=3,
+        )
+        settings.update(overrides)
+        return RedTeamConfig(**settings)
+
+    @pytest.mark.parametrize("executor", ["process", "distributed"])
+    def test_archive_bytes_match_serial(self, executor, tmp_path):
+        serial = red_team_search(
+            self.tiny_config(), executor="serial", root=str(tmp_path / "serial")
+        )
+        other = red_team_search(
+            self.tiny_config(), executor=executor, max_workers=2,
+            root=str(tmp_path / executor),
+        )
+        assert serial.archive_json() == other.archive_json()
+        a = (tmp_path / "serial" / "archive.json").read_bytes()
+        b = (tmp_path / executor / "archive.json").read_bytes()
+        assert a == b
+
+    def test_archive_content_matches_across_backends(self):
+        """Backends agree on everything the search *discovered*: the config
+        stanza records which backend evaluated the missions (and the run
+        signatures hash it), so those provenance fields are the only
+        permitted difference."""
+
+        def content(result):
+            payload = result.archive_payload()
+            payload.pop("signature")
+            config = dict(payload["config"])
+            config.pop("backend")
+            payload["config"] = config
+            payload["archive"] = [
+                {k: v for k, v in entry.items() if k != "run_signature"}
+                for entry in payload["archive"]
+            ]
+            return payload
+
+        reference, numpy_, compiled = (
+            red_team_search(self.tiny_config(backend=backend))
+            for backend in ("reference", "numpy", "compiled")
+        )
+        assert content(reference) == content(numpy_)
+        assert content(reference) == content(compiled)

@@ -148,3 +148,62 @@ class TestScenarioRunner:
         for _ in range(10):
             runner.advance()
         assert runner.generation == 10
+
+
+class TestEdgeTimelines:
+    """Degenerate horizons: zero-length and single-generation missions."""
+
+    def test_zero_length_timeline_compiles_empty_and_deterministic(self):
+        storm = SCENARIOS.get("seu-storm")
+        schedule = compile_schedule(storm, 0, n_arrays=3, seed=11)
+        assert schedule.events == ()
+        assert schedule.counts() == {"seu": 0, "lpd": 0, "scrub": 0}
+        assert schedule.signature() == compile_schedule(
+            storm, 0, n_arrays=3, seed=11
+        ).signature()
+
+    def test_zero_length_timeline_runner_is_a_no_op(self):
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=1)
+        schedule = compile_schedule(
+            SCENARIOS.get("seu-storm"), 0, n_arrays=3, seed=platform.fabric.seed
+        )
+        runner = ScenarioRunner(platform, schedule)
+        assert runner.advance() == []
+        assert runner.generation == 1
+        assert runner.log == []
+        assert all(
+            not platform.fabric.region(address).seu_corrupted
+            and not platform.fabric.region(address).permanently_damaged
+            for address in platform.fabric.all_addresses()
+        )
+
+    def test_single_generation_timeline(self):
+        # A burst at generation 0 lands; the scrub cadence never fires
+        # (scrubs start at generation >= scrub_period > 0) and later
+        # bursts fall outside the horizon.
+        scenario = FaultScenario(
+            name="one", seu_bursts=((0, 2), (1, 5)), scrub_period=1
+        )
+        schedule = compile_schedule(scenario, 1, n_arrays=3, seed=4)
+        assert schedule.counts() == {"seu": 2, "lpd": 0, "scrub": 0}
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=4)
+        runner = ScenarioRunner(platform, schedule)
+        applied = runner.advance()
+        assert [record["kind"] for record in applied] == ["seu", "seu"]
+        # The timeline end is quiet: advancing past it applies nothing
+        # and logs nothing spurious.
+        assert runner.advance() == []
+        assert len(runner.log) == 2
+
+    def test_quiet_tail_generations_produce_no_log_entries(self):
+        # Events confined to the opening; the tail of the mission is
+        # event-free and must not leave spurious entries behind.
+        scenario = FaultScenario(name="front-loaded", seu_bursts=((0, 1),))
+        schedule = compile_schedule(scenario, 6, n_arrays=3, seed=9)
+        platform = EvolvableHardwarePlatform(n_arrays=3, seed=9)
+        runner = ScenarioRunner(platform, schedule)
+        first = runner.advance()
+        assert len(first) == 1
+        for _ in range(5):
+            assert runner.advance() == []
+        assert len(runner.log) == 1

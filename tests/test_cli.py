@@ -33,6 +33,11 @@ FAST_ARGS = {
         "--scenario", "single-seu", "--generations", "6", "--image-side", "16",
         "--seed", "1", "--mission-steps", "3", "--healing-generations", "5",
     ],
+    "red-team": [
+        "--seed", "1", "--generations", "1", "--offspring", "2",
+        "--mission-steps", "4", "--event-budget", "6", "--image-side", "16",
+        "--evolution-generations", "3", "--healing-generations", "2",
+    ],
     # serve: bind an ephemeral loopback port, serve briefly, exit clean.
     "serve": ["--duration", "0.05"],
     # worker: point at a dead port; --max-errors 1 makes the loop exit on
@@ -53,7 +58,7 @@ class TestParser:
         assert set(registered_commands()) == {
             "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
             "imitation", "tmr-recovery", "fault-sweep", "campaign",
-            "scenario-sweep", "serve", "worker",
+            "scenario-sweep", "serve", "worker", "red-team",
         }
 
     def test_missing_command_errors(self):
