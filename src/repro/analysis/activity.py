@@ -75,7 +75,7 @@ def activity_map(genotype: Genotype) -> np.ndarray:
     """Boolean (rows, cols) array marking active PEs."""
     spec = genotype.spec
     result = np.zeros((spec.rows, spec.cols), dtype=bool)
-    for row, col in active_pes(genotype):
+    for row, col in sorted(active_pes(genotype)):
         result[row, col] = True
     return result
 

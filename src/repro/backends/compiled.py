@@ -236,7 +236,7 @@ class CompiledBackend(EvaluationBackend):
             _STORE_HINT.clear()
             lut.clear_luts()
 
-    def _store_for(self, planes: np.ndarray) -> _CompiledStore:
+    def _store_for_locked(self, planes: np.ndarray) -> _CompiledStore:
         hint = _STORE_HINT.get(id(planes))
         if hint is not None:
             held, snapshot, store = hint
@@ -265,7 +265,7 @@ class CompiledBackend(EvaluationBackend):
             _STORE_HINT.popitem(last=False)
         return store
 
-    def _release_over_budget(self, planes: np.ndarray, store: _CompiledStore) -> None:
+    def _release_over_budget_locked(self, planes: np.ndarray, store: _CompiledStore) -> None:
         """Evict a store that outgrew the byte budget during this call.
 
         Mirrors the numpy engine's end-of-call eviction: without it, a
@@ -291,18 +291,18 @@ class CompiledBackend(EvaluationBackend):
         self, array: "SystolicArray", planes: np.ndarray, genotype: "Genotype"
     ) -> np.ndarray:
         with _LOCK:
-            store = self._store_for(planes)
+            store = self._store_for_locked(planes)
             out, owned = self._evaluate(array, planes, [genotype], store, want_batch=False)
-            self._release_over_budget(planes, store)
+            self._release_over_budget_locked(planes, store)
         return out if owned else out.copy()
 
     def process_planes_batch(
         self, array: "SystolicArray", planes: np.ndarray, genotypes: Sequence["Genotype"]
     ) -> np.ndarray:
         with _LOCK:
-            store = self._store_for(planes)
+            store = self._store_for_locked(planes)
             out, _ = self._evaluate(array, planes, list(genotypes), store, want_batch=True)
-            self._release_over_budget(planes, store)
+            self._release_over_budget_locked(planes, store)
         return out
 
     def evaluate_population(
@@ -324,11 +324,11 @@ class CompiledBackend(EvaluationBackend):
         if reference.dtype != np.uint8:
             return super().evaluate_population(array, planes, genotypes, reference)
         with _LOCK:
-            store = self._store_for(planes)
+            store = self._store_for_locked(planes)
             fits, _ = self._evaluate(
                 array, planes, list(genotypes), store, want_batch=False, reduce_ref=reference
             )
-            self._release_over_budget(planes, store)
+            self._release_over_budget_locked(planes, store)
         return fits
 
     # ------------------------------------------------------------------ #

@@ -38,6 +38,7 @@ the process.  :func:`clear_luts` drops them (used by
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -76,6 +77,11 @@ _unary_luts: Dict[int, np.ndarray] = {}
 _chain_luts: Dict[Tuple[int, ...], np.ndarray] = {}
 _fused_luts: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
 
+#: Guards every cache above.  Reentrant because the builders nest:
+#: ``chain_lut`` composes ``unary_lut`` tables and ``fused_pair_lut``
+#: gathers through ``pair_lut``/``chain_lut`` while holding the lock.
+_LUTS_LOCK = threading.RLock()
+
 
 def _check_gene(gene: int) -> int:
     gene = int(gene)
@@ -92,14 +98,15 @@ def pair_lut(gene: int) -> np.ndarray:
     The returned array is shared and must not be mutated.
     """
     gene = _check_gene(gene)
-    table = _pair_luts.get(gene)
-    if table is None:
-        grid = np.arange(256, dtype=np.uint8)
-        west = np.repeat(grid, 256)
-        north = np.tile(grid, 256)
-        table = np.ascontiguousarray(apply_function(gene, west, north))
-        table.setflags(write=False)
-        _pair_luts[gene] = table
+    with _LUTS_LOCK:
+        table = _pair_luts.get(gene)
+        if table is None:
+            grid = np.arange(256, dtype=np.uint8)
+            west = np.repeat(grid, 256)
+            north = np.tile(grid, 256)
+            table = np.ascontiguousarray(apply_function(gene, west, north))
+            table.setflags(write=False)
+            _pair_luts[gene] = table
     return table
 
 
@@ -111,16 +118,17 @@ def unary_lut(gene: int) -> np.ndarray:
     functions have no single-input table.
     """
     gene = _check_gene(gene)
-    table = _unary_luts.get(gene)
-    if table is None:
-        if gene not in WEST_UNARY_GENES:
-            raise ValueError(
-                f"gene {gene} ({PEFunction(gene).name}) is not a west-unary function"
-            )
-        grid = np.arange(256, dtype=np.uint8)
-        table = np.ascontiguousarray(apply_function(gene, grid, grid))
-        table.setflags(write=False)
-        _unary_luts[gene] = table
+    with _LUTS_LOCK:
+        table = _unary_luts.get(gene)
+        if table is None:
+            if gene not in WEST_UNARY_GENES:
+                raise ValueError(
+                    f"gene {gene} ({PEFunction(gene).name}) is not a west-unary function"
+                )
+            grid = np.arange(256, dtype=np.uint8)
+            table = np.ascontiguousarray(apply_function(gene, grid, grid))
+            table.setflags(write=False)
+            _unary_luts[gene] = table
     return table
 
 
@@ -133,14 +141,15 @@ def chain_lut(chain: Tuple[int, ...]) -> np.ndarray:
     chain = tuple(int(gene) for gene in chain)
     if not chain:
         raise ValueError("chain must contain at least one gene")
-    table = _chain_luts.get(chain)
-    if table is None:
-        table = unary_lut(chain[0])
-        for gene in chain[1:]:
-            table = unary_lut(gene)[table]
-        table = np.ascontiguousarray(table)
-        table.setflags(write=False)
-        _chain_luts[chain] = table
+    with _LUTS_LOCK:
+        table = _chain_luts.get(chain)
+        if table is None:
+            table = unary_lut(chain[0])
+            for gene in chain[1:]:
+                table = unary_lut(gene)[table]
+            table = np.ascontiguousarray(table)
+            table.setflags(write=False)
+            _chain_luts[chain] = table
     return table
 
 
@@ -165,28 +174,30 @@ def fused_pair_lut(
     if not (west_chain or north_chain or post_chain):
         return pair_lut(gene)
     key = (gene, west_chain, north_chain, post_chain)
-    table = _fused_luts.get(key)
-    if table is None:
-        square = pair_lut(gene).reshape(256, 256)
-        if west_chain:
-            square = square[chain_lut(west_chain), :]
-        if north_chain:
-            square = square[:, chain_lut(north_chain)]
-        table = np.ascontiguousarray(square).reshape(65536)
-        if post_chain:
-            table = chain_lut(post_chain)[table]
-        table.setflags(write=False)
-        _fused_luts[key] = table
-        while len(_fused_luts) > _MAX_FUSED:
-            _fused_luts.popitem(last=False)
-    else:
-        _fused_luts.move_to_end(key)
+    with _LUTS_LOCK:
+        table = _fused_luts.get(key)
+        if table is None:
+            square = pair_lut(gene).reshape(256, 256)
+            if west_chain:
+                square = square[chain_lut(west_chain), :]
+            if north_chain:
+                square = square[:, chain_lut(north_chain)]
+            table = np.ascontiguousarray(square).reshape(65536)
+            if post_chain:
+                table = chain_lut(post_chain)[table]
+            table.setflags(write=False)
+            _fused_luts[key] = table
+            while len(_fused_luts) > _MAX_FUSED:
+                _fused_luts.popitem(last=False)
+        else:
+            _fused_luts.move_to_end(key)
     return table
 
 
 def clear_luts() -> None:
     """Drop every cached table (they rebuild on demand, bit-identically)."""
-    _pair_luts.clear()
-    _unary_luts.clear()
-    _chain_luts.clear()
-    _fused_luts.clear()
+    with _LUTS_LOCK:
+        _pair_luts.clear()
+        _unary_luts.clear()
+        _chain_luts.clear()
+        _fused_luts.clear()

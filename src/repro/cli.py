@@ -17,6 +17,7 @@ figures can be regenerated without writing Python::
     repro-ehw campaign --grid ...          # declarative parameter-sweep campaigns
     repro-ehw serve --root out/service     # campaign server (queue + dedupe cache)
     repro-ehw worker --server URL          # work-queue worker against a server
+    repro-ehw lint src/repro --json        # determinism/concurrency contract linter
 
 Subcommands are not hard-wired here: every experiment registers an
 :class:`~repro.api.experiment.ExperimentSpec` in the ``experiment``
@@ -49,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Importing the experiments package (and the campaign runtime command)
     # registers every ExperimentSpec.
     import repro.experiments  # noqa: F401
+    import repro.lint.experiment  # noqa: F401
     import repro.runtime.experiment  # noqa: F401
     import repro.service.experiment  # noqa: F401
     from repro.api.registry import EXPERIMENTS
@@ -91,14 +93,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     artifact = args.spec.run(args)
+    # Experiments with a pass/fail contract (the lint subcommand) report it
+    # through results["exit_code"]; everything else defaults to success.
+    results = artifact.results if isinstance(artifact.results, dict) else {}
+    exit_code = int(results.get("exit_code", 0))
     if args.json == "-":
         print(artifact.to_json())
-        return 0
+        return exit_code
     args.spec.render(artifact)
     if args.json:
         artifact.save(args.json)
         print(f"\nartifact written to {args.json}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

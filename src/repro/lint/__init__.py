@@ -1,0 +1,44 @@
+"""Contract linter: AST-based static analysis of the repo's own invariants.
+
+The behavioural test suite proves the determinism contracts hold on the
+paths it exercises; this package proves nobody *wrote* code that could
+break them anywhere.  It is a small, dependency-free (stdlib ``ast``)
+static-analysis framework:
+
+* :mod:`repro.lint.rules` — the built-in battery: RNG seeding
+  (``RNG001``–``RNG003``), wall-clock discipline (``RNG004``),
+  frozen-config immutability (``FRZ001``), lock discipline (``LCK001``),
+  ordered-iteration hazards (``ORD001``) and registry hygiene
+  (``REG001``–``REG003``);
+* :mod:`repro.lint.rules_registry` — rules are registry strategies like
+  everything else in the project, so plugins can add their own;
+* :mod:`repro.lint.runner` — :func:`run_lint` and the JSON-stable
+  :class:`LintReport` with the ``0/1/2`` exit-code contract;
+* :mod:`repro.lint.baseline` — acknowledged findings with mandatory
+  justifications and stale-entry pruning warnings;
+* :mod:`repro.lint.experiment` — the ``repro-ehw lint`` subcommand.
+
+Inline suppression: ``# repro-lint: disable=RNG004  -- why`` on (or
+directly above) the offending line; ``disable-file=`` for a whole
+module.  See ``docs/determinism.md`` for the contract catalogue.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import FINDING_SCHEMA_VERSION, Finding
+from repro.lint.rules_registry import RULES, LintRule, all_rules, register_rule, resolve_rules
+from repro.lint.runner import LintReport, find_repo_root, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FINDING_SCHEMA_VERSION",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "all_rules",
+    "find_repo_root",
+    "register_rule",
+    "resolve_rules",
+    "run_lint",
+]

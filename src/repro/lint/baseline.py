@@ -1,0 +1,131 @@
+"""The committed lint baseline: acknowledged findings with justifications.
+
+A baseline entry matches a finding on ``(rule, path, symbol-or-snippet)``
+— deliberately *not* on line numbers, so edits above a baselined site do
+not churn the file.  Every entry carries a mandatory ``justification``;
+an entry no matching finding consumes is *stale* and reported as a
+warning so the baseline only ever shrinks honestly.
+
+The file format is plain JSON, committed at the repo root as
+``lint-baseline.json``::
+
+    {
+      "schema_version": 1,
+      "entries": [
+        {"rule": "REG001", "path": "src/repro/api/builtins.py",
+         "symbol": "driver:two_level",
+         "justification": "pre-1.0 public config value; renaming breaks stored configs"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_FILENAME", "BASELINE_SCHEMA_VERSION"]
+
+BASELINE_FILENAME = "lint-baseline.json"
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding, matched structurally rather than by line."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BaselineEntry":
+        entry = cls(
+            rule=data["rule"],
+            path=data["path"],
+            symbol=data["symbol"],
+            justification=data.get("justification", ""),
+        )
+        if not entry.justification.strip():
+            raise ValueError(
+                f"baseline entry {entry.rule} @ {entry.path} ({entry.symbol}) "
+                "has no justification; every acknowledged violation must say why"
+            )
+        return entry
+
+
+class Baseline:
+    """The set of acknowledged findings, with match bookkeeping."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = (), path: Optional[Path] = None):
+        self.entries = list(entries)
+        self.path = path
+        self._by_key = {entry.key: entry for entry in self.entries}
+        self._matched: set = set()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("schema_version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema_version {version!r} in {path} "
+                f"(expected {BASELINE_SCHEMA_VERSION})"
+            )
+        entries = [BaselineEntry.from_dict(item) for item in data.get("entries", [])]
+        return cls(entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], justification: str) -> "Baseline":
+        """A fresh baseline acknowledging ``findings`` (for ``--write-baseline``)."""
+        entries = []
+        seen = set()
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            rule, path, symbol = finding.baseline_key()
+            key = (rule, path, symbol)
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                BaselineEntry(rule=rule, path=path, symbol=symbol, justification=justification)
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "entries": [entry.to_dict() for entry in sorted(self.entries, key=lambda e: e.key)],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    def matches(self, finding: Finding) -> bool:
+        """True (and marks the entry used) when ``finding`` is acknowledged."""
+        key = finding.baseline_key()
+        entry = self._by_key.get(key)
+        if entry is None:
+            return False
+        self._matched.add(entry.key)
+        return True
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries no finding consumed — fixed violations to prune."""
+        return [entry for entry in self.entries if entry.key not in self._matched]

@@ -1,0 +1,231 @@
+"""Cross-module facts the project-aware rules share.
+
+Built once per lint run, the :class:`ProjectContext` answers the
+questions single-module AST walks cannot: which class names are frozen
+dataclasses (so a mutation through *any* annotated parameter is caught),
+which functions return sets (so iterating their result unsorted is an
+ordering hazard), and every registry registration in the project (so
+duplicate or non-kebab-case names and unwired modules are caught before
+import time would).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.lint.source import SourceModule
+
+__all__ = ["Registration", "ProjectContext"]
+
+#: Registry globals whose ``.register("name", ...)`` calls are tracked,
+#: mapped to the registry kind they hold.
+REGISTRY_GLOBALS = {
+    "DRIVERS": "driver",
+    "SELF_HEALERS": "self_healing",
+    "TASKS": "task",
+    "EXPERIMENTS": "experiment",
+    "BACKENDS": "backend",
+    "SCENARIOS": "scenario",
+    "EXECUTORS": "executor",
+    "RUNNERS": "runner",
+    "RULES": "lint_rule",
+}
+
+#: Helper functions that register under a fixed kind with the name first.
+REGISTER_HELPERS = {
+    "register_backend": "backend",
+    "register_executor": "executor",
+    "register_runner": "runner",
+    "register_scenario": "scenario",
+}
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One static registry registration site."""
+
+    kind: str
+    name: str
+    path: str
+    line: int
+    col: int
+    #: ``replace=True`` or guarded by an ``if name not in REGISTRY`` test —
+    #: deliberate re-registration, excluded from duplicate detection.
+    guarded: bool = False
+
+
+@dataclass
+class ProjectContext:
+    """Facts collected in one pass over every module under lint."""
+
+    modules: List[SourceModule] = field(default_factory=list)
+    frozen_classes: Set[str] = field(default_factory=set)
+    set_returning: Set[str] = field(default_factory=set)
+    registrations: List[Registration] = field(default_factory=list)
+    module_by_rel: Dict[str, SourceModule] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, modules: Sequence[SourceModule]) -> "ProjectContext":
+        context = cls(modules=list(modules))
+        for module in modules:
+            context.module_by_rel[module.rel] = module
+            context._collect_frozen_classes(module)
+            context._collect_set_returning(module)
+            context._collect_registrations(module)
+        return context
+
+    # ------------------------------------------------------------------ #
+    def _collect_frozen_classes(self, module: SourceModule) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                resolved = module.imports.resolve(decorator.func)
+                is_dataclass = resolved in ("dataclasses.dataclass", "dataclass") or (
+                    isinstance(decorator.func, ast.Name)
+                    and decorator.func.id == "dataclass"
+                )
+                if not is_dataclass:
+                    continue
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        self.frozen_classes.add(node.name)
+
+    def _collect_set_returning(self, module: SourceModule) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.returns is not None and _is_set_annotation(node.returns):
+                self.set_returning.add(node.name)
+
+    # ------------------------------------------------------------------ #
+    def _collect_registrations(self, module: SourceModule) -> None:
+        loop_literals = _module_level_loop_literals(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kind, name_node in _registration_args(node):
+                guarded = _has_replace_true(node)
+                for name, at in _literal_names(name_node, loop_literals):
+                    self.registrations.append(
+                        Registration(
+                            kind=kind,
+                            name=name,
+                            path=module.rel,
+                            line=at.lineno,
+                            col=at.col_offset,
+                            guarded=guarded,
+                        )
+                    )
+
+    # ------------------------------------------------------------------ #
+    def registering_modules(self, kind: str) -> Set[str]:
+        """Rel paths of modules with at least one ``kind`` registration."""
+        return {reg.path for reg in self.registrations if reg.kind == kind}
+
+
+# ---------------------------------------------------------------------- #
+# Collection helpers
+# ---------------------------------------------------------------------- #
+def _is_set_annotation(node: ast.AST) -> bool:
+    """True for ``set``/``frozenset``/``Set[...]``/``FrozenSet[...]`` returns."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text.startswith(("Set[", "FrozenSet[", "set[", "frozenset["))
+    return False
+
+
+def _registration_args(call: ast.Call):
+    """Yield ``(kind, name_node)`` for every registry registration shape."""
+    func = call.func
+    # register("kind", "name", ...) — the repro.api.registry helper.
+    if isinstance(func, ast.Name) and func.id == "register" and len(call.args) >= 2:
+        kind_node = call.args[0]
+        if isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str):
+            yield kind_node.value, call.args[1]
+        return
+    # Fixed-kind helpers: register_backend("name"), register_runner("name"), ...
+    if isinstance(func, ast.Name) and func.id in REGISTER_HELPERS and call.args:
+        yield REGISTER_HELPERS[func.id], call.args[0]
+        return
+    # register_experiment(ExperimentSpec(name="new-ea", ...))
+    if isinstance(func, ast.Name) and func.id == "register_experiment" and call.args:
+        spec = call.args[0]
+        if isinstance(spec, ast.Call):
+            for keyword in spec.keywords:
+                if keyword.arg == "name":
+                    yield "experiment", keyword.value
+        return
+    # REGISTRY.register("name", ...) on a known registry global.
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "register"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in REGISTRY_GLOBALS
+        and call.args
+    ):
+        yield REGISTRY_GLOBALS[func.value.id], call.args[0]
+
+
+def _has_replace_true(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "replace":
+            return not (
+                isinstance(keyword.value, ast.Constant) and keyword.value.value is False
+            )
+    return False
+
+
+def _module_level_loop_literals(tree: ast.Module) -> Dict[str, List[ast.Constant]]:
+    """Names bound by module-level ``for X in ("a", "b", ...)`` loops.
+
+    Registration-in-a-loop (the imaging-task pattern in
+    ``repro/api/builtins.py``) registers names that are literals one hop
+    away; expanding them keeps the hygiene rules honest there.
+    """
+    literals: Dict[str, List[ast.Constant]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.For) or not isinstance(node.target, ast.Name):
+            continue
+        if isinstance(node.iter, (ast.Tuple, ast.List)):
+            elements = [
+                element
+                for element in node.iter.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+            if elements and len(elements) == len(node.iter.elts):
+                literals[node.target.id] = elements
+    return literals
+
+
+def _literal_names(
+    name_node: ast.AST, loop_literals: Dict[str, List[ast.Constant]]
+):
+    """Resolve a registration's name argument to literal strings.
+
+    Yields ``(name, node)`` pairs: the node carries the location blamed
+    in the finding (the loop literal itself for loop-expanded names).
+    Non-literal names that cannot be expanded are skipped — static
+    analysis stays honest about what it can see.
+    """
+    if isinstance(name_node, ast.Constant) and isinstance(name_node.value, str):
+        yield name_node.value, name_node
+        return
+    if isinstance(name_node, ast.Name) and name_node.id in loop_literals:
+        for element in loop_literals[name_node.id]:
+            yield element.value, element

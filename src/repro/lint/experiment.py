@@ -1,0 +1,165 @@
+"""The ``repro-ehw lint`` subcommand: the contract linter as a CLI plugin.
+
+Registered through the same :class:`~repro.api.experiment.ExperimentSpec`
+mechanism as the paper experiments, so the linter inherits the central
+``--json`` artifact plumbing for free and CI consumes one artifact shape
+everywhere.  The artifact's ``results`` is the full
+:class:`~repro.lint.runner.LintReport` dict, including ``exit_code`` —
+which :func:`repro.cli.main` propagates as the process exit code
+(``0`` clean, ``1`` findings, ``2`` usage/parse errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.api.artifact import RunArtifact
+from repro.api.experiment import ExperimentSpec, print_table, register_experiment
+from repro.api.registry import UnknownStrategyError
+from repro.lint.baseline import Baseline
+from repro.lint.runner import LintReport, run_lint
+from repro.lint.rules_registry import all_rules
+
+__all__ = ["lint_main"]
+
+
+def _configure_lint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID|NAME",
+        help="restrict to one rule (repeatable); accepts ids (RNG001) or "
+             "registry names (rng-unseeded-default-rng)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of acknowledged findings "
+             "(default: <repo-root>/lint-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a fresh baseline to FILE and "
+             "exit 0; entries get a placeholder justification to replace "
+             "before committing",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repo root for relative paths and baseline discovery "
+             "(default: auto-detected from the first PATH)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered contract rules and exit",
+    )
+
+
+def lint_main(args: argparse.Namespace) -> RunArtifact:
+    """Run the contract linter from parsed CLI arguments."""
+    config = {
+        "paths": list(args.paths),
+        "rules": list(args.rule) if args.rule else None,
+        "baseline": args.baseline,
+        "no_baseline": bool(args.no_baseline),
+        "root": args.root,
+    }
+    if args.list_rules:
+        rules = [
+            {"id": rule.id, "name": rule.name, "summary": rule.summary}
+            for rule in all_rules()
+        ]
+        return RunArtifact(
+            kind="lint",
+            config=config,
+            results={"rules": rules, "exit_code": 0},
+            timing={},
+        )
+    try:
+        report = run_lint(
+            args.paths,
+            rules=args.rule,
+            root=Path(args.root) if args.root else None,
+            baseline_path=Path(args.baseline) if args.baseline else None,
+            use_baseline=not (args.no_baseline or args.write_baseline),
+        )
+    except (UnknownStrategyError, ValueError) as exc:
+        return RunArtifact(
+            kind="lint",
+            config=config,
+            results={"errors": [str(exc)], "exit_code": 2},
+            timing={},
+        )
+    if args.write_baseline:
+        target = Path(args.write_baseline)
+        baseline = Baseline.from_findings(
+            report.findings,
+            justification=(
+                "PENDING REVIEW: recorded by --write-baseline; replace with "
+                "a real justification before committing"
+            ),
+        )
+        baseline.save(target)
+        return RunArtifact(
+            kind="lint",
+            config=config,
+            results={
+                "baseline_written": str(target),
+                "entries": len(baseline.entries),
+                "exit_code": 0,
+            },
+            timing={},
+        )
+    return RunArtifact(kind="lint", config=config, results=report.to_dict(), timing={})
+
+
+def _render_lint(artifact: RunArtifact) -> None:
+    results = artifact.results
+    if "rules" in results and "findings" not in results:
+        print_table(
+            "Registered contract rules",
+            results["rules"],
+            ["id", "name", "summary"],
+        )
+        return
+    if "baseline_written" in results:
+        print(
+            f"baseline with {results['entries']} entr(y/ies) written to "
+            f"{results['baseline_written']}"
+        )
+        return
+    if "findings" not in results:
+        for error in results.get("errors", []):
+            print(f"error: {error}")
+        return
+    report = LintReport.from_dict(results)
+    for line in report.render_lines():
+        print(line)
+
+
+register_experiment(ExperimentSpec(
+    name="lint",
+    help="run the determinism/concurrency contract linter over the source tree",
+    configure=_configure_lint,
+    run=lint_main,
+    render=_render_lint,
+))

@@ -1,0 +1,99 @@
+"""The finding record every contract rule emits.
+
+A :class:`Finding` pinpoints one contract violation: which rule fired,
+where (repo-relative path, line, column), what the violating code looks
+like, and — when the rule can name it — the *symbol* involved (a
+registered name, a guarded attribute, a banned call).  Findings sort and
+serialise deterministically so the ``--json`` report and the committed
+baseline are byte-stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Finding", "FINDING_SCHEMA_VERSION"]
+
+#: Version of the ``--json`` findings wire format.
+FINDING_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule id (``RNG001``, ``LCK001``, ...).
+    name:
+        The rule's kebab-case name (``rng-unseeded-default-rng``).
+    path:
+        Repo-relative posix path of the offending file.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable statement of the violation and the fix.
+    symbol:
+        Stable identifier of the violating entity when the rule can name
+        one (the registered name, the written attribute, the resolved
+        call).  Baseline entries match on it so they survive line drift.
+    snippet:
+        The stripped source line, for report readability.
+    """
+
+    rule: str
+    name: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: Optional[str] = None
+    snippet: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """What a baseline entry matches on: rule, file, stable context.
+
+        The context is the symbol when the rule provides one (robust to
+        the file being edited above the finding) and the stripped source
+        line otherwise.
+        """
+        return (self.rule, self.path, self.symbol or (self.snippet or "").strip())
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.symbol is not None:
+            payload["symbol"] = self.symbol
+        if self.snippet is not None:
+            payload["snippet"] = self.snippet
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            name=data["name"],
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=data["message"],
+            symbol=data.get("symbol"),
+            snippet=data.get("snippet"),
+        )
+
+    def render(self) -> str:
+        """One-line report form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

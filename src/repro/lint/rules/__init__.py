@@ -1,0 +1,19 @@
+"""The built-in rule battery.
+
+Importing this package registers every built-in contract rule in
+:data:`repro.lint.rules_registry.RULES`.  Rule modules are grouped by
+contract family:
+
+* :mod:`repro.lint.rules.rng` — RNG seeding and wall-clock discipline
+  (``RNG001``–``RNG004``);
+* :mod:`repro.lint.rules.state` — frozen-config immutability and lock
+  discipline (``FRZ001``, ``LCK001``);
+* :mod:`repro.lint.rules.ordering` — unordered-set iteration hazards
+  (``ORD001``);
+* :mod:`repro.lint.rules.registry_hygiene` — registry naming, duplicate
+  and wiring checks (``REG001``–``REG003``).
+"""
+
+from repro.lint.rules import ordering, registry_hygiene, rng, state
+
+__all__ = ["rng", "state", "ordering", "registry_hygiene"]

@@ -1,0 +1,149 @@
+"""Ordered-iteration discipline: unordered sets never feed ordered output.
+
+Set iteration order is salted per process; a set that flows into a list,
+a loop, a join or a serialised artifact makes run output depend on
+``PYTHONHASHSEED`` — the exact class of bug the dedupe index and the
+fault-position plumbing fixed by routing through ``tuple(sorted(...))``.
+``ORD001`` flags set-valued expressions consumed by order-sensitive
+sinks unless wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules_registry import LintRule, register_rule
+
+__all__ = ["UnsortedSetIterationRule"]
+
+#: Builtin sinks whose output order mirrors input order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "sum"})
+
+
+@register_rule
+class UnsortedSetIterationRule(LintRule):
+    id = "ORD001"
+    name = "ordering-unsorted-set-iteration"
+    summary = "set-valued expressions feeding ordered sinks must go through sorted()"
+    contract = (
+        "Set iteration order is hash-salted per process; any set that "
+        "flows into a loop, list(), tuple(), enumerate(), sum(), a "
+        "comprehension or str.join() — anything whose output order "
+        "mirrors input order — must pass through sorted() first, or run "
+        "results depend on PYTHONHASHSEED.  Membership tests, len() and "
+        "other order-free consumers are fine."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        local_sets = self._set_typed_names(module, context)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._flag(module, context, local_sets, node.iter, "for-loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                # Only the outer generator is order-sensitive for list/dict
+                # comprehensions; set comprehensions re-unorder anyway.
+                if isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                    for comp in node.generators:
+                        yield from self._flag(
+                            module, context, local_sets, comp.iter, "comprehension"
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    yield from self._flag(
+                        module, context, local_sets, node.args[0], f"{func.id}()"
+                    )
+                elif isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
+                    yield from self._flag(module, context, local_sets, node.args[0], "str.join")
+
+    # ------------------------------------------------------------------ #
+    def _flag(self, module, context, local_sets, expr, sink) -> Iterable[Finding]:
+        if not self._is_set_expr(expr, context, local_sets):
+            return
+        yield self.finding(
+            module,
+            expr,
+            f"unordered set flows into order-sensitive {sink}; wrap in sorted() "
+            "so output is independent of PYTHONHASHSEED",
+            symbol=sink,
+        )
+
+    def _is_set_expr(self, node, context, local_sets) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in local_sets
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in ("set", "frozenset") or func.id in context.set_returning
+            if isinstance(func, ast.Attribute):
+                return func.attr in context.set_returning
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            # Set algebra (union/intersection/difference) stays a set.
+            return self._is_set_expr(node.left, context, local_sets) and self._is_set_expr(
+                node.right, context, local_sets
+            )
+        return False
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _set_typed_names(module, context) -> Set[str]:
+        """Local names statically known to hold sets.
+
+        Tracked per module rather than per scope: names annotated with a
+        set type (parameters or AnnAssign) and names assigned directly
+        from a set literal/constructor.  Scope-blind tracking slightly
+        over-approximates, which is the right direction for a
+        determinism linter.
+        """
+        annotated: Set[str] = set()
+        assigned: Set[str] = set()
+        reassigned_non_set: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = (
+                    list(node.args.posonlyargs)
+                    + list(node.args.args)
+                    + list(node.args.kwonlyargs)
+                )
+                for arg in args:
+                    if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                        annotated.add(arg.arg)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_set_annotation(node.annotation):
+                    annotated.add(node.target.id)
+            elif isinstance(node, ast.Assign):
+                is_set = isinstance(node.value, (ast.Set, ast.SetComp)) or (
+                    isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in ("set", "frozenset")
+                )
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        (assigned if is_set else reassigned_non_set).add(target.id)
+        # A name also bound to a non-set somewhere is ambiguous; keep it
+        # only when an annotation pinned it.
+        return annotated | (assigned - reassigned_non_set)
+
+
+def _is_set_annotation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text.startswith(("Set[", "FrozenSet[", "set[", "frozenset["))
+    return False

@@ -1,0 +1,204 @@
+"""Registry hygiene: names well-formed, unique, and actually reachable.
+
+The registries are the project's plugin surface — drivers, tasks,
+backends, experiments all dispatch through string keys.  Three things go
+wrong silently: a name that breaks the kebab-case CLI convention, two
+registrations colliding (last import wins, order-dependent), and a
+module that registers an :class:`ExperimentSpec` or backend but is never
+imported by its wiring module, so the registration simply never runs and
+the subcommand vanishes without an error anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Set
+
+from repro.lint.context import Registration
+from repro.lint.findings import Finding
+from repro.lint.rules_registry import LintRule, register_rule
+
+__all__ = ["KebabCaseNameRule", "DuplicateRegistrationRule", "UnwiredModuleRule"]
+
+_KEBAB_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+
+#: Wiring contract: a module registering ``kind`` must be imported (directly
+#: or as the wiring module itself) by the module at the rel-path suffix.
+_WIRING = {
+    "experiment": ("repro/cli.py", "src/repro/cli.py"),
+    "backend": ("repro/backends/__init__.py", "src/repro/backends/__init__.py"),
+}
+
+
+def _module_registrations(module, context) -> List[Registration]:
+    return [reg for reg in context.registrations if reg.path == module.rel]
+
+
+def _blame(rule: LintRule, module, reg: Registration, message: str) -> Finding:
+    return Finding(
+        rule=rule.id,
+        name=rule.name,
+        path=module.rel,
+        line=reg.line,
+        col=reg.col,
+        message=message,
+        symbol=f"{reg.kind}:{reg.name}",
+        snippet=module.line_text(reg.line),
+    )
+
+
+@register_rule
+class KebabCaseNameRule(LintRule):
+    id = "REG001"
+    name = "registry-kebab-case"
+    summary = "registry names are kebab-case (lowercase, digits, single hyphens)"
+    contract = (
+        "Registry names are public CLI/config vocabulary: kebab-case "
+        "keeps `repro-ehw <name>` and config values consistent and "
+        "shell-safe.  Pre-1.0 snake_case names that stored configs "
+        "already reference are baselined, not renamed."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        for reg in _module_registrations(module, context):
+            if _KEBAB_RE.match(reg.name):
+                continue
+            yield _blame(
+                self,
+                module,
+                reg,
+                f"registry name {reg.name!r} ({reg.kind}) is not kebab-case",
+            )
+
+
+@register_rule
+class DuplicateRegistrationRule(LintRule):
+    id = "REG002"
+    name = "registry-duplicate-name"
+    summary = "no two registration sites claim the same (kind, name)"
+    contract = (
+        "Two static registrations of the same (kind, name) mean the "
+        "winner depends on import order — a heisenbug by construction.  "
+        "Deliberate replacement must say so: pass replace=True (or guard "
+        "with a containment check), which excludes the site here."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        by_key: Dict[tuple, List[Registration]] = {}
+        for reg in context.registrations:
+            if not reg.guarded:
+                by_key.setdefault((reg.kind, reg.name), []).append(reg)
+        for (kind, name), sites in sorted(by_key.items()):
+            if len(sites) < 2:
+                continue
+            ordered = sorted(sites, key=lambda r: (r.path, r.line, r.col))
+            for reg in ordered[1:]:
+                if reg.path != module.rel:
+                    continue
+                first = ordered[0]
+                yield _blame(
+                    self,
+                    module,
+                    reg,
+                    f"duplicate registration of {kind} {name!r} "
+                    f"(first registered at {first.path}:{first.line}); "
+                    "pass replace=True if the override is deliberate",
+                )
+
+
+@register_rule
+class UnwiredModuleRule(LintRule):
+    id = "REG003"
+    name = "registry-unwired-module"
+    summary = "modules that register experiments/backends are reachable from their wiring module"
+    contract = (
+        "Registration is an import side effect: an ExperimentSpec module "
+        "never imported by repro/cli.py (directly, or via the "
+        "repro.experiments package for modules living there) — or a "
+        "backend module never imported by repro/backends/__init__.py — "
+        "registers nothing, and its subcommand silently vanishes.  The "
+        "rule only fires when the wiring module is part of the lint run, "
+        "so linting a lone file stays meaningful."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        for kind, (wiring_rel_suffix, _) in _WIRING.items():
+            regs = [reg for reg in _module_registrations(module, context) if reg.kind == kind]
+            if not regs:
+                continue
+            if module.rel.endswith(wiring_rel_suffix):
+                continue  # the wiring module itself
+            wiring = self._find_module(context, wiring_rel_suffix)
+            if wiring is None:
+                continue  # wiring module not under lint: cannot judge
+            dotted = _dotted_name(module.rel)
+            if dotted is None:
+                continue
+            reachable = _imported_names(wiring)
+            # Modules inside a package wired wholesale (repro.experiments)
+            # are reachable through the package __init__ when that __init__
+            # imports them.
+            package = dotted.rsplit(".", 1)[0]
+            if package in reachable:
+                package_init = self._find_module(context, f"{package.replace('.', '/')}/__init__.py")
+                if package_init is not None and dotted in _imported_names(package_init):
+                    continue
+            if dotted in reachable:
+                continue
+            reg = regs[0]
+            yield _blame(
+                self,
+                module,
+                reg,
+                f"module registers {kind} {reg.name!r} but is never imported by "
+                f"{wiring.rel}; the registration never runs",
+            )
+
+    @staticmethod
+    def _find_module(context, rel_suffix: str):
+        for rel, module in context.module_by_rel.items():
+            if rel.endswith(rel_suffix):
+                return module
+        return None
+
+
+def _dotted_name(rel: str) -> str:
+    """``src/repro/lint/experiment.py`` -> ``repro.lint.experiment``."""
+    path = rel
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    parts = path.split("/")
+    if "repro" not in parts:
+        return path.replace("/", ".")
+    return ".".join(parts[parts.index("repro"):])
+
+
+def _imported_names(module) -> Set[str]:
+    """Every dotted module name ``module`` imports, absolute or relative."""
+    names: Set[str] = set()
+    package = _dotted_name(module.rel)
+    if not module.rel.endswith("__init__.py"):
+        package = package.rsplit(".", 1)[0] if "." in package else ""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package.split(".") if package else []
+                up = node.level - 1
+                base_parts = base_parts[: len(base_parts) - up] if up else base_parts
+                base = ".".join(base_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if base:
+                names.add(base)
+            for alias in node.names:
+                if alias.name != "*" and base:
+                    names.add(f"{base}.{alias.name}")
+    return names

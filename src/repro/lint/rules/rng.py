@@ -1,0 +1,210 @@
+"""RNG and wall-clock discipline: every stochastic draw from a derived seed.
+
+The §V.A byte-identity guarantee (healing results identical across
+backends, batching modes and executors) holds because every random draw
+comes from a position-tagged seed derived from the platform seed, and
+nothing on a deterministic path reads OS entropy or the wall clock.
+These rules are the static half of that contract; the behavioural half
+lives in ``tests/test_rng_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules_registry import LintRule, iter_calls, register_rule
+
+__all__ = [
+    "UnseededDefaultRngRule",
+    "GlobalNumpyDrawRule",
+    "StdlibRandomRule",
+    "WallClockRule",
+]
+
+#: Module-level numpy.random functions drawing from (or reseeding) the
+#: hidden global RandomState — irreproducible across call orders.
+_LEGACY_NUMPY_DRAWS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "exponential",
+        "gamma",
+        "geometric",
+        "integers",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Wall-clock reads banned on deterministic paths.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Files where wall-clock reads are part of the *service* contract, not a
+#: determinism hazard: lease deadlines, heartbeat cadence and long-poll
+#: timeouts measure real elapsed time by design, and the work-queue
+#: determinism note guarantees they can never change run results (every
+#: attempt feeds the identical payload through the identical worker
+#: contract).  Matched by repo-relative path suffix.
+WALL_CLOCK_ALLOWLIST = {
+    "repro/service/queue.py": "lease deadlines and expiry-requeue timing",
+    "repro/service/server.py": "long-poll deadlines and service uptime",
+    "repro/service/worker.py": "heartbeat cadence and idle-poll backoff",
+    "repro/service/experiment.py": "serve/worker CLI poll loops",
+}
+
+
+@register_rule
+class UnseededDefaultRngRule(LintRule):
+    id = "RNG001"
+    name = "rng-unseeded-default-rng"
+    summary = "no argument-less default_rng()/RandomState() under any import alias"
+    contract = (
+        "Every generator must be seeded by its caller or derived from a "
+        "documented seed; an empty `default_rng()` (or `RandomState()`) "
+        "call falls back to OS entropy and makes fault behaviour "
+        "irreproducible.  Resolution is alias-aware: `from numpy.random "
+        "import default_rng as rng_fn; rng_fn()` is the same violation."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        for call in iter_calls(module.tree):
+            resolved = module.imports.resolve(call.func)
+            if resolved not in ("numpy.random.default_rng", "numpy.random.RandomState"):
+                continue
+            if call.args or call.keywords:
+                continue
+            yield self.finding(
+                module,
+                call,
+                "argument-less generator construction draws OS entropy; seed it "
+                "from a derived SeedSequence (see docs/determinism.md)",
+                symbol=resolved,
+            )
+
+
+@register_rule
+class GlobalNumpyDrawRule(LintRule):
+    id = "RNG002"
+    name = "rng-global-numpy-draw"
+    summary = "no module-level np.random.<draw>() calls (hidden global state)"
+    contract = (
+        "Module-level numpy.random draw functions (np.random.randint, "
+        "np.random.shuffle, np.random.seed, ...) share one hidden global "
+        "RandomState whose stream depends on call order across the whole "
+        "process — poison for executor-independent byte identity.  Draw "
+        "from an explicitly seeded Generator instead."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        for call in iter_calls(module.tree):
+            resolved = module.imports.resolve(call.func)
+            if not resolved or not resolved.startswith("numpy.random."):
+                continue
+            tail = resolved.rsplit(".", 1)[1]
+            if tail not in _LEGACY_NUMPY_DRAWS:
+                continue
+            yield self.finding(
+                module,
+                call,
+                f"{resolved}() draws from the hidden global RandomState; use a "
+                "seeded Generator derived from the platform seed",
+                symbol=resolved,
+            )
+
+
+@register_rule
+class StdlibRandomRule(LintRule):
+    id = "RNG003"
+    name = "rng-stdlib-random"
+    summary = "no stdlib random module usage on deterministic paths"
+    contract = (
+        "The stdlib `random` module is either global-state (module "
+        "functions, `random.seed`) or OS-entropy (`SystemRandom`, "
+        "argument-less `Random()`); none of its streams are derivable "
+        "from the experiment spec.  All randomness goes through "
+        "numpy Generators seeded from the platform seed."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        for call in iter_calls(module.tree):
+            resolved = module.imports.resolve(call.func)
+            if not resolved or not (resolved == "random" or resolved.startswith("random.")):
+                continue
+            # random.Random(seed) is an explicitly seeded instance; only the
+            # argument-less form falls back to OS entropy.
+            if resolved == "random.Random" and (call.args or call.keywords):
+                continue
+            yield self.finding(
+                module,
+                call,
+                f"{resolved}() uses stdlib random (global state / OS entropy); "
+                "use a numpy Generator derived from the platform seed",
+                symbol=resolved,
+            )
+
+
+@register_rule
+class WallClockRule(LintRule):
+    id = "RNG004"
+    name = "rng-wall-clock"
+    summary = "no wall-clock reads on deterministic paths (service sites allowlisted)"
+    contract = (
+        "time.time()/time.monotonic()/datetime.now() and friends read "
+        "state that differs on every run; on a deterministic path they "
+        "are entropy by another name.  The service layer's lease/"
+        "heartbeat sites are allowlisted (real elapsed time is their "
+        "contract and can never change run results); telemetry-only "
+        "sites carry an inline `# repro-lint: disable=RNG004` with "
+        "justification."
+    )
+
+    def check(self, module, context) -> Iterable[Finding]:
+        allowlisted = any(
+            module.rel.endswith(suffix) for suffix in WALL_CLOCK_ALLOWLIST
+        )
+        if allowlisted:
+            return
+        for call in iter_calls(module.tree):
+            resolved = module.imports.resolve(call.func)
+            if resolved not in _WALL_CLOCK_CALLS:
+                continue
+            yield self.finding(
+                module,
+                call,
+                f"{resolved}() is a wall-clock read on a deterministic path; "
+                "derive timing from the platform's modelled clock, or disable "
+                "inline with a justification if this is telemetry only",
+                symbol=resolved,
+            )

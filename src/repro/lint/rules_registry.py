@@ -1,0 +1,124 @@
+"""The lint-rule registry: contract checkers looked up by name, like strategies.
+
+Rules register in :data:`RULES` — a :class:`repro.api.registry.Registry`,
+the same string-keyed mechanism the drivers/backends/experiments use — so
+third-party plugins can add project-specific contract checkers without
+touching any dispatch code.  Every rule is addressable two ways: its
+stable id (``RNG001``, used in ``# repro-lint: disable=`` comments and
+baselines) and its kebab-case registry name
+(``rng-unseeded-default-rng``, used in docs and ``--rule`` flags).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence
+
+from repro.api.registry import Registry, UnknownStrategyError
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ProjectContext
+    from repro.lint.source import SourceModule
+
+__all__ = ["LintRule", "RULES", "register_rule", "resolve_rules", "all_rules"]
+
+#: The process-wide lint-rule registry, keyed by kebab-case rule name.
+RULES = Registry("lint rule")
+
+
+class LintRule:
+    """Base class for one contract checker.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding a :class:`~repro.lint.findings.Finding` per violation.
+    ``check`` receives the parsed module plus the cross-module
+    :class:`~repro.lint.context.ProjectContext` (frozen-dataclass names,
+    registry registrations, set-returning functions), so rules can be
+    project-aware without re-walking the tree themselves.
+    """
+
+    #: Stable id used in suppressions and baselines (e.g. ``RNG001``).
+    id: str = ""
+    #: Kebab-case registry name (e.g. ``rng-unseeded-default-rng``).
+    name: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    summary: str = ""
+    #: The enforced contract, in full, for ``docs/determinism.md``.
+    contract: str = ""
+
+    def check(
+        self, module: "SourceModule", context: "ProjectContext"
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def finding(
+        self,
+        module: "SourceModule",
+        node: ast.AST,
+        message: str,
+        symbol: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding for ``node`` with the module's location info."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            name=self.name,
+            path=module.rel,
+            line=line,
+            col=col,
+            message=message,
+            symbol=symbol,
+            snippet=module.line_text(line),
+        )
+
+
+def register_rule(rule_cls: type) -> type:
+    """Class decorator registering a :class:`LintRule` subclass in :data:`RULES`."""
+    if not rule_cls.id or not rule_cls.name:
+        raise ValueError(f"lint rule {rule_cls.__name__} must set both id and name")
+    RULES.register(rule_cls.name, rule_cls)
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the battery registers every built-in rule.
+    import repro.lint.rules  # noqa: F401
+
+
+def all_rules() -> List[LintRule]:
+    """One instance of every registered rule, in registration order."""
+    _ensure_loaded()
+    return [RULES.get(name)() for name in RULES.names()]
+
+
+def resolve_rules(selectors: Optional[Sequence[str]]) -> List[LintRule]:
+    """Rules matching ``selectors`` (ids or names); all rules when ``None``."""
+    rules = all_rules()
+    if not selectors:
+        return rules
+    by_key = {}
+    for rule in rules:
+        by_key[rule.id.upper()] = rule
+        by_key[rule.name] = rule
+    picked: List[LintRule] = []
+    for selector in selectors:
+        key = selector.strip()
+        rule = by_key.get(key.upper()) or by_key.get(key.lower())
+        if rule is None:
+            raise UnknownStrategyError(
+                "lint rule", selector, sorted({r.id for r in rules} | set(RULES.names()))
+            )
+        if rule not in picked:
+            picked.append(rule)
+    return picked
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every ``ast.Call`` in ``tree`` (decorators included — they are
+    plain expressions in the tree)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

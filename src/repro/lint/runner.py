@@ -1,0 +1,238 @@
+"""The lint driver: collect files, build context, run rules, classify findings.
+
+:func:`run_lint` is the single entry point the CLI subcommand, the tier-1
+self-host test and the CI job all share.  It produces a
+:class:`LintReport` whose JSON form is deterministic (sorted findings,
+sorted keys) and whose :attr:`~LintReport.exit_code` encodes the CI
+contract: ``0`` clean, ``1`` active findings, ``2`` usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.baseline import BASELINE_FILENAME, Baseline, BaselineEntry
+from repro.lint.context import ProjectContext
+from repro.lint.findings import FINDING_SCHEMA_VERSION, Finding
+from repro.lint.rules_registry import LintRule, resolve_rules
+from repro.lint.source import SourceModule, parse_module
+
+__all__ = ["LintReport", "run_lint", "find_repo_root"]
+
+
+def find_repo_root(start: Path) -> Path:
+    """The nearest ancestor of ``start`` holding ``pyproject.toml`` or ``.git``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return current
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run decided, JSON-serialisable and byte-stable."""
+
+    root: str
+    paths: List[str]
+    rule_ids: List[str]
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    baseline_path: Optional[str] = None
+    n_files: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def counts(self) -> Dict[str, int]:
+        return {
+            "files": self.n_files,
+            "findings": len(self.findings),
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline": len(self.stale_baseline),
+            "errors": len(self.errors),
+        }
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": FINDING_SCHEMA_VERSION,
+            "root": self.root,
+            "paths": list(self.paths),
+            "rules": list(self.rule_ids),
+            "baseline": self.baseline_path,
+            "counts": self.counts,
+            "exit_code": self.exit_code,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "errors": list(self.errors),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LintReport":
+        report = cls(
+            root=data["root"],
+            paths=list(data["paths"]),
+            rule_ids=list(data["rules"]),
+            findings=[Finding.from_dict(item) for item in data["findings"]],
+            suppressed=[Finding.from_dict(item) for item in data["suppressed"]],
+            baselined=[Finding.from_dict(item) for item in data["baselined"]],
+            stale_baseline=[BaselineEntry.from_dict(item) for item in data["stale_baseline"]],
+            errors=list(data["errors"]),
+            baseline_path=data.get("baseline"),
+        )
+        report.n_files = data.get("counts", {}).get("files", 0)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def render_lines(self) -> List[str]:
+        """The human-readable report, one string per output line."""
+        lines: List[str] = []
+        for error in self.errors:
+            lines.append(f"error: {error}")
+        for finding in self.findings:
+            lines.append(finding.render())
+        for entry in self.stale_baseline:
+            lines.append(
+                f"warning: stale baseline entry {entry.rule} @ {entry.path} "
+                f"({entry.symbol}) — the violation is gone; prune it from "
+                f"{self.baseline_path or BASELINE_FILENAME}"
+            )
+        counts = self.counts
+        summary = (
+            f"{counts['files']} file(s): {counts['findings']} finding(s), "
+            f"{counts['suppressed']} suppressed, {counts['baselined']} baselined"
+        )
+        if counts["stale_baseline"]:
+            summary += f", {counts['stale_baseline']} stale baseline entr(y/ies)"
+        if counts["errors"]:
+            summary += f", {counts['errors']} error(s)"
+        lines.append(summary)
+        return lines
+
+
+# ---------------------------------------------------------------------- #
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(resolved)
+    return sorted(files)
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+) -> LintReport:
+    """Lint ``paths`` and classify every finding.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories (directories are walked for ``*.py``).
+    rules:
+        Rule selectors (ids or kebab names); all rules when ``None``.
+    root:
+        Repo root for relative paths and baseline discovery; auto-detected
+        from the first path (walking up to ``pyproject.toml``/``.git``)
+        when ``None``.
+    baseline_path:
+        Explicit baseline file.  When ``None`` and ``use_baseline`` is
+        true, ``<root>/lint-baseline.json`` is loaded if present.
+    use_baseline:
+        ``False`` disables baseline matching entirely (``--no-baseline``).
+    """
+    path_objs = [Path(p) for p in paths]
+    if root is None:
+        anchor = path_objs[0] if path_objs else Path.cwd()
+        root = find_repo_root(anchor if anchor.exists() else Path.cwd())
+    root = root.resolve()
+
+    rule_objs: List[LintRule] = resolve_rules(rules)
+    report = LintReport(
+        root=str(root),
+        paths=[str(p) for p in paths],
+        rule_ids=[rule.id for rule in rule_objs],
+    )
+
+    baseline: Optional[Baseline] = None
+    if baseline_path is not None:
+        baseline = Baseline.load(baseline_path)
+        report.baseline_path = str(baseline_path)
+    elif use_baseline:
+        default_path = root / BASELINE_FILENAME
+        if default_path.exists():
+            baseline = Baseline.load(default_path)
+            report.baseline_path = str(default_path)
+
+    modules: List[SourceModule] = []
+    for file_path in _collect_files(path_objs):
+        if not file_path.exists():
+            report.errors.append(f"no such file: {file_path}")
+            continue
+        try:
+            modules.append(parse_module(file_path, _rel_path(file_path, root)))
+        except SyntaxError as exc:
+            report.errors.append(f"syntax error in {_rel_path(file_path, root)}: {exc.msg}")
+    report.n_files = len(modules)
+
+    context = ProjectContext.build(modules)
+    for module in modules:
+        for rule in rule_objs:
+            for finding in rule.check(module, context):
+                if module.is_suppressed(finding.rule, finding.name, finding.line):
+                    report.suppressed.append(finding)
+                elif baseline is not None and baseline.matches(finding):
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+
+    report.findings.sort(key=lambda f: f.sort_key)
+    report.suppressed.sort(key=lambda f: f.sort_key)
+    report.baselined.sort(key=lambda f: f.sort_key)
+    if baseline is not None:
+        # An entry is only stale when its file was actually linted this
+        # run; linting a subset must not flag the rest of the baseline.
+        linted = {module.rel for module in modules}
+        report.stale_baseline = sorted(
+            (entry for entry in baseline.stale_entries() if entry.path in linted),
+            key=lambda e: e.key,
+        )
+    return report

@@ -1,0 +1,162 @@
+"""Parsed source modules: AST, inline suppressions, and import resolution.
+
+Two facilities every rule builds on live here:
+
+* :class:`SourceModule` — one parsed file, its repo-relative path, and
+  its ``# repro-lint: disable=RULE`` suppression map;
+* :class:`ImportMap` — alias-aware name resolution, so a call spelled
+  ``rng_fn()`` after ``from numpy.random import default_rng as rng_fn``
+  resolves to the canonical ``numpy.random.default_rng`` no matter how
+  the import was written.  This is exactly what the old regex scan in
+  ``tests/test_rng_determinism.py`` could not see.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+__all__ = ["SourceModule", "ImportMap", "parse_module"]
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+
+def _split_rules(raw: str) -> Set[str]:
+    # Everything after a `--` is the human justification, not a rule list:
+    # `# repro-lint: disable=RNG004 -- telemetry-only timing`.
+    head = raw.split("--")[0]
+    return {token.strip() for token in head.split(",") if token.strip()}
+
+
+class SourceModule:
+    """One file under lint: text, AST, and its suppression map.
+
+    Suppression scope follows the common linter convention: a disable
+    comment applies to its own physical line, and a comment-only line
+    applies to the next code line below it.  ``disable-file=`` anywhere
+    suppresses the rule for the whole module.
+    """
+
+    def __init__(self, path: Path, rel: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        self.line_disables: Dict[int, Set[str]] = {}
+        self.file_disables: Set[str] = set()
+        self._collect_suppressions()
+
+    # ------------------------------------------------------------------ #
+    def _comment_disables(self) -> Dict[int, Set[str]]:
+        """Per-line disable sets from *actual* comment tokens.
+
+        Tokenising (rather than regexing raw lines) keeps a docstring
+        that merely talks about ``# repro-lint: disable=...`` from
+        counting as a suppression.  ``disable-file=`` comments feed
+        :attr:`file_disables` directly.
+        """
+        per_line: Dict[int, Set[str]] = {}
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse succeeded
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            lineno = token.start[0]
+            for match in _DISABLE_FILE_RE.finditer(token.string):
+                self.file_disables |= _split_rules(match.group(1))
+            for match in _DISABLE_RE.finditer(token.string):
+                per_line.setdefault(lineno, set()).update(_split_rules(match.group(1)))
+        return per_line
+
+    def _collect_suppressions(self) -> None:
+        comment_disables = self._comment_disables()
+        pending: Set[str] = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            here = comment_disables.get(lineno, set())
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                # Comment-only line: its disables carry to the next code line.
+                pending |= here
+                continue
+            if not stripped:
+                continue
+            rules = here | pending
+            pending = set()
+            if rules:
+                self.line_disables[lineno] = (
+                    self.line_disables.get(lineno, set()) | rules
+                )
+
+    def is_suppressed(self, rule_id: str, rule_name: str, lineno: int) -> bool:
+        """True when an inline disable covers ``rule`` at ``lineno``."""
+        keys = {rule_id.upper(), rule_name.lower(), "all"}
+        if any(token.upper() in keys or token.lower() in keys for token in self.file_disables):
+            return True
+        tokens = self.line_disables.get(lineno, ())
+        return any(token.upper() in keys or token.lower() in keys for token in tokens)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class ImportMap:
+    """Alias table from local names to canonical dotted import paths."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # `import numpy.random` binds `numpy`; attribute
+                        # chains resolve through the root name.
+                        root = alias.name.split(".")[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: never numpy/random/time
+                    continue
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted path of a Name/Attribute chain, if imported.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` (after
+        ``import numpy as np``); local objects (``self.rng``) resolve to
+        ``None``.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def parse_module(path: Path, rel: str) -> SourceModule:
+    """Parse ``path`` into a :class:`SourceModule` (raises ``SyntaxError``)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceModule(path=path, rel=rel, text=text, tree=tree)

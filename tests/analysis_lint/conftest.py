@@ -1,0 +1,48 @@
+"""Shared fixtures for the contract-linter suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+VIOLATIONS_DIR = FIXTURES_DIR / "violations"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def violations_dir() -> Path:
+    return VIOLATIONS_DIR
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT
+
+
+@pytest.fixture
+def lint():
+    """Lint paths without any baseline (the raw rule verdicts)."""
+
+    def _lint(paths, rules=None, **kwargs):
+        if isinstance(paths, (str, Path)):
+            paths = [paths]
+        kwargs.setdefault("use_baseline", False)
+        return run_lint([str(p) for p in paths], rules=rules, **kwargs)
+
+    return _lint
+
+
+@pytest.fixture
+def lint_source(tmp_path, lint):
+    """Write ``source`` to a temp module and lint it."""
+
+    def _lint_source(source, rules=None, rel="module_under_test.py", **kwargs):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        kwargs.setdefault("root", tmp_path)
+        return lint(target, rules=rules, **kwargs)
+
+    return _lint_source

@@ -1,0 +1,15 @@
+"""FRZ001 fixture: mutating a frozen config instead of dataclasses.replace."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    value: int = 0
+
+    def bump(self) -> None:
+        object.__setattr__(self, "value", self.value + 1)
+
+
+def tweak(config: Config) -> None:
+    config.value = 1

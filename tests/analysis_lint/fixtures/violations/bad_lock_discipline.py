@@ -1,0 +1,16 @@
+"""LCK001 fixture: attribute guarded in one method, raced in another."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def drop(self, key):
+        del self._items[key]

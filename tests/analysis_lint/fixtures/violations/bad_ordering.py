@@ -1,0 +1,6 @@
+"""ORD001 fixture: hash-salted set order leaking into ordered output."""
+
+NAMES = {"beta", "alpha"}
+
+ORDERED = list(NAMES)
+JOINED = ",".join({"x", "y"})

@@ -1,0 +1,7 @@
+"""REG001/REG002 fixture: non-kebab-case name plus a duplicate registration."""
+
+from repro.api.registry import register
+
+register("task", "Bad_Name", object())
+register("task", "dup-name", object())
+register("task", "dup-name", object())

@@ -1,0 +1,5 @@
+"""RNG002 fixture: draw from numpy's hidden global RandomState."""
+
+import numpy as np
+
+VALUE = np.random.randint(0, 10)

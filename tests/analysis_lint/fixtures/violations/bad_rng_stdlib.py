@@ -1,0 +1,6 @@
+"""RNG003 fixture: stdlib random on a deterministic path."""
+
+import random
+
+VALUE = random.random()
+UNSEEDED = random.Random()

@@ -1,0 +1,5 @@
+"""RNG001 fixture: aliased argument-less default_rng() — the regex-proof evasion."""
+
+from numpy.random import default_rng as rng_fn
+
+GEN = rng_fn()

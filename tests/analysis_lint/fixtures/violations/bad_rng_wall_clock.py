@@ -1,0 +1,7 @@
+"""RNG004 fixture: wall-clock read outside the service allowlist."""
+
+import time
+from datetime import datetime
+
+STAMP = time.time()
+TODAY = datetime.now()

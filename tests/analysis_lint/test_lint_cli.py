@@ -1,0 +1,100 @@
+"""The ``repro-ehw lint`` subcommand: exit codes, JSON artifact, CI simulation."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "VALUE = 1\n"
+
+
+def write(tmp_path, source, name="module_under_test.py"):
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return str(target)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        assert main(["lint", write(tmp_path, CLEAN), "--no-baseline"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "from numpy.random import default_rng\nGEN = default_rng()\n"
+        )
+        assert main(["lint", path, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN)
+        assert main(["lint", path, "--rule", "NOPE999"]) == 2
+        assert "NOPE999" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        path = write(tmp_path, "def broken(:\n")
+        assert main(["lint", path, "--no-baseline"]) == 2
+
+
+class TestJsonArtifact:
+    def test_json_stdout_carries_report_and_exit_code(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "from numpy.random import default_rng\nGEN = default_rng()\n"
+        )
+        code = main(["lint", path, "--no-baseline", "--json"])
+        artifact = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert artifact["kind"] == "lint"
+        assert artifact["results"]["exit_code"] == 1
+        assert artifact["results"]["schema_version"] == 1
+        assert [f["rule"] for f in artifact["results"]["findings"]] == ["RNG001"]
+
+    def test_json_file_artifact_round_trips(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN)
+        out_file = tmp_path / "report.json"
+        code = main(["lint", path, "--no-baseline", "--json", str(out_file)])
+        assert code == 0
+        artifact = json.loads(out_file.read_text(encoding="utf-8"))
+        assert artifact["results"]["counts"]["findings"] == 0
+
+
+class TestListRulesAndBaselineWriting:
+    def test_list_rules_prints_battery(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "RNG004", "FRZ001", "LCK001", "ORD001", "REG003"):
+            assert rule_id in out
+
+    def test_write_baseline_then_lint_against_it(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "from numpy.random import default_rng\nGEN = default_rng()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", path, "--write-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # The same violation is now acknowledged (exit 0, reported as baselined).
+        assert main(["lint", path, "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+
+class TestSeededViolationCiSimulation:
+    """What the CI `lint-contracts` job proves: every seeded violation fails.
+
+    The job loops over the committed fixtures and requires exit code 1
+    from each — this is the same loop in-process.
+    """
+
+    def test_every_violation_fixture_fails_the_gate(self, violations_dir, capsys):
+        fixtures = sorted(violations_dir.glob("bad_*.py"))
+        assert len(fixtures) >= 8, "violation fixtures went missing"
+        for fixture in fixtures:
+            code = main(["lint", str(fixture), "--no-baseline"])
+            capsys.readouterr()
+            assert code == 1, f"{fixture.name} should fail the lint gate"
+
+    def test_self_host_gate_passes(self, repo_root, capsys):
+        code = main(["lint", str(repo_root / "src" / "repro")])
+        capsys.readouterr()
+        assert code == 0

@@ -1,0 +1,230 @@
+"""The acknowledgement machinery: inline disables, baselines, JSON round-trip."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, LintReport, run_lint
+
+VIOLATION = 'from numpy.random import default_rng\n\nGEN = default_rng()\n'
+
+
+# --------------------------------------------------------------------------- #
+# Inline suppressions
+# --------------------------------------------------------------------------- #
+class TestInlineSuppression:
+    def test_same_line_disable_with_justification(self, lint_source):
+        report = lint_source(
+            "from numpy.random import default_rng\n"
+            "GEN = default_rng()  # repro-lint: disable=RNG001 -- test-only stream\n",
+            rules=["RNG001"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 0
+
+    def test_comment_line_above_covers_next_code_line(self, lint_source):
+        report = lint_source(
+            textwrap.dedent(
+                """
+                from numpy.random import default_rng
+
+                # repro-lint: disable=RNG001 -- covered from the line above
+                GEN = default_rng()
+                """
+            ),
+            rules=["RNG001"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_rule_name_works_as_disable_token(self, lint_source):
+        report = lint_source(
+            "from numpy.random import default_rng\n"
+            "GEN = default_rng()  # repro-lint: disable=rng-unseeded-default-rng\n",
+            rules=["RNG001"],
+        )
+        assert report.findings == []
+
+    def test_disable_file_suppresses_whole_module(self, lint_source):
+        report = lint_source(
+            "# repro-lint: disable-file=RNG001\n"
+            "from numpy.random import default_rng\n"
+            "A = default_rng()\n"
+            "B = default_rng()\n",
+            rules=["RNG001"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_disabling_one_rule_leaves_others_active(self, lint_source):
+        report = lint_source(
+            "import time\n"
+            "from numpy.random import default_rng\n"
+            "GEN = default_rng()  # repro-lint: disable=RNG004 -- wrong rule\n"
+        )
+        assert [f.rule for f in report.findings] == ["RNG001"]
+
+
+# --------------------------------------------------------------------------- #
+# Baseline matching
+# --------------------------------------------------------------------------- #
+class TestBaseline:
+    def _write_baseline(self, tmp_path, entries):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps({"schema_version": 1, "entries": entries}), encoding="utf-8"
+        )
+        return path
+
+    def test_matching_entry_moves_finding_to_baselined(self, tmp_path, lint_source):
+        baseline = self._write_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "RNG001",
+                    "path": "module_under_test.py",
+                    "symbol": "numpy.random.default_rng",
+                    "justification": "legacy site, tracked in #1",
+                }
+            ],
+        )
+        report = lint_source(
+            VIOLATION, rules=["RNG001"], use_baseline=True, baseline_path=baseline
+        )
+        assert report.findings == []
+        assert len(report.baselined) == 1
+        assert report.exit_code == 0
+
+    def test_stale_entry_warns_once_violation_is_fixed(self, tmp_path, lint_source):
+        baseline = self._write_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "RNG001",
+                    "path": "module_under_test.py",
+                    "symbol": "numpy.random.default_rng",
+                    "justification": "legacy site, tracked in #1",
+                }
+            ],
+        )
+        report = lint_source(
+            "from numpy.random import default_rng\nGEN = default_rng(2013)\n",
+            rules=["RNG001"],
+            use_baseline=True,
+            baseline_path=baseline,
+        )
+        assert report.findings == []
+        assert len(report.stale_baseline) == 1
+        assert any("stale baseline entry" in line for line in report.render_lines())
+
+    def test_stale_is_scoped_to_linted_files(self, tmp_path, lint_source):
+        baseline = self._write_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "RNG001",
+                    "path": "some/other/file.py",
+                    "symbol": "numpy.random.default_rng",
+                    "justification": "file not part of this run",
+                }
+            ],
+        )
+        report = lint_source(
+            "X = 1\n", rules=["RNG001"], use_baseline=True, baseline_path=baseline
+        )
+        assert report.stale_baseline == []
+
+    def test_justification_is_mandatory(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "entries": [
+                        {"rule": "RNG001", "path": "a.py", "symbol": "s", "justification": " "}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(path)
+
+    def test_unknown_schema_version_is_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"schema_version": 99, "entries": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema_version"):
+            Baseline.load(path)
+
+    def test_root_baseline_is_auto_discovered(self, tmp_path, lint_source):
+        self._write_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "RNG001",
+                    "path": "module_under_test.py",
+                    "symbol": "numpy.random.default_rng",
+                    "justification": "legacy site",
+                }
+            ],
+        )
+        report = lint_source(VIOLATION, rules=["RNG001"], use_baseline=True)
+        assert report.findings == []
+        assert len(report.baselined) == 1
+        assert report.baseline_path.endswith("lint-baseline.json")
+
+    def test_from_findings_save_load_round_trip(self, tmp_path, lint_source):
+        report = lint_source(VIOLATION, rules=["RNG001"])
+        baseline = Baseline.from_findings(report.findings, justification="bulk import")
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert [e.to_dict() for e in loaded.entries] == [e.to_dict() for e in baseline.entries]
+        assert all(e.justification == "bulk import" for e in loaded.entries)
+
+
+# --------------------------------------------------------------------------- #
+# JSON report round-trip
+# --------------------------------------------------------------------------- #
+class TestReportRoundTrip:
+    def test_to_dict_from_dict_preserves_everything(self, lint_source):
+        report = lint_source(VIOLATION)
+        data = json.loads(report.to_json())
+        rebuilt = LintReport.from_dict(data)
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.exit_code == report.exit_code == 1
+        assert rebuilt.counts == report.counts
+        assert rebuilt.render_lines() == report.render_lines()
+
+    def test_json_is_deterministic(self, lint_source, tmp_path):
+        source = VIOLATION
+        target = tmp_path / "module_under_test.py"
+        target.write_text(source, encoding="utf-8")
+        first = run_lint([str(target)], root=tmp_path, use_baseline=False)
+        second = run_lint([str(target)], root=tmp_path, use_baseline=False)
+        assert first.to_json() == second.to_json()
+
+    def test_schema_versioned(self, lint_source):
+        data = lint_source("X = 1\n").to_dict()
+        assert data["schema_version"] == 1
+        assert set(data["counts"]) == {
+            "files",
+            "findings",
+            "suppressed",
+            "baselined",
+            "stale_baseline",
+            "errors",
+        }
+
+    def test_syntax_error_reports_exit_code_2(self, lint_source):
+        report = lint_source("def broken(:\n")
+        assert report.exit_code == 2
+        assert any("syntax error" in error for error in report.errors)
+
+    def test_baseline_entry_round_trip(self):
+        entry = BaselineEntry(
+            rule="REG001", path="a.py", symbol="task:x", justification="why"
+        )
+        assert BaselineEntry.from_dict(entry.to_dict()) == entry

@@ -1,11 +1,14 @@
 """Tests for the repro-ehw command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.api.artifact import RunArtifact
 from repro.cli import build_parser, main
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Minimal fast arguments per subcommand, used by the --json round-trip
 #: sweep below.  Registering a new experiment without adding an entry
@@ -44,6 +47,9 @@ FAST_ARGS = {
     # the first connection failure with an honest stats artifact.
     "worker": ["--server", "http://127.0.0.1:9", "--max-errors", "1",
                "--poll-interval", "0.01"],
+    # lint: the self-host run — src/repro is clean against the committed
+    # baseline, so the artifact's exit_code is 0 and main() returns it.
+    "lint": [str(_REPO_ROOT / "src" / "repro")],
 }
 
 
@@ -58,7 +64,7 @@ class TestParser:
         assert set(registered_commands()) == {
             "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
             "imitation", "tmr-recovery", "fault-sweep", "campaign",
-            "scenario-sweep", "serve", "worker", "red-team",
+            "scenario-sweep", "serve", "worker", "red-team", "lint",
         }
 
     def test_missing_command_errors(self):

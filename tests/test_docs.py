@@ -17,6 +17,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "performance.md",
     REPO_ROOT / "docs" / "paper_map.md",
+    REPO_ROOT / "docs" / "determinism.md",
 ]
 #: Everything link-checked: the doc suite plus the authored top-level
 #: markdown (the retrieved-corpus files PAPERS.md/SNIPPETS.md embed

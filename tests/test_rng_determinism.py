@@ -10,7 +10,6 @@ each fixed call site (``ProcessingElement.inject_fault``/``compute``,
 ``FaultInjector``, ``ExternalMemory.corrupt``).
 """
 
-import re
 from pathlib import Path
 
 import numpy as np
@@ -33,14 +32,19 @@ def test_no_unseeded_default_rng_anywhere_in_src():
     they are seeded by the caller; the banned pattern is the empty-call
     fallback that made fault behaviour irreproducible
     (``processing_element.py``, ``fabric.py`` and friends before the fix).
+
+    Enforced by the ``RNG001`` contract rule (:mod:`repro.lint`), which
+    replaced the original regex scan: the AST walk is alias-aware, so
+    ``from numpy.random import default_rng as rng_fn; rng_fn()`` — which
+    the regex missed — is the same violation.  No baseline: this rule
+    admits zero acknowledged violations.
     """
-    pattern = re.compile(r"default_rng\(\s*\)")
-    offenders = [
-        str(path.relative_to(SRC_ROOT))
-        for path in sorted(SRC_ROOT.rglob("*.py"))
-        if pattern.search(path.read_text(encoding="utf-8"))
-    ]
-    assert offenders == []
+    from repro.lint import run_lint
+
+    report = run_lint([str(SRC_ROOT)], rules=["RNG001"], use_baseline=False)
+    assert report.errors == []
+    assert [f.render() for f in report.findings] == []
+    assert [f.render() for f in report.suppressed] == []
 
 
 class TestProcessingElement:
