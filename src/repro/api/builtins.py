@@ -60,6 +60,8 @@ class EvolutionStrategy:
             accept_equal=config.accept_equal,
             batched=config.batched,
             population_batching=config.population_batching,
+            fitness_cache=config.fitness_cache,
+            racing=config.racing,
             scenario=config.scenario,
         )
 

@@ -199,6 +199,25 @@ class EvolutionConfig(_ConfigBase):
         ``batched``.  JSON round-trips like every other field, so it can
         be swept or pinned as the ``evolution.population_batching``
         campaign axis.
+    fitness_cache:
+        Opt-in persistent cross-run fitness cache: ``None`` (off, the
+        default) or a directory path.  Evaluated candidates on fault-free
+        arrays are looked up / published by their canonical signature
+        (gene bytes + geometry + content digests of the training planes
+        and reference; see :func:`repro.backends.signature.fitness_key`),
+        so re-runs of overlapping campaigns skip already-known fitnesses.
+        Value-transparent: cached values are exactly what a full
+        evaluation would produce, on every backend.  Sweepable as the
+        ``evolution.fitness_cache`` campaign axis.
+    racing:
+        Opt-in racing early rejection (see :mod:`repro.ea.pipeline`):
+        offspring are scored block-by-block over a deterministic row
+        partition and dropped once their partial SAE provably exceeds the
+        parent's fitness — an exact bound, so selection and the parent
+        fitness trajectory stay bit-identical to exhaustive evaluation.
+        Off by default; with both this and ``fitness_cache`` off, runs
+        are byte-identical to v1.8.0.  Sweepable as the
+        ``evolution.racing`` campaign axis.
     scenario:
         Optional fault-scenario timeline the run evolves under: the name
         of a registered scenario (``"seu-storm"``, ``"single-seu"``, ...;
@@ -244,12 +263,16 @@ class EvolutionConfig(_ConfigBase):
     accept_equal: bool = True
     batched: bool = True
     population_batching: bool = True
+    fitness_cache: Optional[str] = None
+    racing: bool = False
     scenario: Union[str, Mapping[str, Any], None] = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.strategy:
             raise ValueError("strategy must be a non-empty name")
+        if self.fitness_cache is not None and not str(self.fitness_cache):
+            raise ValueError("fitness_cache must be None or a non-empty directory path")
         if self.n_generations < 1:
             raise ValueError(f"n_generations must be >= 1, got {self.n_generations}")
         if self.n_offspring < 1:

@@ -91,6 +91,23 @@ def add_common_options(
              "changes wall-clock time only; --no-population-batching "
              "restores the per-candidate loop)",
     )
+    parser.add_argument(
+        "--fitness-cache",
+        metavar="DIR",
+        default=None,
+        help="persist evaluated fitnesses under DIR and reuse them across "
+             "runs (opt-in; value-transparent — cached values are exactly "
+             "what a full evaluation would produce)",
+    )
+    parser.add_argument(
+        "--racing",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reject offspring early once their partial error provably "
+             "exceeds the parent's fitness (opt-in; exact bound — selection "
+             "and fitness trajectories are bit-identical, only wall-clock "
+             "time changes)",
+    )
 
 
 def scenario_from_args(args: argparse.Namespace):

@@ -38,6 +38,15 @@ from typing import Any, Mapping, Optional
 
 __all__ = ["canonical_json", "content_signature", "run_signature"]
 
+#: Evolution-config knobs that are *value-transparent*: they change how
+#: fitnesses are computed (cache tiers, racing early rejection — see
+#: :mod:`repro.ea.pipeline`), never what they are, so two runs differing
+#: only in these knobs produce identical artifacts and may share one
+#: dedupe entry.  Excluded from :func:`run_signature`.  The pre-1.9 knobs
+#: with the same property (``batched``, ``population_batching``) stay in
+#: the signature so every signature computed before 1.9 remains valid.
+_VALUE_TRANSPARENT_EVOLUTION_KNOBS = frozenset({"fitness_cache", "racing"})
+
 
 def canonical_json(payload: Any) -> str:
     """The canonical JSON form signatures are computed over.
@@ -83,13 +92,24 @@ def run_signature(
     and the derived run seed — and deliberately *excludes* campaign
     identity (name, run id, run index, the override labels): two
     campaigns that resolve to the same work share the same signature,
-    which is what makes cross-submission dedupe possible.
+    which is what makes cross-submission dedupe possible.  Value-transparent
+    evolution knobs (:data:`_VALUE_TRANSPARENT_EVOLUTION_KNOBS`) are
+    likewise excluded: a run with the persistent fitness cache or racing
+    enabled computes the identical artifact, so it deduplicates against
+    the plain run.
     """
+    evolution_dict = _as_dict(evolution)
+    if evolution_dict is not None:
+        evolution_dict = {
+            key: value
+            for key, value in dict(evolution_dict).items()
+            if key not in _VALUE_TRANSPARENT_EVOLUTION_KNOBS
+        }
     payload = {
         "runner": runner,
         "seed": int(seed),
         "platform": _as_dict(platform),
-        "evolution": _as_dict(evolution),
+        "evolution": evolution_dict,
         "task": _as_dict(task),
         "healing": _as_dict(healing),
         "params": dict(params or {}),

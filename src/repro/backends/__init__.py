@@ -46,6 +46,7 @@ from repro.backends.base import (
     resolve_backend,
 )
 from repro.backends.compiled import CompiledBackend
+from repro.backends.fitness_cache import CacheStats, FitnessCache, PersistentFitnessCache
 from repro.backends.numpy_engine import NumpyBackend
 from repro.backends.reference import ReferenceBackend
 
@@ -70,4 +71,7 @@ __all__ = [
     "ReferenceBackend",
     "NumpyBackend",
     "CompiledBackend",
+    "CacheStats",
+    "FitnessCache",
+    "PersistentFitnessCache",
 ]

@@ -63,6 +63,20 @@ from repro.array.pe_library import FUNCTION_ARITY, N_FUNCTIONS, PEFunction
 from repro.array.planes import PlaneArena
 from repro.backends import lut
 from repro.backends.base import EvaluationBackend
+from repro.backends.fitness_cache import FitnessCache
+
+# Shared memo-key conventions (see repro.backends.signature, the normative
+# definition, shared with the numpy engine): _COMMUTATIVE canonicalises
+# commutative operand order, an arity-2 signature packs as
+# ((west << 21) | north) << 4 | gene with _NO_NORTH as the arity-1
+# sentinel (so node ids must stay below 2**21), and batch keys are the
+# geometry-prefixed concatenated gene bytes built by batch_key.
+from repro.backends.signature import (
+    COMMUTATIVE as _COMMUTATIVE,
+    MAX_NODES as _MAX_NODES,
+    NO_NORTH as _NO_NORTH,
+    batch_key as _batch_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.array.genotype import Genotype
@@ -75,29 +89,6 @@ _WEST_UNARY = tuple(gene in lut.WEST_UNARY_GENES for gene in range(N_FUNCTIONS))
 _CONST_MAX = int(PEFunction.CONST_MAX)
 _IDENTITY_W = int(PEFunction.IDENTITY_W)
 _IDENTITY_N = int(PEFunction.IDENTITY_N)
-
-#: Same commutative set as the numpy engine: OP(a, b) == OP(b, a)
-#: element-wise, so swapped operands share one compiled node.
-_COMMUTATIVE = tuple(
-    gene
-    in (
-        int(PEFunction.OR),
-        int(PEFunction.AND),
-        int(PEFunction.XOR),
-        int(PEFunction.ADD_SAT),
-        int(PEFunction.SUB_ABS),
-        int(PEFunction.AVERAGE),
-        int(PEFunction.MAX),
-        int(PEFunction.MIN),
-    )
-    for gene in range(N_FUNCTIONS)
-)
-
-#: Signature packing (shared convention with the numpy engine): an
-#: arity-2 signature packs as ((west << 21) | north) << 4 | gene, with
-#: _NO_NORTH as the arity-1 sentinel, so node ids must stay below 2**21.
-_NO_NORTH = (1 << 21) - 1
-_MAX_NODES = 1 << 20
 
 #: Process-global registry of compiled plane stores, content-addressed:
 #: the key is the training planes' (shape, bytes), so any array whose
@@ -146,9 +137,7 @@ class _CompiledStore:
         "const_id",
         "pairbuf",
         "nbytes",
-        "fit_ref",
-        "fit_ref16",
-        "fit_memo",
+        "fitness",
     )
 
     def __init__(self, planes: np.ndarray) -> None:
@@ -178,9 +167,10 @@ class _CompiledStore:
         # every gather — per-node execution allocates nothing.
         self.pairbuf = np.empty(self.plane_elems, dtype=np.uint16)
         self.nbytes = 0
-        self.fit_ref: Optional[bytes] = None
-        self.fit_ref16: Optional[np.ndarray] = None
-        self.fit_memo: Dict[int, int] = {}
+        # The unified in-process fitness tier, scoped per reference image
+        # and keyed by compiled node id (same audited component as the
+        # numpy engine's store tier and the pipeline's candidate tier).
+        self.fitness = FitnessCache()
 
     def _new_raw(self, row: Optional[int]) -> int:
         vid = len(self.rows)
@@ -453,14 +443,14 @@ class CompiledBackend(EvaluationBackend):
 
         reduce_mode = reduce_ref is not None
         fits: Optional[np.ndarray] = None
-        fit_memo: Dict[int, int] = {}
+        fit_cache = store.fitness
         fit_pending: List[Tuple[Optional[int], np.ndarray]] = []
         fit_rows: List[Tuple[int, int]] = []
         fit_pending_rows: Dict[int, int] = {}
 
         def pend_fitness(b: int, vid: int) -> None:
             if vid >= 0:
-                fit = fit_memo.get(vid)
+                fit = fit_cache.get(vid)
                 if fit is not None:
                     fits[b] = fit
                     return
@@ -472,18 +462,17 @@ class CompiledBackend(EvaluationBackend):
             else:
                 # Fault-tainted output: embeds this call's draws, reduced
                 # directly and never memoised.
+                fit_cache.bypass()
                 row = len(fit_pending)
                 fit_pending.append((None, force(vid)))
             fit_rows.append((b, row))
 
         if reduce_mode:
             reference = np.asarray(reduce_ref)
-            ref_bytes = reference.tobytes()
-            if store.fit_ref != ref_bytes:
-                store.fit_ref = ref_bytes
-                store.fit_ref16 = reference.astype(np.int16).reshape(-1)
-                store.fit_memo = {}
-            fit_memo = store.fit_memo
+            if fit_cache.scope(reference.tobytes()):
+                # Scope change dropped the node-fitness entries; the
+                # pre-widened flat reference rides along as scope scratch.
+                fit_cache.scope_data = reference.astype(np.int16).reshape(-1)
             fits = np.empty(n, dtype=np.float64)
 
         fault_free = not fault_planes
@@ -496,28 +485,12 @@ class CompiledBackend(EvaluationBackend):
             # candidate batches, so the concatenated gene bytes of the
             # whole batch resolve straight to the compiled output nodes —
             # one dict hit per generation, no per-candidate bookkeeping.
-            # The key is a single flat bytes string prefixed with the array
-            # geometry: stores are shared across arrays, and without the
-            # prefix two rows x cols splits of the same PE count could
-            # concatenate to identical gene bytes for different circuits.
-            geom_rows = array.geometry.rows
-            if geom_rows <= 256:
-                tail = bytes([g.output_select for g in genotypes])
-            else:  # exotic geometry: fixed-width output encoding
-                tail = b"".join(g.output_select.to_bytes(4, "little") for g in genotypes)
-            parts = [
-                part
-                for g in genotypes
-                for part in (
-                    g.function_genes.tobytes(),
-                    g.west_mux.tobytes(),
-                    g.north_mux.tobytes(),
-                )
-            ]
-            parts.append(tail)
-            batch_key = (
-                geom_rows.to_bytes(4, "little") + cols.to_bytes(4, "little") + b"".join(parts)
-            )
+            # The key is the geometry-prefixed flat bytes string built by
+            # the shared signature helper: stores are shared across
+            # arrays, and without the prefix two rows x cols splits of the
+            # same PE count could concatenate to identical gene bytes for
+            # different circuits.
+            batch_key = _batch_key(array.geometry.rows, cols, genotypes)
             out_vids = store.batch_intern.get(batch_key)
         if out_vids is None:
             out_vids = []
@@ -623,12 +596,12 @@ class CompiledBackend(EvaluationBackend):
                 diffs = np.empty((len(fit_pending), plane_elems), dtype=np.int16)
                 for row_index, (_, plane) in enumerate(fit_pending):
                     diffs[row_index] = plane
-                diffs -= store.fit_ref16
+                diffs -= fit_cache.scope_data
                 np.abs(diffs, out=diffs)
                 totals = diffs.sum(axis=1, dtype=np.int64).tolist()
                 for (vid, _), total in zip(fit_pending, totals):
                     if vid is not None:
-                        fit_memo[vid] = total
+                        fit_cache.put(vid, total)
                 for b, row in fit_rows:
                     fits[b] = totals[row]
             return fits, True

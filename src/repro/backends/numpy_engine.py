@@ -58,6 +58,19 @@ import numpy as np
 
 from repro.array.pe_library import FUNCTION_ARITY, N_FUNCTIONS, PEFunction, function_table
 from repro.backends.base import EvaluationBackend
+from repro.backends.fitness_cache import FitnessCache
+
+# Shared memo-key conventions (see repro.backends.signature, the normative
+# definition): _COMMUTATIVE canonicalises commutative operand order, and
+# signatures pack as ((west << 21) | north) << 4 | gene with _NO_NORTH as
+# the arity-1 sentinel — so node ids must stay below _NO_NORTH.  Stores
+# are rebuilt once they reach _MAX_NODES ids, and a single call whose
+# worst case would cross the sentinel is rejected up front (_evaluate).
+from repro.backends.signature import (
+    COMMUTATIVE as _COMMUTATIVE,
+    MAX_NODES as _MAX_NODES,
+    NO_NORTH as _NO_NORTH,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.array.genotype import Genotype
@@ -70,33 +83,7 @@ _CONST_MAX = int(PEFunction.CONST_MAX)
 _IDENTITY_W = int(PEFunction.IDENTITY_W)
 _IDENTITY_N = int(PEFunction.IDENTITY_N)
 
-#: Genes whose operation is commutative: their signatures are canonicalised
-#: with the smaller operand id first, so OP(a, b) and OP(b, a) share one
-#: cached plane (element-wise commutativity makes that bit-exact).
-_COMMUTATIVE = tuple(
-    gene
-    in (
-        int(PEFunction.OR),
-        int(PEFunction.AND),
-        int(PEFunction.XOR),
-        int(PEFunction.ADD_SAT),
-        int(PEFunction.SUB_ABS),
-        int(PEFunction.AVERAGE),
-        int(PEFunction.MAX),
-        int(PEFunction.MIN),
-    )
-    for gene in range(N_FUNCTIONS)
-)
-
 _U8_255 = np.uint8(255)
-
-#: Signature packing: an arity-2 signature packs into one int as
-#: ((west << 21) | north) << 4 | gene, so node ids must stay below
-#: _NO_NORTH (the arity-1 sentinel).  Stores are rebuilt once they reach
-#: _MAX_NODES ids, and a single call whose worst case would cross the
-#: sentinel is rejected up front (see _evaluate).
-_NO_NORTH = (1 << 21) - 1
-_MAX_NODES = 1 << 20
 
 
 _U8_1 = np.uint8(1)
@@ -194,9 +181,7 @@ class _PlaneStore:
         "input_ids",
         "const_id",
         "nbytes",
-        "fit_ref",
-        "fit_ref16",
-        "fit_memo",
+        "fitness",
     )
 
     def __init__(self, planes: np.ndarray) -> None:
@@ -213,15 +198,12 @@ class _PlaneStore:
             self.values.append(planes[k])
         self.const_id = -1  # allocated lazily (most circuits never use CONST_MAX)
         self.nbytes = 0
-        # Population-fitness memo: per reference image, the aggregated
-        # absolute error of every store node whose fitness has been
-        # demanded.  Node planes are immutable once materialised, so a hit
-        # is guaranteed to reproduce the reduce — neutral mutations and
-        # recurring candidates cost one dict lookup instead of a plane
-        # reduction.
-        self.fit_ref: Optional[bytes] = None
-        self.fit_ref16: Optional[np.ndarray] = None
-        self.fit_memo: Dict[int, int] = {}
+        # Population-fitness memo: the unified in-process cache tier,
+        # scoped per reference image and keyed by store node id.  Node
+        # planes are immutable once materialised, so a hit is guaranteed
+        # to reproduce the reduce — neutral mutations and recurring
+        # candidates cost one lookup instead of a plane reduction.
+        self.fitness = FitnessCache()
 
     def matches(self, planes: np.ndarray) -> bool:
         # Identity pins the object (the held reference keeps its id from
@@ -392,7 +374,7 @@ class NumpyBackend(EvaluationBackend):
 
         reduce_mode = reduce_ref is not None
         fits: Optional[np.ndarray] = None
-        fit_memo: Dict[int, int] = {}
+        fit_cache = store.fitness
         # Reduce-mode misses: one (node id or None, output plane) row per
         # *distinct* demanded node, scored in one vectorised pass after the
         # candidate loop; fit_rows maps candidates onto rows, so siblings
@@ -403,7 +385,7 @@ class NumpyBackend(EvaluationBackend):
 
         def pend_fitness(b: int, vid: int) -> None:
             if vid >= 0:
-                fit = fit_memo.get(vid)
+                fit = fit_cache.get(vid)
                 if fit is not None:
                     fits[b] = fit
                     return
@@ -415,20 +397,19 @@ class NumpyBackend(EvaluationBackend):
             else:
                 # Fault-tainted output: embeds this call's draws, reduced
                 # directly and never memoised.
+                fit_cache.bypass()
                 row = len(fit_pending)
                 fit_pending.append((None, force(vid)))
             fit_rows.append((b, row))
 
         if reduce_mode:
             reference = np.asarray(reduce_ref)
-            ref_bytes = reference.tobytes()
-            if store.fit_ref != ref_bytes:
-                # New reference for this plane store: reset the node-fitness
-                # memo (values keyed under the old reference are unrelated).
-                store.fit_ref = ref_bytes
-                store.fit_ref16 = reference.astype(np.int16)
-                store.fit_memo = {}
-            fit_memo = store.fit_memo
+            if fit_cache.scope(reference.tobytes()):
+                # New reference for this plane store: the scope change
+                # dropped the node-fitness entries (values keyed under the
+                # old reference are unrelated); the pre-widened reference
+                # rides along as per-scope scratch.
+                fit_cache.scope_data = reference.astype(np.int16)
             fits = np.empty(n, dtype=np.float64)
 
         # Per-call overlay for fault-tainted nodes: their signatures embed
@@ -677,12 +658,12 @@ class NumpyBackend(EvaluationBackend):
                 diffs = np.empty((len(fit_pending), h, w), dtype=np.int16)
                 for row_index, (_, plane) in enumerate(fit_pending):
                     diffs[row_index] = plane
-                diffs -= store.fit_ref16
+                diffs -= fit_cache.scope_data
                 np.abs(diffs, out=diffs)
                 totals = diffs.sum(axis=(1, 2), dtype=np.int64).tolist()
                 for (vid, _), total in zip(fit_pending, totals):
                     if vid is not None:
-                        fit_memo[vid] = total
+                        fit_cache.put(vid, total)
                 for b, row in fit_rows:
                     fits[b] = totals[row]
             return fits, True

@@ -1,0 +1,184 @@
+"""Canonical candidate signatures shared by every evaluation cache.
+
+Both vectorised engines lower genotypes through the same three memo-key
+conventions, which used to be copy-pasted between
+:mod:`repro.backends.numpy_engine` and :mod:`repro.backends.compiled`:
+
+* **Packed node signatures** — a hash-consed subcircuit is identified by
+  ``((west << 21) | north) << 4 | gene`` with :data:`NO_NORTH` as the
+  arity-1 sentinel and commutative genes canonicalised smaller-operand
+  first (:func:`pack_signature`).  The engines keep the arithmetic
+  inlined in their walk loops for speed; this module is the normative
+  definition, and ``tests/backends/test_signature_parity.py`` pins the
+  inlined copies to it.
+* **Whole-candidate keys** — a genotype's raw gene bytes plus its output
+  row (:func:`candidate_key`), the key of both engines' ``cand_intern``
+  memos.
+* **Geometry-prefixed batch keys** — the concatenated gene bytes of a
+  population batch prefixed with the array geometry
+  (:func:`batch_key`), the compiled engine's whole-batch memo key.  The
+  prefix matters: stores are shared across arrays, and two
+  ``rows x cols`` splits of the same PE count could concatenate to
+  identical gene bytes for different circuits.
+
+On top of these, :func:`fitness_key` derives the *persistent* fitness
+signature used by the cross-run cache tier
+(:class:`repro.backends.fitness_cache.PersistentFitnessCache`): a SHA-256
+over the gene bytes, the array geometry, the training-plane and
+reference-image content digests, and the fault taint.  The derivation is
+documented in ``docs/determinism.md`` and versioned by
+:data:`FITNESS_KEY_VERSION` — bump it whenever any keyed ingredient
+changes meaning, so stale caches miss instead of lying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+import numpy as np
+
+from repro.array.pe_library import N_FUNCTIONS, PEFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.array.genotype import Genotype
+
+__all__ = [
+    "COMMUTATIVE",
+    "FITNESS_KEY_VERSION",
+    "MAX_NODES",
+    "NO_NORTH",
+    "array_digest",
+    "batch_key",
+    "candidate_bytes",
+    "candidate_key",
+    "fitness_key",
+    "pack_signature",
+]
+
+#: Signature packing: an arity-2 signature packs into one int as
+#: ((west << 21) | north) << 4 | gene, so node ids must stay below
+#: NO_NORTH (the arity-1 sentinel).  Engines rebuild their stores once
+#: they reach MAX_NODES ids and reject a single call whose worst case
+#: would cross the sentinel.
+NO_NORTH = (1 << 21) - 1
+MAX_NODES = 1 << 20
+
+#: Genes whose operation is commutative: their signatures are
+#: canonicalised with the smaller operand id first, so OP(a, b) and
+#: OP(b, a) share one cached node (element-wise commutativity makes that
+#: bit-exact).  Indexed by gene value.
+COMMUTATIVE = tuple(
+    gene
+    in (
+        int(PEFunction.OR),
+        int(PEFunction.AND),
+        int(PEFunction.XOR),
+        int(PEFunction.ADD_SAT),
+        int(PEFunction.SUB_ABS),
+        int(PEFunction.AVERAGE),
+        int(PEFunction.MAX),
+        int(PEFunction.MIN),
+    )
+    for gene in range(N_FUNCTIONS)
+)
+
+#: Version tag mixed into every persistent fitness key: bump on any
+#: change to the key ingredients or the fitness semantics itself.
+FITNESS_KEY_VERSION = 1
+
+
+def pack_signature(gene: int, west: int, north: int = NO_NORTH) -> int:
+    """Pack a hash-cons node signature into one int.
+
+    ``west``/``north`` are non-negative node ids below :data:`NO_NORTH`
+    (``north`` defaults to the arity-1 sentinel); commutative genes are
+    canonicalised smaller operand first.  This is the normative form of
+    the expression both engines inline in their candidate walks.
+    """
+    if north != NO_NORTH and north < west and COMMUTATIVE[gene]:
+        west, north = north, west
+    return ((west << 21) | north) << 4 | gene
+
+
+def candidate_key(genotype: "Genotype") -> Tuple[bytes, bytes, bytes, int]:
+    """The whole-candidate memo key: raw gene bytes plus the output row.
+
+    uint8 gene arrays expose their values directly through ``tobytes()``,
+    which doubles as the memo key and makes prefix comparisons C-speed
+    slices — the convention both engines' ``cand_intern`` memos share.
+    """
+    return (
+        genotype.function_genes.tobytes(),
+        genotype.west_mux.tobytes(),
+        genotype.north_mux.tobytes(),
+        genotype.output_select,
+    )
+
+
+def candidate_bytes(genotype: "Genotype") -> bytes:
+    """A candidate's genes as one flat byte string (fixed-width output row)."""
+    return b"".join(
+        (
+            genotype.function_genes.tobytes(),
+            genotype.west_mux.tobytes(),
+            genotype.north_mux.tobytes(),
+            genotype.output_select.to_bytes(4, "little"),
+        )
+    )
+
+
+def batch_key(rows: int, cols: int, genotypes: Sequence["Genotype"]) -> bytes:
+    """The geometry-prefixed whole-batch memo key of a population batch."""
+    if rows <= 256:
+        tail = bytes([g.output_select for g in genotypes])
+    else:  # exotic geometry: fixed-width output encoding
+        tail = b"".join(g.output_select.to_bytes(4, "little") for g in genotypes)
+    parts = [
+        part
+        for g in genotypes
+        for part in (
+            g.function_genes.tobytes(),
+            g.west_mux.tobytes(),
+            g.north_mux.tobytes(),
+        )
+    ]
+    parts.append(tail)
+    return rows.to_bytes(4, "little") + cols.to_bytes(4, "little") + b"".join(parts)
+
+
+def array_digest(values: np.ndarray) -> str:
+    """Content digest of an ndarray: SHA-256 over dtype, shape and bytes."""
+    values = np.ascontiguousarray(values)
+    digest = hashlib.sha256()
+    digest.update(str(values.dtype).encode("ascii"))
+    digest.update(repr(values.shape).encode("ascii"))
+    digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+def fitness_key(
+    rows: int,
+    cols: int,
+    planes_digest: str,
+    reference_digest: str,
+    genotype: "Genotype",
+    fault_taint: bool = False,
+) -> str:
+    """The canonical candidate fitness signature (persistent-tier key).
+
+    SHA-256 hex over the versioned concatenation of the array geometry,
+    the training-plane and reference content digests, the candidate's
+    gene bytes and the fault taint.  Fault-tainted evaluations embed
+    per-call random draws and are never cached, but the taint is part of
+    the derivation so a tainted key can never alias a clean one.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"fitness/v{FITNESS_KEY_VERSION}/{rows}x{cols}/".encode("ascii"))
+    digest.update(planes_digest.encode("ascii"))
+    digest.update(b"/")
+    digest.update(reference_digest.encode("ascii"))
+    digest.update(b"/taint1" if fault_taint else b"/taint0")
+    digest.update(b"/")
+    digest.update(candidate_bytes(genotype))
+    return digest.hexdigest()

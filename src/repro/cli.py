@@ -18,6 +18,7 @@ figures can be regenerated without writing Python::
     repro-ehw serve --root out/service     # campaign server (queue + dedupe cache)
     repro-ehw worker --server URL          # work-queue worker against a server
     repro-ehw lint src/repro --json        # determinism/concurrency contract linter
+    repro-ehw cache verify out/fcache      # persistent fitness-cache maintenance
 
 Subcommands are not hard-wired here: every experiment registers an
 :class:`~repro.api.experiment.ExperimentSpec` in the ``experiment``
@@ -51,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     # registers every ExperimentSpec.
     import repro.experiments  # noqa: F401
     import repro.lint.experiment  # noqa: F401
+    import repro.runtime.cache_experiment  # noqa: F401
     import repro.runtime.experiment  # noqa: F401
     import repro.service.experiment  # noqa: F401
     from repro.api.registry import EXPERIMENTS

@@ -29,6 +29,7 @@ ACB's :meth:`~repro.core.acb.ArrayControlBlock.configure`.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -36,10 +37,12 @@ import numpy as np
 
 from repro.array.genotype import Genotype
 from repro.array.window import extract_windows
+from repro.backends.fitness_cache import PersistentFitnessCache
 from repro.core.modes import CascadeFitnessMode, CascadeSchedule
 from repro.core.platform import EvolvableHardwarePlatform
 from repro.core.scheduler import GenerationScheduler
 from repro.ea.mutation import MutationResult, mutate, mutate_population
+from repro.ea.pipeline import FitnessPipeline, resolve_persistent_cache
 from repro.imaging.metrics import sae, sae_batch
 from repro.timing.model import EvolutionTimingModel
 
@@ -84,6 +87,15 @@ class PlatformEvolutionResult:
     #: Applied fault-scenario events (one serialisable record each), in
     #: application order; empty when the run had no scenario attached.
     scenario_events: List[Dict] = field(default_factory=list)
+    #: Fitness-pipeline telemetry summed over the run's evaluation
+    #: contexts: cache ``hits``/``misses``, fault-taint ``bypasses``,
+    #: persistent-tier ``persistent_hits``/``persistent_misses``, and the
+    #: ``full_evaluations``/``partial_evaluations``/``racing_rejected``
+    #: racing counters (see :class:`repro.ea.pipeline.FitnessPipeline`).
+    #: Not part of the cross-engine parity contract — the engines batch
+    #: candidates onto contexts differently, so per-run counter totals may
+    #: legitimately differ while every fitness value stays byte-identical.
+    fitness_cache_stats: Dict[str, int] = field(default_factory=dict)
 
     def overall_best_fitness(self) -> float:
         """Best fitness across all participating arrays."""
@@ -103,10 +115,22 @@ class ArrayEvalContext:
     function genes currently placed on the array, so candidate evaluation
     and reconfiguration accounting are both cheap.  This is the handle
     :func:`evaluate_batch` scores candidates through.
+
+    Every fitness request delegates to a staged
+    :class:`~repro.ea.pipeline.FitnessPipeline` — the in-process cache
+    tier (the successor of the pre-1.9 genotype-keyed memo of the
+    population path, now shared by the sequential and batched paths too),
+    the opt-in persistent tier and the opt-in racing stage.  On a faulty
+    array the pipeline bypasses every cache so each candidate consumes its
+    per-position fault draws, keeping runs byte-identical to uncached
+    evaluation; the bypasses are counted, not silent (see
+    :attr:`PlatformEvolutionResult.fitness_cache_stats`).
     """
 
     def __init__(self, platform: EvolvableHardwarePlatform, array_index: int,
-                 training_image: np.ndarray) -> None:
+                 training_image: np.ndarray, *,
+                 fitness_cache: Union[None, str, os.PathLike, PersistentFitnessCache] = None,
+                 racing: bool = False) -> None:
         self.platform = platform
         self.array_index = array_index
         self.acb = platform.acb(array_index)
@@ -114,25 +138,17 @@ class ArrayEvalContext:
         self.planes = extract_windows(self.training_image)
         # Function genes currently placed on the array's fabric regions.
         self.placed_functions = platform.fabric.configured_genes(array_index).astype(np.int16)
-        # Genotype-keyed fitness memo of the population-batched path; only
-        # valid for a fault-free array (fault evaluation must consume the
-        # per-position random streams) and for the current planes/reference.
-        # Bounded like every other cache on this path: past the entry cap
-        # it is dropped wholesale (correctness unaffected, hit rate resets).
-        self._fitness_cache: Dict[Tuple, float] = {}
-        self._fitness_cache_token: Optional[bytes] = None
+        self.pipeline = FitnessPipeline(
+            self.acb.array, persistent=fitness_cache, racing=racing
+        )
         self.acb.sync_faults()
-
-    #: Entry cap of the genotype-keyed fitness cache (~300 bytes/entry).
-    _FITNESS_CACHE_MAX_ENTRIES = 1 << 16
 
     def retarget(self, training_image: np.ndarray) -> None:
         """Switch the training image (cascaded evolution stages)."""
         self.training_image = np.asarray(training_image)
         self.planes = extract_windows(self.training_image)
         # Cached fitnesses were computed on the previous planes.
-        self._fitness_cache = {}
-        self._fitness_cache_token = None
+        self.pipeline.invalidate()
 
     def reconfiguration_count(self, genotype: Genotype) -> int:
         """PE writes needed to place ``genotype`` given what is on the array."""
@@ -173,68 +189,31 @@ class ArrayEvalContext:
 
     def fitness(self, genotype: Genotype, reference: np.ndarray) -> float:
         """Aggregated MAE of the candidate against ``reference``."""
-        return sae(self.output(genotype), reference)
+        return self.pipeline.evaluate(self.planes, genotype, reference)
 
     def fitness_batch(self, genotypes: Sequence[Genotype], reference: np.ndarray) -> List[float]:
-        """Aggregated MAE of each candidate against ``reference`` (one vector pass)."""
-        return evaluate_batch(self, genotypes, reference)
-
-    @staticmethod
-    def _genotype_key(genotype: Genotype) -> Tuple:
-        return (
-            genotype.function_genes.tobytes(),
-            genotype.west_mux.tobytes(),
-            genotype.north_mux.tobytes(),
-            genotype.output_select,
-        )
+        """Aggregated MAE of each candidate against ``reference`` (one fused pass)."""
+        return self.pipeline.evaluate_population(self.planes, genotypes, reference)
 
     def fitness_population(
-        self, genotypes: Sequence[Genotype], reference: np.ndarray
+        self,
+        genotypes: Sequence[Genotype],
+        reference: np.ndarray,
+        threshold: Optional[float] = None,
     ) -> List[float]:
-        """Aggregated MAE per candidate through the backend's population entry point.
+        """Aggregated MAE per candidate through the staged pipeline.
 
         The fused path of the population-batched engine: fitness values come
-        straight out of
-        :meth:`~repro.array.systolic_array.SystolicArray.evaluate_population`,
-        and on a fault-free array a genotype-keyed cache short-circuits
-        candidates whose fitness is already known (unchanged elites,
-        recurring offspring) without calling the backend at all.  On a
-        faulty array the cache is bypassed entirely so every candidate
-        consumes its per-position fault draws, keeping the random streams —
-        and therefore the run — byte-identical to per-candidate evaluation.
+        out of the pipeline's backing
+        :meth:`~repro.array.systolic_array.SystolicArray.evaluate_population`
+        call, short-circuited by the cache tiers where the exact value is
+        already known.  ``threshold`` is the racing acceptance bar (the
+        caller's parent fitness); it only has an effect when the pipeline
+        was built with racing enabled.
         """
-        genotypes = list(genotypes)
-        if not genotypes:
-            return []
-        array = self.acb.array
-        reference = np.asarray(reference)
-        if array.n_faults:
-            values = array.evaluate_population(self.planes, genotypes, reference)
-            return [float(value) for value in values]
-        token = reference.tobytes()
-        if token != self._fitness_cache_token:
-            self._fitness_cache = {}
-            self._fitness_cache_token = token
-        elif len(self._fitness_cache) > self._FITNESS_CACHE_MAX_ENTRIES:
-            self._fitness_cache = {}
-        cache = self._fitness_cache
-        keys = [self._genotype_key(genotype) for genotype in genotypes]
-        # One backend slot per *distinct* uncached genotype: duplicates
-        # within the population resolve through the cache entry their
-        # first occurrence fills.
-        misses: List[int] = []
-        pending = set()
-        for index, key in enumerate(keys):
-            if key not in cache and key not in pending:
-                pending.add(key)
-                misses.append(index)
-        if misses:
-            values = array.evaluate_population(
-                self.planes, [genotypes[index] for index in misses], reference
-            )
-            for index, value in zip(misses, values):
-                cache[keys[index]] = float(value)
-        return [cache[key] for key in keys]
+        return self.pipeline.evaluate_population(
+            self.planes, genotypes, reference, threshold=threshold
+        )
 
 
 def evaluate_batch(
@@ -309,6 +288,25 @@ class EvolutionDriver:
         arrays).  Takes precedence over ``batched``.  Results are
         byte-identical to the per-candidate path — same RNG streams, same
         fault draws — as enforced by ``tests/core/test_population_parity.py``.
+    fitness_cache:
+        Opt-in persistent cross-run fitness cache: ``None`` (off, the
+        default), a directory path, or a shared
+        :class:`~repro.backends.fitness_cache.PersistentFitnessCache`.
+        Keys bind the gene bytes to the array geometry and the content
+        digests of the training planes and reference image
+        (:func:`repro.backends.signature.fitness_key`), so entries are
+        value-transparent across runs, workers and backends; fault-tainted
+        evaluations never touch the cache.  With the knob off, behaviour
+        is byte-identical to v1.8.0.
+    racing:
+        Opt-in exact-bound racing early rejection (see
+        :mod:`repro.ea.pipeline`): offspring on fault-free arrays are
+        evaluated over a deterministic row partition and dropped as soon
+        as their partial SAE provably exceeds the parent's fitness.
+        Selection, acceptance and the per-generation parent trajectory
+        are bit-identical to exhaustive evaluation; only the wall-clock
+        cost (and the reported lower bounds of hopeless candidates)
+        changes.  Off by default.
     scenario:
         Optional fault-scenario timeline: a
         :class:`~repro.scenarios.spec.FaultScenario`, a registered
@@ -347,6 +345,8 @@ class EvolutionDriver:
         accept_equal: bool = True,
         batched: bool = False,
         population_batching: bool = False,
+        fitness_cache: Union[None, str, os.PathLike, PersistentFitnessCache] = None,
+        racing: bool = False,
         scenario=None,
     ) -> None:
         if n_offspring < 1:
@@ -359,6 +359,10 @@ class EvolutionDriver:
         self.accept_equal = accept_equal
         self.batched = bool(batched)
         self.population_batching = bool(population_batching)
+        # One persistent-tier handle shared by every context this driver
+        # creates, so concurrent lookups share a single in-memory view.
+        self.fitness_cache = resolve_persistent_cache(fitness_cache)
+        self.racing = bool(racing)
         if scenario is not None:
             from repro.scenarios import resolve_scenario
 
@@ -368,6 +372,27 @@ class EvolutionDriver:
         self.timing_model = timing_model if timing_model is not None else platform.timing_model()
 
     # ------------------------------------------------------------------ #
+    def _context(self, array_index: int, training_image: np.ndarray) -> ArrayEvalContext:
+        """An evaluation context wired to this driver's pipeline knobs."""
+        return ArrayEvalContext(
+            self.platform,
+            array_index,
+            training_image,
+            fitness_cache=self.fitness_cache,
+            racing=self.racing,
+        )
+
+    @staticmethod
+    def _collect_cache_stats(
+        result: PlatformEvolutionResult, contexts: Sequence[ArrayEvalContext]
+    ) -> None:
+        """Sum per-context pipeline telemetry onto the run result."""
+        totals: Dict[str, int] = {}
+        for context in contexts:
+            for key, value in context.pipeline.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        result.fitness_cache_stats = totals
+
     def _make_scheduler(self, n_arrays: int, n_pixels: int) -> GenerationScheduler:
         return GenerationScheduler(
             timing_model=self.timing_model, n_arrays=n_arrays, n_pixels=n_pixels
@@ -436,12 +461,27 @@ class EvolutionDriver:
         context: ArrayEvalContext,
         genotypes: Sequence[Genotype],
         reference: np.ndarray,
+        threshold: Optional[float] = None,
     ) -> List[float]:
-        """Fitness of each offspring on one array: population, batched or sequential."""
+        """Fitness of each offspring on one array: population, batched or sequential.
+
+        ``threshold`` is the racing acceptance bar — the caller's current
+        parent fitness.  On a racing-enabled driver every offspring path
+        may race: the fused population path under the explicit threshold,
+        the batched path under the pipeline's own best-seen threshold, and
+        the sequential loop candidate by candidate (racing composes with
+        ``population_batching`` off).  Only reporting-grade calls
+        (``context.fitness``) always run in full.
+        """
         if self.population_batching and genotypes:
-            return context.fitness_population(genotypes, reference)
+            return context.fitness_population(genotypes, reference, threshold=threshold)
         if self.batched and len(genotypes) > 1:
             return context.fitness_batch(genotypes, reference)
+        if self.racing:
+            return [
+                context.fitness_population([genotype], reference, threshold=threshold)[0]
+                for genotype in genotypes
+            ]
         return [context.fitness(genotype, reference) for genotype in genotypes]
 
     @staticmethod
@@ -493,8 +533,10 @@ class IndependentEvolution(EvolutionDriver):
         # scenario advances one step per generation across the whole run.
         scenario_runner = self._begin_scenario(n_generations * len(tasks))
 
+        contexts: List[ArrayEvalContext] = []
         for array_index, (training, reference) in sorted(tasks.items()):
-            context = ArrayEvalContext(self.platform, array_index, training)
+            context = self._context(array_index, training)
+            contexts.append(context)
             reference = np.asarray(reference)
             scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(np.asarray(training).size))
 
@@ -508,7 +550,8 @@ class IndependentEvolution(EvolutionDriver):
                 mutations = self._offspring_mutations(parent)
                 offspring_counts = self._place_offspring(context, mutations)
                 fitnesses = self._evaluate_offspring(
-                    context, [m.genotype for m in mutations], reference
+                    context, [m.genotype for m in mutations], reference,
+                    threshold=parent_fitness,
                 )
                 result.n_evaluations += len(mutations)
                 best_child, best_child_fitness = self._best_offspring(mutations, fitnesses)
@@ -527,6 +570,7 @@ class IndependentEvolution(EvolutionDriver):
             result.platform_time_s += scheduler.total_time_s
             result.n_reconfigurations += scheduler.total_reconfigurations
             result.n_generations = max(result.n_generations, scheduler.n_generations)
+        self._collect_cache_stats(result, contexts)
         return result
 
 
@@ -604,13 +648,15 @@ class ParallelEvolution(EvolutionDriver):
         contexts: List[ArrayEvalContext],
         plan: Sequence[Tuple[int, MutationResult]],
         reference: np.ndarray,
+        threshold: Optional[float] = None,
     ) -> List[float]:
         """Fitness of every planned offspring, in plan order.
 
         With batching (or population batching) enabled, each array scores
         its share of the plan in one vectorised pass; candidates keep their
         plan-order position so selection (and each array's fault-RNG
-        stream) matches the sequential path exactly.
+        stream) matches the sequential path exactly.  ``threshold`` is the
+        racing acceptance bar forwarded to the population path.
         """
         population = self.population_batching and bool(plan)
         if population or (self.batched and len(plan) > 1):
@@ -620,15 +666,29 @@ class ParallelEvolution(EvolutionDriver):
                 # scored as one batch without perturbing any random stream.
                 genotypes = [mutation.genotype for _, mutation in plan]
                 if population:
-                    return contexts[0].fitness_population(genotypes, reference)
+                    return contexts[0].fitness_population(
+                        genotypes, reference, threshold=threshold
+                    )
                 return contexts[0].fitness_batch(genotypes, reference)
 
             def score(slot: int, genotypes: List[Genotype]) -> List[float]:
                 if population:
-                    return contexts[slot].fitness_population(genotypes, reference)
+                    return contexts[slot].fitness_population(
+                        genotypes, reference, threshold=threshold
+                    )
                 return contexts[slot].fitness_batch(genotypes, reference)
 
             return self._per_slot(plan, score)
+        if self.racing:
+            # Sequential path with racing: each offspring still runs through
+            # the pipeline's population entry so the early-rejection bound
+            # applies candidate by candidate.
+            return [
+                contexts[slot].fitness_population(
+                    [mutation.genotype], reference, threshold=threshold
+                )[0]
+                for slot, mutation in plan
+            ]
         return [
             contexts[slot].fitness(mutation.genotype, reference)
             for slot, mutation in plan
@@ -646,8 +706,7 @@ class ParallelEvolution(EvolutionDriver):
         training_image = np.asarray(training_image)
         reference_image = np.asarray(reference_image)
         contexts = [
-            ArrayEvalContext(self.platform, index, training_image)
-            for index in range(self.n_arrays)
+            self._context(index, training_image) for index in range(self.n_arrays)
         ]
         scheduler = self._make_scheduler(
             n_arrays=self.n_arrays, n_pixels=int(training_image.size)
@@ -664,7 +723,9 @@ class ParallelEvolution(EvolutionDriver):
             self._advance_scenario(scenario_runner, result)
             plan = self._generation_offspring(parent, contexts)
             offspring_counts = self._place_plan(contexts, plan)
-            fitnesses = self._evaluate_plan(contexts, plan, reference_image)
+            fitnesses = self._evaluate_plan(
+                contexts, plan, reference_image, threshold=parent_fitness
+            )
             result.n_evaluations += len(plan)
             best_child, best_child_fitness = self._best_offspring(
                 [mutation for _, mutation in plan], fitnesses
@@ -687,6 +748,7 @@ class ParallelEvolution(EvolutionDriver):
         result.platform_time_s = scheduler.total_time_s
         result.n_reconfigurations = scheduler.total_reconfigurations
         result.n_generations = scheduler.n_generations
+        self._collect_cache_stats(result, contexts)
         return result
 
 
@@ -804,8 +866,7 @@ class CascadedEvolution(EvolutionDriver):
                 f"n_stages must be in [1, {self.platform.n_arrays}], got {n_stages}"
             )
         contexts = [
-            ArrayEvalContext(self.platform, index, training_image)
-            for index in range(n_stages)
+            self._context(index, training_image) for index in range(n_stages)
         ]
         scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(training_image.size))
         result = PlatformEvolutionResult()
@@ -868,7 +929,8 @@ class CascadedEvolution(EvolutionDriver):
                 ):
                     context.retarget(stage_input)
                 fitnesses = context.fitness_population(
-                    [m.genotype for m in mutations], reference_image
+                    [m.genotype for m in mutations], reference_image,
+                    threshold=parent_fitness[stage],
                 )
             elif (
                 self.batched
@@ -920,6 +982,7 @@ class CascadedEvolution(EvolutionDriver):
         result.platform_time_s = scheduler.total_time_s
         result.n_reconfigurations = scheduler.total_reconfigurations
         result.n_generations = scheduler.n_generations
+        self._collect_cache_stats(result, contexts)
         return result
 
 
@@ -976,7 +1039,7 @@ class ImitationEvolution(EvolutionDriver):
         # The apprentice is bypassed so the cascade keeps streaming while it
         # re-learns (online recovery with an offline-style method).
         self.platform.set_bypass(apprentice_index, True)
-        context = ArrayEvalContext(self.platform, apprentice_index, input_image)
+        context = self._context(apprentice_index, input_image)
         scheduler = self._make_scheduler(n_arrays=1, n_pixels=int(input_image.size))
         result = PlatformEvolutionResult()
         scenario_runner = self._begin_scenario(n_generations)
@@ -996,7 +1059,8 @@ class ImitationEvolution(EvolutionDriver):
             mutations = self._offspring_mutations(parent)
             offspring_counts = self._place_offspring(context, mutations)
             fitnesses = self._evaluate_offspring(
-                context, [m.genotype for m in mutations], master_output
+                context, [m.genotype for m in mutations], master_output,
+                threshold=parent_fitness,
             )
             result.n_evaluations += len(mutations)
             best_child, best_child_fitness = self._best_offspring(mutations, fitnesses)
@@ -1015,4 +1079,5 @@ class ImitationEvolution(EvolutionDriver):
         result.platform_time_s = scheduler.total_time_s
         result.n_reconfigurations = scheduler.total_reconfigurations
         result.n_generations = scheduler.n_generations
+        self._collect_cache_stats(result, [context])
         return result

@@ -15,12 +15,15 @@ number of partial reconfigurations per generation — lives in
 from repro.ea.chromosome import Individual
 from repro.ea.fitness import FitnessEvaluator, ImitationFitnessEvaluator
 from repro.ea.mutation import MutationResult, mutate
+from repro.ea.pipeline import FitnessPipeline, resolve_persistent_cache
 from repro.ea.strategy import EvolutionResult, GenerationRecord, OnePlusLambdaES
 
 __all__ = [
     "Individual",
     "FitnessEvaluator",
     "ImitationFitnessEvaluator",
+    "FitnessPipeline",
+    "resolve_persistent_cache",
     "MutationResult",
     "mutate",
     "EvolutionResult",

@@ -14,19 +14,25 @@ reads the resulting scalar.  Two evaluators are provided:
 Both pre-extract the sliding-window planes once so that repeated candidate
 evaluations do not pay the window-extraction cost again (profiling showed
 window extraction dominating a naive per-candidate implementation; see the
-hpc-parallel guide's advice to hoist invariant work out of the hot loop).
+hpc-parallel guide's advice to hoist invariant work out of the hot loop),
+and both route every evaluation through the staged
+:class:`~repro.ea.pipeline.FitnessPipeline`, so the in-process cache tier
+— and, when enabled, the persistent tier and racing early rejection —
+apply uniformly to the ES and to the platform drivers built on top.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.array.genotype import Genotype
 from repro.array.systolic_array import SystolicArray
 from repro.array.window import extract_windows
-from repro.imaging.metrics import sae
+from repro.backends.fitness_cache import PersistentFitnessCache
+from repro.ea.pipeline import FitnessPipeline
 
 __all__ = ["FitnessEvaluator", "ImitationFitnessEvaluator"]
 
@@ -42,6 +48,13 @@ class FitnessEvaluator:
         Image fed to the array input during evolution.
     reference_image:
         Image the hardware MAE unit compares the output against.
+    fitness_cache:
+        Optional persistent cross-run fitness cache: ``None`` (off), a
+        directory path, or a shared
+        :class:`~repro.backends.fitness_cache.PersistentFitnessCache`.
+    racing:
+        Enable exact-bound racing early rejection (see
+        :mod:`repro.ea.pipeline`).
     """
 
     def __init__(
@@ -49,6 +62,9 @@ class FitnessEvaluator:
         array: SystolicArray,
         training_image: np.ndarray,
         reference_image: np.ndarray,
+        *,
+        fitness_cache: Union[None, str, os.PathLike, PersistentFitnessCache] = None,
+        racing: bool = False,
     ) -> None:
         training_image = np.asarray(training_image)
         reference_image = np.asarray(reference_image)
@@ -61,6 +77,7 @@ class FitnessEvaluator:
         self.training_image = training_image
         self.reference_image = reference_image
         self._planes = extract_windows(training_image)
+        self.pipeline = FitnessPipeline(array, persistent=fitness_cache, racing=racing)
         self.n_evaluations = 0
 
     @property
@@ -80,23 +97,23 @@ class FitnessEvaluator:
     def evaluate(self, genotype: Genotype) -> float:
         """Aggregated-MAE fitness of ``genotype`` (lower is better)."""
         self.n_evaluations += 1
-        return sae(self.output(genotype), self.reference_image)
+        return self.pipeline.evaluate(self._planes, genotype, self.reference_image)
 
     def evaluate_population(self, genotypes) -> list:
-        """Fitness of a candidate population through one fused backend call.
+        """Fitness of a candidate population through the staged pipeline.
 
         Bit-exact against calling :meth:`evaluate` per candidate (same
         values, same fault-stream consumption); see
-        :meth:`repro.array.systolic_array.SystolicArray.evaluate_population`.
-        Suitable as the ``evaluate_population`` hook of
+        :meth:`repro.array.systolic_array.SystolicArray.evaluate_population`
+        and :class:`~repro.ea.pipeline.FitnessPipeline`.  Suitable as the
+        ``evaluate_population`` hook of
         :class:`~repro.ea.strategy.OnePlusLambdaES`.
         """
         genotypes = list(genotypes)
         self.n_evaluations += len(genotypes)
-        values = self.array.evaluate_population(
+        return self.pipeline.evaluate_population(
             self._planes, genotypes, self.reference_image
         )
-        return [float(value) for value in values]
 
     def retarget(self, training_image: Optional[np.ndarray] = None,
                  reference_image: Optional[np.ndarray] = None) -> None:
@@ -114,6 +131,7 @@ class FitnessEvaluator:
             self.reference_image = reference_image
         if self.training_image.shape != self.reference_image.shape:
             raise ValueError("training and reference images must keep the same shape")
+        self.pipeline.invalidate()
 
 
 class ImitationFitnessEvaluator(FitnessEvaluator):
@@ -159,3 +177,4 @@ class ImitationFitnessEvaluator(FitnessEvaluator):
         self.reference_image = self.master_array.process(
             self.training_image, self.master_genotype
         )
+        self.pipeline.invalidate()

@@ -100,7 +100,14 @@ class OnePlusLambdaES:
         generation's λ offspring are scored through one call instead of λ
         ``evaluate`` calls.  It must return exactly the values ``evaluate``
         would — the strategy relies on this to keep population-batched runs
-        byte-identical to per-candidate runs.
+        byte-identical to per-candidate runs.  The shipped evaluators route
+        this hook through the staged :class:`~repro.ea.pipeline.FitnessPipeline`;
+        with its racing knob enabled the hook may instead report an *exact
+        lower bound* for candidates that provably cannot be accepted —
+        selection and the accepted-parent trajectory are unaffected (the
+        bound exceeds the parent's fitness by construction), but
+        :attr:`GenerationRecord.best_fitness` then reflects the bound on
+        generations where every offspring is rejected early.
     population_batching:
         When ``True`` the generation step is population-batched: offspring
         come from :func:`~repro.ea.mutation.mutate_population` (same RNG

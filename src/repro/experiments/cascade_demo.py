@@ -20,7 +20,7 @@ reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -73,6 +73,8 @@ def three_stage_cascade_demo(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> CascadeDemoResult:
     """Evolve and evaluate the three-stage cascade of Fig. 18."""
@@ -88,6 +90,8 @@ def three_stage_cascade_demo(
             mutation_rate=mutation_rate,
             seed=seed,
             population_batching=population_batching,
+            fitness_cache=fitness_cache,
+            racing=racing,
             scenario=scenario,
             options={
                 "fitness_mode": "separate",
@@ -134,6 +138,8 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
         scenario=scenario_from_args(args),
     )
     rows = [{"output": "noisy input", "aggregated_MAE": result.noisy_fitness}]

@@ -77,7 +77,8 @@ def _stage_fitnesses(platform: EvolvableHardwarePlatform, training, reference,
 
 def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
                         mutation_rate, backend="reference",
-                        population_batching=True, scenario=None):
+                        population_batching=True, fitness_cache=None,
+                        racing=False, scenario=None):
     """Evolve the stage-1 circuit shared by every arrangement of one run.
 
     The same circuit is used for the "same filter in every stage"
@@ -96,6 +97,8 @@ def _evolve_base_filter(pair, run_seed, n_stages, n_generations, n_offspring,
             mutation_rate=mutation_rate,
             seed=run_seed,
             population_batching=population_batching,
+            fitness_cache=fitness_cache,
+            racing=racing,
             scenario=scenario,
             options={"n_arrays": 1},
         ),
@@ -124,6 +127,8 @@ def run_cascade_arrangement(run) -> RunArtifact:
     mutation_rate = int(params["mutation_rate"])
     backend = str(params.get("backend", "reference"))
     population_batching = bool(params.get("population_batching", True))
+    fitness_cache = params.get("fitness_cache")
+    racing = bool(params.get("racing", False))
     scenario = params.get("scenario")
     pair = make_training_pair(
         "salt_pepper_denoise",
@@ -133,7 +138,7 @@ def run_cascade_arrangement(run) -> RunArtifact:
     )
     base_session, base_filter = _evolve_base_filter(
         pair, run_seed, n_stages, n_generations, n_offspring, mutation_rate, backend,
-        population_batching, scenario,
+        population_batching, fitness_cache, racing, scenario,
     )
 
     if arrangement == "same_filter":
@@ -153,6 +158,8 @@ def run_cascade_arrangement(run) -> RunArtifact:
                 mutation_rate=mutation_rate,
                 seed=run_seed,
                 population_batching=population_batching,
+                fitness_cache=fitness_cache,
+                racing=racing,
                 scenario=scenario,
                 options={
                     "fitness_mode": "separate",
@@ -183,6 +190,8 @@ def build_cascade_quality_campaign(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> CampaignSpec:
     """The Figs. 16-17 comparison as a (repetition x arrangement) campaign."""
@@ -202,6 +211,8 @@ def build_cascade_quality_campaign(
             "mutation_rate": int(mutation_rate),
             "backend": str(backend),
             "population_batching": bool(population_batching),
+            "fitness_cache": None if fitness_cache is None else str(fitness_cache),
+            "racing": bool(racing),
             # A scenario name or inline dict rides the JSON-shipped params
             # so process-executor workers replay the same fault timeline.
             "scenario": scenario,
@@ -223,6 +234,8 @@ def cascade_quality_comparison(
     max_workers: Optional[int] = None,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> List[CascadePoint]:
     """Run the three cascade arrangements and return per-stage fitness points.
@@ -242,6 +255,8 @@ def cascade_quality_comparison(
         seed=seed,
         backend=backend,
         population_batching=population_batching,
+        fitness_cache=fitness_cache,
+        racing=racing,
         scenario=scenario,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
@@ -291,6 +306,8 @@ def _run(args) -> RunArtifact:
         max_workers=args.workers,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
         scenario=scenario_from_args(args),
     )
     rows = [

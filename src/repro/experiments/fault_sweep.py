@@ -172,6 +172,8 @@ def systematic_fault_analysis(
     max_workers: Optional[int] = None,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> List[FaultSweepSummary]:
     """Evolve a working circuit, then fault-sweep every PE of every array.
@@ -194,6 +196,8 @@ def systematic_fault_analysis(
             mutation_rate=mutation_rate,
             seed=seed,
             population_batching=population_batching,
+            fitness_cache=fitness_cache,
+            racing=racing,
             scenario=scenario,
         ),
     )
@@ -231,6 +235,8 @@ def _run(args) -> RunArtifact:
         max_workers=args.workers,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
         scenario=scenario_from_args(args),
     )
     rows = [

@@ -63,6 +63,8 @@ def imitation_seed_comparison(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> List[ImitationPoint]:
     """Compare inherited-vs-random seeding of the imitation recovery."""
@@ -82,6 +84,8 @@ def imitation_seed_comparison(
                     mutation_rate=mutation_rate,
                     seed=run_seed,
                     population_batching=population_batching,
+                    fitness_cache=fitness_cache,
+                    racing=racing,
                     scenario=scenario,
                 ),
             )
@@ -114,6 +118,8 @@ def imitation_seed_comparison(
                     mutation_rate=mutation_rate,
                     seed=run_seed + 1,
                     population_batching=population_batching,
+                    fitness_cache=fitness_cache,
+                    racing=racing,
                 ),
             )
             result = recovery_session.evolve(
@@ -151,6 +157,8 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
         scenario=scenario_from_args(args),
     )
     rows = [

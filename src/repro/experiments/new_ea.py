@@ -19,7 +19,7 @@ records a larger one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -62,6 +62,8 @@ def new_ea_comparison(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> List[NewEaPoint]:
     """Run the classic-vs-new-EA comparison and return one point per cell."""
@@ -88,6 +90,8 @@ def new_ea_comparison(
                         mutation_rate=k,
                         seed=run_seed,
                         population_batching=population_batching,
+                        fitness_cache=fitness_cache,
+                        racing=racing,
                         scenario=scenario,
                         options={} if strategy == "classic" else {"low_mutation_rate": 1},
                     ),
@@ -125,6 +129,8 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
         scenario=scenario_from_args(args),
     )
     rows = [

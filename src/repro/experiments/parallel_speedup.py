@@ -141,6 +141,8 @@ def build_measured_speedup_campaign(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> CampaignSpec:
     """The Fig. 12/13 measured sweep as a declarative campaign.
@@ -160,6 +162,8 @@ def build_measured_speedup_campaign(
             n_offspring=n_offspring,
             seed=seed,
             population_batching=population_batching,
+            fitness_cache=fitness_cache,
+            racing=racing,
             scenario=scenario,
         ),
         task=TaskSpec(
@@ -189,6 +193,8 @@ def measured_speedup_sweep(
     max_workers: Optional[int] = None,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> List[SpeedupPoint]:
     """Small-scale measured sweep: real evolution runs, platform time from the scheduler.
@@ -212,6 +218,8 @@ def measured_speedup_sweep(
         seed=seed,
         backend=backend,
         population_batching=population_batching,
+        fitness_cache=fitness_cache,
+        racing=racing,
         scenario=scenario,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers)
@@ -260,6 +268,8 @@ def _run(args) -> RunArtifact:
             max_workers=args.workers,
             backend=args.backend,
             population_batching=args.population_batching,
+            fitness_cache=args.fitness_cache,
+            racing=args.racing,
             scenario=scenario_from_args(args),
         )
         rows = [

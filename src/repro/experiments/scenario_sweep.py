@@ -177,6 +177,8 @@ def build_scenario_sweep_campaign(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
 ) -> CampaignSpec:
     """One campaign run per (scenario, repetition), sweeping ``evolution.scenario``.
 
@@ -201,6 +203,8 @@ def build_scenario_sweep_campaign(
             mutation_rate=mutation_rate,
             seed=None if replicated else seed,
             population_batching=population_batching,
+            fitness_cache=fitness_cache,
+            racing=racing,
         ),
         task=TaskSpec(
             task="salt_pepper_denoise",
@@ -235,6 +239,8 @@ def scenario_lifecycle_sweep(
     store=None,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
 ) -> List[Dict[str, Any]]:
     """Run the sweep; one summary row per (scenario, repetition)."""
     spec = build_scenario_sweep_campaign(
@@ -247,6 +253,8 @@ def scenario_lifecycle_sweep(
         seed=seed,
         backend=backend,
         population_batching=population_batching,
+        fitness_cache=fitness_cache,
+        racing=racing,
     )
     campaign = run_campaign(spec, executor=executor, max_workers=max_workers, store=store)
     rows: List[Dict[str, Any]] = []
@@ -297,6 +305,8 @@ def _run(args) -> RunArtifact:
         store=args.store,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
     )
     return RunArtifact(
         kind="scenario-sweep",

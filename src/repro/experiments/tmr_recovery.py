@@ -86,6 +86,8 @@ def tmr_fault_recovery_trace(
     seed: int = 2013,
     backend: str = "reference",
     population_batching: bool = True,
+    fitness_cache: Optional[str] = None,
+    racing: bool = False,
     scenario=None,
 ) -> TmrRecoveryResult:
     """Run the complete Fig. 20 scenario and return its trace.
@@ -109,6 +111,8 @@ def tmr_fault_recovery_trace(
             mutation_rate=mutation_rate,
             seed=seed,
             population_batching=population_batching,
+            fitness_cache=fitness_cache,
+            racing=racing,
             scenario=scenario,
         ),
     )
@@ -222,6 +226,8 @@ def _run(args) -> RunArtifact:
         seed=args.seed,
         backend=args.backend,
         population_batching=args.population_batching,
+        fitness_cache=args.fitness_cache,
+        racing=args.racing,
         scenario=scenario_from_args(args),
     )
     rows = [

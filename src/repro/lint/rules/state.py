@@ -62,6 +62,9 @@ _CONSTRUCTOR_METHODS = ("__init__", "__post_init__", "__new__")
 DESIGNATED_CLASS_ATTRS: Dict[str, Set[str]] = {
     "WorkQueue": {"_items", "_pending", "_by_lease"},
     "DedupeCache": {"_entries", "_loaded_size"},
+    # The persistent fitness-cache tier is shared between campaign workers
+    # under the same refresh-by-size discipline as DedupeCache.
+    "PersistentFitnessCache": {"_entries", "_loaded_size"},
 }
 
 #: Module-global stores guarded by contract (matched by rel-path suffix):

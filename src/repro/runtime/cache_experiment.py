@@ -1,0 +1,112 @@
+"""The ``repro-ehw cache`` subcommand: persistent fitness-cache maintenance.
+
+Operates on the persistent cross-run fitness cache
+(:class:`~repro.backends.fitness_cache.PersistentFitnessCache`) that the
+``--fitness-cache`` knob of the evolution experiments and the campaign
+command write to.  Three actions:
+
+* ``stats`` — entry count and index size of the cache;
+* ``prune`` — compact the append-only index, dropping duplicate and
+  corrupt lines (first-write-wins, so surviving values are unchanged);
+* ``verify`` — integrity audit: every index line must parse, keys must
+  be well-formed fitness signatures, values must be exact non-negative
+  integral SAE totals, and duplicated keys must agree.
+
+Registered through the same :class:`~repro.api.experiment.ExperimentSpec`
+mechanism as the paper experiments, so it inherits the central ``--json``
+artifact plumbing, and it follows the ``repro-ehw lint`` exit-code
+contract: ``0`` clean, ``1`` findings (verify problems), ``2`` usage
+errors — propagated by :func:`repro.cli.main` from
+``results["exit_code"]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api.artifact import RunArtifact
+from repro.api.experiment import ExperimentSpec, register_experiment
+from repro.backends.fitness_cache import PersistentFitnessCache
+
+__all__ = ["cache_main"]
+
+_ACTIONS = ("stats", "prune", "verify")
+
+
+def _configure_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "action",
+        choices=_ACTIONS,
+        help="stats: summarise the cache; prune: compact the index "
+             "(drop duplicate/corrupt lines); verify: audit index integrity",
+    )
+    parser.add_argument(
+        "root",
+        metavar="DIR",
+        help="cache directory (the --fitness-cache value of the runs that "
+             "populated it, or <campaign store>/fitness_cache)",
+    )
+
+
+def cache_main(args: argparse.Namespace) -> RunArtifact:
+    """Run one cache maintenance action from parsed CLI arguments."""
+    config = {"action": args.action, "root": str(args.root)}
+    try:
+        cache = PersistentFitnessCache(args.root)
+        summary = cache.summary()
+        if args.action == "stats":
+            results = {**summary, "exit_code": 0}
+        elif args.action == "prune":
+            pruned = cache.prune()
+            results = {**pruned, **cache.summary(), "exit_code": 0}
+        else:  # verify
+            problems = cache.verify()
+            results = {
+                **summary,
+                "problems": problems,
+                "exit_code": 1 if problems else 0,
+            }
+    except OSError as exc:
+        return RunArtifact(
+            kind="cache",
+            config=config,
+            results={"errors": [str(exc)], "exit_code": 2},
+            timing={},
+        )
+    return RunArtifact(kind="cache", config=config, results=results, timing={})
+
+
+def _render_cache(artifact: RunArtifact) -> None:
+    results = artifact.results
+    for error in results.get("errors", []):
+        print(f"error: {error}")
+    if "errors" in results:
+        return
+    action = artifact.config["action"]
+    exists = "yes" if results.get("exists") else "no"
+    print(f"cache root:   {results.get('root')}")
+    print(f"exists:       {exists}")
+    print(f"entries:      {results.get('entries', 0)}")
+    print(f"index bytes:  {results.get('index_bytes', 0)}")
+    if action == "prune":
+        print(
+            f"prune:        kept {results.get('kept', 0)} of "
+            f"{results.get('lines', 0)} line(s), dropped {results.get('dropped', 0)}"
+        )
+    elif action == "verify":
+        problems = results.get("problems", [])
+        if problems:
+            for problem in problems:
+                print(f"problem:      {problem}")
+            print(f"verify:       {len(problems)} problem(s) found")
+        else:
+            print("verify:       clean")
+
+
+register_experiment(ExperimentSpec(
+    name="cache",
+    help="inspect, compact or verify a persistent fitness cache",
+    configure=_configure_cache,
+    run=cache_main,
+    render=_render_cache,
+))

@@ -94,6 +94,8 @@ def build_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             n_generations=args.generations,
             seed=args.seed,
             population_batching=args.population_batching,
+            fitness_cache=args.fitness_cache,
+            racing=args.racing,
         ),
         scenario=scenario,
         task=TaskSpec(image_side=args.image_side, seed=args.seed),
@@ -163,6 +165,22 @@ def _configure(parser: argparse.ArgumentParser) -> None:
         help="population-batched generation step of the base evolution "
              "config (bit-exact; sweepable as an "
              "'evolution.population_batching' axis too)",
+    )
+    parser.add_argument(
+        "--fitness-cache",
+        metavar="DIR",
+        default=None,
+        help="persistent cross-run fitness cache of the base evolution "
+             "config (value-transparent; sweepable as an "
+             "'evolution.fitness_cache' axis too)",
+    )
+    parser.add_argument(
+        "--racing",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="racing early rejection of the base evolution config "
+             "(exact bound, bit-identical trajectories; sweepable as an "
+             "'evolution.racing' axis too)",
     )
 
 

@@ -135,6 +135,26 @@ class CampaignStore:
     def artifact_path(self, run_id: str) -> Path:
         return self.runs_dir / f"{run_id}.json"
 
+    @property
+    def fitness_cache_dir(self) -> Path:
+        return self.root / "fitness_cache"
+
+    def fitness_cache(self):
+        """The store's persistent cross-run fitness cache.
+
+        A :class:`~repro.backends.fitness_cache.PersistentFitnessCache`
+        rooted inside this campaign store (``<root>/fitness_cache/``),
+        sharing the store's durability conventions: append-only JSONL
+        index, ``fcntl`` lock file, atomically replaced metadata.  Pass
+        its root (or the instance) as the ``fitness_cache`` knob of an
+        :class:`~repro.api.config.EvolutionConfig` so every run of the
+        campaign — and every rerun against the same store — reuses
+        already-computed fitnesses.
+        """
+        from repro.backends.fitness_cache import PersistentFitnessCache
+
+        return PersistentFitnessCache(self.fitness_cache_dir)
+
     # ------------------------------------------------------------------ #
     def initialise(self, spec: CampaignSpec) -> None:
         """Create the store layout (or attach to an existing one).

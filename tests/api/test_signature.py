@@ -65,11 +65,11 @@ class TestConfigSignature:
 
 
 class TestRunSpecSignature:
-    def _spec(self, name="sig", seed=11):
+    def _spec(self, name="sig", seed=11, evolution=None):
         return CampaignSpec(
             name=name,
             platform=PlatformConfig(seed=1),
-            evolution=EvolutionConfig(n_generations=3, seed=2),
+            evolution=evolution or EvolutionConfig(n_generations=3, seed=2),
             task=TaskSpec(image_side=16, seed=3),
             grid={"evolution.mutation_rate": [1, 3]},
             seed=seed,
@@ -100,18 +100,36 @@ class TestRunSpecSignature:
 
     def test_signature_matches_the_wire_format(self):
         """The signature hashes canonical JSON of the resolved payload —
-        pin the derivation so server and engine can never disagree."""
+        pin the derivation so server and engine can never disagree.  The
+        value-transparent fitness-pipeline knobs (`fitness_cache`,
+        `racing`) never change an artifact, so they are stripped before
+        hashing and knob variants dedupe against the plain run."""
         run = self._spec().expand()[0]
+        evolution = {
+            key: value
+            for key, value in run.evolution.to_dict().items()
+            if key not in {"fitness_cache", "racing"}
+        }
         payload = {
             "runner": run.runner,
             "seed": run.seed,
             "platform": run.platform.to_dict(),
-            "evolution": run.evolution.to_dict(),
+            "evolution": evolution,
             "task": run.task.to_dict(),
             "healing": None if run.healing is None else run.healing.to_dict(),
             "params": dict(run.params),
         }
         assert run.signature() == content_signature(payload)
+
+    def test_signature_ignores_value_transparent_knobs(self):
+        """Racing / fitness-cache variants of one run share a signature."""
+        plain = self._spec().expand()[0]
+        knobbed = self._spec(
+            evolution=EvolutionConfig(
+                n_generations=3, seed=2, racing=True, fitness_cache="/tmp/fc"
+            )
+        ).expand()[0]
+        assert plain.signature() == knobbed.signature()
 
     def test_doctest_examples_stay_valid(self):
         # json module usability of the canonical form.

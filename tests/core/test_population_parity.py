@@ -314,6 +314,62 @@ class TestDriverParity:
 
 
 # --------------------------------------------------------------------------- #
+# Telemetry: the pipeline's cache counters surface on the result
+# --------------------------------------------------------------------------- #
+_STAT_KEYS = (
+    "hits", "misses", "bypasses", "persistent_hits", "persistent_misses",
+    "full_evaluations", "partial_evaluations", "racing_rejected",
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFitnessCacheTelemetry:
+    """``fitness_cache_stats`` is observability, not part of the parity
+    contract above: ``assert_results_equal`` deliberately skips it, since
+    engines batching candidates differently legitimately split the same
+    work into different hit/miss sequences."""
+
+    def _run(self, backend, faults, pair, **kwargs):
+        driver = ParallelEvolution(
+            platform=make_platform(backend, faults),
+            n_offspring=9,
+            mutation_rate=3,
+            rng=11,
+            **kwargs,
+        )
+        return driver.run(pair.training, pair.reference, n_generations=10)
+
+    def test_healthy_run_counts_misses_not_bypasses(self, backend, pair):
+        stats = self._run(backend, "healthy", pair).fitness_cache_stats
+        assert set(_STAT_KEYS) <= set(stats)
+        assert all(stats[key] >= 0 for key in _STAT_KEYS)
+        assert stats["misses"] > 0
+        assert stats["bypasses"] == 0
+        # Without persistent tier or racing, every miss is a full evaluation.
+        assert stats["full_evaluations"] == stats["misses"]
+        assert stats["persistent_hits"] == stats["persistent_misses"] == 0
+        assert stats["partial_evaluations"] == stats["racing_rejected"] == 0
+
+    def test_faulty_run_counts_bypasses(self, backend, pair):
+        stats = self._run(backend, "faulty", pair).fitness_cache_stats
+        # Two of the three arrays carry faults: their evaluations must
+        # bypass every cache tier — visibly, not silently.
+        assert stats["bypasses"] > 0
+        assert stats["full_evaluations"] >= stats["bypasses"]
+
+    def test_stats_present_on_every_driver(self, backend, pair):
+        result = self._run(backend, "healthy", pair)
+        assert isinstance(result.fitness_cache_stats, dict)
+        two_level = TwoLevelMutationEvolution(
+            platform=make_platform(backend, "healthy"),
+            n_offspring=9,
+            mutation_rate=3,
+            rng=11,
+        ).run(pair.training, pair.reference, n_generations=6)
+        assert two_level.fitness_cache_stats["misses"] > 0
+
+
+# --------------------------------------------------------------------------- #
 # Session level: byte-identical serialised artifacts
 # --------------------------------------------------------------------------- #
 @pytest.mark.parametrize("backend", BACKENDS)

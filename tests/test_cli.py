@@ -50,6 +50,9 @@ FAST_ARGS = {
     # lint: the self-host run — src/repro is clean against the committed
     # baseline, so the artifact's exit_code is 0 and main() returns it.
     "lint": [str(_REPO_ROOT / "src" / "repro")],
+    # cache: stats on a nonexistent cache reports exists=no with exit 0
+    # and creates nothing on disk.
+    "cache": ["stats", str(_REPO_ROOT / "out" / "nonexistent-fitness-cache")],
 }
 
 
@@ -64,7 +67,7 @@ class TestParser:
         assert set(registered_commands()) == {
             "resources", "speedup", "new-ea", "cascade-quality", "cascade-demo",
             "imitation", "tmr-recovery", "fault-sweep", "campaign",
-            "scenario-sweep", "serve", "worker", "red-team", "lint",
+            "scenario-sweep", "serve", "worker", "red-team", "lint", "cache",
         }
 
     def test_missing_command_errors(self):
@@ -134,6 +137,59 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "Systematic PE-level fault sweep" in out
         assert "critical" in out
+
+
+class TestCacheCommand:
+    """The ``repro-ehw cache`` maintenance subcommand and its exit-code
+    contract (0 clean / 1 findings / 2 usage errors, as for lint)."""
+
+    def _populate(self, root):
+        from repro.backends.fitness_cache import PersistentFitnessCache
+
+        cache = PersistentFitnessCache(root)
+        cache.publish({64 * "a": 10.0, 64 * "b": 20.0})
+        return cache
+
+    def test_stats_on_missing_cache_is_clean_and_side_effect_free(self, tmp_path, capsys):
+        root = tmp_path / "missing"
+        assert main(["cache", "stats", str(root)]) == 0
+        assert "exists:       no" in capsys.readouterr().out
+        assert not root.exists()
+
+    def test_stats_and_prune_report_entries(self, tmp_path, capsys):
+        root = tmp_path / "fcache"
+        self._populate(root)
+        assert main(["cache", "stats", str(root)]) == 0
+        assert "entries:      2" in capsys.readouterr().out
+        assert main(["cache", "prune", str(root)]) == 0
+        assert "kept 2 of 2" in capsys.readouterr().out
+
+    def test_verify_clean_and_dirty_exit_codes(self, tmp_path, capsys):
+        root = tmp_path / "fcache"
+        cache = self._populate(root)
+        assert main(["cache", "verify", str(root)]) == 0
+        assert "verify:       clean" in capsys.readouterr().out
+        with open(cache.index_path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        assert main(["cache", "verify", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "unparseable" in out
+
+    def test_verify_json_artifact_carries_problems(self, tmp_path, capsys):
+        root = tmp_path / "fcache"
+        cache = self._populate(root)
+        with open(cache.index_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "short", "fitness": 1}\n')
+        assert main(["cache", "verify", str(root), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "cache"
+        assert payload["results"]["exit_code"] == 1
+        assert any("malformed key" in p for p in payload["results"]["problems"])
+
+    def test_invalid_action_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "frobnicate", "/tmp/x"])
+        assert excinfo.value.code == 2
 
 
 class TestJsonFlag:
